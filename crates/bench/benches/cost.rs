@@ -1,0 +1,28 @@
+//! Cost-model benchmarks: the Figure 19 bill-of-materials roll-ups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfly_cost::CostConfig;
+use std::hint::black_box;
+
+fn cost_rollups(c: &mut Criterion) {
+    let cfg = CostConfig::default();
+    let mut group = c.benchmark_group("figure19_rollup");
+    for n in [4096usize, 20480] {
+        group.bench_with_input(BenchmarkId::new("dragonfly", n), &n, |b, &n| {
+            b.iter(|| black_box(cfg.dragonfly(n).per_node()));
+        });
+        group.bench_with_input(BenchmarkId::new("flattened_butterfly", n), &n, |b, &n| {
+            b.iter(|| black_box(cfg.flattened_butterfly(n).per_node()));
+        });
+        group.bench_with_input(BenchmarkId::new("folded_clos", n), &n, |b, &n| {
+            b.iter(|| black_box(cfg.folded_clos(n).per_node()));
+        });
+        group.bench_with_input(BenchmarkId::new("torus_3d", n), &n, |b, &n| {
+            b.iter(|| black_box(cfg.torus_3d(n).per_node()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cost_rollups);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Simulator-core performance: cycles/second of the paper's 1K-node
+//! network under each routing family member (the kernels behind
+//! Figures 8–16).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfly_netsim::CreditMode;
+use dragonfly::{DragonflyParams, DragonflySim, RoutingChoice, TrafficChoice};
+
+fn engine_cycles(c: &mut Criterion) {
+    let sim = DragonflySim::new(DragonflyParams::new(4, 8, 4).unwrap());
+    let mut group = c.benchmark_group("engine_1k_cycles");
+    group.sample_size(10);
+    for (choice, traffic, load) in [
+        (RoutingChoice::Min, TrafficChoice::Uniform, 0.3),
+        (RoutingChoice::Valiant, TrafficChoice::WorstCase, 0.2),
+        (RoutingChoice::UgalLVcH, TrafficChoice::WorstCase, 0.2),
+        (RoutingChoice::UgalG, TrafficChoice::Uniform, 0.3),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new(choice.label(), traffic.label()),
+            &(choice, traffic, load),
+            |b, &(choice, traffic, load)| {
+                b.iter(|| {
+                    let mut cfg = sim.config(load);
+                    cfg.warmup = 50;
+                    cfg.measure = 200;
+                    cfg.drain_cap = 2_000;
+                    sim.run(choice, traffic, cfg)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn credit_round_trip_overhead(c: &mut Criterion) {
+    // The CR mechanism's bookkeeping (CTQ, delayed credits) vs
+    // conventional credits at identical load.
+    let sim = DragonflySim::new(DragonflyParams::new(4, 8, 4).unwrap());
+    let mut group = c.benchmark_group("credit_mode");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("conventional", CreditMode::Conventional),
+        ("round_trip", CreditMode::round_trip()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = sim.config(0.2);
+                cfg.warmup = 50;
+                cfg.measure = 200;
+                cfg.drain_cap = 2_000;
+                cfg.credit_mode = mode;
+                sim.run(RoutingChoice::UgalLVcH, TrafficChoice::WorstCase, cfg)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_cycles, credit_round_trip_overhead);
+criterion_main!(benches);

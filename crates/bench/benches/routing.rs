@@ -1,0 +1,65 @@
+//! Route-computation microbenchmarks: the per-flit and per-packet
+//! decisions on the routing fast path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dfly_netsim::{RouteInfo, SimConfig, Simulation};
+use dfly_traffic::{rng_for, UniformRandom};
+use dragonfly::{Dragonfly, DragonflyParams, MinimalRouting, UgalRouting, UgalVariant};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn route_computation(c: &mut Criterion) {
+    // Time full injection decisions by running one cycle bursts through
+    // the engine with each algorithm (the engine's inject phase is
+    // dominated by the decision).
+    let df = Arc::new(Dragonfly::new(DragonflyParams::new(4, 8, 4).unwrap()));
+    let spec = df.build_spec();
+    let pattern = UniformRandom::new(spec.num_terminals());
+    let mut group = c.benchmark_group("routing_inject_cycle");
+    group.sample_size(20);
+
+    let min = MinimalRouting::new(df.clone());
+    group.bench_function("min_100_cycles", |b| {
+        b.iter(|| {
+            let mut sim =
+                Simulation::new(&spec, &min, &pattern, SimConfig::paper_default(0.5)).unwrap();
+            for _ in 0..100 {
+                sim.step();
+            }
+            black_box(sim.cycle())
+        });
+    });
+
+    let ugal = UgalRouting::new(df.clone(), UgalVariant::LocalVcHybrid);
+    group.bench_function("ugal_vch_100_cycles", |b| {
+        b.iter(|| {
+            let mut sim =
+                Simulation::new(&spec, &ugal, &pattern, SimConfig::paper_default(0.5)).unwrap();
+            for _ in 0..100 {
+                sim.step();
+            }
+            black_box(sim.cycle())
+        });
+    });
+    group.finish();
+}
+
+fn salt_pick(c: &mut Criterion) {
+    let df = Dragonfly::new(DragonflyParams::new(4, 8, 4).unwrap());
+    let mut rng = rng_for(1, 0);
+    use rand::Rng;
+    let salts: Vec<u32> = (0..1024).map(|_| rng.gen()).collect();
+    c.bench_function("parallel_channel_pick_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &salt in &salts {
+                acc ^= df.pick(black_box(7), salt, 1);
+            }
+            black_box(acc)
+        });
+    });
+    let _ = RouteInfo::minimal();
+}
+
+criterion_group!(benches, route_computation, salt_pick);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Topology-construction and graph-analysis benchmarks (Figures 4, 5
+//! and the structural checks behind Table 2 / Figure 18).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfly_topo::{FlattenedButterfly, FoldedClos, Topology, Torus};
+use dragonfly::{Dragonfly, DragonflyParams};
+use std::hint::black_box;
+
+fn build_dragonfly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_dragonfly");
+    for (name, p, a, h) in [("1k", 4usize, 8usize, 4usize), ("16k", 8, 16, 8)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(p, a, h), |b, &(p, a, h)| {
+            b.iter(|| {
+                let df = Dragonfly::new(DragonflyParams::new(p, a, h).unwrap());
+                black_box(df.build_spec().num_terminals())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn graph_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_analysis");
+    group.sample_size(20);
+    group.bench_function("dragonfly_1k_diameter", |b| {
+        let df = Dragonfly::new(DragonflyParams::new(4, 8, 4).unwrap());
+        b.iter(|| black_box(df.diameter()));
+    });
+    group.bench_function("fb_4k_diameter", |b| {
+        let fb = FlattenedButterfly::new(2, 16, 16);
+        b.iter(|| black_box(fb.diameter()));
+    });
+    group.bench_function("torus_512_diameter", |b| {
+        let t = Torus::new(3, 8, 1);
+        b.iter(|| black_box(t.diameter()));
+    });
+    group.bench_function("clos_graph_build", |b| {
+        let clos = FoldedClos::new(3, 32);
+        b.iter(|| black_box(clos.router_graph().edge_count()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, build_dragonfly, graph_analysis);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Ablations of the credit round-trip mechanism's design choices
+//! (DESIGN.md): the td estimator (last sample vs EWMA), the CTQ
+//! sampling ratio (the paper suggests tracking 1 of 4 credits
+//! suffices), and buffer depth under UGAL-L_CR.
+
+use dfly_bench::{paper_network, Windows};
+use dfly_netsim::{CreditMode, TdEstimator};
+use dragonfly::{RoutingChoice, TrafficChoice};
+
+fn main() {
+    let win = Windows::from_env();
+    let sim = paper_network();
+    let run = |mode: CreditMode, buffers: usize, load: f64| {
+        let mut cfg = win.config(load).with_buffer_depth(buffers);
+        cfg.credit_mode = mode;
+        sim.run(RoutingChoice::UgalLCr, TrafficChoice::WorstCase, cfg)
+    };
+
+    println!("# Credit round-trip ablations (UGAL-L_CR, WC traffic at 0.2)");
+
+    println!("\n## td estimator");
+    println!("| estimator | avg latency | minimal-packet latency |");
+    println!("|---|---|---|");
+    for (name, estimator) in [
+        ("last sample (paper)", TdEstimator::LastSample),
+        ("EWMA 1/4", TdEstimator::Ewma { shift: 2 }),
+        ("EWMA 1/16", TdEstimator::Ewma { shift: 4 }),
+    ] {
+        let stats = run(
+            CreditMode::RoundTrip {
+                sample: 1,
+                estimator,
+            },
+            16,
+            0.2,
+        );
+        println!(
+            "| {name} | {} | {} |",
+            dfly_bench::fmt_latency(stats.avg_latency()),
+            dfly_bench::fmt_latency(stats.minimal_latency.mean()),
+        );
+    }
+
+    println!("\n## CTQ sampling ratio (paper: 1-of-4 suffices)");
+    println!("| tracked credits | avg latency | minimal-packet latency |");
+    println!("|---|---|---|");
+    for sample in [1u32, 2, 4, 8] {
+        let stats = run(
+            CreditMode::RoundTrip {
+                sample,
+                estimator: TdEstimator::LastSample,
+            },
+            16,
+            0.2,
+        );
+        println!(
+            "| 1 of {sample} | {} | {} |",
+            dfly_bench::fmt_latency(stats.avg_latency()),
+            dfly_bench::fmt_latency(stats.minimal_latency.mean()),
+        );
+    }
+
+    println!("\n## buffer depth (CR should be ~independent; cf. Figure 16)");
+    println!("| buffers | avg latency | minimal-packet latency |");
+    println!("|---|---|---|");
+    for buffers in [16usize, 64, 256] {
+        let stats = run(CreditMode::round_trip(), buffers, 0.2);
+        println!(
+            "| {buffers} | {} | {} |",
+            dfly_bench::fmt_latency(stats.avg_latency()),
+            dfly_bench::fmt_latency(stats.minimal_latency.mean()),
+        );
+    }
+}

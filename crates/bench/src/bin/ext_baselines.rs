@@ -1,0 +1,100 @@
+//! Extension experiment: all four of the paper's §5 topologies simulated
+//! head-to-head on the same cycle-accurate engine — dragonfly, flattened
+//! butterfly, folded Clos and 3-D torus of comparable size — under
+//! uniform random traffic.
+//!
+//! The paper compares these topologies on cost only; simulating them
+//! behaviourally shows the other side of the trade: the torus's hop
+//! count inflates its latency, the Clos needs twice the hops of the
+//! dragonfly, and the butterfly matches the dragonfly only by spending
+//! twice the router ports.
+
+use std::sync::Arc;
+
+use dfly_bench::Windows;
+use dfly_netsim::{RunStats, Simulation};
+use dfly_topo::{FlattenedButterfly, FoldedClos, Topology, Torus};
+use dfly_traffic::UniformRandom;
+use dragonfly::butterfly::{ButterflyNetwork, ButterflyRouting};
+use dragonfly::clos_sim::{ClosNetwork, ClosRouting};
+use dragonfly::torus_sim::{TorusNetwork, TorusRouting};
+use dragonfly::{DragonflyParams, DragonflySim, RoutingChoice, TrafficChoice};
+
+fn cell(stats: &RunStats) -> String {
+    if stats.drained {
+        stats
+            .avg_latency()
+            .map(|l| format!("{l:.1}"))
+            .unwrap_or_else(|| "-".into())
+    } else {
+        "sat".into()
+    }
+}
+
+fn main() {
+    let win = Windows::from_env();
+
+    // Four machines near 64-72 terminals.
+    let df = DragonflySim::new(DragonflyParams::new(2, 4, 2).unwrap()); // 72
+    let fbn = Arc::new(ButterflyNetwork::new(FlattenedButterfly::new(2, 6, 2))); // 72
+    let clos = Arc::new(ClosNetwork::new(FoldedClos::new(3, 8))); // 64
+    let torus = Arc::new(TorusNetwork::new(Torus::new(3, 4, 1))); // 64
+
+    let fb_spec = fbn.build_spec();
+    let clos_spec = clos.build_spec();
+    let torus_spec = torus.build_spec();
+
+    println!("# Four topologies on one engine (uniform random)");
+    println!(
+        "| network | terminals | routers | radix |\n|---|---|---|---|\n\
+         | dragonfly | {} | {} | {} |\n\
+         | flattened butterfly | {} | {} | {} |\n\
+         | folded Clos | {} | {} | {} |\n\
+         | 3-D torus | {} | {} | {} |",
+        df.spec().num_terminals(),
+        df.spec().num_routers(),
+        df.dragonfly().router_radix(),
+        fb_spec.num_terminals(),
+        fb_spec.num_routers(),
+        fbn.topology().radix(),
+        clos_spec.num_terminals(),
+        clos_spec.num_routers(),
+        clos.topology().radix(),
+        torus_spec.num_terminals(),
+        torus_spec.num_routers(),
+        torus.topology().radix(),
+    );
+
+    println!("\n| load | dragonfly UGAL | butterfly UGAL | Clos up/down | torus DOR |");
+    println!("|---|---|---|---|---|");
+    for &load in &win.thin(&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]) {
+        let cfg = win.config(load);
+        let df_stats = df.run(RoutingChoice::UgalLVcH, TrafficChoice::Uniform, cfg.clone());
+        let fb_routing = ButterflyRouting::ugal_local(fbn.clone());
+        let fb_traffic = UniformRandom::new(fb_spec.num_terminals());
+        let fb_stats = Simulation::new(&fb_spec, &fb_routing, &fb_traffic, cfg.clone())
+            .unwrap()
+            .run();
+        let clos_routing = ClosRouting::new(clos.clone());
+        let clos_traffic = UniformRandom::new(clos_spec.num_terminals());
+        let clos_stats = Simulation::new(&clos_spec, &clos_routing, &clos_traffic, cfg.clone())
+            .unwrap()
+            .run();
+        let torus_routing = TorusRouting::new(torus.clone());
+        let torus_traffic = UniformRandom::new(torus_spec.num_terminals());
+        let torus_stats = Simulation::new(&torus_spec, &torus_routing, &torus_traffic, cfg)
+            .unwrap()
+            .run();
+        println!(
+            "| {load:.1} | {} | {} | {} | {} |",
+            cell(&df_stats),
+            cell(&fb_stats),
+            cell(&clos_stats),
+            cell(&torus_stats),
+        );
+    }
+    println!(
+        "\nHop counts at 0.1 load: dragonfly/butterfly ~2, Clos ~2x ranks, \
+         torus ~k (the diameter penalty the paper's cost argument starts from)."
+    );
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 10: the VC-discriminating UGAL variants.
+use dfly_bench::Windows;
+fn main() {
+    dfly_bench::figures::fig10(&Windows::from_env());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 11: minimal vs non-minimal packet latency.
+use dfly_bench::Windows;
+fn main() {
+    dfly_bench::figures::fig11(&Windows::from_env());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 12: packet latency histograms.
+use dfly_bench::Windows;
+fn main() {
+    dfly_bench::figures::fig12(&Windows::from_env());
+}

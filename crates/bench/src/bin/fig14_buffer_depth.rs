@@ -1,0 +1,5 @@
+//! Regenerates Figure 14: latency vs load across buffer depths.
+use dfly_bench::Windows;
+fn main() {
+    dfly_bench::figures::fig14(&Windows::from_env());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 16: UGAL-L_CR vs UGAL-L_VCH vs UGAL-G.
+use dfly_bench::Windows;
+fn main() {
+    dfly_bench::figures::fig16(&Windows::from_env());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 19: cost per node vs network size.
+fn main() {
+    dfly_bench::figures::fig19();
+}

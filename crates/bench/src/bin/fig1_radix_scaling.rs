@@ -1,0 +1,4 @@
+//! Regenerates Figure 1: radix required for one global hop vs N.
+fn main() {
+    dfly_bench::figures::fig1();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 2: cable cost vs length.
+fn main() {
+    dfly_bench::figures::fig2();
+}

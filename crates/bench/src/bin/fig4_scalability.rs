@@ -1,0 +1,4 @@
+//! Regenerates Figure 4: dragonfly scalability vs router radix.
+fn main() {
+    dfly_bench::figures::fig4();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 8: routing algorithm comparison (UR and WC).
+use dfly_bench::Windows;
+fn main() {
+    dfly_bench::figures::fig8(&Windows::from_env());
+}

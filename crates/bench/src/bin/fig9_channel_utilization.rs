@@ -1,0 +1,5 @@
+//! Regenerates Figure 9: global channel utilisation under UGAL-L/G.
+use dfly_bench::Windows;
+fn main() {
+    dfly_bench::figures::fig9(&Windows::from_env());
+}

@@ -1,0 +1,21 @@
+//! Regenerates every table and figure of the paper in sequence.
+use dfly_bench::{figures, Windows};
+
+fn main() {
+    let win = Windows::from_env();
+    println!("# Dragonfly paper — regenerated tables and figures");
+    println!("(windows: {win:?})");
+    figures::fig1();
+    figures::tab1();
+    figures::fig2();
+    figures::fig4();
+    figures::fig8(&win);
+    figures::fig9(&win);
+    figures::fig10(&win);
+    figures::fig11(&win);
+    figures::fig12(&win);
+    figures::fig14(&win);
+    figures::fig16(&win);
+    figures::tab2();
+    figures::fig19();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1: cable technology characteristics.
+fn main() {
+    dfly_bench::figures::tab1();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2 and the Figure 18 64K case study.
+fn main() {
+    dfly_bench::figures::tab2();
+}

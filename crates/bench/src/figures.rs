@@ -1,0 +1,451 @@
+//! One generator per table/figure of the paper's evaluation.
+
+use std::collections::HashMap;
+
+use dfly_cost::{
+    case_study_64k, dragonfly_cable_lengths_in_e, max_dragonfly_terminals,
+    radix_for_single_global_hop, table2, CableCostModel, CostConfig, CABLE_TECHNOLOGIES,
+};
+use dragonfly::{DragonflyParams, RoutingChoice, TrafficChoice};
+
+use crate::{
+    fmt_latency, paper_network, saturation_throughput, sweep_to_saturation, SweepPoint, Windows,
+};
+
+/// The worst-case-pattern load axis of the paper's Figures 8(b)–16.
+pub const WC_LOADS: [f64; 11] = [0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55];
+/// The uniform-random load axis of Figures 8(a), 10(a), 16(c,d).
+pub const UR_LOADS: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95];
+
+fn print_curves(title: &str, loads: &[f64], series: &[(String, Vec<SweepPoint>)]) {
+    println!("\n### {title}");
+    print!("| load |");
+    for (name, _) in series {
+        print!(" {name} |");
+    }
+    println!();
+    print!("|---|");
+    for _ in series {
+        print!("---|");
+    }
+    println!();
+    for &load in loads {
+        let mut row = format!("| {load:.2} |");
+        let mut any = false;
+        for (_, points) in series {
+            let cell = match points.iter().find(|p| (p.load - load).abs() < 1e-9) {
+                Some(p) => {
+                    any = true;
+                    fmt_latency(p.latency())
+                }
+                None => "-".into(),
+            };
+            row.push_str(&format!(" {cell} |"));
+        }
+        if any {
+            println!("{row}");
+        }
+    }
+}
+
+fn print_throughputs(series: &[(String, f64)]) {
+    println!("\nSaturation throughput (accepted at offered 1.0):");
+    for (name, cap) in series {
+        println!("  {name:12} {cap:.3}");
+    }
+}
+
+/// Figure 1: router radix required for a single global hop vs N.
+pub fn fig1() {
+    println!("\n## Figure 1 — radix for one global hop (fully connected, k ~ 2*sqrt(N))");
+    println!("| N | required radix k |");
+    println!("|---|---|");
+    for exp in [2u32, 3, 4, 5, 6] {
+        let n = 10usize.pow(exp);
+        println!("| {n} | {} |", radix_for_single_global_hop(n));
+    }
+}
+
+/// Table 1: cable technology characteristics.
+pub fn tab1() {
+    println!("\n## Table 1 — cable technologies");
+    println!("| cable | reach (m) | rate (Gb/s) | power (W) | energy (pJ/bit) |");
+    println!("|---|---|---|---|---|");
+    for t in CABLE_TECHNOLOGIES {
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            t.name, t.max_length_m, t.data_rate_gbps, t.power_w, t.energy_pj_per_bit
+        );
+    }
+}
+
+/// Figure 2: cable cost ($/Gb/s) vs length for the two technologies.
+pub fn fig2() {
+    let m = CableCostModel::default();
+    println!("\n## Figure 2 — cable cost vs length ($/Gb/s)");
+    println!("| length (m) | electrical | optical | chosen |");
+    println!("|---|---|---|---|");
+    for len in (0..=10).map(|x| (x * 10) as f64) {
+        println!(
+            "| {len:.0} | {:.2} | {:.2} | {:.2} |",
+            m.electrical(len),
+            m.optical(len),
+            m.cable(len.max(0.1))
+        );
+    }
+    println!("Crossover: {:.1} m (paper: ~10 m)", m.crossover_m());
+}
+
+/// Figure 4: maximum balanced dragonfly size vs router radix.
+pub fn fig4() {
+    println!("\n## Figure 4 — dragonfly scalability (balanced a = 2p = 2h)");
+    println!("| radix k | max N |");
+    println!("|---|---|");
+    for k in [4usize, 8, 16, 24, 32, 48, 64, 80] {
+        match max_dragonfly_terminals(k) {
+            Some(n) => println!("| {k} | {n} |"),
+            None => println!("| {k} | - |"),
+        }
+    }
+}
+
+/// Figure 8: MIN / VAL / UGAL-L / UGAL-G on (a) uniform random and
+/// (b) the worst-case pattern.
+pub fn fig8(win: &Windows) {
+    let sim = paper_network();
+    let algos = [
+        RoutingChoice::Min,
+        RoutingChoice::Valiant,
+        RoutingChoice::UgalG,
+        RoutingChoice::UgalL,
+    ];
+    for (traffic, loads) in [
+        (TrafficChoice::Uniform, &UR_LOADS[..]),
+        (TrafficChoice::WorstCase, &WC_LOADS[..]),
+    ] {
+        let loads = win.thin(loads);
+        let series: Vec<(String, Vec<SweepPoint>)> = algos
+            .iter()
+            .map(|&a| {
+                (
+                    a.label().to_string(),
+                    sweep_to_saturation(&sim, a, traffic, &loads, win, 16),
+                )
+            })
+            .collect();
+        print_curves(
+            &format!(
+                "Figure 8({}) — latency vs load, {} traffic",
+                if traffic == TrafficChoice::Uniform { "a" } else { "b" },
+                traffic.label()
+            ),
+            &loads,
+            &series,
+        );
+        let caps: Vec<(String, f64)> = algos
+            .iter()
+            .map(|&a| {
+                (
+                    a.label().to_string(),
+                    saturation_throughput(&sim, a, traffic, win, 16),
+                )
+            })
+            .collect();
+        print_throughputs(&caps);
+    }
+}
+
+/// Figure 9: per-global-channel utilisation under WC at load 0.2 for
+/// UGAL-L and UGAL-G, ordered as in the paper: the minimal channel
+/// first, then the non-minimal channels sharing its router, then the
+/// rest of the group, averaged over all groups.
+pub fn fig9(win: &Windows) {
+    let sim = paper_network();
+    let df = sim.dragonfly();
+    let params = *df.params();
+    let (g, h, ah) = (
+        params.num_groups(),
+        params.global_ports_per_router(),
+        params.global_ports_per_group(),
+    );
+    println!("\n## Figure 9 — global channel utilisation, WC traffic at 0.2");
+    println!("(rank 0 = minimal channel; ranks 1..{h} share its router; rest share the group)");
+    let mut table: Vec<Vec<f64>> = Vec::new();
+    let mut labels = Vec::new();
+    for choice in [RoutingChoice::UgalL, RoutingChoice::UgalG] {
+        let mut cfg = win.config(0.2);
+        // Saturated UGAL-L runs are fine here: the utilisation during the
+        // window is what the figure reports.
+        cfg.drain_cap = 0;
+        let stats = sim.run(choice, TrafficChoice::WorstCase, cfg);
+        let util: HashMap<(usize, usize), f64> = stats
+            .channel_loads
+            .iter()
+            .map(|c| ((c.router, c.port), c.utilization))
+            .collect();
+        let mut mean = vec![0.0f64; ah];
+        for group in 0..g {
+            let target = (group + 1) % g;
+            let qmin = df.global_slots(group, target)[0] as usize;
+            let min_router_base = (qmin / h) * h;
+            // Rank ordering of this group's slots.
+            let mut order = vec![qmin];
+            order.extend((min_router_base..min_router_base + h).filter(|&q| q != qmin));
+            order.extend((0..ah).filter(|&q| !(min_router_base..min_router_base + h).contains(&q)));
+            for (rank, &q) in order.iter().enumerate() {
+                let key = (df.slot_router(group, q), df.slot_port(q));
+                mean[rank] += util.get(&key).copied().unwrap_or(0.0) / g as f64;
+            }
+        }
+        table.push(mean);
+        labels.push(choice.label());
+    }
+    println!("| channel rank | {} | {} |", labels[0], labels[1]);
+    println!("|---|---|---|");
+    for (rank, (l, g)) in table[0].iter().zip(&table[1]).enumerate() {
+        println!("| {rank} | {l:.3} | {g:.3} |");
+    }
+}
+
+/// Figure 10: the VC-discrimination variants vs UGAL-L and UGAL-G.
+pub fn fig10(win: &Windows) {
+    let sim = paper_network();
+    let algos = [
+        RoutingChoice::UgalL,
+        RoutingChoice::UgalLVc,
+        RoutingChoice::UgalLVcH,
+        RoutingChoice::UgalG,
+    ];
+    for (traffic, loads, tag) in [
+        (TrafficChoice::Uniform, &UR_LOADS[..], "a"),
+        (TrafficChoice::WorstCase, &WC_LOADS[..], "b"),
+    ] {
+        let loads = win.thin(loads);
+        let series: Vec<(String, Vec<SweepPoint>)> = algos
+            .iter()
+            .map(|&a| {
+                (
+                    a.label().to_string(),
+                    sweep_to_saturation(&sim, a, traffic, &loads, win, 16),
+                )
+            })
+            .collect();
+        print_curves(
+            &format!("Figure 10({tag}) — VC discrimination, {} traffic", traffic.label()),
+            &loads,
+            &series,
+        );
+        let caps: Vec<(String, f64)> = algos
+            .iter()
+            .map(|&a| {
+                (
+                    a.label().to_string(),
+                    saturation_throughput(&sim, a, traffic, win, 16),
+                )
+            })
+            .collect();
+        print_throughputs(&caps);
+    }
+}
+
+/// Figure 11: minimal vs non-minimal packet latency under UGAL-L (WC)
+/// with 16- and 256-flit buffers.
+pub fn fig11(win: &Windows) {
+    let sim = paper_network();
+    for (buffers, tag) in [(16usize, "a"), (256, "b")] {
+        println!("\n### Figure 11({tag}) — UGAL-L WC, buffers {buffers}");
+        println!("| load | minimal | non-minimal | average |");
+        println!("|---|---|---|---|");
+        for &load in &win.thin(&WC_LOADS) {
+            let cfg = win.config(load).with_buffer_depth(buffers);
+            let stats = sim.run(RoutingChoice::UgalL, TrafficChoice::WorstCase, cfg);
+            if !stats.drained {
+                println!("| {load:.2} | sat | sat | sat |");
+                break;
+            }
+            println!(
+                "| {load:.2} | {} | {} | {} |",
+                fmt_latency(stats.minimal_latency.mean()),
+                fmt_latency(stats.non_minimal_latency.mean()),
+                fmt_latency(stats.avg_latency()),
+            );
+        }
+    }
+}
+
+/// Figure 12: latency histograms at load 0.25 (UGAL-L, WC), buffers 16
+/// and 256.
+pub fn fig12(win: &Windows) {
+    let sim = paper_network();
+    for (buffers, tag, bucket) in [(16usize, "a", 4u64), (256, "b", 16)] {
+        let cfg = win.config(0.25).with_buffer_depth(buffers);
+        let stats = sim.run(RoutingChoice::UgalL, TrafficChoice::WorstCase, cfg);
+        println!("\n### Figure 12({tag}) — latency histogram at 0.25, buffers {buffers}");
+        println!(
+            "avg latency = {} (paper: 19.2 for 16, 39.19 for 256)",
+            fmt_latency(stats.avg_latency())
+        );
+        println!("| latency | fraction | minimal fraction |");
+        println!("|---|---|---|");
+        let all = stats.histogram.buckets();
+        let min_only = stats.minimal_histogram.buckets();
+        let total = stats.histogram.total() as f64;
+        let mut printed = 0;
+        for start in (0..all.len() as u64).step_by(bucket as usize) {
+            let sum: u64 = (start..(start + bucket).min(all.len() as u64))
+                .map(|i| all[i as usize])
+                .sum();
+            let msum: u64 = (start..(start + bucket).min(min_only.len() as u64))
+                .map(|i| min_only[i as usize])
+                .sum();
+            if sum > 0 {
+                println!(
+                    "| {start}-{} | {:.4} | {:.4} |",
+                    start + bucket - 1,
+                    sum as f64 / total,
+                    msum as f64 / total
+                );
+                printed += 1;
+            }
+            if printed > 40 {
+                break;
+            }
+        }
+    }
+}
+
+/// Figure 14: latency vs load as the buffer depth varies (UGAL-L, WC).
+pub fn fig14(win: &Windows) {
+    let sim = paper_network();
+    let depths = [4usize, 8, 16, 32, 64];
+    let loads = win.thin(&WC_LOADS);
+    let series: Vec<(String, Vec<SweepPoint>)> = depths
+        .iter()
+        .map(|&d| {
+            (
+                format!("buf {d}"),
+                sweep_to_saturation(
+                    &sim,
+                    RoutingChoice::UgalL,
+                    TrafficChoice::WorstCase,
+                    &loads,
+                    win,
+                    d,
+                ),
+            )
+        })
+        .collect();
+    print_curves("Figure 14 — UGAL-L WC latency vs load by buffer depth", &loads, &series);
+}
+
+/// Figure 16: UGAL-L_CR vs UGAL-L_VCH vs UGAL-G on WC (a,b) and UR
+/// (c,d) with 16- and 256-flit buffers.
+pub fn fig16(win: &Windows) {
+    let sim = paper_network();
+    let algos = [
+        RoutingChoice::UgalLVcH,
+        RoutingChoice::UgalLCr,
+        RoutingChoice::UgalG,
+    ];
+    for (traffic, loads, tags) in [
+        (TrafficChoice::WorstCase, &WC_LOADS[..], ["a", "b"]),
+        (TrafficChoice::Uniform, &UR_LOADS[..], ["c", "d"]),
+    ] {
+        for (buffers, tag) in [(16usize, tags[0]), (256, tags[1])] {
+            let loads = win.thin(loads);
+            let series: Vec<(String, Vec<SweepPoint>)> = algos
+                .iter()
+                .map(|&a| {
+                    (
+                        a.label().to_string(),
+                        sweep_to_saturation(&sim, a, traffic, &loads, win, buffers),
+                    )
+                })
+                .collect();
+            print_curves(
+                &format!(
+                    "Figure 16({tag}) — credit round trip, {} traffic, buffers {buffers}",
+                    traffic.label()
+                ),
+                &loads,
+                &series,
+            );
+        }
+    }
+}
+
+/// Table 2 and Figure 18: structural comparison against the flattened
+/// butterfly.
+pub fn tab2() {
+    println!("\n## Table 2 — dragonfly vs flattened butterfly");
+    println!("| topology | min diameter | non-min diameter | avg cable | max cable |");
+    println!("|---|---|---|---|---|");
+    for row in table2() {
+        println!(
+            "| {} | {}hl + {}hg | {}hl + {}hg | {:.2}E | {:.0}E |",
+            row.topology,
+            row.minimal_diameter.local,
+            row.minimal_diameter.global,
+            row.non_minimal_diameter.local,
+            row.non_minimal_diameter.global,
+            row.avg_cable_length_e,
+            row.max_cable_length_e
+        );
+    }
+    let params = DragonflyParams::with_groups(16, 32, 8, 32).expect("valid");
+    let (avg_e, max_e) = dragonfly_cable_lengths_in_e(params, 128);
+    println!("Measured dragonfly global cables on a square floor: avg {avg_e:.2}E, max {max_e:.2}E");
+
+    let cs = case_study_64k();
+    println!("\n## Figure 18 — 64K-node case study");
+    println!("| metric | flattened butterfly | dragonfly |");
+    println!("|---|---|---|");
+    println!("| terminals | {} | {} |", cs.terminals.0, cs.terminals.1);
+    println!("| router radix | {} | {} |", cs.radix.0, cs.radix.1);
+    println!("| global cables | {} | {} |", cs.global_cables.0, cs.global_cables.1);
+    println!(
+        "| global port fraction | {:.2} | {:.2} |",
+        cs.global_port_fraction.0, cs.global_port_fraction.1
+    );
+}
+
+/// Figure 19: cost per node vs network size for the four topologies.
+pub fn fig19() {
+    let cfg = CostConfig::default();
+    println!("\n## Figure 19 — network cost per node vs size");
+    println!("| N | dragonfly | flattened butterfly | folded Clos | 3-D torus | DF vs FB | DF vs Clos | DF vs torus |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for n in [1024usize, 2048, 4096, 8192, 12288, 16384, 20480, 65536] {
+        let df = cfg.dragonfly(n);
+        let fb = cfg.flattened_butterfly(n);
+        let clos = cfg.folded_clos(n);
+        let torus = cfg.torus_3d(n);
+        let save = |other: f64| format!("{:+.0}%", (1.0 - df.per_node() / other) * 100.0);
+        println!(
+            "| {n} | {:.1} | {:.1} | {:.1} | {:.1} | {} | {} | {} |",
+            df.per_node(),
+            fb.per_node(),
+            clos.per_node(),
+            torus.per_node(),
+            save(fb.per_node()),
+            save(clos.per_node()),
+            save(torus.per_node()),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_figures_print() {
+        // The analytic generators must not panic.
+        fig1();
+        tab1();
+        fig2();
+        fig4();
+        tab2();
+        fig19();
+    }
+}

@@ -1,0 +1,189 @@
+//! Figure/table regeneration harness for the dragonfly paper.
+//!
+//! Every table and figure of the paper's evaluation has a function here
+//! that recomputes its rows and prints them as a markdown-ish table; the
+//! `src/bin` binaries are thin wrappers (`fig8_routing_comparison`,
+//! `fig19_cost_comparison`, …) and the `figures` binary runs the whole
+//! set. Set `DFLY_QUICK=1` to use shorter simulation windows and coarser
+//! sweeps while iterating.
+
+use dfly_netsim::{RunStats, SimConfig};
+use dragonfly::{DragonflyParams, DragonflySim, RoutingChoice, TrafficChoice};
+
+pub mod figures;
+
+/// Simulation window sizes used by the figure harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Windows {
+    /// Warm-up cycles.
+    pub warmup: u64,
+    /// Measurement cycles.
+    pub measure: u64,
+    /// Drain cap.
+    pub drain_cap: u64,
+    /// Load-sweep granularity divider (1 = full, 2 = every other point).
+    pub stride: usize,
+}
+
+impl Windows {
+    /// Full-fidelity windows (figure defaults).
+    pub fn full() -> Self {
+        Windows {
+            warmup: 2_000,
+            measure: 3_000,
+            drain_cap: 15_000,
+            stride: 1,
+        }
+    }
+
+    /// Abbreviated windows for smoke testing.
+    pub fn quick() -> Self {
+        Windows {
+            warmup: 500,
+            measure: 1_000,
+            drain_cap: 6_000,
+            stride: 2,
+        }
+    }
+
+    /// Picks [`Windows::quick`] when the `DFLY_QUICK` environment
+    /// variable is set (to anything but `0`), else [`Windows::full`].
+    pub fn from_env() -> Self {
+        match std::env::var("DFLY_QUICK") {
+            Ok(v) if v != "0" => Windows::quick(),
+            _ => Windows::full(),
+        }
+    }
+
+    /// A [`SimConfig`] at the given offered load.
+    pub fn config(&self, load: f64) -> SimConfig {
+        let mut cfg = SimConfig::paper_default(load);
+        cfg.warmup = self.warmup;
+        cfg.measure = self.measure;
+        cfg.drain_cap = self.drain_cap;
+        cfg
+    }
+
+    /// Thins a load list by the stride (always keeps the last point).
+    pub fn thin(&self, loads: &[f64]) -> Vec<f64> {
+        if self.stride <= 1 {
+            return loads.to_vec();
+        }
+        let mut out: Vec<f64> = loads.iter().copied().step_by(self.stride).collect();
+        if let Some(&last) = loads.last() {
+            if out.last() != Some(&last) {
+                out.push(last);
+            }
+        }
+        out
+    }
+}
+
+/// The paper's evaluation network: 1K nodes, `p = h = 4`, `a = 8`.
+pub fn paper_network() -> DragonflySim {
+    DragonflySim::new(DragonflyParams::new(4, 8, 4).expect("paper parameters are valid"))
+}
+
+/// One measured sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Offered load.
+    pub load: f64,
+    /// Full run statistics.
+    pub stats: RunStats,
+}
+
+impl SweepPoint {
+    /// Average latency if the run drained.
+    pub fn latency(&self) -> Option<f64> {
+        if self.stats.drained {
+            self.stats.avg_latency()
+        } else {
+            None
+        }
+    }
+}
+
+/// Sweeps ascending loads, stopping one point after saturation (the
+/// paper's latency-load curves end at saturation).
+pub fn sweep_to_saturation(
+    sim: &DragonflySim,
+    choice: RoutingChoice,
+    traffic: TrafficChoice,
+    loads: &[f64],
+    win: &Windows,
+    buffer_depth: usize,
+) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for &load in loads {
+        let mut cfg = win.config(load).with_buffer_depth(buffer_depth);
+        cfg.seed = 1;
+        let stats = sim.run(choice, traffic, cfg);
+        let saturated = !stats.drained;
+        out.push(SweepPoint { load, stats });
+        if saturated {
+            break;
+        }
+    }
+    out
+}
+
+/// Measures accepted throughput at an offered load of 1.0 (saturation
+/// throughput).
+pub fn saturation_throughput(
+    sim: &DragonflySim,
+    choice: RoutingChoice,
+    traffic: TrafficChoice,
+    win: &Windows,
+    buffer_depth: usize,
+) -> f64 {
+    let mut cfg = win.config(1.0).with_buffer_depth(buffer_depth);
+    cfg.drain_cap = 0;
+    sim.run(choice, traffic, cfg).accepted_rate
+}
+
+/// Formats an optional latency for a table cell.
+pub fn fmt_latency(l: Option<f64>) -> String {
+    match l {
+        Some(v) => format!("{v:.1}"),
+        None => "sat".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_thin_keeps_last() {
+        let w = Windows {
+            stride: 2,
+            ..Windows::quick()
+        };
+        assert_eq!(w.thin(&[0.1, 0.2, 0.3, 0.4]), vec![0.1, 0.3, 0.4]);
+        let w1 = Windows::full();
+        assert_eq!(w1.thin(&[0.1, 0.2]), vec![0.1, 0.2]);
+    }
+
+    #[test]
+    fn sweep_stops_after_saturation() {
+        let sim = paper_network();
+        let win = Windows {
+            warmup: 200,
+            measure: 400,
+            drain_cap: 1_500,
+            stride: 1,
+        };
+        // MIN on WC saturates immediately above ~0.03.
+        let points = sweep_to_saturation(
+            &sim,
+            RoutingChoice::Min,
+            TrafficChoice::WorstCase,
+            &[0.02, 0.2, 0.4, 0.6],
+            &win,
+            16,
+        );
+        assert!(points.len() <= 2, "got {} points", points.len());
+        assert!(points.last().unwrap().latency().is_none());
+    }
+}

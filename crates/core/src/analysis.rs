@@ -1,0 +1,148 @@
+//! Analytical throughput bounds for the dragonfly.
+//!
+//! The paper quotes two closed-form limits: minimal routing on the
+//! worst-case pattern collapses to `1/(a·h)` (one global channel carries
+//! a whole group's traffic), and Valiant routing tops out at 50% (every
+//! packet consumes two global channel traversals). This module computes
+//! those bounds — generalised to non-maximal group counts, tapered
+//! networks and arbitrary group offsets — by locating the bottleneck
+//! channel class under each routing discipline. The integration tests
+//! cross-check them against measured saturation throughput.
+
+use crate::topology::Dragonfly;
+
+/// Analytical saturation-throughput bounds (fractions of per-node
+/// injection bandwidth) for one dragonfly under one traffic pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputBounds {
+    /// Upper bound under minimal routing.
+    pub minimal: f64,
+    /// Upper bound under Valiant (uniformly random intermediate group)
+    /// routing.
+    pub valiant: f64,
+}
+
+/// Bounds for the group-offset adversarial pattern (every node in group
+/// `i` sends to group `i + offset`): minimal routing is limited by the
+/// thinnest direct group-pair connection, Valiant by the doubled global
+/// traversal.
+///
+/// # Panics
+///
+/// Panics if `offset % g == 0` (the pattern would be intra-group).
+pub fn group_offset_bounds(df: &Dragonfly, offset: usize) -> ThroughputBounds {
+    let params = df.params();
+    let g = params.num_groups();
+    assert!(!offset.is_multiple_of(g), "offset {offset} maps groups onto themselves");
+    let ap = (params.routers_per_group() * params.terminals_per_router()) as f64;
+
+    // Minimal: all of group i's traffic (ap·r flits/cycle) crosses the
+    // direct channels to group i+offset.
+    let thinnest = (0..g)
+        .map(|i| df.global_slots(i, (i + offset) % g).len())
+        .min()
+        .unwrap_or(0) as f64;
+    let minimal = thinnest / ap;
+
+    // Valiant: each packet crosses two global channels; a group's
+    // outgoing demand of ap·r spreads over its wired global ports on the
+    // way out, and again on the way in at the intermediate group.
+    let wired =
+        (params.global_ports_per_group() - df.unused_global_ports_per_group()) as f64;
+    let valiant = (wired / (2.0 * ap)).min(1.0);
+
+    ThroughputBounds { minimal, valiant }
+}
+
+/// Bounds for uniform random traffic.
+///
+/// Minimal routing is limited by whichever channel class saturates
+/// first: global channels carry the inter-group fraction `(g-1)/g` of
+/// all traffic once each; local channels carry up to two hops per
+/// packet. Valiant halves the global budget (two global traversals per
+/// inter-group packet).
+pub fn uniform_bounds(df: &Dragonfly) -> ThroughputBounds {
+    let params = df.params();
+    let g = params.num_groups() as f64;
+    let a = params.routers_per_group() as f64;
+    let p = params.terminals_per_router() as f64;
+    let ap = a * p;
+    let wired =
+        (params.global_ports_per_group() - df.unused_global_ports_per_group()) as f64;
+    let inter = (g - 1.0) / g;
+
+    // Global channels: demand ap·r·inter spread over `wired` ports.
+    let global_cap = wired / (ap * inter);
+    // Local channels: a fully connected group has a(a-1) directed local
+    // channels; a uniform inter-group packet takes ~(a-1)/a local hops at
+    // each end, an intra-group one ~(a-1)/a in total.
+    let local_channels = {
+        // Generalised to multi-dimensional groups: sum of (s_d - 1) ports
+        // per router times a routers.
+        (df.local_ports_per_router() as f64) * a
+    };
+    let local_hops_per_packet = inter * 2.0 * (a - 1.0) / a + (1.0 - inter) * (a - 1.0) / a;
+    let local_cap = if local_hops_per_packet > 0.0 {
+        local_channels / (ap * local_hops_per_packet)
+    } else {
+        f64::INFINITY
+    };
+    let ejection_cap = 1.0;
+
+    let minimal = global_cap.min(local_cap).min(ejection_cap);
+    let valiant = (wired / (2.0 * ap * inter)).min(local_cap).min(1.0);
+    ThroughputBounds { minimal, valiant }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::DragonflyParams;
+
+    #[test]
+    fn paper_network_wc_bound_is_one_over_ah() {
+        let df = Dragonfly::new(DragonflyParams::new(4, 8, 4).unwrap());
+        let b = group_offset_bounds(&df, 1);
+        assert!((b.minimal - 1.0 / 32.0).abs() < 1e-12, "{}", b.minimal);
+        assert!((b.valiant - 0.5).abs() < 1e-12, "{}", b.valiant);
+    }
+
+    #[test]
+    fn uniform_bounds_are_one_and_half_for_balanced() {
+        let df = Dragonfly::new(DragonflyParams::new(4, 8, 4).unwrap());
+        let b = uniform_bounds(&df);
+        // Balanced network: global and local budgets both cover full
+        // injection; ejection is the binding constraint.
+        assert!((b.minimal - 1.0).abs() < 0.05, "min {}", b.minimal);
+        assert!((b.valiant - 0.5).abs() < 0.05, "val {}", b.valiant);
+    }
+
+    #[test]
+    fn non_maximal_network_has_fatter_pairs() {
+        // 5 groups over a*h = 8 ports: 2 channels per pair doubles the
+        // minimal worst-case bound.
+        let df = Dragonfly::new(DragonflyParams::with_groups(2, 4, 2, 5).unwrap());
+        let b = group_offset_bounds(&df, 1);
+        assert!((b.minimal - 2.0 / 8.0).abs() < 1e-12, "{}", b.minimal);
+        // And Valiant is over-provisioned past 0.5.
+        assert!(b.valiant >= 0.5);
+    }
+
+    #[test]
+    fn taper_halves_both_bounds() {
+        let params = DragonflyParams::with_groups(2, 4, 2, 5).unwrap();
+        let full = Dragonfly::new(params);
+        let tapered = Dragonfly::with_taper(params, 0.5).unwrap();
+        let bf = group_offset_bounds(&full, 1);
+        let bt = group_offset_bounds(&tapered, 1);
+        assert!((bt.minimal - bf.minimal / 2.0).abs() < 1e-12);
+        assert!(bt.valiant < bf.valiant);
+    }
+
+    #[test]
+    #[should_panic(expected = "onto themselves")]
+    fn intra_group_offset_rejected() {
+        let df = Dragonfly::new(DragonflyParams::new(2, 4, 2).unwrap());
+        group_offset_bounds(&df, 9);
+    }
+}

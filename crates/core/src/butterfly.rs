@@ -1,0 +1,402 @@
+//! Simulating the flattened butterfly on the same engine.
+//!
+//! The flattened butterfly (Kim, Dally & Abts, ISCA 2007) is the
+//! dragonfly's closest competitor and the baseline of the paper's §5
+//! comparison. This module wires a [`dfly_topo::FlattenedButterfly`]
+//! into a [`dfly_netsim::NetworkSpec`] and provides its routing family:
+//! dimension-order minimal routing, Valiant through a random
+//! intermediate router, and a UGAL-L adaptive choice between them —
+//! so the two topologies can be compared *behaviourally*, not just on
+//! cost.
+//!
+//! # VC assignment
+//!
+//! Dimension-order routing visits dimensions in ascending order, so its
+//! channel dependencies are acyclic and one VC suffices; the Valiant
+//! path is two dimension-order phases, the first on VC0 and the second
+//! on VC1.
+//!
+//! # Example
+//!
+//! ```
+//! use dragonfly::butterfly::{ButterflyNetwork, ButterflyRouting};
+//! use dfly_topo::FlattenedButterfly;
+//! use dfly_netsim::{SimConfig, Simulation};
+//! use dfly_traffic::UniformRandom;
+//!
+//! let net = ButterflyNetwork::new(FlattenedButterfly::new(2, 4, 2));
+//! let spec = net.build_spec();
+//! let routing = ButterflyRouting::minimal(net.into());
+//! let traffic = UniformRandom::new(spec.num_terminals());
+//! let mut cfg = SimConfig::paper_default(0.1);
+//! cfg.warmup = 200;
+//! cfg.measure = 500;
+//! let stats = Simulation::new(&spec, &routing, &traffic, cfg).unwrap().run();
+//! assert!(stats.drained);
+//! ```
+
+use std::sync::Arc;
+
+use dfly_netsim::{
+    ChannelClass, Connection, Flit, NetView, NetworkSpec, PortSpec, PortVc, RouteClass, RouteInfo,
+    RouterSpec, RoutingAlgorithm,
+};
+use dfly_topo::{FlattenedButterfly, Topology};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A flattened butterfly wired for cycle-accurate simulation.
+#[derive(Debug, Clone)]
+pub struct ButterflyNetwork {
+    fb: FlattenedButterfly,
+    /// First port offset of each dimension's channels (after the
+    /// concentration ports).
+    dim_base: Vec<usize>,
+    /// Channel latency for every network channel.
+    latency: u32,
+}
+
+impl ButterflyNetwork {
+    /// Wires `fb` with unit channel latency.
+    pub fn new(fb: FlattenedButterfly) -> Self {
+        Self::with_latency(fb, 1)
+    }
+
+    /// Wires `fb` with the given network-channel latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency == 0`.
+    pub fn with_latency(fb: FlattenedButterfly, latency: u32) -> Self {
+        assert!(latency > 0, "latency must be >= 1");
+        let mut dim_base = Vec::with_capacity(fb.dimensions());
+        let mut offset = fb.concentration();
+        for &s in fb.dims() {
+            dim_base.push(offset);
+            offset += s - 1;
+        }
+        ButterflyNetwork {
+            fb,
+            dim_base,
+            latency,
+        }
+    }
+
+    /// The underlying structural topology.
+    pub fn topology(&self) -> &FlattenedButterfly {
+        &self.fb
+    }
+
+    /// The port of `router` leading directly to `peer`, which must
+    /// differ from `router` in exactly one dimension.
+    fn port_to(&self, router: usize, peer: usize) -> usize {
+        let ca = self.fb.coordinates(router);
+        let cb = self.fb.coordinates(peer);
+        let dim = (0..ca.len())
+            .find(|&d| ca[d] != cb[d])
+            .expect("distinct routers");
+        debug_assert_eq!(self.fb.min_hops(router, peer), 1, "peer not adjacent");
+        let them = cb[dim];
+        let me = ca[dim];
+        self.dim_base[dim] + if them < me { them } else { them - 1 }
+    }
+
+    /// The next router on the dimension-order path from `router` toward
+    /// `target` (fix the lowest differing dimension first).
+    fn dor_next(&self, router: usize, target: usize) -> usize {
+        let ca = self.fb.coordinates(router);
+        let cb = self.fb.coordinates(target);
+        let dim = (0..ca.len())
+            .find(|&d| ca[d] != cb[d])
+            .expect("router != target");
+        let mut c2 = ca.clone();
+        c2[dim] = cb[dim];
+        self.fb.router_index(&c2)
+    }
+
+    /// Builds the simulator wiring: concentration ports first, then one
+    /// fully connected port group per dimension. Dimension 0 channels
+    /// are classed local (intra-cabinet), higher dimensions global.
+    pub fn build_spec(&self) -> NetworkSpec {
+        let c = self.fb.concentration();
+        let mut routers = Vec::with_capacity(self.fb.num_routers());
+        for r in 0..self.fb.num_routers() {
+            let coords = self.fb.coordinates(r);
+            let mut ports = Vec::new();
+            for t in 0..c {
+                ports.push(PortSpec {
+                    conn: Connection::Terminal {
+                        terminal: (r * c + t) as u32,
+                    },
+                    latency: 1,
+                    class: ChannelClass::Terminal,
+                });
+            }
+            for (dim, &s) in self.fb.dims().iter().enumerate() {
+                for other in 0..s {
+                    if other == coords[dim] {
+                        continue;
+                    }
+                    let mut c2 = coords.clone();
+                    c2[dim] = other;
+                    let peer = self.fb.router_index(&c2);
+                    ports.push(PortSpec {
+                        conn: Connection::Router {
+                            router: peer as u32,
+                            port: self.port_to(peer, r) as u32,
+                        },
+                        latency: self.latency,
+                        class: if dim == 0 {
+                            ChannelClass::Local
+                        } else {
+                            ChannelClass::Global
+                        },
+                    });
+                }
+            }
+            routers.push(RouterSpec { ports });
+        }
+        NetworkSpec::validated(routers, 2).expect("butterfly wiring must validate")
+    }
+}
+
+/// Which decision rule drives the butterfly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Minimal,
+    Valiant,
+    UgalLocal,
+}
+
+/// Routing for the flattened butterfly: dimension-order minimal,
+/// Valiant, or a UGAL-L adaptive choice between them.
+#[derive(Debug, Clone)]
+pub struct ButterflyRouting {
+    net: Arc<ButterflyNetwork>,
+    mode: Mode,
+}
+
+impl ButterflyRouting {
+    /// Dimension-order minimal routing.
+    pub fn minimal(net: Arc<ButterflyNetwork>) -> Self {
+        ButterflyRouting {
+            net,
+            mode: Mode::Minimal,
+        }
+    }
+
+    /// Valiant routing through a uniformly random intermediate router.
+    pub fn valiant(net: Arc<ButterflyNetwork>) -> Self {
+        ButterflyRouting {
+            net,
+            mode: Mode::Valiant,
+        }
+    }
+
+    /// UGAL with local output-queue information, choosing per packet
+    /// between the minimal and a random Valiant path.
+    pub fn ugal_local(net: Arc<ButterflyNetwork>) -> Self {
+        ButterflyRouting {
+            net,
+            mode: Mode::UgalLocal,
+        }
+    }
+
+    /// Draws an intermediate router distinct from `rs` and `rd`.
+    fn random_intermediate(&self, rs: usize, rd: usize, rng: &mut SmallRng) -> Option<usize> {
+        let n = self.net.fb.num_routers();
+        if n < 3 {
+            return None;
+        }
+        for _ in 0..8 {
+            let ri = rng.gen_range(0..n);
+            if ri != rs && ri != rd {
+                return Some(ri);
+            }
+        }
+        None
+    }
+}
+
+impl RoutingAlgorithm for ButterflyRouting {
+    fn name(&self) -> String {
+        match self.mode {
+            Mode::Minimal => "FB-MIN".into(),
+            Mode::Valiant => "FB-VAL".into(),
+            Mode::UgalLocal => "FB-UGAL-L".into(),
+        }
+    }
+
+    fn inject(
+        &self,
+        view: &NetView<'_>,
+        src: usize,
+        dest: usize,
+        rng: &mut SmallRng,
+    ) -> RouteInfo {
+        let c = self.net.fb.concentration();
+        let rs = src / c;
+        let rd = dest / c;
+        let minimal = RouteInfo::minimal().with_salt(rng.gen());
+        if rs == rd {
+            return minimal;
+        }
+        match self.mode {
+            Mode::Minimal => minimal,
+            Mode::Valiant => match self.random_intermediate(rs, rd, rng) {
+                Some(ri) => RouteInfo::non_minimal(ri as u32).with_salt(rng.gen()),
+                None => minimal,
+            },
+            Mode::UgalLocal => {
+                let Some(ri) = self.random_intermediate(rs, rd, rng) else {
+                    return minimal;
+                };
+                let net = &self.net;
+                let port_m = net.port_to(rs, net.dor_next(rs, rd));
+                let port_nm = net.port_to(rs, net.dor_next(rs, ri));
+                let qm = view.occupancy(rs, port_m);
+                let qnm = view.occupancy(rs, port_nm);
+                let hm = net.fb.min_hops(rs, rd) as u64;
+                let hnm = (net.fb.min_hops(rs, ri) + net.fb.min_hops(ri, rd)) as u64;
+                if qm as u64 * hm <= qnm as u64 * hnm {
+                    minimal
+                } else {
+                    RouteInfo::non_minimal(ri as u32).with_salt(rng.gen())
+                }
+            }
+        }
+    }
+
+    fn route(&self, view: &NetView<'_>, router: usize, flit: &Flit) -> PortVc {
+        let net = &self.net;
+        let c = net.fb.concentration();
+        let dest = flit.dest as usize;
+        let rd = dest / c;
+        // Phase: VC1 (or arrival at the intermediate) means head for the
+        // destination; otherwise head for the intermediate.
+        let (target, vc) = match flit.route.class {
+            RouteClass::Minimal => (rd, 0),
+            RouteClass::NonMinimal => {
+                let ri = flit.route.intermediate.expect("intermediate set") as usize;
+                if flit.vc == 1 || router == ri || ri == rd {
+                    (rd, 1)
+                } else {
+                    (ri, 0)
+                }
+            }
+        };
+        if router == rd && target == rd {
+            return PortVc::new(dest % c, 0);
+        }
+        let _ = view;
+        let next = net.dor_next(router, target);
+        PortVc::new(net.port_to(router, next), vc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfly_netsim::{SimConfig, Simulation};
+    use dfly_traffic::{rng_for, BitComplement, UniformRandom};
+
+    fn net_2x4() -> Arc<ButterflyNetwork> {
+        Arc::new(ButterflyNetwork::new(FlattenedButterfly::new(2, 4, 2)))
+    }
+
+    fn fast_cfg(load: f64) -> SimConfig {
+        let mut cfg = SimConfig::paper_default(load);
+        cfg.warmup = 300;
+        cfg.measure = 1_000;
+        cfg.drain_cap = 20_000;
+        cfg
+    }
+
+    #[test]
+    fn spec_wires_and_validates() {
+        let net = net_2x4();
+        let spec = net.build_spec();
+        assert_eq!(spec.num_terminals(), 32);
+        assert_eq!(spec.num_routers(), 16);
+        // Radix: 2 terminals + 2 dims * 3 peers.
+        assert_eq!(spec.routers[0].ports.len(), 8);
+    }
+
+    #[test]
+    fn dor_walk_fixes_dimensions_in_order() {
+        let net = net_2x4();
+        // Router 0 (0,0) to router 15 (3,3): first hop fixes dim 0.
+        let next = net.dor_next(0, 15);
+        assert_eq!(net.fb.coordinates(next), vec![3, 0]);
+        assert_eq!(net.dor_next(next, 15), 15);
+    }
+
+    #[test]
+    fn minimal_delivers_uniform() {
+        let net = net_2x4();
+        let spec = net.build_spec();
+        let routing = ButterflyRouting::minimal(net);
+        let pattern = UniformRandom::new(32);
+        let stats = Simulation::new(&spec, &routing, &pattern, fast_cfg(0.3))
+            .unwrap()
+            .run();
+        assert!(stats.drained);
+        assert!((stats.accepted_rate - 0.3).abs() < 0.04);
+        // Max minimal path: inject + 2 hops + eject.
+        assert!(stats.latency.min >= 2);
+    }
+
+    #[test]
+    fn valiant_and_ugal_deliver_adversarial() {
+        // Bit complement concentrates load; all three algorithms must
+        // still deliver at moderate load, with UGAL at least as good as
+        // MIN in saturation throughput.
+        let net = net_2x4();
+        let spec = net.build_spec();
+        let pattern = BitComplement::new(32);
+        for routing in [
+            ButterflyRouting::minimal(net.clone()),
+            ButterflyRouting::valiant(net.clone()),
+            ButterflyRouting::ugal_local(net.clone()),
+        ] {
+            let stats = Simulation::new(&spec, &routing, &pattern, fast_cfg(0.1))
+                .unwrap()
+                .run();
+            assert!(stats.drained, "{} lost packets", routing.name());
+        }
+    }
+
+    #[test]
+    fn ugal_tracks_min_on_uniform() {
+        let net = net_2x4();
+        let spec = net.build_spec();
+        let pattern = UniformRandom::new(32);
+        let min = ButterflyRouting::minimal(net.clone());
+        let ugal = ButterflyRouting::ugal_local(net.clone());
+        let s_min = Simulation::new(&spec, &min, &pattern, fast_cfg(0.3))
+            .unwrap()
+            .run();
+        let s_ugal = Simulation::new(&spec, &ugal, &pattern, fast_cfg(0.3))
+            .unwrap()
+            .run();
+        assert!(s_min.drained && s_ugal.drained);
+        let (a, b) = (
+            s_min.avg_latency().unwrap(),
+            s_ugal.avg_latency().unwrap(),
+        );
+        assert!((a - b).abs() < 3.0, "MIN {a} vs UGAL {b}");
+    }
+
+    #[test]
+    fn intermediate_avoids_endpoints() {
+        let net = net_2x4();
+        let routing = ButterflyRouting::valiant(net);
+        let mut rng = rng_for(3, 0);
+        for _ in 0..100 {
+            if let Some(ri) = routing.random_intermediate(0, 5, &mut rng) {
+                assert_ne!(ri, 0);
+                assert_ne!(ri, 5);
+            }
+        }
+    }
+}

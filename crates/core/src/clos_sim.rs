@@ -1,0 +1,408 @@
+//! Simulating the folded Clos (fat tree) on the same engine.
+//!
+//! The folded Clos is the incumbent the paper's cost study displaces
+//! (the Cray BlackWidow network is the cited instance). This module
+//! wires a [`dfly_topo::FoldedClos`] into a
+//! [`dfly_netsim::NetworkSpec`] and provides the classic fat-tree
+//! routing: a randomly chosen ascent to the lowest common ancestor rank
+//! ("random up"), then a fully determined descent. Up/down routing is
+//! deadlock-free with a single VC — every path uses all of its up
+//! channels before any down channel, and both phases are rank-ordered.
+//!
+//! # Example
+//!
+//! ```
+//! use dragonfly::clos_sim::{ClosNetwork, ClosRouting};
+//! use dfly_topo::FoldedClos;
+//! use dfly_netsim::{SimConfig, Simulation};
+//! use dfly_traffic::UniformRandom;
+//!
+//! let net = ClosNetwork::new(FoldedClos::new(2, 8));
+//! let spec = net.build_spec();
+//! let routing = ClosRouting::new(net.into());
+//! let traffic = UniformRandom::new(spec.num_terminals());
+//! let mut cfg = SimConfig::paper_default(0.1);
+//! cfg.warmup = 200;
+//! cfg.measure = 500;
+//! let stats = Simulation::new(&spec, &routing, &traffic, cfg).unwrap().run();
+//! assert!(stats.drained);
+//! ```
+
+use std::sync::Arc;
+
+use dfly_netsim::{
+    ChannelClass, Connection, Flit, NetView, NetworkSpec, PortSpec, PortVc, RouteInfo, RouterSpec,
+    RoutingAlgorithm,
+};
+use dfly_topo::{FoldedClos, Topology};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A folded Clos wired for cycle-accurate simulation.
+///
+/// Switches below the top rank are indexed by `levels - 1` digits in
+/// base `k/2`; uplink `u` at rank `l` leads to the rank-`l+1` switch
+/// with digit `l` replaced by `u`. The top rank is halved, each real
+/// switch absorbing two virtual ones (differing in digit 0), with all
+/// `k` ports pointing down.
+#[derive(Debug, Clone)]
+pub struct ClosNetwork {
+    clos: FoldedClos,
+    /// First global router index of each rank.
+    rank_base: Vec<usize>,
+    latency: u32,
+}
+
+impl ClosNetwork {
+    /// Wires `clos` with unit channel latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clos` has fewer than 2 levels (a single switch has no
+    /// network to simulate).
+    pub fn new(clos: FoldedClos) -> Self {
+        Self::with_latency(clos, 1)
+    }
+
+    /// Wires `clos` with the given network-channel latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clos.levels() < 2` or `latency == 0`.
+    pub fn with_latency(clos: FoldedClos, latency: u32) -> Self {
+        assert!(clos.levels() >= 2, "need >= 2 ranks to have a network");
+        assert!(latency > 0, "latency must be >= 1");
+        let mut rank_base = Vec::with_capacity(clos.levels());
+        let mut base = 0;
+        for l in 0..clos.levels() {
+            rank_base.push(base);
+            base += clos.switches_at(l);
+        }
+        ClosNetwork {
+            clos,
+            rank_base,
+            latency,
+        }
+    }
+
+    /// The underlying structural topology.
+    pub fn topology(&self) -> &FoldedClos {
+        &self.clos
+    }
+
+    /// Half the switch radix: terminals per leaf, up/down port split.
+    fn half(&self) -> usize {
+        self.clos.switch_radix() / 2
+    }
+
+    /// `(rank, index-within-rank)` of a global router id.
+    fn rank_of(&self, router: usize) -> (usize, usize) {
+        let rank = self
+            .rank_base
+            .iter()
+            .rposition(|&b| b <= router)
+            .expect("router in range");
+        (rank, router - self.rank_base[rank])
+    }
+
+    /// Digit `d` (base `k/2`) of a below-top switch index.
+    fn digit(&self, s: usize, d: usize) -> usize {
+        (s / self.half().pow(d as u32)) % self.half()
+    }
+
+    /// `s` with digit `d` replaced by `val`.
+    fn with_digit(&self, s: usize, d: usize, val: usize) -> usize {
+        let place = self.half().pow(d as u32);
+        s - self.digit(s, d) * place + val * place
+    }
+
+    /// Whether switch `s` (below top, at `rank`) sits above the leaf
+    /// `leaf`'s descent path: they agree on all digits at positions
+    /// `>= rank`.
+    fn above(&self, s: usize, rank: usize, leaf: usize) -> bool {
+        (rank..self.clos.levels() - 1).all(|d| self.digit(s, d) == self.digit(leaf, d))
+    }
+
+    /// Builds the simulator wiring.
+    ///
+    /// Leaves: ports `[0, k/2)` terminals, `[k/2, k)` up. Interior
+    /// ranks: `[0, k/2)` down, `[k/2, k)` up. Top rank: all `k` ports
+    /// down — `[0, k/2)` for its even virtual, `[k/2, k)` for its odd
+    /// one. Leaf uplinks are classed local (intra-pod), higher ranks
+    /// global.
+    pub fn build_spec(&self) -> NetworkSpec {
+        let half = self.half();
+        let levels = self.clos.levels();
+        let mut routers: Vec<RouterSpec> = Vec::with_capacity(self.clos.num_routers());
+        // Pre-create empty specs, then fill by wiring each uplink pair.
+        // Every rank uses all k ports (leaves: k/2 terminals + k/2 up;
+        // interior: k/2 down + k/2 up; top: k down). Placeholders are
+        // overwritten below; any survivor fails validation.
+        for l in 0..levels {
+            for _ in 0..self.clos.switches_at(l) {
+                routers.push(RouterSpec {
+                    ports: vec![
+                        PortSpec {
+                            conn: Connection::Terminal { terminal: 0 },
+                            latency: 1,
+                            class: ChannelClass::Terminal,
+                        };
+                        self.clos.switch_radix()
+                    ],
+                });
+            }
+        }
+        // Terminals on the leaves.
+        for (leaf, router) in routers.iter_mut().enumerate().take(self.clos.switches_at(0)) {
+            for t in 0..half {
+                router.ports[t] = PortSpec {
+                    conn: Connection::Terminal {
+                        terminal: (leaf * half + t) as u32,
+                    },
+                    latency: 1,
+                    class: ChannelClass::Terminal,
+                };
+            }
+        }
+        // Uplinks rank by rank.
+        for l in 0..levels - 1 {
+            let top = l + 2 == levels;
+            let class = if l == 0 {
+                ChannelClass::Local
+            } else {
+                ChannelClass::Global
+            };
+            for s in 0..self.clos.switches_at(l) {
+                let me = self.rank_base[l] + s;
+                for u in 0..half {
+                    let my_port = half + u;
+                    let v = self.with_digit(s, l, u);
+                    let (peer, peer_port) = if top {
+                        // Real top switch v/2; its down port block for
+                        // virtual parity v%2, slot = digit l of s.
+                        (
+                            self.rank_base[l + 1] + v / 2,
+                            (v % 2) * half + self.digit(s, l),
+                        )
+                    } else {
+                        (self.rank_base[l + 1] + v, self.digit(s, l))
+                    };
+                    routers[me].ports[my_port] = PortSpec {
+                        conn: Connection::Router {
+                            router: peer as u32,
+                            port: peer_port as u32,
+                        },
+                        latency: self.latency,
+                        class,
+                    };
+                    routers[peer].ports[peer_port] = PortSpec {
+                        conn: Connection::Router {
+                            router: me as u32,
+                            port: my_port as u32,
+                        },
+                        latency: self.latency,
+                        class,
+                    };
+                }
+            }
+        }
+        NetworkSpec::validated(routers, 1).expect("folded Clos wiring must validate")
+    }
+}
+
+/// Random-up / deterministic-down fat-tree routing.
+#[derive(Debug, Clone)]
+pub struct ClosRouting {
+    net: Arc<ClosNetwork>,
+}
+
+impl ClosRouting {
+    /// Creates the routing over `net`.
+    pub fn new(net: Arc<ClosNetwork>) -> Self {
+        ClosRouting { net }
+    }
+}
+
+impl RoutingAlgorithm for ClosRouting {
+    fn name(&self) -> String {
+        "clos-updown".into()
+    }
+
+    fn inject(
+        &self,
+        _view: &NetView<'_>,
+        _src: usize,
+        _dest: usize,
+        rng: &mut SmallRng,
+    ) -> RouteInfo {
+        RouteInfo::minimal().with_salt(rng.gen())
+    }
+
+    fn route(&self, _view: &NetView<'_>, router: usize, flit: &Flit) -> PortVc {
+        let net = &self.net;
+        let half = net.half();
+        let dest = flit.dest as usize;
+        let leaf = dest / half;
+        let (rank, s) = net.rank_of(router);
+        let levels = net.clos.levels();
+        if rank + 1 == levels {
+            // Top: descend toward the virtual that exists on this
+            // switch; both virtuals work (their differing digit is
+            // rewritten on the way down), pick by salt for balance.
+            let parity = net.pick_parity(flit.route.salt);
+            return PortVc::new(parity * half + net.digit(leaf, levels - 2), 0);
+        }
+        if rank == 0 && s == leaf {
+            return PortVc::new(dest % half, 0);
+        }
+        if rank > 0 && net.above(s, rank, leaf) {
+            // Descend: set digit rank-1 to the destination's.
+            return PortVc::new(net.digit(leaf, rank - 1), 0);
+        }
+        // Ascend on a salt-chosen uplink (random-up).
+        let u = net.pick_up(flit.route.salt, rank);
+        PortVc::new(half + u, 0)
+    }
+}
+
+impl ClosNetwork {
+    /// Salt-derived uplink choice at `rank` (stable per packet).
+    fn pick_up(&self, salt: u32, rank: usize) -> usize {
+        let mut z = (salt as u64) ^ ((rank as u64) << 40) ^ 0xD1B5_4A32_D192_ED03;
+        z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        z ^= z >> 33;
+        (z as usize) % self.half()
+    }
+
+    /// Salt-derived virtual parity at the top rank.
+    fn pick_parity(&self, salt: u32) -> usize {
+        (salt as usize >> 7) & 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfly_netsim::{SimConfig, Simulation};
+    use dfly_traffic::{Permutation, UniformRandom};
+
+    fn fast_cfg(load: f64) -> SimConfig {
+        let mut cfg = SimConfig::paper_default(load);
+        cfg.warmup = 300;
+        cfg.measure = 1_000;
+        cfg.drain_cap = 30_000;
+        cfg
+    }
+
+    #[test]
+    fn specs_wire_for_two_and_three_levels() {
+        for levels in [2usize, 3] {
+            let net = ClosNetwork::new(FoldedClos::new(levels, 8));
+            let spec = net.build_spec();
+            assert_eq!(
+                spec.num_terminals(),
+                net.topology().num_terminals(),
+                "levels={levels}"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_of_inverts_the_rank_layout() {
+        let net = ClosNetwork::new(FoldedClos::new(3, 8));
+        // Ranks: 16 leaves, 16 mid, 8 top.
+        assert_eq!(net.rank_of(0), (0, 0));
+        assert_eq!(net.rank_of(15), (0, 15));
+        assert_eq!(net.rank_of(16), (1, 0));
+        assert_eq!(net.rank_of(31), (1, 15));
+        assert_eq!(net.rank_of(32), (2, 0));
+        assert_eq!(net.rank_of(39), (2, 7));
+    }
+
+    #[test]
+    fn smallest_radix_clos_works() {
+        let net = Arc::new(ClosNetwork::new(FoldedClos::new(2, 4)));
+        let spec = net.build_spec();
+        assert_eq!(spec.num_terminals(), 4);
+        let routing = ClosRouting::new(net);
+        let pattern = UniformRandom::new(4);
+        let stats = Simulation::new(&spec, &routing, &pattern, fast_cfg(0.2))
+            .unwrap()
+            .run();
+        assert!(stats.drained);
+    }
+
+    #[test]
+    fn uniform_traffic_delivers() {
+        let net = Arc::new(ClosNetwork::new(FoldedClos::new(3, 8)));
+        let spec = net.build_spec();
+        let routing = ClosRouting::new(net);
+        let pattern = UniformRandom::new(spec.num_terminals());
+        let stats = Simulation::new(&spec, &routing, &pattern, fast_cfg(0.2))
+            .unwrap()
+            .run();
+        assert!(stats.drained);
+        assert!((stats.accepted_rate - 0.2).abs() < 0.04);
+    }
+
+    #[test]
+    fn zero_load_latency_is_up_and_down() {
+        let net = Arc::new(ClosNetwork::new(FoldedClos::new(3, 8)));
+        let spec = net.build_spec();
+        let routing = ClosRouting::new(net);
+        let pattern = UniformRandom::new(spec.num_terminals());
+        let stats = Simulation::new(&spec, &routing, &pattern, fast_cfg(0.01))
+            .unwrap()
+            .run();
+        assert!(stats.drained);
+        // Worst: up 2 + down 2 + inject + eject = 6; best same-leaf = 2.
+        assert!(stats.latency.max <= 8, "max {}", stats.latency.max);
+        assert!(stats.latency.min >= 2);
+    }
+
+    #[test]
+    fn full_bisection_handles_permutations_at_high_load() {
+        // The defining fat-tree property: any permutation at high load
+        // drains (random-up spreads it over the full bisection).
+        let net = Arc::new(ClosNetwork::new(FoldedClos::new(2, 8)));
+        let spec = net.build_spec();
+        let routing = ClosRouting::new(net);
+        let mut rng = dfly_traffic::rng_for(11, 0);
+        let pattern = Permutation::random(spec.num_terminals(), &mut rng);
+        let stats = Simulation::new(&spec, &routing, &pattern, fast_cfg(0.6))
+            .unwrap()
+            .run();
+        assert!(stats.drained, "fat tree should sustain 0.6 on a permutation");
+    }
+
+    #[test]
+    fn same_leaf_traffic_never_leaves_the_leaf() {
+        let net = Arc::new(ClosNetwork::new(FoldedClos::new(2, 8)));
+        let spec = net.build_spec();
+        let routing = ClosRouting::new(net);
+        // Terminals 0..4 live on leaf 0; shift within the leaf.
+        #[derive(Debug)]
+        struct IntraLeaf;
+        impl dfly_traffic::TrafficPattern for IntraLeaf {
+            fn name(&self) -> &'static str {
+                "intra-leaf"
+            }
+            fn num_terminals(&self) -> usize {
+                16
+            }
+            fn destination(&self, source: usize, _rng: &mut SmallRng) -> usize {
+                (source / 4) * 4 + (source + 1) % 4
+            }
+        }
+        let stats = Simulation::new(&spec, &routing, &IntraLeaf, fast_cfg(0.5))
+            .unwrap()
+            .run();
+        assert!(stats.drained);
+        // No network channel carries anything: all traffic ejects at the
+        // ingress leaf.
+        for load in &stats.channel_loads {
+            assert_eq!(load.flits, 0, "channel {:?} carried traffic", load);
+        }
+        assert_eq!(stats.latency.min, 2);
+    }
+}

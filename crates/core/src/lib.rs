@@ -1,0 +1,55 @@
+//! The dragonfly topology and its indirect global adaptive routing —
+//! a from-scratch reproduction of Kim, Dally, Scott & Abts,
+//! *"Technology-Driven, Highly-Scalable Dragonfly Topology"* (ISCA 2008).
+//!
+//! A dragonfly groups `a` high-radix routers into a *virtual router* of
+//! effective radix `a(p + h)`, so that every minimal route crosses at
+//! most **one** expensive global (optical) channel. This crate provides:
+//!
+//! * [`DragonflyParams`] / [`Dragonfly`] — configuration, wiring
+//!   (fully-connected groups, offset-ring inter-group channels), and a
+//!   [`dfly_netsim::NetworkSpec`] builder for cycle-accurate simulation;
+//! * the routing family of the paper — [`MinimalRouting`] (MIN),
+//!   [`ValiantRouting`] (VAL) and [`UgalRouting`] with its
+//!   [`UgalVariant`]s (UGAL-L, UGAL-L_VC, UGAL-L_VCH, UGAL-G), plus
+//!   UGAL-L_CR via the simulator's credit round-trip mode;
+//! * [`DragonflySim`] — a harness that wires the network once and sweeps
+//!   routing choices, traffic patterns and loads the way the paper's
+//!   figures do;
+//! * [`analysis`] — closed-form saturation-throughput bounds (the
+//!   paper's `1/(a·h)` and 50% limits, generalised);
+//! * [`butterfly`] / [`clos_sim`] / [`torus_sim`] — the flattened
+//!   butterfly, folded Clos and k-ary n-cube torus (the paper's §5
+//!   baselines) wired for the same simulator, each with its own
+//!   deadlock-free routing.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dragonfly::{DragonflyParams, DragonflySim, RoutingChoice, TrafficChoice};
+//!
+//! // A 72-terminal dragonfly (p = h = 2, a = 4), as in the paper's Fig 5.
+//! let sim = DragonflySim::new(DragonflyParams::new(2, 4, 2).unwrap());
+//! let mut cfg = sim.config(0.2);
+//! cfg.warmup = 200;
+//! cfg.measure = 500;
+//! let stats = sim.run(RoutingChoice::UgalLVcH, TrafficChoice::Uniform, cfg);
+//! assert!(stats.drained);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod butterfly;
+pub mod clos_sim;
+mod experiment;
+pub mod torus_sim;
+mod params;
+mod routing;
+mod topology;
+
+pub use experiment::{DragonflySim, LoadPoint, RoutingChoice, TrafficChoice};
+pub use params::DragonflyParams;
+pub use routing::{trace_route, MinimalRouting, TraceHop, UgalRouting, UgalVariant, ValiantRouting};
+pub use topology::{ChannelLatencies, Dragonfly, GroupTopology};

@@ -1,0 +1,730 @@
+//! Routing algorithms for the dragonfly: MIN, VAL and the UGAL family.
+//!
+//! All algorithms share the same per-hop route computation and the
+//! paper's deadlock-free VC assignment (Figure 7); they differ only in
+//! the *injection-time* decision between the minimal and the Valiant
+//! (non-minimal) path:
+//!
+//! | algorithm | decision |
+//! |---|---|
+//! | [`MinimalRouting`] | always minimal |
+//! | [`ValiantRouting`] | always non-minimal (random intermediate group) |
+//! | [`UgalRouting`] ([`UgalVariant::Local`]) | `q_m·H_m ≤ q_nm·H_nm` with local total-port occupancies |
+//! | [`UgalVariant::LocalVc`] | per-VC occupancies (UGAL-L_VC) |
+//! | [`UgalVariant::LocalVcHybrid`] | per-VC only when the two paths share an output port (UGAL-L_VCH) |
+//! | [`UgalVariant::Global`] | oracle occupancy of the actual global channels (UGAL-G) |
+//! | [`UgalVariant::CreditRoundTrip`] | the hybrid rule over credit-inclusive estimates (UGAL-L_CR) |
+//!
+//! UGAL-L(CR) pairs [`UgalVariant::CreditRoundTrip`] with
+//! [`dfly_netsim::CreditMode::RoundTrip`]: queue estimates count the
+//! flits whose credits have not yet returned, and the simulator returns
+//! credits only when a flit leaves the downstream router — delayed
+//! further in proportion to measured congestion — so a congested remote
+//! global channel is sensed within one credit round trip instead of
+//! after the intervening buffers fill.
+//!
+//! # VC assignment (deadlock freedom)
+//!
+//! Local channels use VC0 (non-minimal hop in the source group), VC1
+//! (minimal hop in the source group, or non-minimal hop in the
+//! intermediate group) and VC2 (any hop in the destination group);
+//! global channels use VC0 (first non-minimal hop) and VC1 (minimal hop
+//! or second non-minimal hop). Along every route the (channel-class, VC)
+//! pair ascends the order `l0 < g0 < l1 < g1 < l2`, so the channel
+//! dependency graph is acyclic.
+
+use std::sync::Arc;
+
+use dfly_netsim::{Flit, NetView, PortVc, RouteClass, RouteInfo, RoutingAlgorithm};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::topology::Dragonfly;
+
+/// First-hop summary of a candidate path, used by the UGAL decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PathPlan {
+    /// Output port the path takes out of the deciding router.
+    port: u16,
+    /// VC the packet would occupy on that first channel.
+    vc: u8,
+    /// Router-to-router channel hops on the whole path.
+    hops: u32,
+    /// Router owning the path's (first) global channel, if any.
+    gc_router: u32,
+    /// Port of that global channel on its router.
+    gc_port: u16,
+}
+
+/// Per-hop route computation shared by every algorithm.
+///
+/// `flit.route` carries the class, the intermediate group and the salt;
+/// everything else is derived from the dragonfly tables, so the function
+/// is deterministic and every flit of a packet follows the same path.
+fn route_flit(df: &Dragonfly, router: usize, flit: &Flit) -> PortVc {
+    let params = df.params();
+    let dest = flit.dest as usize;
+    let rd = params.router_of_terminal(dest);
+    if router == rd {
+        return PortVc::new(df.eject_port(dest), 0);
+    }
+    let gr = params.group_of_router(router);
+    let gd = params.group_of_router(rd);
+    if gr == gd {
+        // Local hop(s) in the destination group (or intra-group minimal
+        // traffic): dimension-ordered within multi-dimensional groups.
+        return PortVc::new(df.local_next_hop(router, rd), 2);
+    }
+    let salt = flit.route.salt;
+    let (target_group, leg) = match flit.route.class {
+        RouteClass::Minimal => (gd, 0),
+        RouteClass::NonMinimal => {
+            let gi = flit.route.intermediate.expect("non-minimal flit without intermediate")
+                as usize;
+            if gr == gi {
+                (gd, 1)
+            } else {
+                (gi, 0)
+            }
+        }
+    };
+    let slots = df.global_slots(gr, target_group);
+    let q = slots[df.pick(slots.len(), salt, leg)] as usize;
+    let owner = df.slot_router(gr, q);
+    // VC for this hop: minimal hops use VC1 until the destination group;
+    // non-minimal hops use VC0 on the first leg and VC1 on the second.
+    let vc = match flit.route.class {
+        RouteClass::Minimal => 1,
+        RouteClass::NonMinimal => leg,
+    } as usize;
+    if owner == router {
+        PortVc::new(df.slot_port(q), vc)
+    } else {
+        PortVc::new(df.local_next_hop(router, owner), vc)
+    }
+}
+
+/// Plans the minimal path from `rs` to `dest` under `salt`.
+fn min_path(df: &Dragonfly, rs: usize, dest: usize, salt: u32) -> PathPlan {
+    let params = df.params();
+    let rd = params.router_of_terminal(dest);
+    if rs == rd {
+        return PathPlan {
+            port: df.eject_port(dest) as u16,
+            vc: 0,
+            hops: 0,
+            gc_router: u32::MAX,
+            gc_port: 0,
+        };
+    }
+    let gs = params.group_of_router(rs);
+    let gd = params.group_of_router(rd);
+    if gs == gd {
+        return PathPlan {
+            port: df.local_next_hop(rs, rd) as u16,
+            vc: 2,
+            hops: df.local_hops(rs, rd) as u32,
+            gc_router: u32::MAX,
+            gc_port: 0,
+        };
+    }
+    let slots = df.global_slots(gs, gd);
+    let q = slots[df.pick(slots.len(), salt, 0)] as usize;
+    let owner = df.slot_router(gs, q);
+    let (pg, pq) = df.global_slot_target(gs, q).expect("wired slot");
+    let entry = df.slot_router(pg, pq);
+    let hops = df.local_hops(rs, owner) as u32 + 1 + df.local_hops(entry, rd) as u32;
+    let port = if rs == owner {
+        df.slot_port(q)
+    } else {
+        df.local_next_hop(rs, owner)
+    };
+    PathPlan {
+        port: port as u16,
+        vc: 1,
+        hops,
+        gc_router: owner as u32,
+        gc_port: df.slot_port(q) as u16,
+    }
+}
+
+/// Plans the Valiant path from `rs` to `dest` through group `gi`.
+fn nonmin_path(df: &Dragonfly, rs: usize, dest: usize, gi: usize, salt: u32) -> PathPlan {
+    let params = df.params();
+    let rd = params.router_of_terminal(dest);
+    let gs = params.group_of_router(rs);
+    let gd = params.group_of_router(rd);
+    debug_assert!(gi != gs && gi != gd, "intermediate must be a third group");
+    let slots1 = df.global_slots(gs, gi);
+    let q1 = slots1[df.pick(slots1.len(), salt, 0)] as usize;
+    let owner1 = df.slot_router(gs, q1);
+    let (pg1, pq1) = df.global_slot_target(gs, q1).expect("wired slot");
+    let entry1 = df.slot_router(pg1, pq1);
+    let slots2 = df.global_slots(gi, gd);
+    let q2 = slots2[df.pick(slots2.len(), salt, 1)] as usize;
+    let owner2 = df.slot_router(gi, q2);
+    let (pg2, pq2) = df.global_slot_target(gi, q2).expect("wired slot");
+    let entry2 = df.slot_router(pg2, pq2);
+    let hops = df.local_hops(rs, owner1) as u32
+        + 1
+        + df.local_hops(entry1, owner2) as u32
+        + 1
+        + df.local_hops(entry2, rd) as u32;
+    let port = if rs == owner1 {
+        df.slot_port(q1)
+    } else {
+        df.local_next_hop(rs, owner1)
+    };
+    PathPlan {
+        port: port as u16,
+        vc: 0,
+        hops,
+        gc_router: owner1 as u32,
+        gc_port: df.slot_port(q1) as u16,
+    }
+}
+
+/// One hop of a traced route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceHop {
+    /// Router the hop leaves from.
+    pub router: usize,
+    /// Output port taken.
+    pub port: usize,
+    /// Virtual channel on the outgoing channel.
+    pub vc: usize,
+    /// Channel class of the hop.
+    pub class: dfly_netsim::ChannelClass,
+}
+
+/// Walks the exact path a packet with the given [`RouteInfo`] takes from
+/// `src` to `dest`, hop by hop, ending with the ejection hop — the same
+/// deterministic computation the simulator performs, exposed for
+/// debugging, validation and teaching.
+///
+/// # Errors
+///
+/// Returns an error if the route fails to reach `dest` within a
+/// generous hop bound (which would indicate an invalid `RouteInfo`,
+/// e.g. a non-minimal route whose intermediate group equals the
+/// source's).
+///
+/// # Example
+///
+/// ```
+/// use dragonfly::{trace_route, Dragonfly, DragonflyParams};
+/// use dfly_netsim::RouteInfo;
+///
+/// let df = Dragonfly::new(DragonflyParams::new(2, 4, 2).unwrap());
+/// let hops = trace_route(&df, 0, 70, RouteInfo::minimal()).unwrap();
+/// // local?, one global, local?, eject: at most 4 hops.
+/// assert!(hops.len() <= 4);
+/// ```
+pub fn trace_route(
+    df: &Dragonfly,
+    src: usize,
+    dest: usize,
+    route: RouteInfo,
+) -> Result<Vec<TraceHop>, String> {
+    let params = df.params();
+    if src >= params.num_terminals() || dest >= params.num_terminals() {
+        return Err("terminal out of range".into());
+    }
+    let spec = df.build_spec();
+    let mut flit = Flit {
+        packet: 0,
+        src: src as u32,
+        dest: dest as u32,
+        route,
+        created: 0,
+        injected: 0,
+        hops: 0,
+        vc: route.injection_vc,
+        is_head: true,
+        is_tail: true,
+        labeled: false,
+    };
+    let mut router = params.router_of_terminal(src);
+    let mut hops = Vec::new();
+    // Upper bound: group-diameter locals on three groups + 2 globals + eject.
+    let bound = 3 * df.group_dims().len() + 3;
+    for _ in 0..bound {
+        let pv = route_flit(df, router, &flit);
+        let port_spec = spec.routers[router].ports[pv.port as usize];
+        hops.push(TraceHop {
+            router,
+            port: pv.port as usize,
+            vc: pv.vc as usize,
+            class: port_spec.class,
+        });
+        match port_spec.conn {
+            dfly_netsim::Connection::Terminal { terminal } => {
+                return if terminal as usize == dest {
+                    Ok(hops)
+                } else {
+                    Err(format!("route ejected at terminal {terminal}, not {dest}"))
+                };
+            }
+            dfly_netsim::Connection::Router { router: peer, .. } => {
+                flit.hops += 1;
+                flit.vc = pv.vc;
+                router = peer as usize;
+            }
+        }
+    }
+    Err(format!("no ejection within {bound} hops: invalid route"))
+}
+
+/// Draws a uniformly random intermediate group different from both `gs`
+/// and `gd`. Returns `None` when no third group exists.
+fn random_intermediate(g: usize, gs: usize, gd: usize, rng: &mut SmallRng) -> Option<usize> {
+    debug_assert_ne!(gs, gd);
+    if g < 3 {
+        return None;
+    }
+    let mut gi = rng.gen_range(0..g - 2);
+    let (lo, hi) = if gs < gd { (gs, gd) } else { (gd, gs) };
+    if gi >= lo {
+        gi += 1;
+    }
+    if gi >= hi {
+        gi += 1;
+    }
+    Some(gi)
+}
+
+/// Minimal (MIN) routing: always the shortest path — at most one global
+/// channel (local, global, local).
+///
+/// Optimal for benign traffic; collapses to `1/(a·h)` throughput on the
+/// worst-case pattern because an entire group's traffic funnels through
+/// one global channel.
+#[derive(Debug, Clone)]
+pub struct MinimalRouting {
+    df: Arc<Dragonfly>,
+}
+
+impl MinimalRouting {
+    /// Creates MIN routing over `df`.
+    pub fn new(df: Arc<Dragonfly>) -> Self {
+        MinimalRouting { df }
+    }
+}
+
+impl RoutingAlgorithm for MinimalRouting {
+    fn name(&self) -> String {
+        "MIN".into()
+    }
+
+    fn inject(
+        &self,
+        _view: &NetView<'_>,
+        _src: usize,
+        _dest: usize,
+        rng: &mut SmallRng,
+    ) -> RouteInfo {
+        RouteInfo::minimal()
+            .with_salt(rng.gen())
+            .with_injection_vc(1)
+    }
+
+    fn route(&self, _view: &NetView<'_>, router: usize, flit: &Flit) -> PortVc {
+        route_flit(&self.df, router, flit)
+    }
+}
+
+/// Valiant (VAL) routing: every inter-group packet detours through a
+/// uniformly random intermediate group, bounding worst-case throughput
+/// at ~50% of capacity (each packet crosses two global channels) while
+/// halving best-case throughput for benign traffic.
+#[derive(Debug, Clone)]
+pub struct ValiantRouting {
+    df: Arc<Dragonfly>,
+}
+
+impl ValiantRouting {
+    /// Creates VAL routing over `df`.
+    pub fn new(df: Arc<Dragonfly>) -> Self {
+        ValiantRouting { df }
+    }
+}
+
+impl RoutingAlgorithm for ValiantRouting {
+    fn name(&self) -> String {
+        "VAL".into()
+    }
+
+    fn inject(
+        &self,
+        _view: &NetView<'_>,
+        src: usize,
+        dest: usize,
+        rng: &mut SmallRng,
+    ) -> RouteInfo {
+        let params = self.df.params();
+        let gs = params.group_of_terminal(src);
+        let gd = params.group_of_terminal(dest);
+        if gs == gd {
+            // Intra-group traffic stays minimal; Valiant randomisation at
+            // the system level only needs to balance the global channels.
+            return RouteInfo::minimal()
+                .with_salt(rng.gen())
+                .with_injection_vc(1);
+        }
+        match random_intermediate(params.num_groups(), gs, gd, rng) {
+            Some(gi) => RouteInfo::non_minimal(gi as u32)
+                .with_salt(rng.gen())
+                .with_injection_vc(0),
+            None => RouteInfo::minimal()
+                .with_salt(rng.gen())
+                .with_injection_vc(1),
+        }
+    }
+
+    fn route(&self, _view: &NetView<'_>, router: usize, flit: &Flit) -> PortVc {
+        route_flit(&self.df, router, flit)
+    }
+}
+
+/// Which congestion information the UGAL decision consults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UgalVariant {
+    /// UGAL-L: total occupancy of the candidate output ports at the
+    /// source router.
+    Local,
+    /// UGAL-L_VC: per-VC occupancy (minimal traffic on VC1, non-minimal
+    /// on VC0), always.
+    LocalVc,
+    /// UGAL-L_VCH: per-VC occupancy only when both candidate paths leave
+    /// through the same output port, total occupancy otherwise — the
+    /// paper's hybrid that fixes UGAL-L_VC's uniform-random loss.
+    LocalVcHybrid,
+    /// UGAL-G: oracle occupancy of the actual global channels, read from
+    /// whichever routers own them. An idealised upper bound.
+    Global,
+    /// UGAL-L(CR): the hybrid VC-discriminated rule, but with queue
+    /// estimates that include the flits sent on the first-hop channel
+    /// whose credits have not yet returned. Paired with
+    /// [`dfly_netsim::CreditMode::RoundTrip`] — credits return when a
+    /// flit leaves the downstream router and are further delayed in
+    /// proportion to measured congestion — this senses a congested
+    /// remote global channel within one credit round trip instead of
+    /// waiting for the intervening buffers to fill (§4.3.2).
+    CreditRoundTrip,
+}
+
+/// Universal Globally-Adaptive Load-balanced routing (UGAL) over a
+/// dragonfly: picks minimal or Valiant per packet by comparing
+/// `q_m · H_m ≤ q_nm · H_nm`.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use dragonfly::{Dragonfly, DragonflyParams, UgalRouting, UgalVariant};
+///
+/// let df = Arc::new(Dragonfly::new(DragonflyParams::new(2, 4, 2).unwrap()));
+/// let ugal = UgalRouting::new(df, UgalVariant::LocalVcHybrid);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UgalRouting {
+    df: Arc<Dragonfly>,
+    variant: UgalVariant,
+}
+
+impl UgalRouting {
+    /// Creates UGAL routing of the given variant over `df`.
+    pub fn new(df: Arc<Dragonfly>, variant: UgalVariant) -> Self {
+        UgalRouting { df, variant }
+    }
+
+    /// The variant in use.
+    pub fn variant(&self) -> UgalVariant {
+        self.variant
+    }
+}
+
+impl RoutingAlgorithm for UgalRouting {
+    fn name(&self) -> String {
+        match self.variant {
+            UgalVariant::Local => "UGAL-L".into(),
+            UgalVariant::LocalVc => "UGAL-L_VC".into(),
+            UgalVariant::LocalVcHybrid => "UGAL-L_VCH".into(),
+            UgalVariant::Global => "UGAL-G".into(),
+            UgalVariant::CreditRoundTrip => "UGAL-L_CR".into(),
+        }
+    }
+
+    fn inject(
+        &self,
+        view: &NetView<'_>,
+        src: usize,
+        dest: usize,
+        rng: &mut SmallRng,
+    ) -> RouteInfo {
+        let df = &self.df;
+        let params = df.params();
+        let rs = params.router_of_terminal(src);
+        let rd = params.router_of_terminal(dest);
+        let gs = params.group_of_router(rs);
+        let gd = params.group_of_router(rd);
+        let salt: u32 = rng.gen();
+        if rs == rd || gs == gd {
+            return RouteInfo::minimal().with_salt(salt).with_injection_vc(1);
+        }
+        let Some(gi) = random_intermediate(params.num_groups(), gs, gd, rng) else {
+            return RouteInfo::minimal().with_salt(salt).with_injection_vc(1);
+        };
+        let m = min_path(df, rs, dest, salt);
+        let nm = nonmin_path(df, rs, dest, gi, salt);
+        let (qm, qnm) = match self.variant {
+            UgalVariant::Local => (
+                view.occupancy(rs, m.port as usize),
+                view.occupancy(rs, nm.port as usize),
+            ),
+            UgalVariant::LocalVc => (
+                view.vc_occupancy(rs, m.port as usize, m.vc as usize),
+                view.vc_occupancy(rs, nm.port as usize, nm.vc as usize),
+            ),
+            UgalVariant::LocalVcHybrid => {
+                if m.port == nm.port {
+                    (
+                        view.vc_occupancy(rs, m.port as usize, m.vc as usize),
+                        view.vc_occupancy(rs, nm.port as usize, nm.vc as usize),
+                    )
+                } else {
+                    (
+                        view.occupancy(rs, m.port as usize),
+                        view.occupancy(rs, nm.port as usize),
+                    )
+                }
+            }
+            UgalVariant::Global => (
+                view.occupancy(m.gc_router as usize, m.gc_port as usize),
+                view.occupancy(nm.gc_router as usize, nm.gc_port as usize),
+            ),
+            UgalVariant::CreditRoundTrip => {
+                if m.port == nm.port {
+                    (
+                        view.vc_committed(rs, m.port as usize, m.vc as usize),
+                        view.vc_committed(rs, nm.port as usize, nm.vc as usize),
+                    )
+                } else {
+                    (
+                        view.committed(rs, m.port as usize),
+                        view.committed(rs, nm.port as usize),
+                    )
+                }
+            }
+        };
+        if (qm as u64) * m.hops as u64 <= (qnm as u64) * nm.hops as u64 {
+            RouteInfo::minimal().with_salt(salt).with_injection_vc(1)
+        } else {
+            RouteInfo::non_minimal(gi as u32)
+                .with_salt(salt)
+                .with_injection_vc(0)
+        }
+    }
+
+    fn route(&self, _view: &NetView<'_>, router: usize, flit: &Flit) -> PortVc {
+        route_flit(&self.df, router, flit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::DragonflyParams;
+    use dfly_netsim::ChannelClass;
+    use dfly_traffic::rng_for;
+
+    fn df72() -> Arc<Dragonfly> {
+        Arc::new(Dragonfly::new(DragonflyParams::new(2, 4, 2).unwrap()))
+    }
+
+    fn flit_to(df: &Dragonfly, src: usize, dest: usize, route: RouteInfo) -> Flit {
+        let _ = df;
+        Flit {
+            packet: 0,
+            src: src as u32,
+            dest: dest as u32,
+            route,
+            created: 0,
+            injected: 0,
+            hops: 0,
+            vc: 0,
+            is_head: true,
+            is_tail: true,
+            labeled: false,
+        }
+    }
+
+    /// Walks a flit from its source router to ejection, returning the
+    /// sequence of (channel class, vc) traversed.
+    fn walk(df: &Dragonfly, src: usize, dest: usize, route: RouteInfo) -> Vec<(ChannelClass, u8)> {
+        let spec = df.build_spec();
+        let mut flit = flit_to(df, src, dest, route);
+        let mut router = df.params().router_of_terminal(src);
+        let mut path = Vec::new();
+        for _ in 0..16 {
+            let pv = route_flit(df, router, &flit);
+            let port = &spec.routers[router].ports[pv.port as usize];
+            path.push((port.class, pv.vc));
+            match port.conn {
+                dfly_netsim::Connection::Terminal { terminal } => {
+                    assert_eq!(terminal as usize, dest, "ejected at wrong terminal");
+                    return path;
+                }
+                dfly_netsim::Connection::Router { router: peer, .. } => {
+                    flit.hops += 1;
+                    flit.vc = pv.vc;
+                    router = peer as usize;
+                }
+            }
+        }
+        panic!("no ejection after 16 hops: route loop");
+    }
+
+    #[test]
+    fn minimal_route_crosses_at_most_one_global() {
+        let df = df72();
+        let mut rng = rng_for(1, 0);
+        for src in 0..72 {
+            for dest in 0..72 {
+                if src == dest {
+                    continue;
+                }
+                let route = RouteInfo::minimal().with_salt(rng.gen());
+                let path = walk(&df, src, dest, route);
+                let globals = path
+                    .iter()
+                    .filter(|(c, _)| *c == ChannelClass::Global)
+                    .count();
+                assert!(globals <= 1, "{src}->{dest}: {globals} globals");
+                // local-global-local-eject at most.
+                assert!(path.len() <= 4, "{src}->{dest}: path {path:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn valiant_route_visits_intermediate_group() {
+        let df = df72();
+        // src terminal 0 (group 0), dest terminal 70 (group 8), via 4.
+        let route = RouteInfo::non_minimal(4).with_salt(17);
+        let path = walk(&df, 0, 70, route);
+        let globals = path
+            .iter()
+            .filter(|(c, _)| *c == ChannelClass::Global)
+            .count();
+        assert_eq!(globals, 2);
+        assert!(path.len() <= 6);
+    }
+
+    #[test]
+    fn vc_order_is_monotonic_for_deadlock_freedom() {
+        // Rank channels l0 < g0 < l1 < g1 < l2; every walk must ascend.
+        fn rank(class: ChannelClass, vc: u8) -> u32 {
+            match (class, vc) {
+                (ChannelClass::Local, v) => 2 * v as u32,
+                (ChannelClass::Global, v) => 2 * v as u32 + 1,
+                (ChannelClass::Terminal, _) => 100,
+            }
+        }
+        let df = df72();
+        let mut rng = rng_for(2, 0);
+        for src in (0..72).step_by(5) {
+            for dest in (0..72).step_by(7) {
+                if src == dest {
+                    continue;
+                }
+                let gs = df.params().group_of_terminal(src);
+                let gd = df.params().group_of_terminal(dest);
+                let routes = if gs != gd {
+                    let gi = (0..9).find(|&x| x != gs && x != gd).unwrap();
+                    vec![
+                        RouteInfo::minimal().with_salt(rng.gen()),
+                        RouteInfo::non_minimal(gi as u32).with_salt(rng.gen()),
+                    ]
+                } else {
+                    vec![RouteInfo::minimal().with_salt(rng.gen())]
+                };
+                for route in routes {
+                    let path = walk(&df, src, dest, route);
+                    let ranks: Vec<u32> = path.iter().map(|&(c, v)| rank(c, v)).collect();
+                    for w in ranks.windows(2) {
+                        assert!(w[0] <= w[1], "{src}->{dest} ranks {ranks:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_path_hops_match_walk() {
+        let df = df72();
+        for src in (0..72).step_by(3) {
+            for dest in (1..72).step_by(4) {
+                if src == dest {
+                    continue;
+                }
+                let salt = 99;
+                let rs = df.params().router_of_terminal(src);
+                let plan = min_path(&df, rs, dest, salt);
+                let path = walk(&df, src, dest, RouteInfo::minimal().with_salt(salt));
+                // walk includes the ejection hop; plan.hops counts only
+                // router-to-router channels.
+                assert_eq!(plan.hops as usize, path.len() - 1, "{src}->{dest}");
+            }
+        }
+    }
+
+    #[test]
+    fn nonmin_path_hops_match_walk() {
+        let df = df72();
+        let salt = 7;
+        for (src, dest) in [(0usize, 70usize), (3, 40), (10, 65)] {
+            let rs = df.params().router_of_terminal(src);
+            let gs = df.params().group_of_terminal(src);
+            let gd = df.params().group_of_terminal(dest);
+            let gi = (0..9).find(|&x| x != gs && x != gd).unwrap();
+            let plan = nonmin_path(&df, rs, dest, gi, salt);
+            let path = walk(
+                &df,
+                src,
+                dest,
+                RouteInfo::non_minimal(gi as u32).with_salt(salt),
+            );
+            assert_eq!(plan.hops as usize, path.len() - 1, "{src}->{dest}");
+        }
+    }
+
+    #[test]
+    fn random_intermediate_avoids_endpoints() {
+        let mut rng = rng_for(5, 0);
+        let mut seen = [false; 9];
+        for _ in 0..500 {
+            let gi = random_intermediate(9, 2, 6, &mut rng).unwrap();
+            assert_ne!(gi, 2);
+            assert_ne!(gi, 6);
+            seen[gi] = true;
+        }
+        assert_eq!(seen.iter().filter(|&&s| s).count(), 7);
+        assert_eq!(random_intermediate(2, 0, 1, &mut rng), None);
+    }
+
+    #[test]
+    fn ugal_names() {
+        let df = df72();
+        assert_eq!(
+            UgalRouting::new(df.clone(), UgalVariant::Local).name(),
+            "UGAL-L"
+        );
+        assert_eq!(
+            UgalRouting::new(df.clone(), UgalVariant::Global).name(),
+            "UGAL-G"
+        );
+        assert_eq!(MinimalRouting::new(df.clone()).name(), "MIN");
+        assert_eq!(ValiantRouting::new(df).name(), "VAL");
+    }
+}

@@ -1,0 +1,387 @@
+//! Simulating the k-ary n-cube torus on the same engine.
+//!
+//! The 3-D torus is the low-radix baseline of the paper's §5 cost study
+//! (the Cray T3E generation the dragonfly displaced). This module wires
+//! a [`dfly_topo::Torus`] into a [`dfly_netsim::NetworkSpec`] and
+//! provides deterministic shortest-way dimension-order routing with the
+//! classic *dateline* virtual-channel scheme, so the torus can be
+//! compared behaviourally against the dragonfly.
+//!
+//! # Dateline VC assignment
+//!
+//! Each unidirectional ring breaks its channel-dependency cycle at a
+//! dateline next to node 0: packets that still have to wrap around the
+//! ring travel on VC0 and switch to VC1 after crossing; packets that
+//! never wrap use VC1 outright. Within a ring the (channel, VC) order is
+//! then acyclic, and dimension-order traversal makes it acyclic across
+//! dimensions, so two VCs suffice for deadlock freedom.
+//!
+//! # Example
+//!
+//! ```
+//! use dragonfly::torus_sim::{TorusNetwork, TorusRouting};
+//! use dfly_topo::Torus;
+//! use dfly_netsim::{SimConfig, Simulation};
+//! use dfly_traffic::UniformRandom;
+//!
+//! let net = TorusNetwork::new(Torus::new(2, 4, 1));
+//! let spec = net.build_spec();
+//! let routing = TorusRouting::new(net.into());
+//! let traffic = UniformRandom::new(spec.num_terminals());
+//! let mut cfg = SimConfig::paper_default(0.1);
+//! cfg.warmup = 200;
+//! cfg.measure = 500;
+//! let stats = Simulation::new(&spec, &routing, &traffic, cfg).unwrap().run();
+//! assert!(stats.drained);
+//! ```
+
+use std::sync::Arc;
+
+use dfly_netsim::{
+    ChannelClass, Connection, Flit, NetView, NetworkSpec, PortSpec, PortVc, RouteInfo, RouterSpec,
+    RoutingAlgorithm,
+};
+use dfly_topo::{Topology, Torus};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A torus wired for cycle-accurate simulation.
+#[derive(Debug, Clone)]
+pub struct TorusNetwork {
+    torus: Torus,
+    latency: u32,
+}
+
+impl TorusNetwork {
+    /// Wires `torus` with unit channel latency.
+    pub fn new(torus: Torus) -> Self {
+        Self::with_latency(torus, 1)
+    }
+
+    /// Wires `torus` with the given network-channel latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency == 0`.
+    pub fn with_latency(torus: Torus, latency: u32) -> Self {
+        assert!(latency > 0, "latency must be >= 1");
+        TorusNetwork { torus, latency }
+    }
+
+    /// The underlying structural topology.
+    pub fn topology(&self) -> &Torus {
+        &self.torus
+    }
+
+    /// Network ports per dimension: a +/− pair, or one shared port for
+    /// arity 2 where the two directions coincide.
+    fn ports_per_dim(&self) -> usize {
+        if self.torus.arity() == 2 {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// The port index for travelling in `dim`, direction `plus`.
+    fn dir_port(&self, dim: usize, plus: bool) -> usize {
+        let base = self.torus.concentration() + dim * self.ports_per_dim();
+        if self.torus.arity() == 2 || plus {
+            base
+        } else {
+            base + 1
+        }
+    }
+
+    /// Builds the simulator wiring: concentration ports, then per
+    /// dimension the +direction port and (for arity > 2) the −direction
+    /// port. All network channels are classed local — torus cables are
+    /// short by construction.
+    pub fn build_spec(&self) -> NetworkSpec {
+        let c = self.torus.concentration();
+        let k = self.torus.arity();
+        let mut routers = Vec::with_capacity(self.torus.num_routers());
+        for r in 0..self.torus.num_routers() {
+            let coords = self.torus.coordinates(r);
+            let mut ports = Vec::new();
+            for t in 0..c {
+                ports.push(PortSpec {
+                    conn: Connection::Terminal {
+                        terminal: (r * c + t) as u32,
+                    },
+                    latency: 1,
+                    class: ChannelClass::Terminal,
+                });
+            }
+            for dim in 0..self.torus.dimensions() {
+                let wire = |delta_plus: bool| {
+                    let mut c2 = coords.clone();
+                    c2[dim] = if delta_plus {
+                        (coords[dim] + 1) % k
+                    } else {
+                        (coords[dim] + k - 1) % k
+                    };
+                    let peer = self.torus.router_index(&c2);
+                    // The peer reaches us by travelling the opposite way.
+                    PortSpec {
+                        conn: Connection::Router {
+                            router: peer as u32,
+                            port: self.dir_port(dim, !delta_plus) as u32,
+                        },
+                        latency: self.latency,
+                        class: ChannelClass::Local,
+                    }
+                };
+                ports.push(wire(true));
+                if k > 2 {
+                    ports.push(wire(false));
+                }
+            }
+            routers.push(RouterSpec { ports });
+        }
+        NetworkSpec::validated(routers, 2).expect("torus wiring must validate")
+    }
+}
+
+/// Deterministic shortest-way dimension-order routing with dateline VCs.
+#[derive(Debug, Clone)]
+pub struct TorusRouting {
+    net: Arc<TorusNetwork>,
+}
+
+impl TorusRouting {
+    /// Creates the routing over `net`.
+    pub fn new(net: Arc<TorusNetwork>) -> Self {
+        TorusRouting { net }
+    }
+}
+
+impl RoutingAlgorithm for TorusRouting {
+    fn name(&self) -> String {
+        "torus-DOR".into()
+    }
+
+    fn inject(
+        &self,
+        _view: &NetView<'_>,
+        _src: usize,
+        _dest: usize,
+        rng: &mut SmallRng,
+    ) -> RouteInfo {
+        // Injection uses VC0; the first network hop re-derives its VC.
+        RouteInfo::minimal().with_salt(rng.gen())
+    }
+
+    fn route(&self, _view: &NetView<'_>, router: usize, flit: &Flit) -> PortVc {
+        let torus = &self.net.torus;
+        let c = torus.concentration();
+        let dest = flit.dest as usize;
+        let rd = dest / c;
+        if router == rd {
+            return PortVc::new(dest % c, 0);
+        }
+        let k = torus.arity();
+        let ca = torus.coordinates(router);
+        let cb = torus.coordinates(rd);
+        let dim = (0..ca.len())
+            .find(|&d| ca[d] != cb[d])
+            .expect("router != rd");
+        let (x, y) = (ca[dim], cb[dim]);
+        let forward = (y + k - x) % k;
+        let plus = forward <= k - forward; // ties travel +
+        // Dateline rule: while the remaining travel must wrap past the
+        // dateline (next to node 0), stay on VC0; afterwards (or if no
+        // wrap is needed) use VC1.
+        let will_wrap = if plus { x > y } else { x < y };
+        let vc = if will_wrap { 0 } else { 1 };
+        PortVc::new(self.net.dir_port(dim, plus), vc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfly_netsim::{SimConfig, Simulation};
+    use dfly_traffic::{Tornado, UniformRandom};
+
+    fn fast_cfg(load: f64) -> SimConfig {
+        let mut cfg = SimConfig::paper_default(load);
+        cfg.warmup = 300;
+        cfg.measure = 1_000;
+        cfg.drain_cap = 30_000;
+        cfg
+    }
+
+    #[test]
+    fn spec_wires_and_validates() {
+        for (dims, k, c) in [(1usize, 5usize, 2usize), (2, 4, 1), (3, 3, 2), (2, 2, 1)] {
+            let net = TorusNetwork::new(Torus::new(dims, k, c));
+            let spec = net.build_spec();
+            assert_eq!(spec.num_routers(), k.pow(dims as u32), "k={k} dims={dims}");
+            assert_eq!(
+                spec.num_terminals(),
+                c * k.pow(dims as u32),
+                "k={k} dims={dims}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_traffic_delivers() {
+        let net = Arc::new(TorusNetwork::new(Torus::new(2, 4, 1)));
+        let spec = net.build_spec();
+        let routing = TorusRouting::new(net);
+        let pattern = UniformRandom::new(16);
+        let stats = Simulation::new(&spec, &routing, &pattern, fast_cfg(0.2))
+            .unwrap()
+            .run();
+        assert!(stats.drained);
+        assert!((stats.accepted_rate - 0.2).abs() < 0.04);
+    }
+
+    #[test]
+    fn ring_under_heavy_wraparound_load_does_not_deadlock() {
+        // Tornado traffic on a ring maximises wraparound pressure: every
+        // packet travels k/2-1 hops the same way. Without datelines this
+        // load classically deadlocks; with them the run must drain.
+        let net = Arc::new(TorusNetwork::new(Torus::new(1, 8, 1)));
+        let spec = net.build_spec();
+        let routing = TorusRouting::new(net);
+        let pattern = Tornado::new(8);
+        let mut cfg = fast_cfg(0.6);
+        cfg.drain_cap = 60_000;
+        let stats = Simulation::new(&spec, &routing, &pattern, cfg)
+            .unwrap()
+            .run();
+        assert!(stats.drained, "ring deadlocked or starved");
+        assert!(stats.latency.count > 0);
+    }
+
+    #[test]
+    fn latency_matches_manhattan_distance_at_zero_load() {
+        let net = Arc::new(TorusNetwork::new(Torus::new(3, 4, 1)));
+        let spec = net.build_spec();
+        let routing = TorusRouting::new(net);
+        let pattern = UniformRandom::new(64);
+        let stats = Simulation::new(&spec, &routing, &pattern, fast_cfg(0.01))
+            .unwrap()
+            .run();
+        assert!(stats.drained);
+        // Max path: 3 dims * floor(4/2) hops + inject + eject = 8.
+        assert!(stats.latency.max <= 10, "max {}", stats.latency.max);
+        assert!(stats.latency.min >= 3);
+    }
+
+    #[test]
+    fn ring_tornado_capacity_is_one_third() {
+        // Tornado on an 8-ring: every packet rides 3 hops in the +
+        // direction, so each + channel carries 3 nodes' traffic:
+        // capacity = 1/3 of injection bandwidth.
+        let net = Arc::new(TorusNetwork::new(Torus::new(1, 8, 1)));
+        let spec = net.build_spec();
+        let routing = TorusRouting::new(net);
+        let pattern = Tornado::new(8);
+        let mut cfg = fast_cfg(1.0);
+        cfg.warmup = 1_000;
+        cfg.measure = 2_000;
+        cfg.drain_cap = 0;
+        let stats = Simulation::new(&spec, &routing, &pattern, cfg)
+            .unwrap()
+            .run();
+        // Ideal is 1/3; ring arbitration (the parking-lot effect) costs
+        // some of it in practice.
+        assert!(
+            (0.26..0.36).contains(&stats.accepted_rate),
+            "tornado capacity {}",
+            stats.accepted_rate
+        );
+    }
+
+    #[test]
+    fn arity_two_torus_works() {
+        let net = Arc::new(TorusNetwork::new(Torus::new(3, 2, 1)));
+        let spec = net.build_spec();
+        let routing = TorusRouting::new(net);
+        let pattern = UniformRandom::new(8);
+        let stats = Simulation::new(&spec, &routing, &pattern, fast_cfg(0.15))
+            .unwrap()
+            .run();
+        assert!(stats.drained);
+    }
+
+    #[test]
+    fn dateline_rule_is_monotone() {
+        // A packet's VC never goes from 1 back to 0 within a dimension:
+        // walk routes hop by hop and check.
+        let net = Arc::new(TorusNetwork::new(Torus::new(1, 9, 1)));
+        let spec = net.build_spec();
+        let routing = TorusRouting::new(net.clone());
+        for src in 0..9usize {
+            for dest in 0..9usize {
+                if src == dest {
+                    continue;
+                }
+                let mut flit = dfly_netsim::Flit {
+                    packet: 0,
+                    src: src as u32,
+                    dest: dest as u32,
+                    route: RouteInfo::minimal(),
+                    created: 0,
+                    injected: 0,
+                    hops: 0,
+                    vc: 0,
+                    is_head: true,
+                    is_tail: true,
+                    labeled: false,
+                };
+                let mut at = src;
+                let mut prev_vc = 0u8;
+                let mut started = false;
+                for _ in 0..9 {
+                    let pv = routing_route_for_test(&routing, at, &flit);
+                    match spec.routers[at].ports[pv.port as usize].conn {
+                        Connection::Terminal { terminal } => {
+                            assert_eq!(terminal as usize, dest);
+                            break;
+                        }
+                        Connection::Router { router, .. } => {
+                            if started {
+                                assert!(
+                                    pv.vc >= prev_vc,
+                                    "{src}->{dest}: VC regressed at {at}"
+                                );
+                            }
+                            started = true;
+                            prev_vc = pv.vc;
+                            flit.vc = pv.vc;
+                            flit.hops += 1;
+                            at = router as usize;
+                        }
+                    }
+                }
+                assert_eq!(at, dest, "{src}->{dest} did not arrive");
+            }
+        }
+    }
+
+    /// Calls the routing rule without a live simulation view (the torus
+    /// rule is purely structural).
+    fn routing_route_for_test(routing: &TorusRouting, router: usize, flit: &Flit) -> PortVc {
+        let torus = &routing.net.torus;
+        let c = torus.concentration();
+        let dest = flit.dest as usize;
+        let rd = dest / c;
+        if router == rd {
+            return PortVc::new(dest % c, 0);
+        }
+        let k = torus.arity();
+        let ca = torus.coordinates(router);
+        let cb = torus.coordinates(rd);
+        let dim = (0..ca.len()).find(|&d| ca[d] != cb[d]).unwrap();
+        let (x, y) = (ca[dim], cb[dim]);
+        let forward = (y + k - x) % k;
+        let plus = forward <= k - forward;
+        let will_wrap = if plus { x > y } else { x < y };
+        PortVc::new(routing.net.dir_port(dim, plus), usize::from(!will_wrap))
+    }
+}

@@ -1,0 +1,52 @@
+//! Cost and technology models for comparing interconnection-network
+//! topologies — §2 and §5 of the dragonfly paper.
+//!
+//! The crate reproduces the paper's economic argument end to end:
+//!
+//! * [`CableCostModel`] — the Figure 2 cost-versus-length fits for
+//!   electrical and active optical cables (crossover ≈ 10 m), plus the
+//!   Table 1 technology data ([`CABLE_TECHNOLOGIES`]);
+//! * [`Floorplan`] — a cabinet-grid packaging model that turns logical
+//!   channels into cable lengths;
+//! * [`CostConfig`] — whole-network bills of materials for the
+//!   dragonfly, flattened butterfly, folded Clos and 3-D torus at equal
+//!   per-node bandwidth (Figure 19);
+//! * [`PowerModel`] — the Table 1 energy-per-bit figures rolled up into
+//!   per-network power, making §5's "cost reduction translates to power
+//!   reduction" remark concrete;
+//! * [`table2`] / [`case_study_64k`] — the structural comparisons of
+//!   Table 2 and Figure 18;
+//! * [`radix_for_single_global_hop`] / [`max_dragonfly_terminals`] —
+//!   the scaling rules behind Figures 1 and 4.
+//!
+//! # Example
+//!
+//! ```
+//! use dfly_cost::CostConfig;
+//!
+//! let cfg = CostConfig::default();
+//! let df = cfg.dragonfly(16 * 1024);
+//! let fb = cfg.flattened_butterfly(16 * 1024);
+//! assert!(df.per_node() < fb.per_node()); // the paper's headline claim
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cable;
+mod compare;
+mod network;
+mod packaging;
+mod power;
+mod scaling;
+
+pub use cable::{CableCostModel, CableTechnology, CABLE_TECHNOLOGIES};
+pub use compare::{
+    case_study_64k, dragonfly_cable_lengths_in_e, table2, CaseStudy64K, HopExpr, Table2Row,
+};
+pub use network::{CableStats, CostConfig, NetworkCost};
+pub use power::{NetworkPower, PowerModel};
+pub use scaling::{
+    max_dragonfly_terminals, max_terminals_single_global_hop, radix_for_single_global_hop,
+};
+pub use packaging::Floorplan;

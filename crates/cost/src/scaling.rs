@@ -1,0 +1,83 @@
+//! Analytic scaling rules (Figures 1 and 4 of the paper).
+
+use dragonfly::DragonflyParams;
+
+/// The router radix needed to reach `n` terminals with every minimal
+/// route crossing at most one global channel, using a *single router* as
+/// the group — i.e. a fully connected network with an even split between
+/// terminal and network ports (Figure 1).
+///
+/// With radix `k`: `k/2` terminals on each of `k/2 + 1` routers, so
+/// `N = (k/2)(k/2 + 1)` and the required radix grows as `k ≈ 2√N`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn radix_for_single_global_hop(n: usize) -> usize {
+    assert!(n > 0, "need >= 1 terminal");
+    let mut k = 2usize;
+    while (k / 2) * (k / 2 + 1) < n {
+        k += 2;
+    }
+    k
+}
+
+/// The largest network a fully connected topology of radix-`k` routers
+/// reaches with one global hop: `(k/2)(k/2 + 1)`.
+pub fn max_terminals_single_global_hop(k: usize) -> usize {
+    (k / 2) * (k / 2 + 1)
+}
+
+/// The largest balanced dragonfly (a = 2p = 2h) buildable from routers
+/// of radix at most `k` (Figure 4). Returns `None` for radices too small
+/// to form a dragonfly.
+pub fn max_dragonfly_terminals(k: usize) -> Option<usize> {
+    DragonflyParams::balanced_from_radix(k)
+        .ok()
+        .map(|p| p.num_terminals())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radix_tracks_two_sqrt_n() {
+        for &n in &[100usize, 1_000, 10_000, 100_000, 1_000_000] {
+            let k = radix_for_single_global_hop(n);
+            let ideal = 2.0 * (n as f64).sqrt();
+            assert!(
+                (k as f64) >= ideal - 2.0 && (k as f64) <= ideal + 4.0,
+                "n={n} k={k} ideal={ideal}"
+            );
+            // k is sufficient and k-2 is not.
+            assert!(max_terminals_single_global_hop(k) >= n);
+            assert!(max_terminals_single_global_hop(k - 2) < n);
+        }
+    }
+
+    #[test]
+    fn figure1_extremes() {
+        // Reading Figure 1: ~1M nodes needs a radix around 2000.
+        let k = radix_for_single_global_hop(1_000_000);
+        assert!((1990..=2010).contains(&k), "k={k}");
+        // And 10K nodes needs ~200.
+        let k = radix_for_single_global_hop(10_000);
+        assert!((195..=205).contains(&k), "k={k}");
+    }
+
+    #[test]
+    fn dragonfly_scales_dramatically_better() {
+        // Figure 4: radix 64 exceeds 256K nodes; radix ~32 exceeds 10K.
+        assert!(max_dragonfly_terminals(64).unwrap() > 256 * 1024);
+        assert!(max_dragonfly_terminals(32).unwrap() > 10_000);
+        assert!(max_dragonfly_terminals(2).is_none());
+        // Monotone in k.
+        let mut prev = 0;
+        for k in 3..100 {
+            let n = max_dragonfly_terminals(k).unwrap();
+            assert!(n >= prev, "k={k}");
+            prev = n;
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Simulation configuration.
+
+/// How packets are injected at each terminal.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InjectionKind {
+    /// Memoryless Bernoulli injection at the given rate (packets per
+    /// cycle per terminal) — the process used throughout the paper.
+    Bernoulli {
+        /// Injection rate in `[0, 1]`.
+        rate: f64,
+    },
+    /// Bursty on/off injection with the given average rate and mean
+    /// burst length in cycles.
+    OnOff {
+        /// Average injection rate in `[0, 0.5]`.
+        rate: f64,
+        /// Mean burst length in cycles (>= 1).
+        burst_len: f64,
+    },
+}
+
+impl InjectionKind {
+    /// The long-run average injection rate.
+    pub fn rate(&self) -> f64 {
+        match *self {
+            InjectionKind::Bernoulli { rate } => rate,
+            InjectionKind::OnOff { rate, .. } => rate,
+        }
+    }
+}
+
+/// How the value of `td` (measured credit round-trip excess) is smoothed.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TdEstimator {
+    /// Use the latest sample directly, as the paper describes.
+    LastSample,
+    /// Exponentially weighted moving average with weight `1 / 2^shift`
+    /// on new samples — an ablation of the estimator choice.
+    Ewma {
+        /// EWMA shift; `2` weights new samples by 1/4.
+        shift: u8,
+    },
+}
+
+/// Credit flow-control mode.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CreditMode {
+    /// Conventional credits: returned as soon as a flit leaves the
+    /// downstream input buffer.
+    Conventional,
+    /// The paper's credit round-trip mechanism (Figure 17): per-output
+    /// credit timestamp queues measure `tcrt`; returned credits are
+    /// delayed by `td(O) − min_o td(o)` (never across global channels),
+    /// stiffening backpressure so upstream routers sense remote global
+    /// congestion quickly.
+    RoundTrip {
+        /// Track one of every `sample` credits (1 = every credit). The
+        /// paper notes a 1-of-4 sampling CTQ suffices.
+        sample: u32,
+        /// Smoothing applied to `td` samples.
+        estimator: TdEstimator,
+    },
+}
+
+impl CreditMode {
+    /// The round-trip mode with full tracking and last-sample estimation
+    /// — the configuration evaluated in the paper's Figure 16.
+    pub fn round_trip() -> Self {
+        CreditMode::RoundTrip {
+            sample: 1,
+            estimator: TdEstimator::LastSample,
+        }
+    }
+}
+
+/// Full configuration of a simulation run.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Input buffer depth in flits per (port, VC). The paper uses 16 by
+    /// default and studies 4–256.
+    pub buffer_depth: usize,
+    /// Flits per packet. The paper's evaluation uses single-flit packets
+    /// to separate routing from flow-control effects.
+    pub packet_len: usize,
+    /// Injection process run at every terminal.
+    pub injection: InjectionKind,
+    /// Warm-up cycles before measurement starts.
+    pub warmup: u64,
+    /// Measurement window length in cycles; packets created during the
+    /// window are labelled and tracked to ejection.
+    pub measure: u64,
+    /// Extra cycles allowed after the window for labelled packets to
+    /// drain; if exceeded the run is reported as saturated.
+    pub drain_cap: u64,
+    /// RNG seed; every run with the same seed and configuration is
+    /// bit-identical.
+    pub seed: u64,
+    /// Credit flow-control mode.
+    pub credit_mode: CreditMode,
+}
+
+impl SimConfig {
+    /// A configuration matching the paper's defaults: 16-flit buffers,
+    /// single-flit packets, Bernoulli injection at `rate`, conventional
+    /// credits.
+    pub fn paper_default(rate: f64) -> Self {
+        SimConfig {
+            buffer_depth: 16,
+            packet_len: 1,
+            injection: InjectionKind::Bernoulli { rate },
+            warmup: 10_000,
+            measure: 10_000,
+            drain_cap: 100_000,
+            seed: 1,
+            credit_mode: CreditMode::Conventional,
+        }
+    }
+
+    /// Sets the buffer depth (builder style).
+    pub fn with_buffer_depth(mut self, depth: usize) -> Self {
+        self.buffer_depth = depth;
+        self
+    }
+
+    /// Sets the credit mode (builder style).
+    pub fn with_credit_mode(mut self, mode: CreditMode) -> Self {
+        self.credit_mode = mode;
+        self
+    }
+
+    /// Sets the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.buffer_depth == 0 {
+            return Err("buffer depth must be >= 1".into());
+        }
+        if self.packet_len == 0 {
+            return Err("packet length must be >= 1".into());
+        }
+        let rate = self.injection.rate();
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("injection rate {rate} outside [0, 1]"));
+        }
+        if self.measure == 0 {
+            return Err("measurement window must be >= 1 cycle".into());
+        }
+        if let CreditMode::RoundTrip { sample, .. } = self.credit_mode {
+            if sample == 0 {
+                return Err("credit sample ratio must be >= 1".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        assert!(SimConfig::paper_default(0.5).validate().is_ok());
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = SimConfig::paper_default(0.1)
+            .with_buffer_depth(256)
+            .with_credit_mode(CreditMode::round_trip())
+            .with_seed(9);
+        assert_eq!(c.buffer_depth, 256);
+        assert_eq!(c.seed, 9);
+        assert!(matches!(c.credit_mode, CreditMode::RoundTrip { sample: 1, .. }));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = SimConfig::paper_default(0.5);
+        c.buffer_depth = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::paper_default(1.5);
+        assert!(c.validate().is_err());
+        c.injection = InjectionKind::Bernoulli { rate: 0.5 };
+        c.measure = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::paper_default(0.5);
+        c.credit_mode = CreditMode::RoundTrip {
+            sample: 0,
+            estimator: TdEstimator::LastSample,
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn injection_rate_accessor() {
+        assert_eq!(InjectionKind::Bernoulli { rate: 0.25 }.rate(), 0.25);
+        assert_eq!(
+            InjectionKind::OnOff {
+                rate: 0.2,
+                burst_len: 8.0
+            }
+            .rate(),
+            0.2
+        );
+    }
+}
+
+#[cfg(all(test, feature = "serde"))]
+mod serde_tests {
+    use super::*;
+    use crate::{ChannelClass, ChannelLoad, Connection, PortSpec, RouterSpec, RunStats};
+
+    fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+
+    #[test]
+    fn data_types_implement_serde() {
+        assert_serde::<SimConfig>();
+        assert_serde::<InjectionKind>();
+        assert_serde::<CreditMode>();
+        assert_serde::<TdEstimator>();
+        assert_serde::<RunStats>();
+        assert_serde::<ChannelLoad>();
+        assert_serde::<PortSpec>();
+        assert_serde::<RouterSpec>();
+        assert_serde::<Connection>();
+        assert_serde::<ChannelClass>();
+    }
+}

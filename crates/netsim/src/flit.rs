@@ -1,0 +1,142 @@
+//! Flits, packets and route descriptors.
+
+/// How a packet is being routed through the network.
+///
+/// The distinction matters to the UGAL family: the adaptive decision is
+/// exactly the choice between these two classes, and the statistics
+/// module reports latency separately per class (Figures 11 and 12 of the
+/// paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouteClass {
+    /// Minimal routing (MIN): at most one global channel in a dragonfly.
+    Minimal,
+    /// Valiant-style non-minimal routing through a random intermediate.
+    NonMinimal,
+}
+
+/// Per-packet routing state fixed at injection time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteInfo {
+    /// Minimal or non-minimal.
+    pub class: RouteClass,
+    /// Topology-interpreted intermediate tag for non-minimal routes
+    /// (the intermediate *group* for a dragonfly).
+    pub intermediate: Option<u32>,
+    /// Virtual channel the packet occupies on its injection (terminal)
+    /// channel.
+    pub injection_vc: u8,
+    /// Per-packet salt chosen at injection; routing algorithms use it to
+    /// pick deterministically among parallel channels so that the queue
+    /// inspected by an adaptive decision is the queue the packet will
+    /// actually use.
+    pub salt: u32,
+}
+
+impl RouteInfo {
+    /// A minimal route using injection VC 0 and salt 0.
+    pub fn minimal() -> Self {
+        RouteInfo {
+            class: RouteClass::Minimal,
+            intermediate: None,
+            injection_vc: 0,
+            salt: 0,
+        }
+    }
+
+    /// A non-minimal route through `intermediate`, using injection VC 0
+    /// and salt 0.
+    pub fn non_minimal(intermediate: u32) -> Self {
+        RouteInfo {
+            class: RouteClass::NonMinimal,
+            intermediate: Some(intermediate),
+            injection_vc: 0,
+            salt: 0,
+        }
+    }
+
+    /// The same route with a different injection VC.
+    pub fn with_injection_vc(mut self, vc: u8) -> Self {
+        self.injection_vc = vc;
+        self
+    }
+
+    /// The same route with a different salt.
+    pub fn with_salt(mut self, salt: u32) -> Self {
+        self.salt = salt;
+        self
+    }
+}
+
+/// A flow-control unit traversing the network.
+///
+/// The paper evaluates with single-flit packets (to separate routing from
+/// flow control); multi-flit packets are supported, in which case every
+/// flit of a packet carries the same identifiers and route and the
+/// head/tail flags delimit it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    /// Unique packet id (flits of one packet share it).
+    pub packet: u64,
+    /// Source terminal.
+    pub src: u32,
+    /// Destination terminal.
+    pub dest: u32,
+    /// Routing state decided at injection.
+    pub route: RouteInfo,
+    /// Cycle the packet entered its source queue.
+    pub created: u64,
+    /// Cycle the flit left the terminal onto the injection channel.
+    pub injected: u64,
+    /// Network hops (router-to-router channels) traversed so far.
+    pub hops: u16,
+    /// Virtual channel the flit occupies on the channel it last
+    /// traversed (and hence in the input buffer it sits in).
+    pub vc: u8,
+    /// First flit of its packet.
+    pub is_head: bool,
+    /// Last flit of its packet.
+    pub is_tail: bool,
+    /// Whether the packet belongs to the measurement sample.
+    pub labeled: bool,
+}
+
+impl Flit {
+    /// Total queueing + network latency if ejected at `cycle`.
+    pub fn latency_at(&self, cycle: u64) -> u64 {
+        cycle - self.created
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_info_constructors() {
+        let m = RouteInfo::minimal();
+        assert_eq!(m.class, RouteClass::Minimal);
+        assert_eq!(m.intermediate, None);
+        let nm = RouteInfo::non_minimal(7).with_injection_vc(2);
+        assert_eq!(nm.class, RouteClass::NonMinimal);
+        assert_eq!(nm.intermediate, Some(7));
+        assert_eq!(nm.injection_vc, 2);
+    }
+
+    #[test]
+    fn latency_accounts_from_creation() {
+        let f = Flit {
+            packet: 1,
+            src: 0,
+            dest: 1,
+            route: RouteInfo::minimal(),
+            created: 10,
+            injected: 14,
+            hops: 0,
+            vc: 0,
+            is_head: true,
+            is_tail: true,
+            labeled: false,
+        };
+        assert_eq!(f.latency_at(25), 15);
+    }
+}

@@ -1,0 +1,46 @@
+//! A cycle-accurate, flit-level interconnection-network simulator.
+//!
+//! This crate is the evaluation substrate of the dragonfly reproduction:
+//! input-queued single-cycle routers with virtual channels, credit-based
+//! flow control, per-class channel latencies, Bernoulli (or bursty)
+//! injection, and the warm-up / labelled-measurement / drain methodology
+//! of Dally & Towles that the paper's §4.2 describes. It also implements
+//! the paper's *credit round-trip* mechanism (§4.3.2, Figure 17): credit
+//! timestamp queues measure per-output congestion and returned credits
+//! are delayed to stiffen backpressure, which is what makes the
+//! UGAL-L(CR) routing variant possible.
+//!
+//! The crate is topology-agnostic: a [`NetworkSpec`] describes any wired
+//! network, and a [`RoutingAlgorithm`] drives it. The `dragonfly` crate
+//! provides the dragonfly topology builder and the MIN / VAL / UGAL
+//! routing family on top of these interfaces.
+//!
+//! # Example
+//!
+//! See [`Simulation`] for a complete runnable example; the typical
+//! shape is:
+//!
+//! ```text
+//! let spec    = ...;                      // NetworkSpec from a topology
+//! let algo    = ...;                      // impl RoutingAlgorithm
+//! let traffic = UniformRandom::new(spec.num_terminals());
+//! let stats   = Simulation::new(&spec, &algo, &traffic, SimConfig::paper_default(0.4))?.run();
+//! println!("avg latency {:?}", stats.avg_latency());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod flit;
+mod routing;
+mod sim;
+mod spec;
+mod stats;
+
+pub use config::{CreditMode, InjectionKind, SimConfig, TdEstimator};
+pub use flit::{Flit, RouteClass, RouteInfo};
+pub use routing::{NetView, PortVc, RoutingAlgorithm, ShortestPathRouting};
+pub use sim::Simulation;
+pub use spec::{ChannelClass, Connection, NetworkSpec, PortSpec, RouterSpec};
+pub use stats::{ChannelLoad, Histogram, LatencySummary, RunStats};

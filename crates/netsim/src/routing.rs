@@ -1,0 +1,371 @@
+//! The routing-algorithm interface and a baseline implementation.
+
+use rand::rngs::SmallRng;
+
+use crate::flit::{Flit, RouteInfo};
+use crate::sim::RouterCore;
+use crate::spec::{Connection, NetworkSpec};
+
+/// An output port / virtual channel pair produced by route computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortVc {
+    /// Output port index within the router.
+    pub port: u16,
+    /// Virtual channel on the output channel.
+    pub vc: u8,
+}
+
+impl PortVc {
+    /// Convenience constructor.
+    pub fn new(port: usize, vc: usize) -> Self {
+        PortVc {
+            port: port as u16,
+            vc: vc as u8,
+        }
+    }
+}
+
+/// A read-only window onto live simulation state, handed to routing
+/// algorithms.
+///
+/// Occupancies are the per-output queue depths of the paper's Figure 13:
+/// `occupancy(r, o)` counts the flits buffered *in router `r`* whose
+/// next hop is output `o` — exactly the `q` values the UGAL family
+/// compares. A real router knows these for its own outputs (they are its
+/// virtual-output-queue depths, and they grow under credit backpressure
+/// from downstream); querying a *remote* router's ports is what only the
+/// idealised UGAL-G oracle may do.
+pub struct NetView<'a> {
+    spec: &'a NetworkSpec,
+    routers: &'a [RouterCore],
+    buffer_depth: usize,
+    cycle: u64,
+}
+
+impl<'a> NetView<'a> {
+    pub(crate) fn new(
+        spec: &'a NetworkSpec,
+        routers: &'a [RouterCore],
+        buffer_depth: usize,
+        cycle: u64,
+    ) -> Self {
+        NetView {
+            spec,
+            routers,
+            buffer_depth,
+            cycle,
+        }
+    }
+
+    /// The network description.
+    pub fn spec(&self) -> &NetworkSpec {
+        self.spec
+    }
+
+    /// Current simulation cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Buffer depth per (port, VC) in flits.
+    pub fn buffer_depth(&self) -> usize {
+        self.buffer_depth
+    }
+
+    /// Flits buffered in `router` whose next hop is output `port` on
+    /// VC `vc` — the per-VC output queue depth (`q_vc` in the paper's
+    /// UGAL-L_VC rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `router`, `port` or `vc` is out of range.
+    pub fn vc_occupancy(&self, router: usize, port: usize, vc: usize) -> usize {
+        assert!(port < self.spec.routers[router].ports.len(), "port range");
+        self.routers[router].out_q[port * self.spec.vcs + vc].len()
+    }
+
+    /// Flits buffered in `router` whose next hop is output `port`,
+    /// across all VCs — the output queue depth (`q` in the paper's UGAL
+    /// rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `router` or `port` is out of range.
+    pub fn occupancy(&self, router: usize, port: usize) -> usize {
+        (0..self.spec.vcs)
+            .map(|vc| self.vc_occupancy(router, port, vc))
+            .sum()
+    }
+
+    /// Everything `router` has committed toward output `port` on VC
+    /// `vc`: its own output-queue depth **plus** the flits sent on the
+    /// channel whose credits have not returned (`buffer_depth − credits`).
+    ///
+    /// Because credits return when a flit leaves the *downstream* router
+    /// — and the credit round-trip mechanism delays them further in
+    /// proportion to measured congestion — this quantity senses remote
+    /// congestion within one credit round trip instead of waiting for
+    /// buffers to fill. It is the congestion estimate used by the
+    /// UGAL-L(CR) variant (§4.3.2 of the paper).
+    ///
+    /// For terminal ports this equals the queue depth (ejection consumes
+    /// no credits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `router`, `port` or `vc` is out of range.
+    pub fn vc_committed(&self, router: usize, port: usize, vc: usize) -> usize {
+        let slot = port * self.spec.vcs + vc;
+        let outstanding = match self.spec.routers[router].ports[port].conn {
+            Connection::Terminal { .. } => 0,
+            Connection::Router { .. } => {
+                self.buffer_depth - self.routers[router].credits[slot] as usize
+            }
+        };
+        self.routers[router].out_q[slot].len() + outstanding
+    }
+
+    /// Total committed flits toward `router`'s output `port` across all
+    /// VCs (see [`NetView::vc_committed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `router` or `port` is out of range.
+    pub fn committed(&self, router: usize, port: usize) -> usize {
+        (0..self.spec.vcs)
+            .map(|vc| self.vc_committed(router, port, vc))
+            .sum()
+    }
+}
+
+/// A routing algorithm driving a [`crate::Simulation`].
+///
+/// The same object serves every router, so implementations hold only
+/// immutable topology tables; all per-packet state travels in
+/// [`RouteInfo`] / [`Flit`].
+pub trait RoutingAlgorithm {
+    /// Algorithm name for reports, e.g. `"UGAL-L"`.
+    fn name(&self) -> String;
+
+    /// Decides the route class (and intermediate, and injection VC) for a
+    /// packet about to enter the network at `src_term` destined for
+    /// `dest_term`. Called at the source terminal, which is co-located
+    /// with the source router; `view` provides the local (and, for
+    /// idealised oracles, remote) queue state.
+    fn inject(
+        &self,
+        view: &NetView<'_>,
+        src_term: usize,
+        dest_term: usize,
+        rng: &mut SmallRng,
+    ) -> RouteInfo;
+
+    /// Computes the output port and VC for `flit` currently buffered at
+    /// `router`. Must be deterministic in `(router, flit)` so that every
+    /// flit of a packet follows the same path.
+    fn route(&self, view: &NetView<'_>, router: usize, flit: &Flit) -> PortVc;
+}
+
+/// Deterministic shortest-path (table) routing with hop-indexed VCs.
+///
+/// Next hops are precomputed by BFS with lowest-index tie-breaking; the
+/// VC is `min(hops, vcs-1)`, which suffices for deadlock freedom on
+/// acyclic channel graphs (trees, stars, lines) and on any topology whose
+/// BFS tables happen to be cycle-free. It is the engine's baseline
+/// algorithm for tests and examples; real topologies provide their own
+/// algorithms (see the `dragonfly` crate).
+#[derive(Debug, Clone)]
+pub struct ShortestPathRouting {
+    /// `next_hop[router][dest_router]` = output port toward `dest_router`.
+    next_hop: Vec<Vec<u16>>,
+    /// Ejection port per terminal on its destination router.
+    eject_port: Vec<u16>,
+    vcs: usize,
+}
+
+impl ShortestPathRouting {
+    /// Builds tables for `spec` by BFS from every router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is not connected.
+    pub fn new(spec: &NetworkSpec) -> Self {
+        let n = spec.num_routers();
+        // Reverse-BFS from each destination over router links.
+        let mut next_hop = vec![vec![u16::MAX; n]; n];
+        for dest in 0..n {
+            // BFS from dest; next_hop[r][dest] = port of r on the first
+            // edge of a shortest r -> dest path.
+            let mut dist = vec![usize::MAX; n];
+            dist[dest] = 0;
+            let mut queue = std::collections::VecDeque::from([dest]);
+            while let Some(u) = queue.pop_front() {
+                // Look at routers v adjacent to u: v -> u edge means v can
+                // reach dest through u.
+                for (p, port) in spec.routers[u].ports.iter().enumerate() {
+                    let _ = p;
+                    if let Connection::Router { router, port: rp } = port.conn {
+                        let v = router as usize;
+                        if dist[v] > dist[u] + 1 {
+                            dist[v] = dist[u] + 1;
+                            next_hop[v][dest] = rp as u16;
+                            queue.push_back(v);
+                        }
+                    }
+                }
+            }
+            for (r, row) in next_hop.iter().enumerate() {
+                assert!(
+                    r == dest || row[dest] != u16::MAX,
+                    "network disconnected: router {r} cannot reach {dest}"
+                );
+            }
+        }
+        let eject_port = (0..spec.num_terminals())
+            .map(|t| spec.terminal_port(t).1 as u16)
+            .collect();
+        ShortestPathRouting {
+            next_hop,
+            eject_port,
+            vcs: spec.vcs,
+        }
+    }
+}
+
+impl RoutingAlgorithm for ShortestPathRouting {
+    fn name(&self) -> String {
+        "shortest path".into()
+    }
+
+    fn inject(
+        &self,
+        _view: &NetView<'_>,
+        _src_term: usize,
+        _dest_term: usize,
+        _rng: &mut SmallRng,
+    ) -> RouteInfo {
+        RouteInfo::minimal()
+    }
+
+    fn route(&self, view: &NetView<'_>, router: usize, flit: &Flit) -> PortVc {
+        let dest_router = view.spec().terminal_router(flit.dest as usize);
+        if router == dest_router {
+            return PortVc {
+                port: self.eject_port[flit.dest as usize],
+                vc: 0,
+            };
+        }
+        PortVc {
+            port: self.next_hop[router][dest_router],
+            vc: (flit.hops as usize).min(self.vcs - 1) as u8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ChannelClass, PortSpec, RouterSpec};
+
+    /// A 3-router line: T0-R0 - R1 - R2-T1, plus T2 on R1.
+    fn line_spec() -> NetworkSpec {
+        let term = |t: u32| PortSpec {
+            conn: Connection::Terminal { terminal: t },
+            latency: 1,
+            class: ChannelClass::Terminal,
+        };
+        let link = |r: u32, p: u32| PortSpec {
+            conn: Connection::Router { router: r, port: p },
+            latency: 1,
+            class: ChannelClass::Local,
+        };
+        NetworkSpec::validated(
+            vec![
+                RouterSpec {
+                    ports: vec![term(0), link(1, 0)],
+                },
+                RouterSpec {
+                    ports: vec![link(0, 1), link(2, 0), term(2)],
+                },
+                RouterSpec {
+                    ports: vec![link(1, 1), term(1)],
+                },
+            ],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tables_point_along_the_line() {
+        let spec = line_spec();
+        let r = ShortestPathRouting::new(&spec);
+        // Router 0 reaches router 2 via port 1 (toward router 1).
+        assert_eq!(r.next_hop[0][2], 1);
+        assert_eq!(r.next_hop[1][2], 1);
+        assert_eq!(r.next_hop[2][0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_network_panics() {
+        // Two isolated router pairs.
+        let term = |t: u32| PortSpec {
+            conn: Connection::Terminal { terminal: t },
+            latency: 1,
+            class: ChannelClass::Terminal,
+        };
+        let spec = NetworkSpec::validated(
+            vec![
+                RouterSpec {
+                    ports: vec![term(0)],
+                },
+                RouterSpec {
+                    ports: vec![term(1)],
+                },
+            ],
+            1,
+        )
+        .unwrap();
+        ShortestPathRouting::new(&spec);
+    }
+
+    #[test]
+    fn injection_route_is_minimal_class() {
+        let spec = line_spec();
+        let r = ShortestPathRouting::new(&spec);
+        let cores: Vec<RouterCore> = Vec::new();
+        let view = NetView::new(&spec, &cores, 4, 0);
+        let mut rng = dfly_traffic::rng_for(0, 0);
+        let info = r.inject(&view, 0, 2, &mut rng);
+        assert_eq!(info.class, crate::RouteClass::Minimal);
+        assert_eq!(info.injection_vc, 0);
+    }
+
+    #[test]
+    fn route_ejects_at_destination() {
+        let spec = line_spec();
+        let r = ShortestPathRouting::new(&spec);
+        let cores: Vec<RouterCore> = Vec::new();
+        let view = NetView::new(&spec, &cores, 4, 0);
+        let flit = Flit {
+            packet: 0,
+            src: 0,
+            dest: 2,
+            route: RouteInfo::minimal(),
+            created: 0,
+            injected: 0,
+            hops: 1,
+            vc: 0,
+            is_head: true,
+            is_tail: true,
+            labeled: false,
+        };
+        // Terminal 2 lives on router 1 port 2.
+        let pv = r.route(&view, 1, &flit);
+        assert_eq!(pv, PortVc::new(2, 0));
+        // From router 0 it heads toward router 1 on VC min(hops, vcs-1).
+        let pv = r.route(&view, 0, &flit);
+        assert_eq!(pv, PortVc::new(1, 1));
+    }
+}

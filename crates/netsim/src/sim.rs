@@ -1,0 +1,1057 @@
+//! The cycle-driven simulation engine.
+//!
+//! The router model follows the paper's Figure 13: a single-cycle router
+//! with *per-output queues* (`q0`…`q3` in the figure) and enough internal
+//! speedup that the switch itself is never the bottleneck. Concretely,
+//! each router has a small credited input stage per (channel, VC) and
+//! bounded per-(output, VC) queues; flits move from the input stage into
+//! their output queue with unlimited speedup and each output transmits
+//! one flit per cycle. Congestion therefore backs up exactly the way the
+//! paper describes: an overloaded global channel fills its output queue,
+//! which stalls the switching stage, which fills the input buffers and
+//! exhausts the upstream credits, which fills the upstream router's
+//! output queue — the `q` values that adaptive routing inspects.
+//!
+//! Each cycle proceeds in five phases:
+//!
+//! 1. **Credit arrivals** — due credits increment upstream counters; in
+//!    round-trip mode the credit-timestamp queue is popped and the
+//!    per-output `td` register updated.
+//! 2. **Flit arrivals** — flits finishing their channel traversal are
+//!    route-computed and enter the input stage.
+//! 3. **Switching** — flits move from the input stage into their target
+//!    output queue while it has space; the freed input slot's credit is
+//!    returned upstream, delayed by the credit round-trip mechanism when
+//!    enabled.
+//! 4. **Transmission** — every output port sends one flit (round-robin
+//!    over its VC queues, subject to downstream credits); terminal ports
+//!    eject.
+//! 5. **Injection** — every terminal runs its injection process, routes
+//!    the packet at the head of its source queue (the adaptive decision
+//!    of the UGAL family happens here, at the source router, seeing the
+//!    settled post-transmission queues), and sends one flit onto its
+//!    injection channel if a credit is available.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use dfly_traffic::{rng_for, Bernoulli, InjectionProcess, OnOff, TrafficPattern};
+use rand::rngs::SmallRng;
+
+use crate::config::{CreditMode, InjectionKind, SimConfig, TdEstimator};
+use crate::flit::{Flit, RouteClass, RouteInfo};
+use crate::routing::{NetView, PortVc, RoutingAlgorithm};
+use crate::spec::{ChannelClass, Connection, NetworkSpec};
+use crate::stats::{ChannelLoad, Histogram, LatencySummary, RunStats};
+
+/// Live state of one router (visible crate-wide so [`NetView`] can read
+/// the output-queue depths).
+#[derive(Debug)]
+pub(crate) struct RouterCore {
+    /// Input stage: arriving flits with their precomputed route,
+    /// flattened `[in_port * vcs + vc]`, capacity `buffer_depth` each
+    /// (enforced by upstream credits).
+    inputs: Vec<VecDeque<(Flit, PortVc)>>,
+    /// Total flits in the input stage (fast idle check).
+    in_count: u32,
+    /// Flits in the input stage per input port (fast scan).
+    in_port_count: Vec<u16>,
+    /// Per-output queues, flattened `[out_port * vcs + out_vc]`, capacity
+    /// `buffer_depth` each — the `q` values of the paper's Figure 13.
+    /// Entries carry the input slot the flit arrived through, whose
+    /// credit is returned when the flit is transmitted.
+    pub(crate) out_q: Vec<VecDeque<(Flit, u16)>>,
+    /// Total flits in output queues (fast idle check).
+    out_count: u32,
+    /// Flits in the output queues per output port (fast scan).
+    out_port_count: Vec<u16>,
+    /// Credits available toward the downstream input stage of each
+    /// output, flattened `[out_port * vcs + vc]`. Meaningless for
+    /// terminal ports.
+    pub(crate) credits: Vec<u32>,
+    /// Per-output round-robin pointer over VC queues.
+    rr: Vec<u8>,
+    /// Per-output credit timestamp queue (round-trip mode).
+    ctq: Vec<VecDeque<u64>>,
+    /// Per-output credit round-trip excess `td = tcrt − tcrt0`.
+    td: Vec<u64>,
+    /// Flits sent per output (for CTQ sampling).
+    sent_seq: Vec<u32>,
+    /// Credits received per output (for CTQ sampling).
+    credit_seq: Vec<u32>,
+}
+
+/// Live state of one terminal.
+struct TerminalCore {
+    /// Unbounded source queue of generated flits.
+    source: VecDeque<Flit>,
+    /// Route of the packet currently leaving the source queue.
+    active_route: Option<RouteInfo>,
+    /// Credits toward the router's injection input buffer, per VC.
+    credits: Vec<u32>,
+    /// Flits in flight on the injection channel: `(arrival, flit)`.
+    pipe: VecDeque<(u64, Flit)>,
+    /// Injection process.
+    inj: Injector,
+    /// Per-terminal RNG stream.
+    rng: SmallRng,
+}
+
+#[derive(Debug, Clone)]
+enum Injector {
+    Bernoulli(Bernoulli),
+    OnOff(OnOff),
+}
+
+impl Injector {
+    fn new(kind: InjectionKind) -> Self {
+        match kind {
+            InjectionKind::Bernoulli { rate } => Injector::Bernoulli(Bernoulli::new(rate)),
+            InjectionKind::OnOff { rate, burst_len } => {
+                Injector::OnOff(OnOff::with_rate(rate, burst_len))
+            }
+        }
+    }
+
+    fn inject(&mut self, rng: &mut SmallRng) -> bool {
+        match self {
+            Injector::Bernoulli(p) => p.inject(rng),
+            Injector::OnOff(p) => p.inject(rng),
+        }
+    }
+}
+
+/// A pending credit return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct CreditEvent {
+    time: u64,
+    seq: u64,
+    target: CreditTarget,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum CreditTarget {
+    Router { router: u32, port: u32, vc: u8 },
+    Terminal { term: u32, vc: u8 },
+}
+
+/// A cycle-accurate simulation of one network under one routing algorithm
+/// and traffic pattern.
+///
+/// # Example
+///
+/// Simulating a three-router line at light load:
+///
+/// ```
+/// use dfly_netsim::{
+///     ChannelClass, Connection, NetworkSpec, PortSpec, RouterSpec, ShortestPathRouting,
+///     SimConfig, Simulation,
+/// };
+/// use dfly_traffic::UniformRandom;
+///
+/// # fn main() -> Result<(), String> {
+/// let term = |t: u32| PortSpec {
+///     conn: Connection::Terminal { terminal: t },
+///     latency: 1,
+///     class: ChannelClass::Terminal,
+/// };
+/// let link = |r: u32, p: u32| PortSpec {
+///     conn: Connection::Router { router: r, port: p },
+///     latency: 1,
+///     class: ChannelClass::Local,
+/// };
+/// let spec = NetworkSpec::validated(
+///     vec![
+///         RouterSpec { ports: vec![term(0), link(1, 0)] },
+///         RouterSpec { ports: vec![link(0, 1), link(2, 0), term(1)] },
+///         RouterSpec { ports: vec![link(1, 1), term(2)] },
+///     ],
+///     2,
+/// )?;
+/// let routing = ShortestPathRouting::new(&spec);
+/// let pattern = UniformRandom::new(3);
+/// let mut sim = Simulation::new(&spec, &routing, &pattern, SimConfig::paper_default(0.1))?;
+/// let stats = sim.run();
+/// assert!(stats.drained);
+/// assert!(stats.avg_latency().unwrap() >= 2.0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Simulation<'a> {
+    spec: &'a NetworkSpec,
+    cfg: SimConfig,
+    routing: &'a dyn RoutingAlgorithm,
+    pattern: &'a dyn TrafficPattern,
+
+    routers: Vec<RouterCore>,
+    terminals: Vec<TerminalCore>,
+    /// In-flight flits per directed network channel, `[flat port]`.
+    pipes: Vec<VecDeque<(u64, Flit)>>,
+    /// Occupancy of each pipe (sequential fast scan).
+    pipe_count: Vec<u32>,
+    /// Occupancy of each terminal's injection pipe.
+    term_pipe_count: Vec<u32>,
+    /// First flat-port index of each router.
+    port_base: Vec<u32>,
+    /// Destination `(router, port)` of each flat port's channel;
+    /// `u32::MAX` marks terminal ports.
+    pipe_dest: Vec<(u32, u32)>,
+    /// Zero-load credit round trip per flat port.
+    tcrt0: Vec<u64>,
+    /// Network (non-terminal) output ports per router.
+    net_ports: Vec<Vec<u16>>,
+    credit_events: BinaryHeap<Reverse<CreditEvent>>,
+    credit_seq: u64,
+    /// Arrival staging scratch: `(router, in_slot, flit)`.
+    arrivals: Vec<(u32, u32, Flit)>,
+    /// Routes of the staged arrivals.
+    arrival_routes: Vec<PortVc>,
+
+    cycle: u64,
+    next_packet: u64,
+    win_start: u64,
+    win_end: u64,
+    labeled_outstanding: u64,
+    injected_in_window: u64,
+    ejected_in_window: u64,
+    sent_in_window: Vec<u64>,
+    latency: LatencySummary,
+    minimal_latency: LatencySummary,
+    non_minimal_latency: LatencySummary,
+    hops: LatencySummary,
+    histogram: Histogram,
+    minimal_histogram: Histogram,
+}
+
+impl<'a> Simulation<'a> {
+    /// Builds a simulation over `spec` driven by `routing` and `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid or the pattern's
+    /// terminal count does not match the network's.
+    pub fn new(
+        spec: &'a NetworkSpec,
+        routing: &'a dyn RoutingAlgorithm,
+        pattern: &'a dyn TrafficPattern,
+        cfg: SimConfig,
+    ) -> Result<Self, String> {
+        cfg.validate()?;
+        if pattern.num_terminals() != spec.num_terminals() {
+            return Err(format!(
+                "pattern covers {} terminals but network has {}",
+                pattern.num_terminals(),
+                spec.num_terminals()
+            ));
+        }
+        let vcs = spec.vcs;
+        let mut routers = Vec::with_capacity(spec.num_routers());
+        let mut port_base = Vec::with_capacity(spec.num_routers());
+        let mut pipe_dest = Vec::new();
+        let mut tcrt0 = Vec::new();
+        let mut net_ports = Vec::with_capacity(spec.num_routers());
+        let mut flat = 0u32;
+        for router in &spec.routers {
+            let ports = router.ports.len();
+            port_base.push(flat);
+            flat += ports as u32;
+            routers.push(RouterCore {
+                inputs: vec![VecDeque::new(); ports * vcs],
+                in_count: 0,
+                in_port_count: vec![0; ports],
+                out_q: vec![VecDeque::new(); ports * vcs],
+                out_count: 0,
+                out_port_count: vec![0; ports],
+                credits: vec![cfg.buffer_depth as u32; ports * vcs],
+                rr: vec![0; ports],
+                ctq: vec![VecDeque::new(); ports],
+                td: vec![0; ports],
+                sent_seq: vec![0; ports],
+                credit_seq: vec![0; ports],
+            });
+            let mut nps = Vec::new();
+            for (p, port) in router.ports.iter().enumerate() {
+                tcrt0.push(2 * port.latency as u64);
+                match port.conn {
+                    Connection::Router { router: rr, port: rp } => {
+                        pipe_dest.push((rr, rp));
+                        nps.push(p as u16);
+                    }
+                    Connection::Terminal { .. } => pipe_dest.push((u32::MAX, u32::MAX)),
+                }
+            }
+            net_ports.push(nps);
+        }
+        let terminals = (0..spec.num_terminals())
+            .map(|t| TerminalCore {
+                source: VecDeque::new(),
+                active_route: None,
+                credits: vec![cfg.buffer_depth as u32; vcs],
+                pipe: VecDeque::new(),
+                inj: Injector::new(cfg.injection),
+                rng: rng_for(cfg.seed, t as u64),
+            })
+            .collect();
+        let win_start = cfg.warmup;
+        let win_end = cfg.warmup + cfg.measure;
+        Ok(Simulation {
+            spec,
+            routing,
+            pattern,
+            routers,
+            terminals,
+            pipes: vec![VecDeque::new(); flat as usize],
+            pipe_count: vec![0; flat as usize],
+            term_pipe_count: vec![0; spec.num_terminals()],
+            port_base,
+            pipe_dest,
+            tcrt0,
+            net_ports,
+            credit_events: BinaryHeap::new(),
+            credit_seq: 0,
+            arrivals: Vec::new(),
+            arrival_routes: Vec::new(),
+            cycle: 0,
+            next_packet: 0,
+            win_start,
+            win_end,
+            labeled_outstanding: 0,
+            injected_in_window: 0,
+            ejected_in_window: 0,
+            sent_in_window: vec![0; flat as usize],
+            latency: LatencySummary::default(),
+            minimal_latency: LatencySummary::default(),
+            non_minimal_latency: LatencySummary::default(),
+            hops: LatencySummary::default(),
+            histogram: Histogram::new(4096, 1),
+            minimal_histogram: Histogram::new(4096, 1),
+            cfg,
+        })
+    }
+
+    /// The network being simulated.
+    pub fn spec(&self) -> &NetworkSpec {
+        self.spec
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Runs warm-up, measurement and drain, returning the statistics.
+    ///
+    /// The run ends when every labelled packet has been delivered, or
+    /// when the drain cap is exceeded (the network is saturated at this
+    /// load); [`RunStats::drained`] records which.
+    pub fn run(&mut self) -> RunStats {
+        let hard_cap = self.win_end + self.cfg.drain_cap;
+        while self.cycle < hard_cap {
+            self.step();
+            if self.cycle >= self.win_end && self.labeled_outstanding == 0 {
+                break;
+            }
+        }
+        self.collect()
+    }
+
+    /// Advances the simulation by one cycle, accumulating per-phase wall
+    /// time into `timers` (diagnostic).
+    #[doc(hidden)]
+    pub fn step_timed(&mut self, timers: &mut [std::time::Duration; 5]) {
+        let t = self.cycle;
+        let clock = std::time::Instant::now();
+        self.deliver_credits(t);
+        timers[0] += clock.elapsed();
+        let clock = std::time::Instant::now();
+        self.deliver_flits(t);
+        timers[1] += clock.elapsed();
+        let clock = std::time::Instant::now();
+        self.switch(t);
+        timers[2] += clock.elapsed();
+        let clock = std::time::Instant::now();
+        self.transmit(t);
+        timers[3] += clock.elapsed();
+        let clock = std::time::Instant::now();
+        self.inject(t);
+        timers[4] += clock.elapsed();
+        self.cycle = t + 1;
+    }
+
+    /// Advances the simulation by one cycle.
+    pub fn step(&mut self) {
+        let t = self.cycle;
+        self.deliver_credits(t);
+        self.deliver_flits(t);
+        self.switch(t);
+        self.transmit(t);
+        self.inject(t);
+        self.cycle = t + 1;
+    }
+
+    fn in_window(&self, t: u64) -> bool {
+        t >= self.win_start && t < self.win_end
+    }
+
+    /// Phase 1: apply credits whose return (plus any round-trip delay)
+    /// completes this cycle.
+    fn deliver_credits(&mut self, t: u64) {
+        while let Some(Reverse(ev)) = self.credit_events.peek() {
+            if ev.time > t {
+                break;
+            }
+            let ev = self.credit_events.pop().unwrap().0;
+            match ev.target {
+                CreditTarget::Router { router, port, vc } => {
+                    let core = &mut self.routers[router as usize];
+                    let slot = port as usize * self.spec.vcs + vc as usize;
+                    core.credits[slot] += 1;
+                    debug_assert!(core.credits[slot] <= self.cfg.buffer_depth as u32);
+                    if let CreditMode::RoundTrip { sample, estimator } = self.cfg.credit_mode {
+                        let p = port as usize;
+                        if core.credit_seq[p].is_multiple_of(sample) {
+                            let ts = core.ctq[p]
+                                .pop_front()
+                                .expect("credit arrived with empty timestamp queue");
+                            let flat = self.port_base[router as usize] as usize + p;
+                            let sample_td = (t - ts).saturating_sub(self.tcrt0[flat]);
+                            core.td[p] = match estimator {
+                                TdEstimator::LastSample => sample_td,
+                                TdEstimator::Ewma { shift } => {
+                                    let old = core.td[p];
+                                    old - (old >> shift) + (sample_td >> shift)
+                                }
+                            };
+                        }
+                        core.credit_seq[p] = core.credit_seq[p].wrapping_add(1);
+                    }
+                }
+                CreditTarget::Terminal { term, vc } => {
+                    let tc = &mut self.terminals[term as usize];
+                    tc.credits[vc as usize] += 1;
+                    debug_assert!(tc.credits[vc as usize] <= self.cfg.buffer_depth as u32);
+                }
+            }
+        }
+    }
+
+    /// Phase 2: stage flits finishing their channel traversal, compute
+    /// their routes against the pre-arrival state, then buffer them in
+    /// the input stage.
+    fn deliver_flits(&mut self, t: u64) {
+        self.arrivals.clear();
+        for fp in 0..self.pipes.len() {
+            if self.pipe_count[fp] == 0 {
+                continue;
+            }
+            while let Some(&(arrival, flit)) = self.pipes[fp].front() {
+                if arrival > t {
+                    break;
+                }
+                self.pipes[fp].pop_front();
+                self.pipe_count[fp] -= 1;
+                let (dr, dp) = self.pipe_dest[fp];
+                let slot = dp * self.spec.vcs as u32 + flit.vc as u32;
+                self.arrivals.push((dr, slot, flit));
+            }
+        }
+        for term in 0..self.terminals.len() {
+            if self.term_pipe_count[term] == 0 {
+                continue;
+            }
+            while let Some(&(arrival, flit)) = self.terminals[term].pipe.front() {
+                if arrival > t {
+                    break;
+                }
+                self.terminals[term].pipe.pop_front();
+                self.term_pipe_count[term] -= 1;
+                let (r, p) = self.spec.terminal_port(term);
+                let slot = (p * self.spec.vcs) as u32 + flit.vc as u32;
+                self.arrivals.push((r as u32, slot, flit));
+            }
+        }
+        self.arrival_routes.clear();
+        {
+            let view = NetView::new(self.spec, &self.routers, self.cfg.buffer_depth, t);
+            for &(r, _, ref flit) in &self.arrivals {
+                self.arrival_routes
+                    .push(self.routing.route(&view, r as usize, flit));
+            }
+        }
+        for (&(r, slot, flit), &pv) in self.arrivals.iter().zip(&self.arrival_routes) {
+            let core = &mut self.routers[r as usize];
+            core.inputs[slot as usize].push_back((flit, pv));
+            core.in_count += 1;
+            core.in_port_count[slot as usize / self.spec.vcs] += 1;
+            debug_assert!(core.inputs[slot as usize].len() <= self.cfg.buffer_depth);
+        }
+    }
+
+    /// Phase 3: move flits from the input stage into their output queues
+    /// (unbounded internal speedup). The input slot index travels with
+    /// the flit; its credit is returned when the flit leaves the router,
+    /// so the credit round trip measures queueing *inside* this router —
+    /// exactly the congestion signal of the paper's Figure 15.
+    fn switch(&mut self, t: u64) {
+        let vcs = self.spec.vcs;
+        let depth = self.cfg.buffer_depth;
+        for r in 0..self.routers.len() {
+            if self.routers[r].in_count == 0 {
+                continue;
+            }
+            let core = &mut self.routers[r];
+            let ports = core.in_port_count.len();
+            // Rotate the starting input each cycle for long-run fairness
+            // when an output queue is nearly full.
+            let start = (t as usize) % ports;
+            for i in 0..ports {
+                let port = (start + i) % ports;
+                if core.in_port_count[port] == 0 {
+                    continue;
+                }
+                for vc in 0..vcs {
+                    let slot = port * vcs + vc;
+                    while let Some(&(_, pv)) = core.inputs[slot].front() {
+                        let oslot = pv.port as usize * vcs + pv.vc as usize;
+                        if core.out_q[oslot].len() >= depth {
+                            break; // output queue full: input backs up
+                        }
+                        let (flit, _) = core.inputs[slot].pop_front().unwrap();
+                        core.in_count -= 1;
+                        core.in_port_count[port] -= 1;
+                        core.out_q[oslot].push_back((flit, slot as u16));
+                        core.out_count += 1;
+                        core.out_port_count[pv.port as usize] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Phase 4: every output port transmits one flit, round-robin over
+    /// its VC queues, subject to downstream credits; terminal outputs
+    /// eject.
+    fn transmit(&mut self, t: u64) {
+        let vcs = self.spec.vcs;
+        let in_window = self.in_window(t);
+        let round_trip = matches!(self.cfg.credit_mode, CreditMode::RoundTrip { .. });
+        for r in 0..self.routers.len() {
+            if self.routers[r].out_count == 0 {
+                continue;
+            }
+            // Round-trip delay baseline for this router this cycle.
+            let min_td = if round_trip {
+                self.net_ports[r]
+                    .iter()
+                    .map(|&p| self.routers[r].td[p as usize])
+                    .min()
+                    .unwrap_or(0)
+            } else {
+                0
+            };
+            let ports = self.spec.routers[r].ports.len();
+            for out in 0..ports {
+                if self.routers[r].out_port_count[out] == 0 {
+                    continue;
+                }
+                let out_spec = self.spec.routers[r].ports[out];
+                let is_terminal = matches!(out_spec.conn, Connection::Terminal { .. });
+                // Pick the first eligible VC at or after the round-robin
+                // pointer.
+                let core = &self.routers[r];
+                let rr = core.rr[out] as usize;
+                let mut chosen = None;
+                for i in 0..vcs {
+                    let vc = (rr + i) % vcs;
+                    let oslot = out * vcs + vc;
+                    if core.out_q[oslot].is_empty() {
+                        continue;
+                    }
+                    if is_terminal || core.credits[oslot] > 0 {
+                        chosen = Some(vc);
+                        break;
+                    }
+                }
+                let Some(vc) = chosen else {
+                    continue;
+                };
+                let core = &mut self.routers[r];
+                core.rr[out] = ((vc + 1) % vcs) as u8;
+                let oslot = out * vcs + vc;
+                let (mut flit, in_slot) = core.out_q[oslot].pop_front().unwrap();
+                core.out_count -= 1;
+                core.out_port_count[out] -= 1;
+                // Return the credit for the input slot the flit arrived
+                // through, now that the flit has left the router. The
+                // round-trip mechanism delays it by td(O) − min td(o)
+                // (never across global channels).
+                let in_port = in_slot as usize / vcs;
+                let in_vc = (in_slot as usize % vcs) as u8;
+                let in_spec = self.spec.routers[r].ports[in_port];
+                let delay = if round_trip && in_spec.class != ChannelClass::Global {
+                    self.routers[r].td[out].saturating_sub(min_td)
+                } else {
+                    0
+                };
+                let time = t + in_spec.latency as u64 + delay;
+                let target = match in_spec.conn {
+                    Connection::Terminal { terminal } => CreditTarget::Terminal {
+                        term: terminal,
+                        vc: in_vc,
+                    },
+                    Connection::Router { router, port } => CreditTarget::Router {
+                        router,
+                        port,
+                        vc: in_vc,
+                    },
+                };
+                let seq = self.credit_seq;
+                self.credit_seq += 1;
+                self.credit_events
+                    .push(Reverse(CreditEvent { time, seq, target }));
+                let core = &mut self.routers[r];
+                if is_terminal {
+                    let arrival = t + out_spec.latency as u64;
+                    self.eject(flit, arrival);
+                } else {
+                    flit.hops += 1;
+                    flit.vc = vc as u8;
+                    debug_assert!(core.credits[oslot] > 0);
+                    core.credits[oslot] -= 1;
+                    let flat = self.port_base[r] as usize + out;
+                    if let CreditMode::RoundTrip { sample, .. } = self.cfg.credit_mode {
+                        if core.sent_seq[out].is_multiple_of(sample) {
+                            core.ctq[out].push_back(t);
+                        }
+                        core.sent_seq[out] = core.sent_seq[out].wrapping_add(1);
+                    }
+                    self.pipes[flat].push_back((t + out_spec.latency as u64, flit));
+                    self.pipe_count[flat] += 1;
+                    if in_window {
+                        self.sent_in_window[flat] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Phase 5: packet generation and injection onto terminal channels.
+    fn inject(&mut self, t: u64) {
+        let routing = self.routing;
+        let pattern = self.pattern;
+        let packet_len = self.cfg.packet_len;
+        let labeled = self.in_window(t);
+        for term in 0..self.terminals.len() {
+            // Packet generation.
+            let tc = &mut self.terminals[term];
+            if tc.inj.inject(&mut tc.rng) {
+                let dest = pattern.destination(term, &mut tc.rng) as u32;
+                let packet = self.next_packet;
+                self.next_packet += 1;
+                for i in 0..packet_len {
+                    tc.source.push_back(Flit {
+                        packet,
+                        src: term as u32,
+                        dest,
+                        route: RouteInfo::minimal(),
+                        created: t,
+                        injected: 0,
+                        hops: 0,
+                        vc: 0,
+                        is_head: i == 0,
+                        is_tail: i + 1 == packet_len,
+                        labeled,
+                    });
+                }
+                if labeled {
+                    self.labeled_outstanding += 1;
+                }
+            }
+            // Injection of the head-of-queue flit (one per cycle).
+            let tc = &self.terminals[term];
+            let Some(front) = tc.source.front() else {
+                continue;
+            };
+            let route = if front.is_head {
+                // (Re-)evaluate the adaptive decision while the head flit
+                // waits at the source: the packet has not entered the
+                // network yet, so the freshest local state applies.
+                let view = NetView::new(self.spec, &self.routers, self.cfg.buffer_depth, t);
+                let dest = front.dest as usize;
+                let tc = &mut self.terminals[term];
+                let route = routing.inject(&view, term, dest, &mut tc.rng);
+                tc.active_route = Some(route);
+                route
+            } else {
+                self.terminals[term]
+                    .active_route
+                    .expect("body flit with no active route")
+            };
+            let vc = route.injection_vc as usize;
+            let tc = &mut self.terminals[term];
+            if tc.credits[vc] == 0 {
+                continue;
+            }
+            let mut flit = tc.source.pop_front().unwrap();
+            flit.route = route;
+            flit.vc = vc as u8;
+            flit.injected = t;
+            tc.credits[vc] -= 1;
+            let (r, p) = self.spec.terminal_port(term);
+            let latency = self.spec.routers[r].ports[p].latency as u64;
+            tc.pipe.push_back((t + latency, flit));
+            self.term_pipe_count[term] += 1;
+            if flit.is_tail {
+                tc.active_route = None;
+            }
+            if self.in_window(t) {
+                self.injected_in_window += 1;
+            }
+        }
+    }
+
+    /// Records an ejected flit.
+    fn eject(&mut self, flit: Flit, arrival: u64) {
+        if arrival >= self.win_start && arrival < self.win_end {
+            self.ejected_in_window += 1;
+        }
+        if !(flit.is_tail && flit.labeled) {
+            return;
+        }
+        self.labeled_outstanding -= 1;
+        let latency = arrival - flit.created;
+        self.latency.record(latency);
+        self.hops.record(flit.hops as u64);
+        self.histogram.record(latency);
+        match flit.route.class {
+            RouteClass::Minimal => {
+                self.minimal_latency.record(latency);
+                self.minimal_histogram.record(latency);
+            }
+            RouteClass::NonMinimal => self.non_minimal_latency.record(latency),
+        }
+    }
+
+    /// Builds the final statistics snapshot.
+    fn collect(&self) -> RunStats {
+        let denom = (self.spec.num_terminals() as u64 * self.cfg.measure) as f64;
+        let channel_loads = self
+            .spec
+            .network_channels()
+            .map(|(r, p)| {
+                let flat = self.port_base[r] as usize + p;
+                let flits = self.sent_in_window[flat];
+                ChannelLoad {
+                    router: r,
+                    port: p,
+                    class: self.spec.routers[r].ports[p].class,
+                    flits,
+                    utilization: flits as f64 / self.cfg.measure as f64,
+                }
+            })
+            .collect();
+        RunStats {
+            cycles: self.cycle,
+            offered_load: self.cfg.injection.rate() * self.cfg.packet_len as f64,
+            injected_rate: self.injected_in_window as f64 / denom,
+            accepted_rate: self.ejected_in_window as f64 / denom,
+            drained: self.labeled_outstanding == 0,
+            latency: self.latency,
+            minimal_latency: self.minimal_latency,
+            non_minimal_latency: self.non_minimal_latency,
+            hops: self.hops,
+            histogram: self.histogram.clone(),
+            minimal_histogram: self.minimal_histogram.clone(),
+            channel_loads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::ShortestPathRouting;
+    use crate::spec::{PortSpec, RouterSpec};
+    use dfly_traffic::{Shift, UniformRandom};
+
+    fn term(t: u32) -> PortSpec {
+        PortSpec {
+            conn: Connection::Terminal { terminal: t },
+            latency: 1,
+            class: ChannelClass::Terminal,
+        }
+    }
+
+    fn link(r: u32, p: u32) -> PortSpec {
+        PortSpec {
+            conn: Connection::Router { router: r, port: p },
+            latency: 1,
+            class: ChannelClass::Local,
+        }
+    }
+
+    /// T0-R0 — R1 — R2-T1 line with T2 on R1.
+    fn line_spec() -> NetworkSpec {
+        NetworkSpec::validated(
+            vec![
+                RouterSpec {
+                    ports: vec![term(0), link(1, 0)],
+                },
+                RouterSpec {
+                    ports: vec![link(0, 1), link(2, 0), term(2)],
+                },
+                RouterSpec {
+                    ports: vec![link(1, 1), term(1)],
+                },
+            ],
+            2,
+        )
+        .unwrap()
+    }
+
+    fn run_line(cfg: SimConfig, pattern: &dyn TrafficPattern) -> RunStats {
+        let spec = line_spec();
+        let routing = ShortestPathRouting::new(&spec);
+        Simulation::new(&spec, &routing, pattern, cfg)
+            .unwrap()
+            .run()
+    }
+
+    #[test]
+    fn zero_load_latency_matches_hops() {
+        // T0 -> T1 crosses: injection (1) + two links (2) + ejection (1).
+        let mut cfg = SimConfig::paper_default(0.005);
+        cfg.warmup = 100;
+        cfg.measure = 2_000;
+        cfg.seed = 3;
+        let pattern = Shift::new(3, 1); // 0->1, 1->2, 2->0
+        let stats = run_line(cfg, &pattern);
+        assert!(stats.drained);
+        assert!(stats.latency.count > 0);
+        // 0->1: 4 cycles; 1->2 and 2->0: 3 cycles (one link). At
+        // near-zero load the average sits between 3 and 4.
+        let avg = stats.avg_latency().unwrap();
+        assert!((3.0..=4.2).contains(&avg), "avg {avg}");
+        assert_eq!(stats.latency.min, 3);
+    }
+
+    #[test]
+    fn low_load_throughput_matches_offered() {
+        let mut cfg = SimConfig::paper_default(0.2);
+        cfg.warmup = 500;
+        cfg.measure = 5_000;
+        let pattern = UniformRandom::new(3);
+        let stats = run_line(cfg, &pattern);
+        assert!(stats.drained);
+        assert!(
+            (stats.accepted_rate - 0.2).abs() < 0.02,
+            "accepted {}",
+            stats.accepted_rate
+        );
+        assert!(
+            (stats.injected_rate - 0.2).abs() < 0.02,
+            "injected {}",
+            stats.injected_rate
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pattern = UniformRandom::new(3);
+        let a = run_line(SimConfig::paper_default(0.3).with_seed(7), &pattern);
+        let b = run_line(SimConfig::paper_default(0.3).with_seed(7), &pattern);
+        assert_eq!(a, b);
+        let c = run_line(SimConfig::paper_default(0.3).with_seed(8), &pattern);
+        assert_ne!(a.latency, c.latency);
+    }
+
+    #[test]
+    fn credits_conserved_after_drain() {
+        let mut cfg = SimConfig::paper_default(0.4);
+        cfg.warmup = 200;
+        cfg.measure = 1_000;
+        let spec = line_spec();
+        let routing = ShortestPathRouting::new(&spec);
+        let pattern = UniformRandom::new(3);
+        let mut sim = Simulation::new(&spec, &routing, &pattern, cfg).unwrap();
+        sim.run();
+        // Stop injecting and run plenty of extra cycles.
+        for tc in &mut sim.terminals {
+            tc.inj = Injector::Bernoulli(Bernoulli::new(0.0));
+        }
+        for _ in 0..2_000 {
+            sim.step();
+        }
+        for (r, core) in sim.routers.iter().enumerate() {
+            assert_eq!(core.in_count, 0, "router {r} input stage not empty");
+            assert_eq!(core.out_count, 0, "router {r} output queues not empty");
+            for (slot, &c) in core.credits.iter().enumerate() {
+                let port = slot / sim.spec.vcs;
+                if matches!(
+                    sim.spec.routers[r].ports[port].conn,
+                    Connection::Router { .. }
+                ) {
+                    assert_eq!(c, 16, "router {r} slot {slot} credits {c}");
+                }
+            }
+        }
+        for (t, tc) in sim.terminals.iter().enumerate() {
+            assert!(tc.source.is_empty(), "terminal {t} source not empty");
+            for &c in &tc.credits {
+                assert_eq!(c, 16, "terminal {t} credits");
+            }
+        }
+    }
+
+    #[test]
+    fn saturated_run_reports_undrained() {
+        // A single shared link at offered load ~1.0 from two senders on
+        // the same router cannot drain.
+        let spec = NetworkSpec::validated(
+            vec![
+                RouterSpec {
+                    ports: vec![term(0), term(1), link(1, 0)],
+                },
+                RouterSpec {
+                    ports: vec![link(0, 2), term(2)],
+                },
+            ],
+            2,
+        )
+        .unwrap();
+        let routing = ShortestPathRouting::new(&spec);
+        // Everyone sends to terminal 2 on the far router.
+        #[derive(Debug)]
+        struct ToTwo;
+        impl TrafficPattern for ToTwo {
+            fn name(&self) -> &'static str {
+                "to-two"
+            }
+            fn num_terminals(&self) -> usize {
+                3
+            }
+            fn destination(&self, source: usize, _rng: &mut SmallRng) -> usize {
+                if source == 2 {
+                    0
+                } else {
+                    2
+                }
+            }
+        }
+        // Labelled backlog grows at ~0.8 flits/cycle over the window, so
+        // a drain cap shorter than the backlog cannot complete.
+        let mut cfg = SimConfig::paper_default(0.9);
+        cfg.warmup = 200;
+        cfg.measure = 5_000;
+        cfg.drain_cap = 2_000;
+        let stats = Simulation::new(&spec, &routing, &ToTwo, cfg)
+            .unwrap()
+            .run();
+        assert!(!stats.drained, "two 0.9 sources through one link");
+        // Terminals 0 and 1 share the link (~0.5 each) while terminal 2's
+        // reverse path is free (0.9): average ~0.63, well below offered.
+        assert!(stats.injected_rate < 0.7, "injected {}", stats.injected_rate);
+        // The shared link runs at full utilisation.
+        let load = stats
+            .channel_loads
+            .iter()
+            .find(|c| c.router == 0 && c.port == 2)
+            .unwrap();
+        assert!(load.utilization > 0.95, "utilization {}", load.utilization);
+    }
+
+    #[test]
+    fn output_queue_backlog_visible_to_netview() {
+        // Freeze a congested instant and check NetView sees the backlog.
+        let spec = NetworkSpec::validated(
+            vec![
+                RouterSpec {
+                    ports: vec![term(0), term(1), link(1, 0)],
+                },
+                RouterSpec {
+                    ports: vec![link(0, 2), term(2)],
+                },
+            ],
+            2,
+        )
+        .unwrap();
+        let routing = ShortestPathRouting::new(&spec);
+        #[derive(Debug)]
+        struct ToTwo;
+        impl TrafficPattern for ToTwo {
+            fn name(&self) -> &'static str {
+                "to-two"
+            }
+            fn num_terminals(&self) -> usize {
+                3
+            }
+            fn destination(&self, source: usize, _rng: &mut SmallRng) -> usize {
+                if source == 2 {
+                    0
+                } else {
+                    2
+                }
+            }
+        }
+        let mut cfg = SimConfig::paper_default(1.0);
+        cfg.warmup = 10;
+        cfg.measure = 10;
+        cfg.drain_cap = 0;
+        let mut sim = Simulation::new(&spec, &routing, &ToTwo, cfg).unwrap();
+        for _ in 0..500 {
+            sim.step();
+        }
+        let view = NetView::new(sim.spec, &sim.routers, 16, sim.cycle);
+        // Router 0's output port 2 (the link) backs up with flits from
+        // both terminals; only 1/cycle leaves.
+        assert!(view.occupancy(0, 2) >= 8, "occ {}", view.occupancy(0, 2));
+        // Its ejection ports carry no backlog.
+        assert_eq!(view.occupancy(1, 1), 0);
+    }
+
+    #[test]
+    fn round_trip_mode_keeps_ctq_balanced() {
+        let spec = line_spec();
+        let routing = ShortestPathRouting::new(&spec);
+        let pattern = UniformRandom::new(3);
+        let mut cfg = SimConfig::paper_default(0.6);
+        cfg.warmup = 100;
+        cfg.measure = 1_000;
+        cfg.credit_mode = CreditMode::round_trip();
+        let mut sim = Simulation::new(&spec, &routing, &pattern, cfg).unwrap();
+        sim.run();
+        for core in &sim.routers {
+            for (p, q) in core.ctq.iter().enumerate() {
+                assert!(
+                    q.len() <= 16 * sim.spec.vcs,
+                    "ctq at port {p} grew past outstanding credits"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_flit_packets_arrive_whole() {
+        let mut cfg = SimConfig::paper_default(0.05);
+        cfg.packet_len = 4;
+        cfg.warmup = 100;
+        cfg.measure = 2_000;
+        let pattern = UniformRandom::new(3);
+        let stats = run_line(cfg, &pattern);
+        assert!(stats.drained);
+        // Offered load in flits is 4x the packet rate.
+        assert!((stats.offered_load - 0.2).abs() < 1e-12);
+        assert!(stats.accepted_rate > 0.15);
+        // A 4-flit packet takes at least 3 extra cycles of serialisation.
+        assert!(stats.latency.min >= 6);
+    }
+
+    #[test]
+    fn mismatched_pattern_rejected() {
+        let spec = line_spec();
+        let routing = ShortestPathRouting::new(&spec);
+        let pattern = UniformRandom::new(5);
+        let err = Simulation::new(&spec, &routing, &pattern, SimConfig::paper_default(0.1));
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,290 @@
+//! Structural description of a simulatable network.
+
+/// The packaging class of a channel, which determines its latency default
+/// and whether the credit-delay mechanism applies to credits crossing it
+/// (credits over *global* channels are never delayed, per §4.3.2 of the
+/// paper).
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelClass {
+    /// Terminal (injection/ejection) channel between a node and its router.
+    Terminal,
+    /// Intra-group (or intra-cabinet) electrical channel.
+    Local,
+    /// Inter-group optical channel.
+    Global,
+}
+
+/// What a router port is wired to.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Connection {
+    /// The port attaches terminal `terminal`.
+    Terminal {
+        /// Terminal index in `0..num_terminals`.
+        terminal: u32,
+    },
+    /// The port attaches to `port` of `router` by a paired channel
+    /// (one in each direction).
+    Router {
+        /// Peer router index.
+        router: u32,
+        /// Peer port index on that router.
+        port: u32,
+    },
+}
+
+/// One port of a router: its wiring, channel class and latency.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortSpec {
+    /// Wiring of the port.
+    pub conn: Connection,
+    /// Channel latency in cycles (applies in both directions).
+    pub latency: u32,
+    /// Packaging class of the attached channel.
+    pub class: ChannelClass,
+}
+
+/// A router: an ordered list of ports.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouterSpec {
+    /// The router's ports, in a topology-defined order.
+    pub ports: Vec<PortSpec>,
+}
+
+/// A complete network description: routers, their wiring, terminals and
+/// the virtual-channel count.
+///
+/// Built by topology adapters (the `dragonfly` crate builds dragonflies
+/// and flattened butterflies); consumed by [`crate::Simulation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkSpec {
+    /// All routers.
+    pub routers: Vec<RouterSpec>,
+    /// Number of virtual channels on every channel.
+    pub vcs: usize,
+    /// For each terminal `t`, the `(router, port)` it attaches to.
+    /// Derived by [`NetworkSpec::validated`].
+    terminal_ports: Vec<(u32, u32)>,
+}
+
+impl NetworkSpec {
+    /// Builds and validates a network description.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first structural defect found:
+    /// dangling or asymmetric router-router wiring, mismatched latency or
+    /// class across a channel pair, terminals that are missing,
+    /// duplicated, or not densely numbered, or a zero VC count.
+    pub fn validated(routers: Vec<RouterSpec>, vcs: usize) -> Result<Self, String> {
+        if vcs == 0 {
+            return Err("virtual channel count must be >= 1".into());
+        }
+        let mut terminals: Vec<Option<(u32, u32)>> = Vec::new();
+        for (r, router) in routers.iter().enumerate() {
+            for (p, port) in router.ports.iter().enumerate() {
+                match port.conn {
+                    Connection::Terminal { terminal } => {
+                        let t = terminal as usize;
+                        if port.class != ChannelClass::Terminal {
+                            return Err(format!(
+                                "router {r} port {p}: terminal connection with class {:?}",
+                                port.class
+                            ));
+                        }
+                        if t >= terminals.len() {
+                            terminals.resize(t + 1, None);
+                        }
+                        if terminals[t].is_some() {
+                            return Err(format!("terminal {t} attached more than once"));
+                        }
+                        terminals[t] = Some((r as u32, p as u32));
+                    }
+                    Connection::Router {
+                        router: peer,
+                        port: peer_port,
+                    } => {
+                        let peer_spec = routers
+                            .get(peer as usize)
+                            .ok_or_else(|| format!("router {r} port {p}: peer {peer} missing"))?;
+                        let back = peer_spec.ports.get(peer_port as usize).ok_or_else(|| {
+                            format!("router {r} port {p}: peer port {peer_port} missing")
+                        })?;
+                        match back.conn {
+                            Connection::Router { router: rr, port: pp }
+                                if rr as usize == r && pp as usize == p => {}
+                            _ => {
+                                return Err(format!(
+                                    "router {r} port {p}: peer {peer}:{peer_port} does not point back"
+                                ))
+                            }
+                        }
+                        if back.latency != port.latency || back.class != port.class {
+                            return Err(format!(
+                                "router {r} port {p}: latency/class mismatch with peer"
+                            ));
+                        }
+                        if port.class == ChannelClass::Terminal {
+                            return Err(format!(
+                                "router {r} port {p}: router connection with terminal class"
+                            ));
+                        }
+                    }
+                }
+                if port.latency == 0 {
+                    return Err(format!("router {r} port {p}: latency must be >= 1"));
+                }
+            }
+        }
+        let terminal_ports = terminals
+            .into_iter()
+            .enumerate()
+            .map(|(t, slot)| slot.ok_or_else(|| format!("terminal {t} not attached")))
+            .collect::<Result<Vec<_>, _>>()?;
+        if terminal_ports.is_empty() {
+            return Err("network has no terminals".into());
+        }
+        Ok(NetworkSpec {
+            routers,
+            vcs,
+            terminal_ports,
+        })
+    }
+
+    /// Number of routers.
+    pub fn num_routers(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Number of terminals.
+    pub fn num_terminals(&self) -> usize {
+        self.terminal_ports.len()
+    }
+
+    /// The `(router, port)` a terminal attaches to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terminal` is out of range.
+    pub fn terminal_port(&self, terminal: usize) -> (usize, usize) {
+        let (r, p) = self.terminal_ports[terminal];
+        (r as usize, p as usize)
+    }
+
+    /// The router a terminal attaches to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terminal` is out of range.
+    pub fn terminal_router(&self, terminal: usize) -> usize {
+        self.terminal_ports[terminal].0 as usize
+    }
+
+    /// Iterates over all directed router-to-router channels as
+    /// `(router, port)` pairs (each physical cable appears twice, once per
+    /// direction).
+    pub fn network_channels(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.routers.iter().enumerate().flat_map(|(r, spec)| {
+            spec.ports
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| matches!(p.conn, Connection::Router { .. }))
+                .map(move |(i, _)| (r, i))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two routers joined by one local channel, one terminal each.
+    pub(crate) fn tiny_spec() -> Vec<RouterSpec> {
+        let term = |t: u32| PortSpec {
+            conn: Connection::Terminal { terminal: t },
+            latency: 1,
+            class: ChannelClass::Terminal,
+        };
+        let link = |r: u32, p: u32| PortSpec {
+            conn: Connection::Router { router: r, port: p },
+            latency: 1,
+            class: ChannelClass::Local,
+        };
+        vec![
+            RouterSpec {
+                ports: vec![term(0), link(1, 0)],
+            },
+            RouterSpec {
+                ports: vec![link(0, 1), term(1)],
+            },
+        ]
+    }
+
+    #[test]
+    fn valid_spec_accepted() {
+        let spec = NetworkSpec::validated(tiny_spec(), 3).unwrap();
+        assert_eq!(spec.num_routers(), 2);
+        assert_eq!(spec.num_terminals(), 2);
+        assert_eq!(spec.terminal_port(0), (0, 0));
+        assert_eq!(spec.terminal_port(1), (1, 1));
+        assert_eq!(spec.network_channels().count(), 2);
+    }
+
+    #[test]
+    fn asymmetric_wiring_rejected() {
+        let mut routers = tiny_spec();
+        routers[1].ports[0].conn = Connection::Router { router: 0, port: 0 };
+        let err = NetworkSpec::validated(routers, 3).unwrap_err();
+        assert!(err.contains("does not point back"), "{err}");
+    }
+
+    #[test]
+    fn latency_mismatch_rejected() {
+        let mut routers = tiny_spec();
+        routers[1].ports[0].latency = 5;
+        let err = NetworkSpec::validated(routers, 3).unwrap_err();
+        assert!(err.contains("mismatch"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_terminal_rejected() {
+        let mut routers = tiny_spec();
+        routers[1].ports[1].conn = Connection::Terminal { terminal: 0 };
+        let err = NetworkSpec::validated(routers, 3).unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn missing_terminal_rejected() {
+        let mut routers = tiny_spec();
+        routers[1].ports[1].conn = Connection::Terminal { terminal: 2 };
+        let err = NetworkSpec::validated(routers, 3).unwrap_err();
+        assert!(err.contains("terminal 1 not attached"), "{err}");
+    }
+
+    #[test]
+    fn zero_vcs_rejected() {
+        let err = NetworkSpec::validated(tiny_spec(), 0).unwrap_err();
+        assert!(err.contains("virtual channel"), "{err}");
+    }
+
+    #[test]
+    fn zero_latency_rejected() {
+        let mut routers = tiny_spec();
+        routers[0].ports[0].latency = 0;
+        routers[1].ports[1].latency = 0;
+        let err = NetworkSpec::validated(routers, 2).unwrap_err();
+        assert!(err.contains("latency"), "{err}");
+    }
+
+    #[test]
+    fn wrong_class_on_terminal_rejected() {
+        let mut routers = tiny_spec();
+        routers[0].ports[0].class = ChannelClass::Local;
+        let err = NetworkSpec::validated(routers, 2).unwrap_err();
+        assert!(err.contains("terminal connection with class"), "{err}");
+    }
+}

@@ -1,0 +1,312 @@
+//! Run statistics: latency, throughput, histograms, channel loads.
+
+use crate::spec::ChannelClass;
+
+/// Streaming summary statistics for one latency population.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Sum of squared samples (for the variance).
+    pub sum_sq: u128,
+    /// Largest sample, 0 if none.
+    pub max: u64,
+    /// Smallest sample, 0 if none.
+    pub min: u64,
+}
+
+impl LatencySummary {
+    /// Records one latency sample.
+    pub fn record(&mut self, sample: u64) {
+        if self.count == 0 {
+            self.min = sample;
+            self.max = sample;
+        } else {
+            self.min = self.min.min(sample);
+            self.max = self.max.max(sample);
+        }
+        self.count += 1;
+        self.sum += sample;
+        self.sum_sq += (sample as u128) * (sample as u128);
+    }
+
+    /// Mean latency, or `None` with no samples.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Population standard deviation, or `None` with no samples.
+    pub fn std_dev(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var = self.sum_sq as f64 / self.count as f64 - mean * mean;
+        Some(var.max(0.0).sqrt())
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &LatencySummary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+    }
+}
+
+/// A fixed-width latency histogram with an overflow bucket.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    width: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets of `width` cycles each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `buckets == 0`.
+    pub fn new(buckets: usize, width: u64) -> Self {
+        assert!(width > 0, "bucket width must be >= 1");
+        assert!(buckets > 0, "bucket count must be >= 1");
+        Histogram {
+            buckets: vec![0; buckets],
+            width,
+            overflow: 0,
+        }
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, sample: u64) {
+        let idx = (sample / self.width) as usize;
+        match self.buckets.get_mut(idx) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Bucket counts; bucket `i` covers `[i*width, (i+1)*width)`.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Width of each bucket in cycles.
+    pub fn bucket_width(&self) -> u64 {
+        self.width
+    }
+
+    /// Samples beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.overflow
+    }
+
+    /// Fraction of samples in each bucket (empty if no samples).
+    pub fn normalized(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return Vec::new();
+        }
+        self.buckets
+            .iter()
+            .map(|&b| b as f64 / total as f64)
+            .collect()
+    }
+
+    /// The `p`-quantile (0.0–1.0) of the recorded samples, resolved to
+    /// the upper edge of the bucket containing it. Returns `None` with
+    /// no samples, or if the quantile falls in the overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&p), "quantile {p} outside [0, 1]");
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let target = ((total as f64) * p).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return Some((i as u64 + 1) * self.width - 1);
+            }
+        }
+        None // falls in the overflow bucket
+    }
+}
+
+/// Measured load on one directed channel.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelLoad {
+    /// Router owning the sending port.
+    pub router: usize,
+    /// Port index on that router.
+    pub port: usize,
+    /// Channel class.
+    pub class: ChannelClass,
+    /// Flits sent during the measurement window.
+    pub flits: u64,
+    /// Utilisation: flits per cycle of the measurement window.
+    pub utilization: f64,
+}
+
+/// Everything measured by one simulation run.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Cycles simulated in total (including warm-up and drain).
+    pub cycles: u64,
+    /// Configured average offered load (packets/terminal/cycle).
+    pub offered_load: f64,
+    /// Measured injection rate during the window (flits/terminal/cycle);
+    /// under saturation this falls below the offered load because source
+    /// queues back up.
+    pub injected_rate: f64,
+    /// Accepted throughput: flits ejected per terminal per cycle during
+    /// the measurement window.
+    pub accepted_rate: f64,
+    /// Whether every labelled packet drained before the cap; `false`
+    /// means the network is saturated at this load and latencies are
+    /// lower bounds.
+    pub drained: bool,
+    /// Latency of all labelled packets (creation to ejection of the tail
+    /// flit, including source queueing).
+    pub latency: LatencySummary,
+    /// Latency of minimally routed labelled packets.
+    pub minimal_latency: LatencySummary,
+    /// Latency of non-minimally routed labelled packets.
+    pub non_minimal_latency: LatencySummary,
+    /// Network (router-to-router) hops of labelled packets.
+    pub hops: LatencySummary,
+    /// Histogram over all labelled packet latencies.
+    pub histogram: Histogram,
+    /// Histogram over minimally routed labelled packet latencies.
+    pub minimal_histogram: Histogram,
+    /// Per-channel loads over the measurement window (network channels
+    /// only, in `(router, port)` order).
+    pub channel_loads: Vec<ChannelLoad>,
+}
+
+impl RunStats {
+    /// Mean latency of all labelled packets, if any drained.
+    pub fn avg_latency(&self) -> Option<f64> {
+        self.latency.mean()
+    }
+
+    /// Fraction of labelled packets routed minimally.
+    pub fn minimal_fraction(&self) -> Option<f64> {
+        let total = self.minimal_latency.count + self.non_minimal_latency.count;
+        (total > 0).then(|| self.minimal_latency.count as f64 / total as f64)
+    }
+
+    /// Loads of the global channels only.
+    pub fn global_channel_loads(&self) -> Vec<ChannelLoad> {
+        self.channel_loads
+            .iter()
+            .filter(|c| c.class == ChannelClass::Global)
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mean_and_bounds() {
+        let mut s = LatencySummary::default();
+        assert_eq!(s.mean(), None);
+        for v in [4, 8, 12] {
+            s.record(v);
+        }
+        assert_eq!(s.mean(), Some(8.0));
+        assert_eq!(s.min, 4);
+        assert_eq!(s.max, 12);
+        let sd = s.std_dev().unwrap();
+        assert!((sd - (32.0f64 / 3.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_merge() {
+        let mut a = LatencySummary::default();
+        a.record(2);
+        let mut b = LatencySummary::default();
+        b.record(10);
+        b.record(6);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.mean(), Some(6.0));
+        assert_eq!(a.min, 2);
+        assert_eq!(a.max, 10);
+
+        let mut empty = LatencySummary::default();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+        a.merge(&LatencySummary::default());
+        assert_eq!(a.count, 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(4, 10);
+        for v in [0, 9, 10, 39, 40, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets(), &[2, 1, 0, 1]);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 6);
+        let norm = h.normalized();
+        assert!((norm[0] - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_normalizes_to_empty() {
+        let h = Histogram::new(4, 1);
+        assert!(h.normalized().is_empty());
+        assert_eq!(h.percentile(0.5), None);
+    }
+
+    #[test]
+    fn percentiles_land_in_right_buckets() {
+        let mut h = Histogram::new(100, 1);
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), Some(0));
+        assert_eq!(h.percentile(0.5), Some(49));
+        assert_eq!(h.percentile(0.95), Some(94));
+        assert_eq!(h.percentile(1.0), Some(99));
+        // A sample beyond the buckets pushes the tail quantile into the
+        // overflow bucket.
+        h.record(10_000);
+        assert_eq!(h.percentile(1.0), None);
+        // 101 samples now: the median target moves up one bucket.
+        assert_eq!(h.percentile(0.5), Some(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn percentile_rejects_bad_quantile() {
+        Histogram::new(4, 1).percentile(1.5);
+    }
+}

@@ -1,0 +1,131 @@
+//! Whole-graph statistics and bisection analysis.
+
+use crate::{Graph, Topology};
+
+/// Summary statistics of a router graph, computed once.
+///
+/// # Example
+///
+/// ```
+/// use dfly_topo::{FlattenedButterfly, GraphStats, Topology};
+///
+/// let fb = FlattenedButterfly::new(2, 4, 2);
+/// let stats = GraphStats::compute(&fb.router_graph());
+/// assert_eq!(stats.diameter, Some(2));
+/// assert!(stats.connected);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of directed edges (parallel edges counted).
+    pub edges: usize,
+    /// Whether the graph is strongly connected.
+    pub connected: bool,
+    /// Longest shortest path, if connected.
+    pub diameter: Option<usize>,
+    /// Mean shortest path over distinct ordered pairs, if connected.
+    pub average_shortest_path: Option<f64>,
+    /// Minimum out-degree.
+    pub min_degree: usize,
+    /// Maximum out-degree.
+    pub max_degree: usize,
+}
+
+impl GraphStats {
+    /// Computes all statistics for `g`.
+    ///
+    /// Runs one BFS per node (`O(V·E)`), fine for the network sizes the
+    /// simulator targets.
+    pub fn compute(g: &Graph) -> Self {
+        let degrees: Vec<usize> = (0..g.len()).map(|u| g.degree(u)).collect();
+        GraphStats {
+            nodes: g.len(),
+            edges: g.edge_count(),
+            connected: g.is_connected(),
+            diameter: g.diameter(),
+            average_shortest_path: g.average_shortest_path(),
+            min_degree: degrees.iter().copied().min().unwrap_or(0),
+            max_degree: degrees.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// Convenience: statistics of a topology's router graph.
+    pub fn of<T: Topology + ?Sized>(topo: &T) -> Self {
+        Self::compute(&topo.router_graph())
+    }
+}
+
+/// The channel cut induced by splitting the routers into a low half and a
+/// high half by index.
+///
+/// For the symmetric, vertex-transitive topologies in this crate the
+/// index-halving cut is a reasonable bisection estimate; exact minimum
+/// bisection is NP-hard and unnecessary for the paper's comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BisectionCut {
+    /// Directed channels crossing low → high.
+    pub forward: usize,
+    /// Directed channels crossing high → low.
+    pub backward: usize,
+}
+
+impl BisectionCut {
+    /// Computes the index-halving cut of `g`.
+    pub fn compute(g: &Graph) -> Self {
+        let half = g.len() / 2;
+        BisectionCut {
+            forward: g.cut_size(|u| u < half),
+            backward: g.reversed().cut_size(|u| u < half),
+        }
+    }
+
+    /// Total channels crossing the cut in both directions.
+    pub fn total(&self) -> usize {
+        self.forward + self.backward
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlattenedButterfly, FullyConnected, Torus};
+
+    #[test]
+    fn stats_of_complete_graph() {
+        let fc = FullyConnected::new(6, 1);
+        let s = GraphStats::of(&fc);
+        assert_eq!(s.nodes, 6);
+        assert_eq!(s.edges, 30);
+        assert!(s.connected);
+        assert_eq!(s.diameter, Some(1));
+        assert_eq!(s.min_degree, 5);
+        assert_eq!(s.max_degree, 5);
+    }
+
+    #[test]
+    fn torus_bisection() {
+        // A 1-D ring of even size k cut in half crosses 2 links each way.
+        let t = Torus::new(1, 8, 1);
+        let cut = BisectionCut::compute(&t.router_graph());
+        assert_eq!(cut.forward, 2);
+        assert_eq!(cut.backward, 2);
+        assert_eq!(cut.total(), 4);
+    }
+
+    #[test]
+    fn fb_one_dim_bisection_is_quadratic() {
+        // Complete graph of s routers: cut = (s/2)^2 each way.
+        let fb = FlattenedButterfly::new(1, 8, 1);
+        let cut = BisectionCut::compute(&fb.router_graph());
+        assert_eq!(cut.forward, 16);
+        assert_eq!(cut.backward, 16);
+    }
+
+    #[test]
+    fn stats_are_symmetric_in_degree_for_regular_graphs() {
+        let t = Torus::new(2, 4, 1);
+        let s = GraphStats::of(&t);
+        assert_eq!(s.min_degree, s.max_degree);
+    }
+}

@@ -1,0 +1,251 @@
+//! Folded-Clos (fat-tree) networks.
+
+use crate::{Graph, Topology};
+
+/// A folded-Clos (fat-tree) network built from uniform radix-`k` switches.
+///
+/// The network has `levels` ranks of switches. Leaf (rank-0) switches
+/// devote half their ports (`k/2`) to terminals and half to uplinks; every
+/// interior rank uses `k/2` ports down and `k/2` up, and the top rank uses
+/// all `k` ports downward (so it has half as many switches). This is the
+/// full-bisection-bandwidth configuration the paper compares against (its
+/// folded-Clos curves and the Cray BlackWidow network are of this family).
+///
+/// # Example
+///
+/// ```
+/// use dfly_topo::{FoldedClos, Topology};
+///
+/// // A 2-level fat tree of radix-8 switches: 4 terminals per leaf,
+/// // 4 leaves, 2 top switches, 16 terminals.
+/// let clos = FoldedClos::new(2, 8);
+/// assert_eq!(clos.num_terminals(), 16);
+/// assert_eq!(clos.num_routers(), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FoldedClos {
+    levels: usize,
+    radix: usize,
+}
+
+impl FoldedClos {
+    /// Creates a folded Clos with the given number of switch `levels`
+    /// (ranks) built from radix-`radix` switches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0`, `radix < 4`, or `radix` is odd.
+    pub fn new(levels: usize, radix: usize) -> Self {
+        assert!(levels > 0, "folded Clos needs >= 1 level");
+        assert!(radix >= 4, "switch radix must be >= 4");
+        assert!(radix.is_multiple_of(2), "switch radix must be even");
+        FoldedClos { levels, radix }
+    }
+
+    /// The smallest folded Clos of radix-`radix` switches that reaches at
+    /// least `terminals` terminals — the sizing rule used in the cost
+    /// comparison.
+    pub fn for_terminals(terminals: usize, radix: usize) -> Self {
+        let mut levels = 1;
+        loop {
+            let clos = FoldedClos::new(levels, radix);
+            if clos.num_terminals() >= terminals {
+                return clos;
+            }
+            levels += 1;
+        }
+    }
+
+    /// Number of switch ranks.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Switch radix `k`.
+    pub fn switch_radix(&self) -> usize {
+        self.radix
+    }
+
+    /// `k/2`, the up/down port split.
+    fn half(&self) -> usize {
+        self.radix / 2
+    }
+
+    /// Switches in rank `level` (0 = leaves).
+    ///
+    /// Every rank below the top has `(k/2)^(levels-1)` switches; the top
+    /// rank has half as many because each of its switches points all `k`
+    /// ports downward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= self.levels()`.
+    pub fn switches_at(&self, level: usize) -> usize {
+        assert!(level < self.levels, "level {level} out of range");
+        let m = self.half().pow(self.levels as u32 - 1);
+        if level + 1 == self.levels {
+            (m / 2).max(1)
+        } else {
+            m
+        }
+    }
+
+    /// Total bidirectional switch-to-switch cables: each non-top rank
+    /// contributes `switches * k/2` uplinks.
+    pub fn num_links(&self) -> usize {
+        (0..self.levels - 1)
+            .map(|l| self.switches_at(l) * self.half())
+            .sum()
+    }
+
+    /// First router index of rank `level` in the flattened numbering used
+    /// by [`Topology::router_graph`].
+    fn rank_base(&self, level: usize) -> usize {
+        (0..level).map(|l| self.switches_at(l)).sum()
+    }
+
+    /// Replace digit `d` (base `k/2`, least significant first) of `s`
+    /// with `val`.
+    fn with_digit(&self, s: usize, d: usize, val: usize) -> usize {
+        let half = self.half();
+        let place = half.pow(d as u32);
+        let old = (s / place) % half;
+        s - old * place + val * place
+    }
+}
+
+impl Topology for FoldedClos {
+    fn name(&self) -> &'static str {
+        "folded Clos"
+    }
+
+    fn num_routers(&self) -> usize {
+        (0..self.levels).map(|l| self.switches_at(l)).sum()
+    }
+
+    fn num_terminals(&self) -> usize {
+        if self.levels == 1 {
+            // A single switch uses all its ports for terminals.
+            self.radix
+        } else {
+            self.switches_at(0) * self.half()
+        }
+    }
+
+    fn radix(&self) -> usize {
+        self.radix
+    }
+
+    fn router_graph(&self) -> Graph {
+        // Butterfly wiring, folded: a switch below the top rank is indexed
+        // by `levels - 1` digits in base k/2. Uplink `u` of switch `s` at
+        // rank `l` reaches the rank-`l+1` switch equal to `s` with digit
+        // `l` replaced by `u`. The top rank is halved, with real switch
+        // `v / 2` absorbing virtual switches `v` and `v ^ 1`.
+        let mut g = Graph::new(self.num_routers());
+        for level in 0..self.levels - 1 {
+            let base = self.rank_base(level);
+            let up_base = self.rank_base(level + 1);
+            let top = level + 2 == self.levels;
+            for s in 0..self.switches_at(level) {
+                for u in 0..self.half() {
+                    let v = self.with_digit(s, level, u);
+                    let target = if top { v / 2 } else { v };
+                    g.add_bidirectional(base + s, up_base + target);
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_level_is_one_switch() {
+        let c = FoldedClos::new(1, 8);
+        assert_eq!(c.num_routers(), 1);
+        assert_eq!(c.num_terminals(), 8);
+        assert_eq!(c.num_links(), 0);
+    }
+
+    #[test]
+    fn two_level_counts() {
+        let c = FoldedClos::new(2, 8);
+        assert_eq!(c.switches_at(0), 4);
+        assert_eq!(c.switches_at(1), 2);
+        assert_eq!(c.num_terminals(), 16);
+        assert_eq!(c.num_links(), 16);
+        // Top switches must expose exactly k down ports.
+        let g = c.router_graph();
+        assert_eq!(g.degree(4), 8);
+        assert_eq!(g.degree(5), 8);
+    }
+
+    #[test]
+    fn terminals_scale_geometrically() {
+        let k = 64;
+        let t2 = FoldedClos::new(2, k).num_terminals();
+        let t3 = FoldedClos::new(3, k).num_terminals();
+        assert_eq!(t2, 32 * 32);
+        assert_eq!(t3, 32 * 32 * 32);
+    }
+
+    #[test]
+    fn sizing_covers_request() {
+        let c = FoldedClos::for_terminals(5000, 64);
+        assert!(c.num_terminals() >= 5000);
+        assert_eq!(c.levels(), 3);
+    }
+
+    #[test]
+    fn graph_is_connected() {
+        for levels in 1..=3 {
+            let c = FoldedClos::new(levels, 8);
+            assert!(c.router_graph().is_connected(), "levels={levels}");
+        }
+    }
+
+    #[test]
+    fn every_rank_has_balanced_degree() {
+        let c = FoldedClos::new(3, 8);
+        let g = c.router_graph();
+        for s in 0..c.switches_at(0) {
+            assert_eq!(g.degree(s), 4, "leaf {s}");
+        }
+        let mid = c.rank_base(1);
+        for s in 0..c.switches_at(1) {
+            assert_eq!(g.degree(mid + s), 8, "mid {s}");
+        }
+        let top = c.rank_base(2);
+        for s in 0..c.switches_at(2) {
+            assert_eq!(g.degree(top + s), 8, "top {s}");
+        }
+    }
+
+    #[test]
+    fn diameter_is_up_and_down() {
+        // Leaf-to-leaf worst case traverses to the top rank and back:
+        // 2*(levels-1) hops.
+        let c = FoldedClos::new(3, 8);
+        let g = c.router_graph();
+        let leaves = c.switches_at(0);
+        let mut worst = 0;
+        for a in 0..leaves {
+            let d = g.bfs_distances(a);
+            for &db in d.iter().take(leaves) {
+                assert_ne!(db, usize::MAX);
+                worst = worst.max(db);
+            }
+        }
+        assert_eq!(worst, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_radix_panics() {
+        FoldedClos::new(2, 7);
+    }
+}

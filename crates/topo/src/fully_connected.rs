@@ -1,0 +1,129 @@
+//! The fully-connected router topology of the paper's Figure 1.
+
+use crate::{Graph, Topology};
+
+/// A complete graph of routers with terminal concentration — the limiting
+/// "one global hop" topology that motivates Figure 1 of the paper.
+///
+/// With radix-`k` routers split evenly between terminals and network ports
+/// (`k/2` each), a fully-connected network reaches
+/// `N = (k/2) * (k/2 + 1)` terminals, i.e. the required radix grows as
+/// `k ≈ 2√N`. The dragonfly exists precisely to escape this scaling by
+/// substituting a *group* of routers for the single router here.
+///
+/// # Example
+///
+/// ```
+/// use dfly_topo::{FullyConnected, Topology};
+///
+/// let fc = FullyConnected::new(9, 8); // 9 routers, 8 terminals each
+/// assert_eq!(fc.num_terminals(), 72);
+/// assert_eq!(fc.diameter(), Some(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FullyConnected {
+    routers: usize,
+    concentration: usize,
+}
+
+impl FullyConnected {
+    /// Creates a complete graph of `routers` routers, each concentrating
+    /// `concentration` terminals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routers == 0`.
+    pub fn new(routers: usize, concentration: usize) -> Self {
+        assert!(routers > 0, "need >= 1 router");
+        FullyConnected {
+            routers,
+            concentration,
+        }
+    }
+
+    /// The largest balanced fully-connected network buildable from
+    /// radix-`k` routers with an even terminal/network port split:
+    /// `k/2` terminals per router and `k/2 + 1` routers.
+    pub fn max_for_radix(k: usize) -> Self {
+        let half = (k / 2).max(1);
+        FullyConnected::new(half + 1, k - half)
+    }
+
+    /// Terminals per router.
+    pub fn concentration(&self) -> usize {
+        self.concentration
+    }
+
+    /// Number of bidirectional links: `r(r-1)/2`.
+    pub fn num_links(&self) -> usize {
+        self.routers * (self.routers - 1) / 2
+    }
+}
+
+impl Topology for FullyConnected {
+    fn name(&self) -> &'static str {
+        "fully connected"
+    }
+
+    fn num_routers(&self) -> usize {
+        self.routers
+    }
+
+    fn num_terminals(&self) -> usize {
+        self.routers * self.concentration
+    }
+
+    fn radix(&self) -> usize {
+        self.concentration + self.routers - 1
+    }
+
+    fn router_graph(&self) -> Graph {
+        let mut g = Graph::new(self.routers);
+        for a in 0..self.routers {
+            for b in (a + 1)..self.routers {
+                g.add_bidirectional(a, b);
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diameter_is_one() {
+        let fc = FullyConnected::new(5, 2);
+        assert_eq!(fc.diameter(), Some(1));
+        assert_eq!(fc.average_hop_count(), Some(1.0));
+    }
+
+    #[test]
+    fn max_for_radix_uses_all_ports() {
+        let fc = FullyConnected::max_for_radix(64);
+        assert_eq!(fc.num_routers(), 33);
+        assert_eq!(fc.concentration(), 32);
+        assert_eq!(fc.radix(), 64);
+        assert_eq!(fc.num_terminals(), 33 * 32);
+    }
+
+    #[test]
+    fn radix_grows_as_two_sqrt_n() {
+        // Figure 1 sanity: k ~ 2 sqrt(N).
+        for k in [16usize, 64, 128] {
+            let fc = FullyConnected::max_for_radix(k);
+            let n = fc.num_terminals() as f64;
+            let predicted = 2.0 * n.sqrt();
+            let err = (predicted - k as f64).abs() / k as f64;
+            assert!(err < 0.10, "k={k} predicted={predicted}");
+        }
+    }
+
+    #[test]
+    fn single_router() {
+        let fc = FullyConnected::new(1, 4);
+        assert_eq!(fc.num_links(), 0);
+        assert_eq!(fc.diameter(), Some(0));
+    }
+}

@@ -1,0 +1,348 @@
+//! A compact directed multigraph used for structural network analysis.
+
+use std::collections::VecDeque;
+
+/// A directed multigraph over nodes `0..n`.
+///
+/// Parallel edges are allowed (networks routinely have multiple channels
+/// between the same pair of routers) and are preserved by [`Graph::degree`]
+/// and [`Graph::edge_count`], while shortest-path queries treat them as a
+/// single unit-weight edge.
+///
+/// # Example
+///
+/// ```
+/// use dfly_topo::Graph;
+///
+/// let mut g = Graph::new(3);
+/// g.add_bidirectional(0, 1);
+/// g.add_bidirectional(1, 2);
+/// assert_eq!(g.diameter(), Some(2));
+/// assert!(g.is_connected());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Graph {
+    /// Outgoing adjacency lists; `adj[u]` holds every head `v` of an edge
+    /// `u -> v`, with duplicates for parallel edges.
+    adj: Vec<Vec<u32>>,
+    edges: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Total number of directed edges, counting parallel edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Adds the directed edge `u -> v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(v < self.adj.len(), "edge head {v} out of range");
+        self.adj[u].push(v as u32);
+        self.edges += 1;
+    }
+
+    /// Adds both `u -> v` and `v -> u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_bidirectional(&mut self, u: usize, v: usize) {
+        self.add_edge(u, v);
+        self.add_edge(v, u);
+    }
+
+    /// Out-degree of `u`, counting parallel edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Iterator over the heads of edges leaving `u` (with repetition for
+    /// parallel edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adj[u].iter().map(|&v| v as usize)
+    }
+
+    /// Unweighted shortest-path distances from `src` to every node.
+    /// Unreachable nodes get `usize::MAX`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    pub fn bfs_distances(&self, src: usize) -> Vec<usize> {
+        assert!(src < self.adj.len(), "source {src} out of range");
+        let mut dist = vec![usize::MAX; self.adj.len()];
+        let mut queue = VecDeque::new();
+        dist[src] = 0;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u];
+            for &v in &self.adj[u] {
+                let v = v as usize;
+                if dist[v] == usize::MAX {
+                    dist[v] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Length of the shortest path from `u` to `v`, or `None` if `v` is
+    /// unreachable.
+    pub fn distance(&self, u: usize, v: usize) -> Option<usize> {
+        let d = self.bfs_distances(u)[v];
+        (d != usize::MAX).then_some(d)
+    }
+
+    /// Whether every node can reach every other node.
+    ///
+    /// The empty graph is connected by convention.
+    pub fn is_connected(&self) -> bool {
+        if self.adj.is_empty() {
+            return true;
+        }
+        // For the symmetric graphs built here one BFS would do, but network
+        // channel graphs are directed in general, so check both directions.
+        if self.bfs_distances(0).contains(&usize::MAX) {
+            return false;
+        }
+        let rev = self.reversed();
+        !rev.bfs_distances(0).contains(&usize::MAX)
+    }
+
+    /// The graph with every edge direction flipped.
+    pub fn reversed(&self) -> Graph {
+        let mut rev = Graph::new(self.adj.len());
+        for (u, outs) in self.adj.iter().enumerate() {
+            for &v in outs {
+                rev.add_edge(v as usize, u);
+            }
+        }
+        rev
+    }
+
+    /// The longest shortest path over all ordered node pairs, or `None`
+    /// if the graph is disconnected (or empty).
+    pub fn diameter(&self) -> Option<usize> {
+        if self.adj.is_empty() {
+            return None;
+        }
+        let mut diameter = 0;
+        for u in 0..self.adj.len() {
+            let dist = self.bfs_distances(u);
+            for &d in &dist {
+                if d == usize::MAX {
+                    return None;
+                }
+                diameter = diameter.max(d);
+            }
+        }
+        Some(diameter)
+    }
+
+    /// Mean shortest-path length over all ordered pairs of distinct nodes,
+    /// or `None` if disconnected or fewer than two nodes.
+    pub fn average_shortest_path(&self) -> Option<f64> {
+        let n = self.adj.len();
+        if n < 2 {
+            return None;
+        }
+        let mut total: u64 = 0;
+        for u in 0..n {
+            for (v, &d) in self.bfs_distances(u).iter().enumerate() {
+                if u == v {
+                    continue;
+                }
+                if d == usize::MAX {
+                    return None;
+                }
+                total += d as u64;
+            }
+        }
+        Some(total as f64 / (n as f64 * (n as f64 - 1.0)))
+    }
+
+    /// Counts directed edges crossing from the node set where `side(u)` is
+    /// `true` to the set where it is `false`.
+    ///
+    /// Used by bisection analyses: for a symmetric graph and an equal
+    /// split, this is the (directed) bisection channel count.
+    pub fn cut_size<F: Fn(usize) -> bool>(&self, side: F) -> usize {
+        let mut cut = 0;
+        for (u, outs) in self.adj.iter().enumerate() {
+            if side(u) {
+                cut += outs.iter().filter(|&&v| !side(v as usize)).count();
+            }
+        }
+        cut
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_bidirectional(i, (i + 1) % n);
+        }
+        g
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert!(g.is_empty());
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), None);
+        assert_eq!(g.average_shortest_path(), None);
+    }
+
+    #[test]
+    fn single_node() {
+        let g = Graph::new(1);
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), Some(0));
+        assert_eq!(g.average_shortest_path(), None);
+    }
+
+    #[test]
+    fn ring_distances() {
+        let g = ring(8);
+        assert_eq!(g.diameter(), Some(4));
+        assert_eq!(g.distance(0, 3), Some(3));
+        assert_eq!(g.distance(0, 5), Some(3)); // wraps the short way
+        assert!(g.is_connected());
+        assert_eq!(g.edge_count(), 16);
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let mut g = Graph::new(4);
+        g.add_bidirectional(0, 1);
+        g.add_bidirectional(2, 3);
+        assert!(!g.is_connected());
+        assert_eq!(g.diameter(), None);
+        assert_eq!(g.average_shortest_path(), None);
+        assert_eq!(g.distance(0, 2), None);
+    }
+
+    #[test]
+    fn directed_connectivity_requires_both_ways() {
+        // 0 -> 1 -> 2 -> 0 is strongly connected; removing one arc is not.
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        assert!(g.is_connected());
+        let mut h = Graph::new(3);
+        h.add_edge(0, 1);
+        h.add_edge(1, 2);
+        assert!(!h.is_connected());
+    }
+
+    #[test]
+    fn parallel_edges_counted_in_degree_not_distance() {
+        let mut g = Graph::new(2);
+        g.add_bidirectional(0, 1);
+        g.add_bidirectional(0, 1);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.distance(0, 1), Some(1));
+    }
+
+    #[test]
+    fn average_shortest_path_of_complete_graph_is_one() {
+        let n = 6;
+        let mut g = Graph::new(n);
+        for u in 0..n {
+            for v in 0..n {
+                if u != v {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        assert_eq!(g.average_shortest_path(), Some(1.0));
+    }
+
+    #[test]
+    fn cut_of_ring_bisection_is_two_each_way() {
+        let g = ring(8);
+        let cut = g.cut_size(|u| u < 4);
+        assert_eq!(cut, 2);
+    }
+
+    #[test]
+    fn reversed_swaps_edges() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        let r = g.reversed();
+        assert_eq!(r.degree(1), 1);
+        assert_eq!(r.degree(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_out_of_range_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bfs_out_of_range_panics() {
+        Graph::new(2).bfs_distances(5);
+    }
+
+    #[test]
+    fn directed_cut_is_asymmetric() {
+        // Edges only flow low -> high: the reverse cut is empty.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        assert_eq!(g.cut_size(|u| u < 2), 2);
+        assert_eq!(g.reversed().cut_size(|u| u < 2), 0);
+    }
+
+    #[test]
+    fn neighbors_iterate_with_multiplicity() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        let mut ns: Vec<usize> = g.neighbors(0).collect();
+        ns.sort_unstable();
+        assert_eq!(ns, vec![1, 1, 2]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Interconnection-network topology substrate.
+//!
+//! This crate provides the *structural* building blocks used by the
+//! dragonfly reproduction: a small directed-multigraph type with the graph
+//! analyses that matter for interconnection networks (diameter, average
+//! shortest path, connectivity, bisection cuts), and constructors for the
+//! classical topologies the paper compares against:
+//!
+//! * [`FlattenedButterfly`] — the k-ary n-flat of Kim, Dally & Abts
+//!   (ISCA 2007), the closest competitor to the dragonfly.
+//! * [`FoldedClos`] — the folded-Clos / fat-tree family.
+//! * [`Torus`] — k-ary n-cube networks (e.g. the 3-D torus of the Cray T3E).
+//! * [`FullyConnected`] — a complete graph of routers with concentration,
+//!   the limiting case that motivates Figure 1 of the paper.
+//!
+//! The dragonfly topology itself lives in the `dragonfly` crate; it builds
+//! on the same [`Topology`] trait so that the analyses and the cost model
+//! apply uniformly.
+//!
+//! # Example
+//!
+//! ```
+//! use dfly_topo::{FlattenedButterfly, Topology};
+//!
+//! // An 8-ary 2-flat with concentration 8: 64 routers, 512 terminals.
+//! let fb = FlattenedButterfly::new(2, 8, 8);
+//! assert_eq!(fb.num_terminals(), 512);
+//! let g = fb.router_graph();
+//! assert_eq!(g.diameter(), Some(2)); // one hop per dimension
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod clos;
+mod flattened_butterfly;
+mod fully_connected;
+mod graph;
+mod torus;
+
+pub use analysis::{BisectionCut, GraphStats};
+pub use clos::FoldedClos;
+pub use flattened_butterfly::FlattenedButterfly;
+pub use fully_connected::FullyConnected;
+pub use graph::Graph;
+pub use torus::Torus;
+
+/// A network topology: a set of routers with terminals attached, plus the
+/// inter-router connectivity.
+///
+/// Implementations describe *structure only*; the cycle-accurate behaviour
+/// (buffers, credits, routing) lives in `dfly-netsim` and the `dragonfly`
+/// crate.
+pub trait Topology {
+    /// Human-readable topology name, e.g. `"flattened butterfly"`.
+    fn name(&self) -> &'static str;
+
+    /// Number of routers (switches) in the network.
+    fn num_routers(&self) -> usize;
+
+    /// Number of terminals (processing nodes) attached to the network.
+    fn num_terminals(&self) -> usize;
+
+    /// Radix of each router: terminal ports plus network ports.
+    ///
+    /// For irregular topologies this is the maximum radix over all routers.
+    fn radix(&self) -> usize;
+
+    /// The inter-router connectivity as a directed multigraph whose nodes
+    /// are routers. A bidirectional link contributes one edge in each
+    /// direction.
+    fn router_graph(&self) -> Graph;
+
+    /// Network diameter measured in router-to-router hops, ignoring
+    /// terminal channels. `None` for a disconnected network.
+    fn diameter(&self) -> Option<usize> {
+        self.router_graph().diameter()
+    }
+
+    /// Average shortest-path length between distinct router pairs,
+    /// ignoring terminal channels. `None` for a disconnected network.
+    fn average_hop_count(&self) -> Option<f64> {
+        self.router_graph().average_shortest_path()
+    }
+}

@@ -1,0 +1,235 @@
+//! k-ary n-cube (torus) networks.
+
+use crate::{Graph, Topology};
+
+/// A k-ary n-cube: an `n`-dimensional torus with `k` routers per dimension
+/// and `c` terminals per router.
+///
+/// The 3-D instance is the low-radix baseline of the paper's cost study
+/// (Figure 19), standing in for machines like the Cray T3E.
+///
+/// # Example
+///
+/// ```
+/// use dfly_topo::{Torus, Topology};
+///
+/// let t = Torus::new(3, 8, 1); // 8x8x8, one node per router
+/// assert_eq!(t.num_terminals(), 512);
+/// assert_eq!(t.diameter(), Some(12)); // n * floor(k/2)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Torus {
+    dimensions: usize,
+    arity: usize,
+    concentration: usize,
+}
+
+impl Torus {
+    /// Creates a k-ary n-cube with `dimensions` dimensions, `arity` routers
+    /// per dimension and `concentration` terminals per router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dimensions == 0` or `arity < 2`.
+    pub fn new(dimensions: usize, arity: usize, concentration: usize) -> Self {
+        assert!(dimensions > 0, "torus needs >= 1 dimension");
+        assert!(arity >= 2, "torus arity must be >= 2");
+        Torus {
+            dimensions,
+            arity,
+            concentration,
+        }
+    }
+
+    /// Builds the smallest cubic 3-D torus with at least `terminals` nodes
+    /// at the given concentration — the sizing rule used for the cost
+    /// comparison curves.
+    pub fn cubic_3d_for(terminals: usize, concentration: usize) -> Self {
+        assert!(concentration > 0, "concentration must be >= 1");
+        let routers_needed = terminals.div_ceil(concentration);
+        let mut k = 2usize;
+        while k * k * k < routers_needed {
+            k += 1;
+        }
+        Torus::new(3, k, concentration)
+    }
+
+    /// Number of dimensions `n`.
+    pub fn dimensions(&self) -> usize {
+        self.dimensions
+    }
+
+    /// Routers per dimension `k`.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Terminals per router.
+    pub fn concentration(&self) -> usize {
+        self.concentration
+    }
+
+    /// Multi-index coordinates of router `r`, least-significant dimension
+    /// first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.num_routers()`.
+    pub fn coordinates(&self, r: usize) -> Vec<usize> {
+        assert!(r < self.num_routers(), "router {r} out of range");
+        let mut rem = r;
+        (0..self.dimensions)
+            .map(|_| {
+                let c = rem % self.arity;
+                rem /= self.arity;
+                c
+            })
+            .collect()
+    }
+
+    /// Router index for a coordinate vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate count or any coordinate is out of range.
+    pub fn router_index(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.dimensions, "wrong coordinate count");
+        let mut idx = 0;
+        for &c in coords.iter().rev() {
+            assert!(c < self.arity, "coordinate {c} out of range");
+            idx = idx * self.arity + c;
+        }
+        idx
+    }
+
+    /// Minimal hop count between routers `a` and `b`: the sum over
+    /// dimensions of the shorter way around each ring.
+    pub fn min_hops(&self, a: usize, b: usize) -> usize {
+        let ca = self.coordinates(a);
+        let cb = self.coordinates(b);
+        ca.iter()
+            .zip(&cb)
+            .map(|(&x, &y)| {
+                let d = x.abs_diff(y);
+                d.min(self.arity - d)
+            })
+            .sum()
+    }
+
+    /// Number of bidirectional inter-router links: `n * k^n` for `k > 2`
+    /// (each router has one plus-direction link per dimension); for `k = 2`
+    /// the two directions coincide, giving half that.
+    pub fn num_links(&self) -> usize {
+        let links = self.dimensions * self.num_routers();
+        if self.arity == 2 {
+            links / 2
+        } else {
+            links
+        }
+    }
+}
+
+impl Topology for Torus {
+    fn name(&self) -> &'static str {
+        "torus"
+    }
+
+    fn num_routers(&self) -> usize {
+        self.arity.pow(self.dimensions as u32)
+    }
+
+    fn num_terminals(&self) -> usize {
+        self.num_routers() * self.concentration
+    }
+
+    fn radix(&self) -> usize {
+        let ring_ports = if self.arity == 2 { 1 } else { 2 };
+        self.concentration + self.dimensions * ring_ports
+    }
+
+    fn router_graph(&self) -> Graph {
+        let n = self.num_routers();
+        let mut g = Graph::new(n);
+        for r in 0..n {
+            let coords = self.coordinates(r);
+            for dim in 0..self.dimensions {
+                let mut c2 = coords.clone();
+                c2[dim] = (coords[dim] + 1) % self.arity;
+                let peer = self.router_index(&c2);
+                // For arity 2 the +1 and -1 neighbours coincide; add the
+                // single link from the lower endpoint only.
+                if peer != r && (self.arity > 2 || r < peer) {
+                    g.add_bidirectional(r, peer);
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_one_dimensional_torus() {
+        let t = Torus::new(1, 6, 1);
+        assert_eq!(t.num_routers(), 6);
+        assert_eq!(t.diameter(), Some(3));
+        assert_eq!(t.radix(), 1 + 2);
+    }
+
+    #[test]
+    fn diameter_formula() {
+        for (n, k) in [(2, 4), (3, 4), (3, 5)] {
+            let t = Torus::new(n, k, 1);
+            assert_eq!(t.diameter(), Some(n * (k / 2)), "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn min_hops_matches_bfs() {
+        let t = Torus::new(2, 5, 1);
+        let g = t.router_graph();
+        for a in 0..t.num_routers() {
+            let dist = g.bfs_distances(a);
+            for (b, &db) in dist.iter().enumerate() {
+                assert_eq!(t.min_hops(a, b), db, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn link_count_matches_graph() {
+        let t = Torus::new(3, 4, 2);
+        assert_eq!(t.router_graph().edge_count(), 2 * t.num_links());
+        let t2 = Torus::new(2, 2, 1);
+        assert_eq!(t2.router_graph().edge_count(), 2 * t2.num_links());
+    }
+
+    #[test]
+    fn arity_two_has_single_link_per_dimension() {
+        let t = Torus::new(3, 2, 1);
+        assert_eq!(t.radix(), 1 + 3);
+        let g = t.router_graph();
+        assert_eq!(g.degree(0), 3);
+    }
+
+    #[test]
+    fn cubic_sizing_covers_request() {
+        let t = Torus::cubic_3d_for(5000, 2);
+        assert!(t.num_terminals() >= 5000);
+        assert_eq!(t.dimensions(), 3);
+        // The next-smaller cube must not suffice.
+        let smaller = Torus::new(3, t.arity() - 1, 2);
+        assert!(smaller.num_terminals() < 5000);
+    }
+
+    #[test]
+    fn coordinates_round_trip() {
+        let t = Torus::new(3, 3, 1);
+        for r in 0..t.num_routers() {
+            assert_eq!(t.router_index(&t.coordinates(r)), r);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Packet injection processes.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Decides, cycle by cycle, whether a terminal injects a packet.
+///
+/// One process instance is held per terminal so that stateful processes
+/// (e.g. [`OnOff`]) evolve independently per source.
+pub trait InjectionProcess {
+    /// Short name used in reports, e.g. `"bernoulli"`.
+    fn name(&self) -> &'static str;
+
+    /// The long-run average injection rate in packets/cycle/terminal.
+    fn rate(&self) -> f64;
+
+    /// Returns `true` if a packet is injected this cycle.
+    fn inject(&mut self, rng: &mut SmallRng) -> bool;
+}
+
+/// Memoryless injection: a packet is generated each cycle with fixed
+/// probability `rate` — the process used throughout the paper's
+/// evaluation.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    rate: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli process with the given injection `rate` in
+    /// packets/cycle (equivalently, fraction of terminal bandwidth).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= rate <= 1.0`.
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "injection rate {rate} outside [0, 1]"
+        );
+        Bernoulli { rate }
+    }
+}
+
+impl InjectionProcess for Bernoulli {
+    fn name(&self) -> &'static str {
+        "bernoulli"
+    }
+
+    fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    fn inject(&mut self, rng: &mut SmallRng) -> bool {
+        rng.gen_bool(self.rate)
+    }
+}
+
+/// A two-state Markov-modulated (on/off) process producing bursty
+/// traffic with the same average rate as a Bernoulli process.
+///
+/// While *on*, the terminal injects with probability `burst_rate`; while
+/// *off* it injects nothing. State flips with the given transition
+/// probabilities, giving mean burst length `1/p_off` cycles.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnOff {
+    burst_rate: f64,
+    p_on: f64,
+    p_off: f64,
+    on: bool,
+}
+
+impl OnOff {
+    /// Creates an on/off process.
+    ///
+    /// * `burst_rate` — injection probability while on.
+    /// * `p_on` — per-cycle probability of switching off → on.
+    /// * `p_off` — per-cycle probability of switching on → off.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all three probabilities are in `(0, 1]` for the
+    /// transitions and `[0, 1]` for the burst rate.
+    pub fn new(burst_rate: f64, p_on: f64, p_off: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&burst_rate),
+            "burst rate {burst_rate} outside [0, 1]"
+        );
+        assert!((0.0..=1.0).contains(&p_on) && p_on > 0.0, "bad p_on {p_on}");
+        assert!(
+            (0.0..=1.0).contains(&p_off) && p_off > 0.0,
+            "bad p_off {p_off}"
+        );
+        OnOff {
+            burst_rate,
+            p_on,
+            p_off,
+            on: false,
+        }
+    }
+
+    /// Creates an on/off process with average rate `rate` and mean burst
+    /// length `burst_len` cycles, spending half the time in each state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate > 0.5` (the on-state rate would exceed 1) or
+    /// `burst_len < 1.0`.
+    pub fn with_rate(rate: f64, burst_len: f64) -> Self {
+        assert!(rate <= 0.5, "on/off rate {rate} > 0.5 is unrealisable");
+        assert!(burst_len >= 1.0, "burst length {burst_len} < 1");
+        let p = 1.0 / burst_len;
+        OnOff::new(2.0 * rate, p, p)
+    }
+}
+
+impl InjectionProcess for OnOff {
+    fn name(&self) -> &'static str {
+        "on-off"
+    }
+
+    fn rate(&self) -> f64 {
+        let duty = self.p_on / (self.p_on + self.p_off);
+        self.burst_rate * duty
+    }
+
+    fn inject(&mut self, rng: &mut SmallRng) -> bool {
+        let flip = rng.gen_bool(if self.on { self.p_off } else { self.p_on });
+        if flip {
+            self.on = !self.on;
+        }
+        self.on && rng.gen_bool(self.burst_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_for;
+
+    #[test]
+    fn bernoulli_long_run_rate() {
+        let mut p = Bernoulli::new(0.3);
+        let mut rng = rng_for(11, 0);
+        let n = 200_000;
+        let hits = (0..n).filter(|_| p.inject(&mut rng)).count();
+        let measured = hits as f64 / n as f64;
+        assert!((measured - 0.3).abs() < 0.01, "measured {measured}");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = rng_for(0, 0);
+        let mut zero = Bernoulli::new(0.0);
+        let mut one = Bernoulli::new(1.0);
+        for _ in 0..100 {
+            assert!(!zero.inject(&mut rng));
+            assert!(one.inject(&mut rng));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bernoulli_rejects_bad_rate() {
+        Bernoulli::new(1.5);
+    }
+
+    #[test]
+    fn on_off_long_run_rate() {
+        let mut p = OnOff::with_rate(0.25, 20.0);
+        assert!((p.rate() - 0.25).abs() < 1e-12);
+        let mut rng = rng_for(13, 0);
+        let n = 400_000;
+        let hits = (0..n).filter(|_| p.inject(&mut rng)).count();
+        let measured = hits as f64 / n as f64;
+        assert!((measured - 0.25).abs() < 0.01, "measured {measured}");
+    }
+
+    #[test]
+    fn on_off_is_bursty() {
+        // Consecutive-injection probability should exceed the Bernoulli
+        // baseline at the same rate.
+        let mut p = OnOff::with_rate(0.2, 50.0);
+        let mut rng = rng_for(17, 0);
+        let mut prev = false;
+        let (mut pairs, mut after) = (0usize, 0usize);
+        for _ in 0..400_000 {
+            let now = p.inject(&mut rng);
+            if prev {
+                pairs += 1;
+                if now {
+                    after += 1;
+                }
+            }
+            prev = now;
+        }
+        let cond = after as f64 / pairs as f64;
+        assert!(cond > 0.3, "conditional rate {cond} not bursty");
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: build the paper's 72-terminal example dragonfly
+//! (Figure 5: p = h = 2, a = 4), run adaptive routing under benign
+//! traffic, and print what the network did.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dragonfly::{DragonflyParams, DragonflySim, RoutingChoice, TrafficChoice};
+
+fn main() {
+    // p terminals/router, a routers/group, h global channels/router.
+    let params = DragonflyParams::new(2, 4, 2).expect("valid parameters");
+    println!(
+        "dragonfly: N={} terminals, {} groups of {} routers, router radix {}, virtual-router radix {}",
+        params.num_terminals(),
+        params.num_groups(),
+        params.routers_per_group(),
+        params.router_radix(),
+        params.effective_radix(),
+    );
+
+    let sim = DragonflySim::new(params);
+
+    // 30% injection, uniform random traffic, the paper's hybrid UGAL.
+    let mut cfg = sim.config(0.30);
+    cfg.warmup = 1_000;
+    cfg.measure = 2_000;
+    let stats = sim.run(RoutingChoice::UgalLVcH, TrafficChoice::Uniform, cfg);
+
+    println!("\nuniform random at 0.30 offered load:");
+    println!("  accepted throughput : {:.3} flits/node/cycle", stats.accepted_rate);
+    println!(
+        "  average latency     : {:.1} cycles (min {} / max {})",
+        stats.avg_latency().unwrap_or(f64::NAN),
+        stats.latency.min,
+        stats.latency.max
+    );
+    println!(
+        "  minimally routed    : {:.1}% of packets",
+        stats.minimal_fraction().unwrap_or(0.0) * 100.0
+    );
+    let globals = stats.global_channel_loads();
+    let avg_util: f64 = globals.iter().map(|c| c.utilization).sum::<f64>() / globals.len() as f64;
+    println!(
+        "  global channels     : {} directed, average utilisation {:.2}",
+        globals.len(),
+        avg_util
+    );
+    assert!(stats.drained, "the network should be far from saturation");
+}

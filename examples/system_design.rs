@@ -1,0 +1,75 @@
+//! Capacity planning with the cost model: size a dragonfly for a target
+//! machine, then compare its bill of materials against a flattened
+//! butterfly, a folded Clos and a 3-D torus — the paper's §5 analysis as
+//! a design tool.
+//!
+//! Run with: `cargo run --release --example system_design [nodes]`
+
+use dfly_cost::{radix_for_single_global_hop, CostConfig};
+use dragonfly::DragonflyParams;
+
+fn main() {
+    let nodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16 * 1024);
+
+    println!("designing an interconnect for {nodes} nodes\n");
+
+    // Why a dragonfly at all: a flat fully-connected network would need
+    // radix ~2*sqrt(N) routers.
+    println!(
+        "single-router groups would need radix-{} parts; grouping 512-node \
+         virtual routers needs only radix-64",
+        radix_for_single_global_hop(nodes)
+    );
+
+    // The dragonfly the cost model builds (512-node groups, radix <= 64).
+    let p = 16;
+    let a = 32;
+    let h = 16;
+    let g = nodes.div_ceil(a * p).max(2);
+    if let Ok(params) = DragonflyParams::with_groups(p, a, h, g) {
+        println!(
+            "dragonfly: {} groups of {} routers -> {} terminals, diameter 3 \
+             (local-global-local), {} global channels",
+            params.num_groups(),
+            params.routers_per_group(),
+            params.num_terminals(),
+            params.num_groups() * params.global_ports_per_group() / 2,
+        );
+    }
+
+    let cfg = CostConfig::default();
+    let candidates = [
+        cfg.dragonfly(nodes),
+        cfg.flattened_butterfly(nodes),
+        cfg.folded_clos(nodes),
+        cfg.torus_3d(nodes),
+    ];
+    println!(
+        "\n{:<22} {:>8} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "topology", "$/node", "routers", "elec", "optical", "mean m", "total $"
+    );
+    let best = candidates
+        .iter()
+        .map(|c| c.per_node())
+        .fold(f64::INFINITY, f64::min);
+    for c in &candidates {
+        println!(
+            "{:<22} {:>8.1} {:>9} {:>9} {:>9} {:>8.1} {:>8.0}{}",
+            c.topology,
+            c.per_node(),
+            c.routers,
+            c.cables.electrical,
+            c.cables.optical,
+            c.cables.mean_cable_length_m(),
+            c.total(),
+            if (c.per_node() - best).abs() < 1e-9 { "  <- cheapest" } else { "" }
+        );
+    }
+    println!(
+        "\n(the cost model normalises every network to the same per-node \
+         bandwidth; see dfly-cost's documentation for the calibration)"
+    );
+}

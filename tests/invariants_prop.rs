@@ -1,0 +1,245 @@
+//! Property-based invariants across the whole stack: any valid
+//! dragonfly configuration must wire consistently, route without loss
+//! or deadlock under any routing algorithm, and respect the paper's VC
+//! ordering.
+
+use proptest::prelude::*;
+
+use dragonfly::{DragonflyParams, DragonflySim, RoutingChoice, TrafficChoice};
+
+/// Strategy over small-but-varied dragonfly parameters, including
+/// non-maximal group counts.
+fn params() -> impl Strategy<Value = DragonflyParams> {
+    (1usize..=3, 2usize..=5, 1usize..=3)
+        .prop_flat_map(|(p, a, h)| {
+            let max_g = a * h + 1;
+            (Just(p), Just(a), Just(h), 2usize..=max_g)
+        })
+        .prop_map(|(p, a, h, g)| DragonflyParams::with_groups(p, a, h, g).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The generated wiring always validates and every global slot pair
+    /// is involutive.
+    #[test]
+    fn wiring_is_consistent(params in params()) {
+        let df = dragonfly::Dragonfly::new(params);
+        let spec = df.build_spec();
+        prop_assert_eq!(spec.num_terminals(), params.num_terminals());
+        prop_assert_eq!(spec.num_routers(), params.num_routers());
+        let ah = params.global_ports_per_group();
+        for group in 0..params.num_groups() {
+            for q in 0..ah {
+                if let Some((pg, pq)) = df.global_slot_target(group, q) {
+                    prop_assert_eq!(df.global_slot_target(pg, pq), Some((group, q)));
+                    prop_assert_ne!(pg, group);
+                }
+            }
+        }
+        // Every pair of groups is connected (global diameter one).
+        let g = params.num_groups();
+        for i in 0..g {
+            for j in 0..g {
+                if i != j {
+                    prop_assert!(!df.global_slots(i, j).is_empty(),
+                        "groups {} and {} unconnected", i, j);
+                }
+            }
+        }
+    }
+
+    /// Every packet injected at light load is delivered (no loss, no
+    /// deadlock) under each routing family member, including with the
+    /// credit round-trip mechanism enabled.
+    #[test]
+    fn all_packets_delivered(params in params(), choice_idx in 0usize..7, seed in 0u64..1000) {
+        let choice = RoutingChoice::ALL[choice_idx];
+        let sim = DragonflySim::new(params);
+        let mut cfg = sim.config(0.08);
+        cfg.warmup = 100;
+        cfg.measure = 500;
+        cfg.drain_cap = 20_000;
+        cfg.seed = seed;
+        let stats = sim.run(choice, TrafficChoice::Uniform, cfg);
+        prop_assert!(stats.drained, "{} lost packets", choice.label());
+        prop_assert!(stats.latency.count > 0);
+    }
+
+    /// The adversarial pattern at a load below the Valiant bound drains
+    /// under non-minimal and adaptive routing.
+    #[test]
+    fn adversarial_drains_under_valiant(params in params(), choice_idx in 0usize..2) {
+        // Restrict to >= 3 groups so an intermediate group exists.
+        prop_assume!(params.num_groups() >= 3);
+        let choice = [RoutingChoice::Valiant, RoutingChoice::UgalG][choice_idx];
+        let sim = DragonflySim::new(params);
+        let mut cfg = sim.config(0.05);
+        cfg.warmup = 100;
+        cfg.measure = 400;
+        cfg.drain_cap = 30_000;
+        let stats = sim.run(choice, TrafficChoice::WorstCase, cfg);
+        prop_assert!(stats.drained, "{} lost packets", choice.label());
+    }
+
+    /// Accepted throughput equals offered load below saturation, for
+    /// any seed.
+    #[test]
+    fn throughput_conservation(seed in 0u64..500) {
+        let sim = DragonflySim::new(DragonflyParams::new(2, 4, 2).unwrap());
+        let mut cfg = sim.config(0.2);
+        cfg.warmup = 300;
+        cfg.measure = 1_500;
+        cfg.seed = seed;
+        let stats = sim.run(RoutingChoice::UgalLVcH, TrafficChoice::Uniform, cfg);
+        prop_assert!(stats.drained);
+        prop_assert!((stats.accepted_rate - 0.2).abs() < 0.04,
+            "accepted {}", stats.accepted_rate);
+    }
+
+    /// Latency is bounded below by the zero-load path length: injection
+    /// + at most (local, global, local) + ejection for minimal routes.
+    #[test]
+    fn latency_lower_bound(seed in 0u64..200) {
+        let sim = DragonflySim::new(DragonflyParams::new(2, 4, 2).unwrap());
+        let mut cfg = sim.config(0.05);
+        cfg.warmup = 100;
+        cfg.measure = 800;
+        cfg.seed = seed;
+        let stats = sim.run(RoutingChoice::Min, TrafficChoice::Uniform, cfg);
+        prop_assert!(stats.drained);
+        // Same-router traffic: inject (1) + eject (1).
+        prop_assert!(stats.latency.min >= 2);
+        // And nothing exceeds a generous zero-loadish cap at this load.
+        prop_assert!(stats.latency.max < 100, "max {}", stats.latency.max);
+    }
+}
+
+mod traffic_properties {
+    use super::*;
+    use dfly_traffic::{rng_for, GroupAdversarial, TrafficPattern, UniformRandom};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Destinations are always in range and never the source.
+        #[test]
+        fn uniform_destinations_valid(n in 2usize..200, src_frac in 0.0f64..1.0, seed in 0u64..99) {
+            let ur = UniformRandom::new(n);
+            let src = ((n - 1) as f64 * src_frac) as usize;
+            let mut rng = rng_for(seed, 0);
+            for _ in 0..16 {
+                let d = ur.destination(src, &mut rng);
+                prop_assert!(d < n);
+                prop_assert_ne!(d, src);
+            }
+        }
+
+        /// The adversarial pattern always targets the configured group.
+        #[test]
+        fn adversarial_group_offset(groups in 2usize..20, size in 1usize..16,
+                                    offset in 1usize..19, seed in 0u64..99) {
+            prop_assume!(offset % groups != 0);
+            let n = groups * size;
+            let wc = GroupAdversarial::new(n, size, offset);
+            let mut rng = rng_for(seed, 1);
+            for src in (0..n).step_by((n / 7).max(1)) {
+                let d = wc.destination(src, &mut rng);
+                prop_assert_eq!(d / size, (src / size + offset) % groups);
+            }
+        }
+    }
+}
+
+mod route_structure {
+    use super::*;
+    use dfly_netsim::{ChannelClass, RouteInfo};
+    use dragonfly::{trace_route, Dragonfly};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Every minimal route crosses at most one global channel — the
+        /// paper's defining property — and every Valiant route at most
+        /// two, for any configuration and endpoints.
+        #[test]
+        fn global_hop_bounds(params in params(), seed in 0u64..100) {
+            let df = Dragonfly::new(params);
+            let n = params.num_terminals();
+            let mut rng = dfly_traffic::rng_for(seed, 3);
+            use rand::Rng;
+            for _ in 0..12 {
+                let src = rng.gen_range(0..n);
+                let dest = rng.gen_range(0..n);
+                if src == dest {
+                    continue;
+                }
+                let salt: u32 = rng.gen();
+                let hops = trace_route(&df, src, dest, RouteInfo::minimal().with_salt(salt))
+                    .expect("minimal route completes");
+                let globals = hops.iter().filter(|h| h.class == ChannelClass::Global).count();
+                prop_assert!(globals <= 1, "{src}->{dest}: {globals} globals on MIN");
+
+                let gs = params.group_of_terminal(src);
+                let gd = params.group_of_terminal(dest);
+                if gs != gd && params.num_groups() >= 3 {
+                    let gi = (0..params.num_groups())
+                        .find(|&x| x != gs && x != gd)
+                        .unwrap();
+                    let hops = trace_route(
+                        &df,
+                        src,
+                        dest,
+                        RouteInfo::non_minimal(gi as u32).with_salt(salt),
+                    )
+                    .expect("valiant route completes");
+                    let globals =
+                        hops.iter().filter(|h| h.class == ChannelClass::Global).count();
+                    prop_assert!(globals <= 2, "{src}->{dest} via {gi}: {globals} globals");
+                }
+            }
+        }
+
+        /// The (channel-class, VC) rank never decreases along any route —
+        /// the acyclicity invariant behind Figure 7's deadlock freedom.
+        #[test]
+        fn vc_rank_is_monotone(params in params(), seed in 0u64..100) {
+            fn rank(class: ChannelClass, vc: usize) -> usize {
+                match class {
+                    ChannelClass::Local => 2 * vc,
+                    ChannelClass::Global => 2 * vc + 1,
+                    ChannelClass::Terminal => usize::MAX,
+                }
+            }
+            let df = Dragonfly::new(params);
+            let n = params.num_terminals();
+            let mut rng = dfly_traffic::rng_for(seed, 4);
+            use rand::Rng;
+            for _ in 0..12 {
+                let src = rng.gen_range(0..n);
+                let dest = rng.gen_range(0..n);
+                if src == dest {
+                    continue;
+                }
+                let gs = params.group_of_terminal(src);
+                let gd = params.group_of_terminal(dest);
+                let mut routes = vec![RouteInfo::minimal().with_salt(rng.gen())];
+                if gs != gd && params.num_groups() >= 3 {
+                    let gi = (0..params.num_groups())
+                        .find(|&x| x != gs && x != gd)
+                        .unwrap() as u32;
+                    routes.push(RouteInfo::non_minimal(gi).with_salt(rng.gen()));
+                }
+                for route in routes {
+                    let hops = trace_route(&df, src, dest, route).expect("route completes");
+                    let ranks: Vec<usize> =
+                        hops.iter().map(|h| rank(h.class, h.vc)).collect();
+                    for w in ranks.windows(2) {
+                        prop_assert!(w[0] <= w[1], "{src}->{dest}: ranks {ranks:?}");
+                    }
+                }
+            }
+        }
+    }
+}
