@@ -1,0 +1,61 @@
+//! Parallel experiment harness: wall time of a fig8-style load sweep
+//! executed serially vs fanned across the worker pool, plus the raw
+//! single-run hot path it is built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dragonfly::{DragonflyParams, DragonflySim, RoutingChoice, RunGrid, TrafficChoice};
+
+/// The grid behind a Figure 8 panel: every routing family member over
+/// an ascending uniform-random load sweep.
+fn fig8_grid(sim: &DragonflySim) -> RunGrid {
+    let choices = [
+        RoutingChoice::Min,
+        RoutingChoice::Valiant,
+        RoutingChoice::UgalL,
+        RoutingChoice::UgalG,
+    ];
+    let loads = [0.1, 0.2, 0.3, 0.4];
+    let mut base = sim.config(0.1);
+    base.warmup = 50;
+    base.measure = 200;
+    base.drain_cap = 2_000;
+    RunGrid::cross(&choices, &[TrafficChoice::Uniform], &loads, &base)
+}
+
+fn sweep_fanout(c: &mut Criterion) {
+    let sim = DragonflySim::new(DragonflyParams::new(4, 8, 4).unwrap());
+    let mut group = c.benchmark_group("parallel_sweep_fig8");
+    group.sample_size(10);
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut threads = vec![1usize];
+    for t in [2, 4, hw] {
+        if t > *threads.last().unwrap() {
+            threads.push(t);
+        }
+    }
+    for t in threads {
+        group.bench_with_input(BenchmarkId::new("threads", t), &t, |b, &t| {
+            b.iter(|| fig8_grid(&sim).execute_on(&sim, t));
+        });
+    }
+    group.finish();
+}
+
+fn single_run_hot_path(c: &mut Criterion) {
+    // The per-run engine the harness fans out: one UGAL-L run at
+    // moderate uniform load (dominated by phases 2-4 of the cycle
+    // loop).
+    let sim = DragonflySim::new(DragonflyParams::new(4, 8, 4).unwrap());
+    c.bench_function("single_run_ugal_l", |b| {
+        b.iter(|| {
+            let mut cfg = sim.config(0.3);
+            cfg.warmup = 50;
+            cfg.measure = 200;
+            cfg.drain_cap = 2_000;
+            sim.run(RoutingChoice::UgalL, TrafficChoice::Uniform, cfg)
+        });
+    });
+}
+
+criterion_group!(benches, sweep_fanout, single_run_hot_path);
+criterion_main!(benches);

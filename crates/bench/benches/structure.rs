@@ -9,12 +9,16 @@ use std::hint::black_box;
 fn build_dragonfly(c: &mut Criterion) {
     let mut group = c.benchmark_group("build_dragonfly");
     for (name, p, a, h) in [("1k", 4usize, 8usize, 4usize), ("16k", 8, 16, 8)] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &(p, a, h), |b, &(p, a, h)| {
-            b.iter(|| {
-                let df = Dragonfly::new(DragonflyParams::new(p, a, h).unwrap());
-                black_box(df.build_spec().num_terminals())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(p, a, h),
+            |b, &(p, a, h)| {
+                b.iter(|| {
+                    let df = Dragonfly::new(DragonflyParams::new(p, a, h).unwrap());
+                    black_box(df.build_spec().num_terminals())
+                });
+            },
+        );
     }
     group.finish();
 }

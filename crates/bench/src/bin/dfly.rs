@@ -51,7 +51,9 @@ fn params_from(flags: &HashMap<String, String>) -> Result<DragonflyParams, Strin
     };
     let (p, a, h) = (get("p")?, get("a")?, get("H")?);
     match flags.get("g") {
-        Some(g) => DragonflyParams::with_groups(p, a, h, g.parse().map_err(|e| format!("-g: {e}"))?),
+        Some(g) => {
+            DragonflyParams::with_groups(p, a, h, g.parse().map_err(|e| format!("-g: {e}"))?)
+        }
         None => DragonflyParams::new(p, a, h),
     }
 }
@@ -84,21 +86,36 @@ fn traffic_from(flags: &HashMap<String, String>) -> Result<TrafficChoice, String
 fn cmd_info(flags: &HashMap<String, String>) -> Result<(), String> {
     let params = params_from(flags)?;
     let df = dragonfly::Dragonfly::new(params);
-    println!("dragonfly p={} a={} h={} g={}", params.terminals_per_router(),
-        params.routers_per_group(), params.global_ports_per_router(), params.num_groups());
+    println!(
+        "dragonfly p={} a={} h={} g={}",
+        params.terminals_per_router(),
+        params.routers_per_group(),
+        params.global_ports_per_router(),
+        params.num_groups()
+    );
     println!("  terminals          {}", params.num_terminals());
     println!("  routers            {}", params.num_routers());
     println!("  router radix       {}", params.router_radix());
     println!("  effective radix k' {}", params.effective_radix());
-    println!("  global channels    {}",
-        params.num_groups() * (params.global_ports_per_group() - df.unused_global_ports_per_group()) / 2);
+    println!(
+        "  global channels    {}",
+        params.num_groups()
+            * (params.global_ports_per_group() - df.unused_global_ports_per_group())
+            / 2
+    );
     println!("  balanced (a=2p=2h) {}", params.is_balanced());
     println!("  diameter (hops)    {:?}", df.diameter());
-    println!("  avg hops           {:.2}", df.average_hop_count().unwrap_or(f64::NAN));
+    println!(
+        "  avg hops           {:.2}",
+        df.average_hop_count().unwrap_or(f64::NAN)
+    );
     Ok(())
 }
 
-fn sim_config(flags: &HashMap<String, String>, load: f64) -> Result<dfly_netsim::SimConfig, String> {
+fn sim_config(
+    flags: &HashMap<String, String>,
+    load: f64,
+) -> Result<dfly_netsim::SimConfig, String> {
     let mut cfg = dfly_netsim::SimConfig::paper_default(load);
     if let Some(c) = flags.get("cycles") {
         let c: u64 = c.parse().map_err(|e| format!("--cycles: {e}"))?;
@@ -126,11 +143,16 @@ fn print_stats(stats: &dfly_netsim::RunStats) {
     println!("  drained            {}", stats.drained);
     if let Some(avg) = stats.avg_latency() {
         println!("  latency avg        {avg:.1}");
-        println!("  latency p50/p95/p99  {:?} / {:?} / {:?}",
+        println!(
+            "  latency p50/p95/p99  {:?} / {:?} / {:?}",
             stats.histogram.percentile(0.50),
             stats.histogram.percentile(0.95),
-            stats.histogram.percentile(0.99));
-        println!("  latency min/max    {} / {}", stats.latency.min, stats.latency.max);
+            stats.histogram.percentile(0.99)
+        );
+        println!(
+            "  latency min/max    {} / {}",
+            stats.latency.min, stats.latency.max
+        );
     }
     if let Some(frac) = stats.minimal_fraction() {
         println!("  minimally routed   {:.1}%", frac * 100.0);
@@ -148,7 +170,12 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
         .map_err(|e| format!("--load: {e}"))?;
     let sim = DragonflySim::new(params);
     let stats = sim.run(routing, traffic, sim_config(flags, load)?);
-    println!("{} on {} traffic, N={}:", routing.label(), traffic.label(), params.num_terminals());
+    println!(
+        "{} on {} traffic, N={}:",
+        routing.label(),
+        traffic.label(),
+        params.num_terminals()
+    );
     print_stats(&stats);
     Ok(())
 }

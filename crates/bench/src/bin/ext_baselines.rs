@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use dfly_bench::Windows;
-use dfly_netsim::{RunStats, Simulation};
+use dfly_netsim::RunStats;
 use dfly_topo::{FlattenedButterfly, FoldedClos, Topology, Torus};
 use dfly_traffic::UniformRandom;
 use dragonfly::butterfly::{ButterflyNetwork, ButterflyRouting};
@@ -67,30 +67,31 @@ fn main() {
 
     println!("\n| load | dragonfly UGAL | butterfly UGAL | Clos up/down | torus DOR |");
     println!("|---|---|---|---|---|");
-    for &load in &win.thin(&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]) {
-        let cfg = win.config(load);
-        let df_stats = df.run(RoutingChoice::UgalLVcH, TrafficChoice::Uniform, cfg.clone());
-        let fb_routing = ButterflyRouting::ugal_local(fbn.clone());
-        let fb_traffic = UniformRandom::new(fb_spec.num_terminals());
-        let fb_stats = Simulation::new(&fb_spec, &fb_routing, &fb_traffic, cfg.clone())
-            .unwrap()
-            .run();
-        let clos_routing = ClosRouting::new(clos.clone());
-        let clos_traffic = UniformRandom::new(clos_spec.num_terminals());
-        let clos_stats = Simulation::new(&clos_spec, &clos_routing, &clos_traffic, cfg.clone())
-            .unwrap()
-            .run();
-        let torus_routing = TorusRouting::new(torus.clone());
-        let torus_traffic = UniformRandom::new(torus_spec.num_terminals());
-        let torus_stats = Simulation::new(&torus_spec, &torus_routing, &torus_traffic, cfg)
-            .unwrap()
-            .run();
+    let loads = win.thin(&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]);
+    let base = win.config(0.1);
+    // Each curve is one parallel load sweep on the shared engine.
+    let df_curve = df.sweep(
+        RoutingChoice::UgalLVcH,
+        TrafficChoice::Uniform,
+        &loads,
+        &base,
+    );
+    let fb_routing = ButterflyRouting::ugal_local(fbn.clone());
+    let fb_traffic = UniformRandom::new(fb_spec.num_terminals());
+    let fb_curve = fbn.sweep(&fb_routing, &fb_traffic, &loads, &base);
+    let clos_routing = ClosRouting::new(clos.clone());
+    let clos_traffic = UniformRandom::new(clos_spec.num_terminals());
+    let clos_curve = clos.sweep(&clos_routing, &clos_traffic, &loads, &base);
+    let torus_routing = TorusRouting::new(torus.clone());
+    let torus_traffic = UniformRandom::new(torus_spec.num_terminals());
+    let torus_curve = torus.sweep(&torus_routing, &torus_traffic, &loads, &base);
+    for (i, &load) in loads.iter().enumerate() {
         println!(
             "| {load:.1} | {} | {} | {} | {} |",
-            cell(&df_stats),
-            cell(&fb_stats),
-            cell(&clos_stats),
-            cell(&torus_stats),
+            cell(&df_curve[i].stats),
+            cell(&fb_curve[i].stats),
+            cell(&clos_curve[i].stats),
+            cell(&torus_curve[i].stats),
         );
     }
     println!(

@@ -1,0 +1,140 @@
+//! Engine performance baseline: times a Figure 8-equivalent load sweep
+//! serially and across the worker pool, verifies the results are bit
+//! identical, collects the engine's per-phase counters for one
+//! representative run, and writes everything to
+//! `BENCH_parallel_sweep.json` (run from the repository root).
+//!
+//! Knobs: `DFLY_THREADS` bounds the pool, `DFLY_QUICK=1` shortens the
+//! simulation windows.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dfly_bench::Windows;
+use dragonfly::parallel::configured_threads;
+use dragonfly::{RoutingChoice, RunGrid, TrafficChoice};
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let win = Windows::from_env();
+    let sim = dfly_bench::paper_network();
+
+    // The Figure 8 experiment: the four routing families of the paper
+    // swept over uniform-random load on the 1K-node network.
+    let choices = [
+        RoutingChoice::Min,
+        RoutingChoice::Valiant,
+        RoutingChoice::UgalL,
+        RoutingChoice::UgalG,
+    ];
+    let loads = win.thin(&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]);
+    let mut base = win.config(0.1);
+    base.seed = 1;
+    let grid = RunGrid::cross(&choices, &[TrafficChoice::Uniform], &loads, &base);
+
+    let threads = configured_threads();
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "perfstat: {} runs, {} thread(s) configured, {} hardware thread(s)",
+        grid.len(),
+        threads,
+        hw
+    );
+
+    let t0 = Instant::now();
+    let serial = grid.execute_serial(&sim);
+    let serial_secs = t0.elapsed().as_secs_f64();
+    eprintln!("perfstat: serial sweep {serial_secs:.3}s");
+
+    let t0 = Instant::now();
+    let parallel = grid.execute_on(&sim, threads);
+    let parallel_secs = t0.elapsed().as_secs_f64();
+    eprintln!("perfstat: parallel sweep {parallel_secs:.3}s");
+
+    let bit_identical = serial == parallel;
+    assert!(bit_identical, "parallel sweep diverged from serial sweep");
+    let speedup = serial_secs / parallel_secs.max(1e-12);
+    eprintln!("perfstat: speedup {speedup:.2}x (bit-identical: {bit_identical})");
+
+    // Single-run hot-path counters at a representative operating point.
+    let mut cfg = win.config(0.3);
+    cfg.seed = 1;
+    let (stats, perf) = sim.run_instrumented(RoutingChoice::UgalL, TrafficChoice::Uniform, cfg);
+    eprintln!(
+        "perfstat: single run {} cycles in {:.3}s ({:.0} cycles/s, {:.0} flit-hops/s)",
+        perf.cycles,
+        perf.wall.as_secs_f64(),
+        perf.cycles_per_sec(),
+        perf.flit_hops_per_sec()
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"parallel_sweep_fig8\",");
+    let _ = writeln!(
+        json,
+        "  \"network\": \"dragonfly p=4 a=8 h=4 (1056 terminals)\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"windows\": {{\"warmup\": {}, \"measure\": {}, \"drain_cap\": {}}},",
+        win.warmup, win.measure, win.drain_cap
+    );
+    let _ = writeln!(json, "  \"runs\": {},", grid.len());
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"hardware_threads\": {hw},");
+    let _ = writeln!(json, "  \"serial_secs\": {serial_secs:.6},");
+    let _ = writeln!(json, "  \"parallel_secs\": {parallel_secs:.6},");
+    let _ = writeln!(json, "  \"speedup\": {speedup:.4},");
+    let _ = writeln!(json, "  \"bit_identical\": {bit_identical},");
+    let _ = writeln!(json, "  \"single_run\": {{");
+    let _ = writeln!(
+        json,
+        "    \"routing\": \"{}\",",
+        json_escape(RoutingChoice::UgalL.label())
+    );
+    let _ = writeln!(json, "    \"traffic\": \"uniform\",");
+    let _ = writeln!(json, "    \"load\": 0.3,");
+    let _ = writeln!(json, "    \"cycles\": {},", perf.cycles);
+    let _ = writeln!(json, "    \"wall_secs\": {:.6},", perf.wall.as_secs_f64());
+    let _ = writeln!(
+        json,
+        "    \"cycles_per_sec\": {:.1},",
+        perf.cycles_per_sec()
+    );
+    let _ = writeln!(json, "    \"flit_hops\": {},", perf.flit_hops);
+    let _ = writeln!(
+        json,
+        "    \"flit_hops_per_sec\": {:.1},",
+        perf.flit_hops_per_sec()
+    );
+    let _ = writeln!(
+        json,
+        "    \"avg_latency\": {},",
+        stats
+            .avg_latency()
+            .map_or("null".to_string(), |l| format!("{l:.3}"))
+    );
+    json.push_str("    \"phase_secs\": {");
+    for (i, (name, d)) in dfly_netsim::SimPerf::PHASE_NAMES
+        .iter()
+        .zip(perf.phases.iter())
+        .enumerate()
+    {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        let _ = write!(json, "\"{name}\": {:.6}", d.as_secs_f64());
+    }
+    json.push_str("}\n");
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    let path = "BENCH_parallel_sweep.json";
+    std::fs::write(path, &json).expect("write baseline JSON");
+    eprintln!("perfstat: wrote {path}");
+    print!("{json}");
+}

@@ -8,9 +8,7 @@ use dfly_cost::{
 };
 use dragonfly::{DragonflyParams, RoutingChoice, TrafficChoice};
 
-use crate::{
-    fmt_latency, paper_network, saturation_throughput, sweep_to_saturation, SweepPoint, Windows,
-};
+use crate::{fmt_latency, paper_network, sweep_curves, CurveSpec, SweepPoint, Windows};
 
 /// The worst-case-pattern load axis of the paper's Figures 8(b)–16.
 pub const WC_LOADS: [f64; 11] = [0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55];
@@ -119,38 +117,26 @@ pub fn fig8(win: &Windows) {
         RoutingChoice::UgalG,
         RoutingChoice::UgalL,
     ];
+    let curves: Vec<CurveSpec> = algos.iter().map(|&a| CurveSpec::algo(a, 16)).collect();
     for (traffic, loads) in [
         (TrafficChoice::Uniform, &UR_LOADS[..]),
         (TrafficChoice::WorstCase, &WC_LOADS[..]),
     ] {
         let loads = win.thin(loads);
-        let series: Vec<(String, Vec<SweepPoint>)> = algos
-            .iter()
-            .map(|&a| {
-                (
-                    a.label().to_string(),
-                    sweep_to_saturation(&sim, a, traffic, &loads, win, 16),
-                )
-            })
-            .collect();
+        let (series, caps) = sweep_curves(&sim, &curves, traffic, &loads, win, true);
         print_curves(
             &format!(
                 "Figure 8({}) — latency vs load, {} traffic",
-                if traffic == TrafficChoice::Uniform { "a" } else { "b" },
+                if traffic == TrafficChoice::Uniform {
+                    "a"
+                } else {
+                    "b"
+                },
                 traffic.label()
             ),
             &loads,
             &series,
         );
-        let caps: Vec<(String, f64)> = algos
-            .iter()
-            .map(|&a| {
-                (
-                    a.label().to_string(),
-                    saturation_throughput(&sim, a, traffic, win, 16),
-                )
-            })
-            .collect();
         print_throughputs(&caps);
     }
 }
@@ -216,34 +202,21 @@ pub fn fig10(win: &Windows) {
         RoutingChoice::UgalLVcH,
         RoutingChoice::UgalG,
     ];
+    let curves: Vec<CurveSpec> = algos.iter().map(|&a| CurveSpec::algo(a, 16)).collect();
     for (traffic, loads, tag) in [
         (TrafficChoice::Uniform, &UR_LOADS[..], "a"),
         (TrafficChoice::WorstCase, &WC_LOADS[..], "b"),
     ] {
         let loads = win.thin(loads);
-        let series: Vec<(String, Vec<SweepPoint>)> = algos
-            .iter()
-            .map(|&a| {
-                (
-                    a.label().to_string(),
-                    sweep_to_saturation(&sim, a, traffic, &loads, win, 16),
-                )
-            })
-            .collect();
+        let (series, caps) = sweep_curves(&sim, &curves, traffic, &loads, win, true);
         print_curves(
-            &format!("Figure 10({tag}) — VC discrimination, {} traffic", traffic.label()),
+            &format!(
+                "Figure 10({tag}) — VC discrimination, {} traffic",
+                traffic.label()
+            ),
             &loads,
             &series,
         );
-        let caps: Vec<(String, f64)> = algos
-            .iter()
-            .map(|&a| {
-                (
-                    a.label().to_string(),
-                    saturation_throughput(&sim, a, traffic, win, 16),
-                )
-            })
-            .collect();
         print_throughputs(&caps);
     }
 }
@@ -319,23 +292,20 @@ pub fn fig14(win: &Windows) {
     let sim = paper_network();
     let depths = [4usize, 8, 16, 32, 64];
     let loads = win.thin(&WC_LOADS);
-    let series: Vec<(String, Vec<SweepPoint>)> = depths
+    let curves: Vec<CurveSpec> = depths
         .iter()
-        .map(|&d| {
-            (
-                format!("buf {d}"),
-                sweep_to_saturation(
-                    &sim,
-                    RoutingChoice::UgalL,
-                    TrafficChoice::WorstCase,
-                    &loads,
-                    win,
-                    d,
-                ),
-            )
+        .map(|&d| CurveSpec {
+            label: format!("buf {d}"),
+            choice: RoutingChoice::UgalL,
+            buffer_depth: d,
         })
         .collect();
-    print_curves("Figure 14 — UGAL-L WC latency vs load by buffer depth", &loads, &series);
+    let (series, _) = sweep_curves(&sim, &curves, TrafficChoice::WorstCase, &loads, win, false);
+    print_curves(
+        "Figure 14 — UGAL-L WC latency vs load by buffer depth",
+        &loads,
+        &series,
+    );
 }
 
 /// Figure 16: UGAL-L_CR vs UGAL-L_VCH vs UGAL-G on WC (a,b) and UR
@@ -353,15 +323,9 @@ pub fn fig16(win: &Windows) {
     ] {
         for (buffers, tag) in [(16usize, tags[0]), (256, tags[1])] {
             let loads = win.thin(loads);
-            let series: Vec<(String, Vec<SweepPoint>)> = algos
-                .iter()
-                .map(|&a| {
-                    (
-                        a.label().to_string(),
-                        sweep_to_saturation(&sim, a, traffic, &loads, win, buffers),
-                    )
-                })
-                .collect();
+            let curves: Vec<CurveSpec> =
+                algos.iter().map(|&a| CurveSpec::algo(a, buffers)).collect();
+            let (series, _) = sweep_curves(&sim, &curves, traffic, &loads, win, false);
             print_curves(
                 &format!(
                     "Figure 16({tag}) — credit round trip, {} traffic, buffers {buffers}",
@@ -394,7 +358,9 @@ pub fn tab2() {
     }
     let params = DragonflyParams::with_groups(16, 32, 8, 32).expect("valid");
     let (avg_e, max_e) = dragonfly_cable_lengths_in_e(params, 128);
-    println!("Measured dragonfly global cables on a square floor: avg {avg_e:.2}E, max {max_e:.2}E");
+    println!(
+        "Measured dragonfly global cables on a square floor: avg {avg_e:.2}E, max {max_e:.2}E"
+    );
 
     let cs = case_study_64k();
     println!("\n## Figure 18 — 64K-node case study");
@@ -402,7 +368,10 @@ pub fn tab2() {
     println!("|---|---|---|");
     println!("| terminals | {} | {} |", cs.terminals.0, cs.terminals.1);
     println!("| router radix | {} | {} |", cs.radix.0, cs.radix.1);
-    println!("| global cables | {} | {} |", cs.global_cables.0, cs.global_cables.1);
+    println!(
+        "| global cables | {} | {} |",
+        cs.global_cables.0, cs.global_cables.1
+    );
     println!(
         "| global port fraction | {:.2} | {:.2} |",
         cs.global_port_fraction.0, cs.global_port_fraction.1

@@ -8,7 +8,7 @@
 //! sweeps while iterating.
 
 use dfly_netsim::{RunStats, SimConfig};
-use dragonfly::{DragonflyParams, DragonflySim, RoutingChoice, TrafficChoice};
+use dragonfly::{DragonflyParams, DragonflySim, RoutingChoice, RunGrid, RunPlan, TrafficChoice};
 
 pub mod figures;
 
@@ -126,6 +126,87 @@ pub fn sweep_to_saturation(
         }
     }
     out
+}
+
+/// One latency-load curve to compute: a routing choice at a buffer
+/// depth, labelled for the table header.
+#[derive(Debug, Clone)]
+pub struct CurveSpec {
+    /// Column label.
+    pub label: String,
+    /// Routing algorithm.
+    pub choice: RoutingChoice,
+    /// Input buffer depth in flits.
+    pub buffer_depth: usize,
+}
+
+impl CurveSpec {
+    /// A curve for `choice` at `buffer_depth`, labelled with the
+    /// routing's paper label.
+    pub fn algo(choice: RoutingChoice, buffer_depth: usize) -> Self {
+        CurveSpec {
+            label: choice.label().to_string(),
+            choice,
+            buffer_depth,
+        }
+    }
+}
+
+/// A labelled latency-load curve.
+pub type Curve = (String, Vec<SweepPoint>);
+/// A labelled saturation throughput.
+pub type Throughput = (String, f64);
+
+/// Computes several latency-load curves — and, when `saturation` is
+/// set, their saturation throughputs — as one flat batch of
+/// independent runs fanned out across the worker pool.
+///
+/// Each curve is truncated one point past its first saturated load,
+/// exactly like a serial [`sweep_to_saturation`] (the extra speculated
+/// points are discarded), so the output is identical to the serial
+/// path regardless of thread count. Thread budget comes from
+/// `DFLY_THREADS` (see [`dragonfly::parallel::configured_threads`]).
+pub fn sweep_curves(
+    sim: &DragonflySim,
+    curves: &[CurveSpec],
+    traffic: TrafficChoice,
+    loads: &[f64],
+    win: &Windows,
+    saturation: bool,
+) -> (Vec<Curve>, Vec<Throughput>) {
+    let mut grid = RunGrid::new();
+    for curve in curves {
+        for &load in loads {
+            let mut cfg = win.config(load).with_buffer_depth(curve.buffer_depth);
+            cfg.seed = 1;
+            grid.push(RunPlan::new(curve.choice, traffic, cfg));
+        }
+        if saturation {
+            let mut cfg = win.config(1.0).with_buffer_depth(curve.buffer_depth);
+            cfg.drain_cap = 0;
+            grid.push(RunPlan::new(curve.choice, traffic, cfg));
+        }
+    }
+    let mut results = grid.execute(sim).into_iter();
+    let mut series = Vec::with_capacity(curves.len());
+    let mut caps = Vec::new();
+    for curve in curves {
+        let mut points = Vec::new();
+        let mut saturated = false;
+        for &load in loads {
+            let stats = results.next().expect("one result per plan");
+            if !saturated {
+                saturated = !stats.drained;
+                points.push(SweepPoint { load, stats });
+            }
+        }
+        series.push((curve.label.clone(), points));
+        if saturation {
+            let stats = results.next().expect("one result per plan");
+            caps.push((curve.label.clone(), stats.accepted_rate));
+        }
+    }
+    (series, caps)
 }
 
 /// Measures accepted throughput at an offered load of 1.0 (saturation

@@ -33,7 +33,10 @@ pub struct ThroughputBounds {
 pub fn group_offset_bounds(df: &Dragonfly, offset: usize) -> ThroughputBounds {
     let params = df.params();
     let g = params.num_groups();
-    assert!(!offset.is_multiple_of(g), "offset {offset} maps groups onto themselves");
+    assert!(
+        !offset.is_multiple_of(g),
+        "offset {offset} maps groups onto themselves"
+    );
     let ap = (params.routers_per_group() * params.terminals_per_router()) as f64;
 
     // Minimal: all of group i's traffic (ap·r flits/cycle) crosses the
@@ -47,8 +50,7 @@ pub fn group_offset_bounds(df: &Dragonfly, offset: usize) -> ThroughputBounds {
     // Valiant: each packet crosses two global channels; a group's
     // outgoing demand of ap·r spreads over its wired global ports on the
     // way out, and again on the way in at the intermediate group.
-    let wired =
-        (params.global_ports_per_group() - df.unused_global_ports_per_group()) as f64;
+    let wired = (params.global_ports_per_group() - df.unused_global_ports_per_group()) as f64;
     let valiant = (wired / (2.0 * ap)).min(1.0);
 
     ThroughputBounds { minimal, valiant }
@@ -67,8 +69,7 @@ pub fn uniform_bounds(df: &Dragonfly) -> ThroughputBounds {
     let a = params.routers_per_group() as f64;
     let p = params.terminals_per_router() as f64;
     let ap = a * p;
-    let wired =
-        (params.global_ports_per_group() - df.unused_global_ports_per_group()) as f64;
+    let wired = (params.global_ports_per_group() - df.unused_global_ports_per_group()) as f64;
     let inter = (g - 1.0) / g;
 
     // Global channels: demand ap·r·inter spread over `wired` ports.

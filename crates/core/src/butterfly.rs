@@ -158,6 +158,19 @@ impl ButterflyNetwork {
         }
         NetworkSpec::validated(routers, 2).expect("butterfly wiring must validate")
     }
+
+    /// Load sweep under `routing` and `pattern`: one independent run
+    /// per load, fanned out across the worker pool (results in load
+    /// order, bit-identical to a serial sweep).
+    pub fn sweep(
+        &self,
+        routing: &ButterflyRouting,
+        pattern: &(dyn dfly_traffic::TrafficPattern + Sync),
+        loads: &[f64],
+        base: &dfly_netsim::SimConfig,
+    ) -> Vec<crate::LoadPoint> {
+        crate::parallel::sweep_network(&self.build_spec(), routing, pattern, loads, base)
+    }
 }
 
 /// Which decision rule drives the butterfly.
@@ -227,13 +240,7 @@ impl RoutingAlgorithm for ButterflyRouting {
         }
     }
 
-    fn inject(
-        &self,
-        view: &NetView<'_>,
-        src: usize,
-        dest: usize,
-        rng: &mut SmallRng,
-    ) -> RouteInfo {
+    fn inject(&self, view: &NetView<'_>, src: usize, dest: usize, rng: &mut SmallRng) -> RouteInfo {
         let c = self.net.fb.concentration();
         let rs = src / c;
         let rd = dest / c;
@@ -380,10 +387,7 @@ mod tests {
             .unwrap()
             .run();
         assert!(s_min.drained && s_ugal.drained);
-        let (a, b) = (
-            s_min.avg_latency().unwrap(),
-            s_ugal.avg_latency().unwrap(),
-        );
+        let (a, b) = (s_min.avg_latency().unwrap(), s_ugal.avg_latency().unwrap());
         assert!((a - b).abs() < 3.0, "MIN {a} vs UGAL {b}");
     }
 

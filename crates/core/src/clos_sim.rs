@@ -153,7 +153,11 @@ impl ClosNetwork {
             }
         }
         // Terminals on the leaves.
-        for (leaf, router) in routers.iter_mut().enumerate().take(self.clos.switches_at(0)) {
+        for (leaf, router) in routers
+            .iter_mut()
+            .enumerate()
+            .take(self.clos.switches_at(0))
+        {
             for t in 0..half {
                 router.ports[t] = PortSpec {
                     conn: Connection::Terminal {
@@ -207,6 +211,19 @@ impl ClosNetwork {
             }
         }
         NetworkSpec::validated(routers, 1).expect("folded Clos wiring must validate")
+    }
+
+    /// Load sweep under `routing` and `pattern`: one independent run
+    /// per load, fanned out across the worker pool (results in load
+    /// order, bit-identical to a serial sweep).
+    pub fn sweep(
+        &self,
+        routing: &ClosRouting,
+        pattern: &(dyn dfly_traffic::TrafficPattern + Sync),
+        loads: &[f64],
+        base: &dfly_netsim::SimConfig,
+    ) -> Vec<crate::LoadPoint> {
+        crate::parallel::sweep_network(&self.build_spec(), routing, pattern, loads, base)
     }
 }
 
@@ -372,7 +389,10 @@ mod tests {
         let stats = Simulation::new(&spec, &routing, &pattern, fast_cfg(0.6))
             .unwrap()
             .run();
-        assert!(stats.drained, "fat tree should sustain 0.6 on a permutation");
+        assert!(
+            stats.drained,
+            "fat tree should sustain 0.6 on a permutation"
+        );
     }
 
     #[test]

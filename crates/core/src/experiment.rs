@@ -3,7 +3,9 @@
 
 use std::sync::Arc;
 
-use dfly_netsim::{CreditMode, NetworkSpec, RoutingAlgorithm, RunStats, SimConfig, Simulation};
+use dfly_netsim::{
+    CreditMode, NetworkSpec, RoutingAlgorithm, RunStats, SimConfig, SimPerf, Simulation,
+};
 use dfly_traffic::{GroupAdversarial, Permutation, TrafficPattern, UniformRandom};
 
 use crate::routing::{MinimalRouting, UgalRouting, UgalVariant, ValiantRouting};
@@ -67,12 +69,8 @@ impl RoutingChoice {
             RoutingChoice::Valiant => Box::new(ValiantRouting::new(df)),
             RoutingChoice::UgalL => Box::new(UgalRouting::new(df, UgalVariant::Local)),
             RoutingChoice::UgalLVc => Box::new(UgalRouting::new(df, UgalVariant::LocalVc)),
-            RoutingChoice::UgalLVcH => {
-                Box::new(UgalRouting::new(df, UgalVariant::LocalVcHybrid))
-            }
-            RoutingChoice::UgalLCr => {
-                Box::new(UgalRouting::new(df, UgalVariant::CreditRoundTrip))
-            }
+            RoutingChoice::UgalLVcH => Box::new(UgalRouting::new(df, UgalVariant::LocalVcHybrid)),
+            RoutingChoice::UgalLCr => Box::new(UgalRouting::new(df, UgalVariant::CreditRoundTrip)),
             RoutingChoice::UgalG => Box::new(UgalRouting::new(df, UgalVariant::Global)),
         }
     }
@@ -200,7 +198,12 @@ impl DragonflySim {
     /// For [`RoutingChoice::UgalLCr`] the credit round-trip mechanism is
     /// switched on automatically unless the configuration already
     /// selects a round-trip mode.
-    pub fn run(&self, choice: RoutingChoice, traffic: TrafficChoice, mut cfg: SimConfig) -> RunStats {
+    pub fn run(
+        &self,
+        choice: RoutingChoice,
+        traffic: TrafficChoice,
+        mut cfg: SimConfig,
+    ) -> RunStats {
         if choice.needs_round_trip_credits() && cfg.credit_mode == CreditMode::Conventional {
             cfg.credit_mode = CreditMode::round_trip();
         }
@@ -208,10 +211,32 @@ impl DragonflySim {
         let pattern = traffic.build(self.df.params());
         Simulation::new(&self.spec, algo.as_ref(), pattern.as_ref(), cfg)
             .expect("harness-built simulation must be valid")
-            .run()
+            .finish()
+    }
+
+    /// Like [`DragonflySim::run`], but also returns the engine's
+    /// phase-level performance counters (see [`SimPerf`]).
+    pub fn run_instrumented(
+        &self,
+        choice: RoutingChoice,
+        traffic: TrafficChoice,
+        mut cfg: SimConfig,
+    ) -> (RunStats, SimPerf) {
+        if choice.needs_round_trip_credits() && cfg.credit_mode == CreditMode::Conventional {
+            cfg.credit_mode = CreditMode::round_trip();
+        }
+        let algo = choice.build(self.df.clone());
+        let pattern = traffic.build(self.df.params());
+        Simulation::new(&self.spec, algo.as_ref(), pattern.as_ref(), cfg)
+            .expect("harness-built simulation must be valid")
+            .run_instrumented()
     }
 
     /// Runs a load sweep, returning one [`LoadPoint`] per load.
+    ///
+    /// The points are independent runs, so they fan out across the
+    /// worker pool (see [`crate::parallel::configured_threads`]); the
+    /// results are bit-identical to a serial sweep and in load order.
     ///
     /// Sweeps continue past saturated points (the paper's throughput
     /// plots need them); use [`LoadPoint::latency`] to get `None` at
@@ -223,16 +248,11 @@ impl DragonflySim {
         loads: &[f64],
         base: &SimConfig,
     ) -> Vec<LoadPoint> {
+        let grid = crate::parallel::RunGrid::load_sweep(choice, traffic, loads, base);
         loads
             .iter()
-            .map(|&load| {
-                let mut cfg = base.clone();
-                cfg.injection = dfly_netsim::InjectionKind::Bernoulli { rate: load };
-                LoadPoint {
-                    load,
-                    stats: self.run(choice, traffic, cfg),
-                }
-            })
+            .zip(grid.execute(self))
+            .map(|(&load, stats)| LoadPoint { load, stats })
             .collect()
     }
 
@@ -308,17 +328,18 @@ mod tests {
     #[test]
     fn ugal_g_matches_min_on_uniform_low_load() {
         let sim = tiny();
-        let s_min = sim.run(RoutingChoice::Min, TrafficChoice::Uniform, fast_cfg(&sim, 0.3));
+        let s_min = sim.run(
+            RoutingChoice::Min,
+            TrafficChoice::Uniform,
+            fast_cfg(&sim, 0.3),
+        );
         let s_ugal = sim.run(
             RoutingChoice::UgalG,
             TrafficChoice::Uniform,
             fast_cfg(&sim, 0.3),
         );
         assert!(s_min.drained && s_ugal.drained);
-        let (a, b) = (
-            s_min.avg_latency().unwrap(),
-            s_ugal.avg_latency().unwrap(),
-        );
+        let (a, b) = (s_min.avg_latency().unwrap(), s_ugal.avg_latency().unwrap());
         assert!((a - b).abs() < 3.0, "MIN {a} vs UGAL-G {b}");
         // UGAL-G routes predominantly minimally on benign traffic.
         assert!(s_ugal.minimal_fraction().unwrap() > 0.8);
@@ -352,7 +373,10 @@ mod tests {
             );
         }
         assert_eq!(TrafficChoice::WorstCase.label(), "WC");
-        assert_eq!(TrafficChoice::RandomPermutation { seed: 1 }.label(), "permutation");
+        assert_eq!(
+            TrafficChoice::RandomPermutation { seed: 1 }.label(),
+            "permutation"
+        );
     }
 
     #[test]

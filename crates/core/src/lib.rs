@@ -44,12 +44,16 @@ pub mod analysis;
 pub mod butterfly;
 pub mod clos_sim;
 mod experiment;
-pub mod torus_sim;
+pub mod parallel;
 mod params;
 mod routing;
 mod topology;
+pub mod torus_sim;
 
 pub use experiment::{DragonflySim, LoadPoint, RoutingChoice, TrafficChoice};
+pub use parallel::{RunGrid, RunPlan};
 pub use params::DragonflyParams;
-pub use routing::{trace_route, MinimalRouting, TraceHop, UgalRouting, UgalVariant, ValiantRouting};
+pub use routing::{
+    trace_route, MinimalRouting, TraceHop, UgalRouting, UgalVariant, ValiantRouting,
+};
 pub use topology::{ChannelLatencies, Dragonfly, GroupTopology};

@@ -1,0 +1,306 @@
+//! Parallel experiment fan-out: plan a grid of independent simulation
+//! runs and execute them across a bounded thread pool.
+//!
+//! Every run of the engine is self-contained — it builds its own
+//! routing tables, traffic pattern and per-terminal RNG streams from
+//! `SimConfig::seed` — so runs at different `(routing, traffic, load)`
+//! points share nothing mutable and can execute in any order on any
+//! thread. [`RunGrid::execute`] exploits that: results are **bit
+//! identical** to [`RunGrid::execute_serial`] and come back in plan
+//! order, regardless of the thread count or scheduling.
+//!
+//! The pool is bounded by the `DFLY_THREADS` environment variable when
+//! set (a positive integer), falling back to the machine's available
+//! parallelism. `DFLY_THREADS=1` forces serial execution.
+
+use dfly_netsim::{InjectionKind, NetworkSpec, RoutingAlgorithm, RunStats, SimConfig, Simulation};
+use dfly_traffic::TrafficPattern;
+use rayon::prelude::*;
+
+use crate::experiment::{DragonflySim, LoadPoint, RoutingChoice, TrafficChoice};
+
+/// Thread budget for parallel execution: `DFLY_THREADS` when set to a
+/// positive integer, otherwise the machine's available parallelism.
+pub fn configured_threads() -> usize {
+    std::env::var("DFLY_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Maps `f` over `items` on a pool of [`configured_threads`] workers
+/// (capped at the item count), preserving input order. With one thread
+/// or one item this degenerates to a plain serial map.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_on(items, configured_threads(), f)
+}
+
+/// [`parallel_map`] with an explicit thread bound.
+pub fn parallel_map_on<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.min(items.len()).max(1);
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool construction cannot fail");
+    pool.install(|| items.par_iter().map(&f).collect())
+}
+
+/// Sweeps a generic network over `loads`, one independent run per load,
+/// fanned out across the worker pool. Results come back in load order
+/// and match a serial sweep bit for bit.
+pub fn sweep_network(
+    spec: &NetworkSpec,
+    routing: &(dyn RoutingAlgorithm + Sync),
+    pattern: &(dyn TrafficPattern + Sync),
+    loads: &[f64],
+    base: &SimConfig,
+) -> Vec<LoadPoint> {
+    let stats = parallel_map(loads, |&load| {
+        let mut cfg = base.clone();
+        cfg.injection = InjectionKind::Bernoulli { rate: load };
+        Simulation::new(spec, routing, pattern, cfg)
+            .expect("sweep configuration must be valid")
+            .finish()
+    });
+    loads
+        .iter()
+        .zip(stats)
+        .map(|(&load, stats)| LoadPoint { load, stats })
+        .collect()
+}
+
+/// One planned simulation run: a routing choice, a traffic pattern and
+/// a full configuration (load, windows, seed, credit mode).
+#[derive(Debug, Clone)]
+pub struct RunPlan {
+    /// Routing algorithm for this run.
+    pub routing: RoutingChoice,
+    /// Traffic pattern for this run.
+    pub traffic: TrafficChoice,
+    /// Complete run configuration.
+    pub cfg: SimConfig,
+}
+
+impl RunPlan {
+    /// A plan running `routing` under `traffic` with `cfg` as-is.
+    pub fn new(routing: RoutingChoice, traffic: TrafficChoice, cfg: SimConfig) -> Self {
+        RunPlan {
+            routing,
+            traffic,
+            cfg,
+        }
+    }
+
+    /// A plan at a specific offered load, overriding `base`'s injection
+    /// rate (Bernoulli injection, as in the paper's sweeps).
+    pub fn at_load(
+        routing: RoutingChoice,
+        traffic: TrafficChoice,
+        base: &SimConfig,
+        load: f64,
+    ) -> Self {
+        let mut cfg = base.clone();
+        cfg.injection = InjectionKind::Bernoulli { rate: load };
+        RunPlan::new(routing, traffic, cfg)
+    }
+
+    /// The plan's injection rate (packets/terminal/cycle).
+    pub fn load(&self) -> f64 {
+        self.cfg.injection.rate()
+    }
+}
+
+/// An ordered collection of independent [`RunPlan`]s — typically the
+/// cross product of routing choices, traffic patterns and offered loads
+/// behind one figure — executable serially or across a thread pool with
+/// identical results.
+#[derive(Debug, Clone, Default)]
+pub struct RunGrid {
+    plans: Vec<RunPlan>,
+}
+
+impl RunGrid {
+    /// An empty grid.
+    pub fn new() -> Self {
+        RunGrid::default()
+    }
+
+    /// Appends one plan.
+    pub fn push(&mut self, plan: RunPlan) -> &mut Self {
+        self.plans.push(plan);
+        self
+    }
+
+    /// A load sweep for one `(routing, traffic)` pair: one plan per
+    /// entry of `loads`, in order.
+    pub fn load_sweep(
+        routing: RoutingChoice,
+        traffic: TrafficChoice,
+        loads: &[f64],
+        base: &SimConfig,
+    ) -> Self {
+        let plans = loads
+            .iter()
+            .map(|&load| RunPlan::at_load(routing, traffic, base, load))
+            .collect();
+        RunGrid { plans }
+    }
+
+    /// The full cross product `routings × traffics × loads`, ordered
+    /// with loads innermost (matching nested serial loops).
+    pub fn cross(
+        routings: &[RoutingChoice],
+        traffics: &[TrafficChoice],
+        loads: &[f64],
+        base: &SimConfig,
+    ) -> Self {
+        let mut grid = RunGrid::new();
+        for &routing in routings {
+            for &traffic in traffics {
+                for &load in loads {
+                    grid.push(RunPlan::at_load(routing, traffic, base, load));
+                }
+            }
+        }
+        grid
+    }
+
+    /// The planned runs, in execution (= result) order.
+    pub fn plans(&self) -> &[RunPlan] {
+        &self.plans
+    }
+
+    /// Number of planned runs.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Whether the grid holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Executes every plan against `sim` across the configured thread
+    /// pool (see [`configured_threads`]); results are in plan order and
+    /// bit-identical to [`RunGrid::execute_serial`].
+    pub fn execute(&self, sim: &DragonflySim) -> Vec<RunStats> {
+        self.execute_on(sim, configured_threads())
+    }
+
+    /// [`RunGrid::execute`] with an explicit thread bound.
+    pub fn execute_on(&self, sim: &DragonflySim, threads: usize) -> Vec<RunStats> {
+        parallel_map_on(&self.plans, threads, |plan| {
+            sim.run(plan.routing, plan.traffic, plan.cfg.clone())
+        })
+    }
+
+    /// Executes every plan on the calling thread, in order.
+    pub fn execute_serial(&self, sim: &DragonflySim) -> Vec<RunStats> {
+        self.execute_on(sim, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DragonflyParams;
+
+    fn tiny() -> DragonflySim {
+        DragonflySim::new(DragonflyParams::new(2, 4, 2).unwrap())
+    }
+
+    fn fast_cfg(sim: &DragonflySim, load: f64) -> SimConfig {
+        let mut cfg = sim.config(load);
+        cfg.warmup = 200;
+        cfg.measure = 600;
+        cfg.drain_cap = 20_000;
+        cfg
+    }
+
+    #[test]
+    fn cross_orders_loads_innermost() {
+        let sim = tiny();
+        let base = fast_cfg(&sim, 0.0);
+        let grid = RunGrid::cross(
+            &[RoutingChoice::Min, RoutingChoice::Valiant],
+            &[TrafficChoice::Uniform],
+            &[0.1, 0.2],
+            &base,
+        );
+        assert_eq!(grid.len(), 4);
+        let summary: Vec<(RoutingChoice, f64)> =
+            grid.plans().iter().map(|p| (p.routing, p.load())).collect();
+        assert_eq!(
+            summary,
+            vec![
+                (RoutingChoice::Min, 0.1),
+                (RoutingChoice::Min, 0.2),
+                (RoutingChoice::Valiant, 0.1),
+                (RoutingChoice::Valiant, 0.2),
+            ]
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let sim = tiny();
+        let base = fast_cfg(&sim, 0.0);
+        let grid = RunGrid::cross(
+            &[RoutingChoice::Min, RoutingChoice::UgalLVcH],
+            &[TrafficChoice::Uniform, TrafficChoice::WorstCase],
+            &[0.1, 0.3],
+            &base,
+        );
+        let serial = grid.execute_serial(&sim);
+        let parallel = grid.execute_on(&sim, 4);
+        assert_eq!(serial.len(), grid.len());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..37).collect();
+        let doubled = parallel_map_on(&items, 4, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        // Degenerate cases: empty input and single thread.
+        assert!(parallel_map_on(&[] as &[u64], 4, |&x| x).is_empty());
+        assert_eq!(parallel_map_on(&items, 1, |&x| x + 1)[36], 37);
+    }
+
+    #[test]
+    fn sweep_network_matches_dragonfly_sweep() {
+        let sim = tiny();
+        let base = fast_cfg(&sim, 0.0);
+        let loads = [0.1, 0.25];
+        let by_grid = sim.sweep(RoutingChoice::Min, TrafficChoice::Uniform, &loads, &base);
+        let algo_df = std::sync::Arc::new(crate::topology::Dragonfly::new(
+            DragonflyParams::new(2, 4, 2).unwrap(),
+        ));
+        let routing = crate::routing::MinimalRouting::new(algo_df);
+        let pattern = dfly_traffic::UniformRandom::new(sim.spec().num_terminals());
+        let generic = sweep_network(sim.spec(), &routing, &pattern, &loads, &base);
+        assert_eq!(by_grid.len(), generic.len());
+        for (a, b) in by_grid.iter().zip(&generic) {
+            assert_eq!(a.load, b.load);
+            assert_eq!(a.stats, b.stats);
+        }
+    }
+}

@@ -79,8 +79,10 @@ fn route_flit(df: &Dragonfly, router: usize, flit: &Flit) -> PortVc {
     let (target_group, leg) = match flit.route.class {
         RouteClass::Minimal => (gd, 0),
         RouteClass::NonMinimal => {
-            let gi = flit.route.intermediate.expect("non-minimal flit without intermediate")
-                as usize;
+            let gi = flit
+                .route
+                .intermediate
+                .expect("non-minimal flit without intermediate") as usize;
             if gr == gi {
                 (gd, 1)
             } else {
@@ -455,13 +457,7 @@ impl RoutingAlgorithm for UgalRouting {
         }
     }
 
-    fn inject(
-        &self,
-        view: &NetView<'_>,
-        src: usize,
-        dest: usize,
-        rng: &mut SmallRng,
-    ) -> RouteInfo {
+    fn inject(&self, view: &NetView<'_>, src: usize, dest: usize, rng: &mut SmallRng) -> RouteInfo {
         let df = &self.df;
         let params = df.params();
         let rs = params.router_of_terminal(src);

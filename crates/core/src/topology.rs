@@ -156,7 +156,12 @@ impl Dragonfly {
         if !(taper > 0.0 && taper <= 1.0) {
             return Err(format!("taper {taper} outside (0, 1]"));
         }
-        let df = Self::build(params, vec![params.routers_per_group()], ChannelLatencies::default(), taper);
+        let df = Self::build(
+            params,
+            vec![params.routers_per_group()],
+            ChannelLatencies::default(),
+            taper,
+        );
         let g = params.num_groups();
         for i in 0..g {
             for j in 0..g {
@@ -268,7 +273,9 @@ impl Dragonfly {
     /// [`DragonflyParams::router_radix`] for complete groups and is
     /// smaller for multi-dimensional groups — the §3.2 trade.
     pub fn router_radix(&self) -> usize {
-        self.params.terminals_per_router() + self.local_ports + self.params.global_ports_per_router()
+        self.params.terminals_per_router()
+            + self.local_ports
+            + self.params.global_ports_per_router()
     }
 
     /// Global ports per group the construction left unused (non-zero
@@ -742,11 +749,7 @@ mod tests {
         let tapered = Dragonfly::with_taper(params, 0.5).unwrap();
         let count = |df: &Dragonfly| {
             (0..5)
-                .map(|i| {
-                    (0..5)
-                        .map(|j| df.global_slots(i, j).len())
-                        .sum::<usize>()
-                })
+                .map(|i| (0..5).map(|j| df.global_slots(i, j).len()).sum::<usize>())
                 .sum::<usize>()
         };
         assert_eq!(count(&tapered) * 2, count(&full));

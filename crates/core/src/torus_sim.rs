@@ -141,6 +141,19 @@ impl TorusNetwork {
         }
         NetworkSpec::validated(routers, 2).expect("torus wiring must validate")
     }
+
+    /// Load sweep under `routing` and `pattern`: one independent run
+    /// per load, fanned out across the worker pool (results in load
+    /// order, bit-identical to a serial sweep).
+    pub fn sweep(
+        &self,
+        routing: &TorusRouting,
+        pattern: &(dyn dfly_traffic::TrafficPattern + Sync),
+        loads: &[f64],
+        base: &dfly_netsim::SimConfig,
+    ) -> Vec<crate::LoadPoint> {
+        crate::parallel::sweep_network(&self.build_spec(), routing, pattern, loads, base)
+    }
 }
 
 /// Deterministic shortest-way dimension-order routing with dateline VCs.
@@ -189,9 +202,9 @@ impl RoutingAlgorithm for TorusRouting {
         let (x, y) = (ca[dim], cb[dim]);
         let forward = (y + k - x) % k;
         let plus = forward <= k - forward; // ties travel +
-        // Dateline rule: while the remaining travel must wrap past the
-        // dateline (next to node 0), stay on VC0; afterwards (or if no
-        // wrap is needed) use VC1.
+                                           // Dateline rule: while the remaining travel must wrap past the
+                                           // dateline (next to node 0), stay on VC0; afterwards (or if no
+                                           // wrap is needed) use VC1.
         let will_wrap = if plus { x > y } else { x < y };
         let vc = if will_wrap { 0 } else { 1 };
         PortVc::new(self.net.dir_port(dim, plus), vc)
@@ -346,10 +359,7 @@ mod tests {
                         }
                         Connection::Router { router, .. } => {
                             if started {
-                                assert!(
-                                    pv.vc >= prev_vc,
-                                    "{src}->{dest}: VC regressed at {at}"
-                                );
+                                assert!(pv.vc >= prev_vc, "{src}->{dest}: VC regressed at {at}");
                             }
                             started = true;
                             prev_vc = pv.vc;

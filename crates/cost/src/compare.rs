@@ -48,15 +48,27 @@ pub fn table2() -> [Table2Row; 2] {
     [
         Table2Row {
             topology: "flattened butterfly",
-            minimal_diameter: HopExpr { local: 1, global: 2 },
-            non_minimal_diameter: HopExpr { local: 2, global: 4 },
+            minimal_diameter: HopExpr {
+                local: 1,
+                global: 2,
+            },
+            non_minimal_diameter: HopExpr {
+                local: 2,
+                global: 4,
+            },
             avg_cable_length_e: 1.0 / 3.0,
             max_cable_length_e: 1.0,
         },
         Table2Row {
             topology: "dragonfly",
-            minimal_diameter: HopExpr { local: 2, global: 1 },
-            non_minimal_diameter: HopExpr { local: 3, global: 2 },
+            minimal_diameter: HopExpr {
+                local: 2,
+                global: 1,
+            },
+            non_minimal_diameter: HopExpr {
+                local: 3,
+                global: 2,
+            },
             avg_cable_length_e: 2.0 / 3.0,
             max_cable_length_e: 2.0,
         },
@@ -96,7 +108,8 @@ pub fn case_study_64k() -> CaseStudy64K {
 
     // Dragonfly: all inter-group channels are global.
     let ah = params.global_ports_per_group();
-    let df_global = params.num_groups() * ah / 2 - params.num_groups() * df.unused_global_ports_per_group() / 2;
+    let df_global =
+        params.num_groups() * ah / 2 - params.num_groups() * df.unused_global_ports_per_group() / 2;
     let df_global_ports = params.global_ports_per_router();
 
     CaseStudy64K {
@@ -113,7 +126,10 @@ pub fn case_study_64k() -> CaseStudy64K {
 /// Empirically measures average and maximum *global* cable length (as
 /// fractions of the floor extent `E`) for a dragonfly on a square
 /// floorplan — validating the Table 2 length model.
-pub fn dragonfly_cable_lengths_in_e(params: DragonflyParams, nodes_per_cabinet: usize) -> (f64, f64) {
+pub fn dragonfly_cable_lengths_in_e(
+    params: DragonflyParams,
+    nodes_per_cabinet: usize,
+) -> (f64, f64) {
     let df = Dragonfly::new(params);
     let p = params.terminals_per_router();
     let floor = Floorplan::new(nodes_per_cabinet, params.num_terminals());
@@ -146,8 +162,20 @@ mod tests {
     #[test]
     fn table2_matches_paper() {
         let rows = table2();
-        assert_eq!(rows[0].minimal_diameter, HopExpr { local: 1, global: 2 });
-        assert_eq!(rows[1].minimal_diameter, HopExpr { local: 2, global: 1 });
+        assert_eq!(
+            rows[0].minimal_diameter,
+            HopExpr {
+                local: 1,
+                global: 2
+            }
+        );
+        assert_eq!(
+            rows[1].minimal_diameter,
+            HopExpr {
+                local: 2,
+                global: 1
+            }
+        );
         // With equal hop costs the diameters are nearly identical (3),
         // but the dragonfly pays fewer *global* hops.
         assert_eq!(rows[0].minimal_diameter.eval(1.0, 1.0), 3.0);
@@ -173,11 +201,18 @@ mod tests {
 
     #[test]
     fn hop_expr_weights_hops() {
-        let e = HopExpr { local: 2, global: 1 };
+        let e = HopExpr {
+            local: 2,
+            global: 1,
+        };
         assert_eq!(e.eval(1.0, 1.0), 3.0);
         // With 10x slower global hops the dragonfly's advantage shows.
         let df = e.eval(1.0, 10.0);
-        let fb = HopExpr { local: 1, global: 2 }.eval(1.0, 10.0);
+        let fb = HopExpr {
+            local: 1,
+            global: 2,
+        }
+        .eval(1.0, 10.0);
         assert!(df < fb);
     }
 

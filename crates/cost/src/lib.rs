@@ -45,8 +45,8 @@ pub use compare::{
     case_study_64k, dragonfly_cable_lengths_in_e, table2, CaseStudy64K, HopExpr, Table2Row,
 };
 pub use network::{CableStats, CostConfig, NetworkCost};
+pub use packaging::Floorplan;
 pub use power::{NetworkPower, PowerModel};
 pub use scaling::{
     max_dragonfly_terminals, max_terminals_single_global_hop, radix_for_single_global_hop,
 };
-pub use packaging::Floorplan;

@@ -184,8 +184,8 @@ impl CostConfig {
         let a = self.dragonfly_group / p;
         let h = (self.router_radix - p - a + 1).min(a / 2).max(1);
         let g = n.div_ceil(a * p);
-        let params = DragonflyParams::with_groups(p, a, h, g.max(2))
-            .expect("dragonfly sizing out of range");
+        let params =
+            DragonflyParams::with_groups(p, a, h, g.max(2)).expect("dragonfly sizing out of range");
         let df = Dragonfly::new(params);
         let nodes = params.num_terminals();
         let mut pricer = Pricer::new(self, nodes);
@@ -406,10 +406,7 @@ mod tests {
         let df = cfg.dragonfly(n);
         let clos = cfg.folded_clos(n);
         let saving = 1.0 - df.per_node() / clos.per_node();
-        assert!(
-            (0.30..0.75).contains(&saving),
-            "saving vs Clos {saving:.2}"
-        );
+        assert!((0.30..0.75).contains(&saving), "saving vs Clos {saving:.2}");
     }
 
     #[test]
@@ -429,9 +426,7 @@ mod tests {
         // And the torus uses no optics (the paper's §5 observation).
         assert_eq!(torus.cables.optical, 0);
         // Torus per-node cost grows with scale as links widen.
-        assert!(
-            cfg.torus_3d(20 * 1024).per_node() > cfg.torus_3d(4 * 1024).per_node()
-        );
+        assert!(cfg.torus_3d(20 * 1024).per_node() > cfg.torus_3d(4 * 1024).per_node());
     }
 
     #[test]
@@ -454,9 +449,8 @@ mod tests {
         let df = cfg.dragonfly(n);
         let fb = cfg.flattened_butterfly(n);
         let clos = cfg.folded_clos(n);
-        let per_node = |c: &NetworkCost| {
-            (c.cables.electrical + c.cables.optical) as f64 / c.terminals as f64
-        };
+        let per_node =
+            |c: &NetworkCost| (c.cables.electrical + c.cables.optical) as f64 / c.terminals as f64;
         assert!(
             per_node(&df) < 0.65 * per_node(&fb),
             "df {:.2} vs fb {:.2} long cables/node",

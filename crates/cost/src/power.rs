@@ -152,8 +152,6 @@ mod tests {
         assert!(df.router_gbps > 0.0);
         // gbps sums are consistent with counts x channel bandwidth.
         let per = cfg.channel_gbps;
-        assert!(
-            (df.cables.board_gbps - df.cables.board as f64 * per).abs() < 1e-6
-        );
+        assert!((df.cables.board_gbps - df.cables.board as f64 * per).abs() < 1e-6);
     }
 }

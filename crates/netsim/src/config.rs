@@ -183,7 +183,10 @@ mod tests {
             .with_seed(9);
         assert_eq!(c.buffer_depth, 256);
         assert_eq!(c.seed, 9);
-        assert!(matches!(c.credit_mode, CreditMode::RoundTrip { sample: 1, .. }));
+        assert!(matches!(
+            c.credit_mode,
+            CreditMode::RoundTrip { sample: 1, .. }
+        ));
     }
 
     #[test]

@@ -41,6 +41,6 @@ mod stats;
 pub use config::{CreditMode, InjectionKind, SimConfig, TdEstimator};
 pub use flit::{Flit, RouteClass, RouteInfo};
 pub use routing::{NetView, PortVc, RoutingAlgorithm, ShortestPathRouting};
-pub use sim::Simulation;
+pub use sim::{SimPerf, Simulation};
 pub use spec::{ChannelClass, Connection, NetworkSpec, PortSpec, RouterSpec};
 pub use stats::{ChannelLoad, Histogram, LatencySummary, RunStats};

@@ -92,9 +92,10 @@ impl<'a> NetView<'a> {
     ///
     /// Panics if `router` or `port` is out of range.
     pub fn occupancy(&self, router: usize, port: usize) -> usize {
-        (0..self.spec.vcs)
-            .map(|vc| self.vc_occupancy(router, port, vc))
-            .sum()
+        // The engine maintains this per-port aggregate, so the hot
+        // UGAL comparison is O(1) instead of a sum over VC queues.
+        assert!(port < self.spec.routers[router].ports.len(), "port range");
+        self.routers[router].out_port_count[port] as usize
     }
 
     /// Everything `router` has committed toward output `port` on VC
@@ -132,9 +133,11 @@ impl<'a> NetView<'a> {
     ///
     /// Panics if `router` or `port` is out of range.
     pub fn committed(&self, router: usize, port: usize) -> usize {
-        (0..self.spec.vcs)
-            .map(|vc| self.vc_committed(router, port, vc))
-            .sum()
+        // queue depth + unreturned credits, both per-port aggregates
+        // the engine keeps up to date — O(1) instead of a VC sum.
+        assert!(port < self.spec.routers[router].ports.len(), "port range");
+        let core = &self.routers[router];
+        core.out_port_count[port] as usize + core.outstanding[port] as usize
     }
 }
 

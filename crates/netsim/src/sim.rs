@@ -32,8 +32,8 @@
 //!    settled post-transmission queues), and sends one flit onto its
 //!    injection channel if a credit is available.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
 use dfly_traffic::{rng_for, Bernoulli, InjectionProcess, OnOff, TrafficPattern};
 use rand::rngs::SmallRng;
@@ -63,12 +63,17 @@ pub(crate) struct RouterCore {
     pub(crate) out_q: Vec<VecDeque<(Flit, u16)>>,
     /// Total flits in output queues (fast idle check).
     out_count: u32,
-    /// Flits in the output queues per output port (fast scan).
-    out_port_count: Vec<u16>,
+    /// Flits in the output queues per output port (fast scan; also the
+    /// O(1) aggregate behind [`NetView::occupancy`]).
+    pub(crate) out_port_count: Vec<u16>,
     /// Credits available toward the downstream input stage of each
     /// output, flattened `[out_port * vcs + vc]`. Meaningless for
     /// terminal ports.
     pub(crate) credits: Vec<u32>,
+    /// Credits consumed toward downstream and not yet returned, per
+    /// output port (always zero for terminal ports) — the aggregate
+    /// [`NetView::committed`] reads in O(1).
+    pub(crate) outstanding: Vec<u32>,
     /// Per-output round-robin pointer over VC queues.
     rr: Vec<u8>,
     /// Per-output credit timestamp queue (round-trip mode).
@@ -121,18 +126,131 @@ impl Injector {
     }
 }
 
-/// A pending credit return.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct CreditEvent {
-    time: u64,
-    seq: u64,
-    target: CreditTarget,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+/// Where a pending credit return lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CreditTarget {
     Router { router: u32, port: u32, vc: u8 },
     Terminal { term: u32, vc: u8 },
+}
+
+/// Calendar queue of pending credit returns: a power-of-two ring of
+/// per-cycle FIFO buckets indexed by delivery cycle.
+///
+/// Replaces the engine's former global `BinaryHeap`: push and delivery
+/// are O(1) per credit with no comparisons, and because every bucket is
+/// drained in insertion order the delivery sequence is exactly the
+/// heap's `(time, insertion seq)` order — results are bit-identical.
+#[derive(Debug)]
+struct CreditRing {
+    /// `buckets[time & mask]` holds the credits due at `time`. Every
+    /// pending time lies in `[now, now + buckets.len())`, so the
+    /// bucket index maps back to an unambiguous absolute time.
+    buckets: Vec<Vec<CreditTarget>>,
+    mask: u64,
+    /// Total credits pending across all buckets.
+    pending: usize,
+}
+
+impl CreditRing {
+    /// A ring covering delivery delays up to `horizon` cycles without
+    /// growing.
+    fn with_horizon(horizon: u64) -> Self {
+        let len = (horizon + 1).max(4).next_power_of_two();
+        CreditRing {
+            buckets: (0..len).map(|_| Vec::new()).collect(),
+            mask: len - 1,
+            pending: 0,
+        }
+    }
+
+    /// Queues `target` for delivery at `time`, where `time > now`
+    /// (channel latencies are >= 1, so credits never land in the
+    /// current cycle's already-drained bucket).
+    fn push(&mut self, now: u64, time: u64, target: CreditTarget) {
+        debug_assert!(time > now);
+        if time - now > self.mask {
+            self.grow(now, time);
+        }
+        self.buckets[(time & self.mask) as usize].push(target);
+        self.pending += 1;
+    }
+
+    /// Doubles the ring until `time` fits. Each occupied old bucket `b`
+    /// holds the unique pending time `t ≡ b (mod old_len)` within
+    /// `[now, now + old_len)`, so its contents move wholesale (FIFO
+    /// order intact) to `t`'s slot in the larger ring.
+    #[cold]
+    fn grow(&mut self, now: u64, time: u64) {
+        let old_len = self.mask + 1;
+        let mut new_len = old_len;
+        while time - now > new_len - 1 {
+            new_len <<= 1;
+        }
+        let mut buckets: Vec<Vec<CreditTarget>> = (0..new_len).map(|_| Vec::new()).collect();
+        for (b, v) in self.buckets.drain(..).enumerate() {
+            if v.is_empty() {
+                continue;
+            }
+            let t = now + ((b as u64).wrapping_sub(now) & (old_len - 1));
+            buckets[(t & (new_len - 1)) as usize] = v;
+        }
+        self.buckets = buckets;
+        self.mask = new_len - 1;
+    }
+
+    /// Removes and returns the bucket due at `now`; hand it back to
+    /// [`CreditRing::restore`] after draining so its allocation is
+    /// recycled.
+    fn take_due(&mut self, now: u64) -> Vec<CreditTarget> {
+        let due = std::mem::take(&mut self.buckets[(now & self.mask) as usize]);
+        self.pending -= due.len();
+        due
+    }
+
+    fn restore(&mut self, now: u64, mut bucket: Vec<CreditTarget>) {
+        bucket.clear();
+        self.buckets[(now & self.mask) as usize] = bucket;
+    }
+}
+
+/// Wall-clock performance counters for one simulation run, reported by
+/// [`Simulation::run_instrumented`].
+#[derive(Debug, Clone, Default)]
+pub struct SimPerf {
+    /// Simulated cycles executed.
+    pub cycles: u64,
+    /// Total wall time of the run loop.
+    pub wall: Duration,
+    /// Wall time per phase, in [`SimPerf::PHASE_NAMES`] order.
+    pub phases: [Duration; 5],
+    /// Network channel traversals (flit-hops) executed.
+    pub flit_hops: u64,
+}
+
+impl SimPerf {
+    /// Names of the five per-cycle phases, in `phases` order.
+    pub const PHASE_NAMES: [&'static str; 5] =
+        ["credits", "arrivals", "switch", "transmit", "inject"];
+
+    /// Simulated cycles per wall-clock second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+
+    /// Flit-hops per wall-clock second (the engine's useful-work rate).
+    pub fn flit_hops_per_sec(&self) -> f64 {
+        self.flit_hops as f64 / self.wall.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Appends `idx` to an active worklist unless its membership flag is
+/// already set.
+#[inline]
+fn activate(list: &mut Vec<u32>, flags: &mut [bool], idx: usize) {
+    if !flags[idx] {
+        flags[idx] = true;
+        list.push(idx as u32);
+    }
 }
 
 /// A cycle-accurate simulation of one network under one routing algorithm
@@ -187,10 +305,17 @@ pub struct Simulation<'a> {
     terminals: Vec<TerminalCore>,
     /// In-flight flits per directed network channel, `[flat port]`.
     pipes: Vec<VecDeque<(u64, Flit)>>,
-    /// Occupancy of each pipe (sequential fast scan).
-    pipe_count: Vec<u32>,
-    /// Occupancy of each terminal's injection pipe.
-    term_pipe_count: Vec<u32>,
+    /// Worklist of non-empty pipes (so phase 2 touches only channels
+    /// with flits in flight), plus membership flags.
+    active_pipes: Vec<u32>,
+    pipe_active: Vec<bool>,
+    /// Worklist of terminals with flits on their injection channel.
+    active_terms: Vec<u32>,
+    term_active: Vec<bool>,
+    /// Worklist of routers holding any flit (input stage or output
+    /// queues); phases 3–4 iterate this instead of every router.
+    active_routers: Vec<u32>,
+    router_active: Vec<bool>,
     /// First flat-port index of each router.
     port_base: Vec<u32>,
     /// Destination `(router, port)` of each flat port's channel;
@@ -200,12 +325,13 @@ pub struct Simulation<'a> {
     tcrt0: Vec<u64>,
     /// Network (non-terminal) output ports per router.
     net_ports: Vec<Vec<u16>>,
-    credit_events: BinaryHeap<Reverse<CreditEvent>>,
-    credit_seq: u64,
+    credit_ring: CreditRing,
     /// Arrival staging scratch: `(router, in_slot, flit)`.
     arrivals: Vec<(u32, u32, Flit)>,
     /// Routes of the staged arrivals.
     arrival_routes: Vec<PortVc>,
+    /// Network channel traversals executed (perf counter).
+    flit_hops: u64,
 
     cycle: u64,
     next_packet: u64,
@@ -263,6 +389,7 @@ impl<'a> Simulation<'a> {
                 out_count: 0,
                 out_port_count: vec![0; ports],
                 credits: vec![cfg.buffer_depth as u32; ports * vcs],
+                outstanding: vec![0; ports],
                 rr: vec![0; ports],
                 ctq: vec![VecDeque::new(); ports],
                 td: vec![0; ports],
@@ -273,7 +400,10 @@ impl<'a> Simulation<'a> {
             for (p, port) in router.ports.iter().enumerate() {
                 tcrt0.push(2 * port.latency as u64);
                 match port.conn {
-                    Connection::Router { router: rr, port: rp } => {
+                    Connection::Router {
+                        router: rr,
+                        port: rp,
+                    } => {
                         pipe_dest.push((rr, rp));
                         nps.push(p as u16);
                     }
@@ -294,6 +424,8 @@ impl<'a> Simulation<'a> {
             .collect();
         let win_start = cfg.warmup;
         let win_end = cfg.warmup + cfg.measure;
+        let horizon = tcrt0.iter().copied().max().unwrap_or(2) + 2;
+        let num_routers = spec.num_routers();
         Ok(Simulation {
             spec,
             routing,
@@ -301,16 +433,20 @@ impl<'a> Simulation<'a> {
             routers,
             terminals,
             pipes: vec![VecDeque::new(); flat as usize],
-            pipe_count: vec![0; flat as usize],
-            term_pipe_count: vec![0; spec.num_terminals()],
+            active_pipes: Vec::with_capacity(flat as usize),
+            pipe_active: vec![false; flat as usize],
+            active_terms: Vec::with_capacity(spec.num_terminals()),
+            term_active: vec![false; spec.num_terminals()],
+            active_routers: Vec::with_capacity(num_routers),
+            router_active: vec![false; num_routers],
             port_base,
             pipe_dest,
             tcrt0,
             net_ports,
-            credit_events: BinaryHeap::new(),
-            credit_seq: 0,
+            credit_ring: CreditRing::with_horizon(horizon),
             arrivals: Vec::new(),
             arrival_routes: Vec::new(),
+            flit_hops: 0,
             cycle: 0,
             next_packet: 0,
             win_start,
@@ -345,6 +481,39 @@ impl<'a> Simulation<'a> {
     /// when the drain cap is exceeded (the network is saturated at this
     /// load); [`RunStats::drained`] records which.
     pub fn run(&mut self) -> RunStats {
+        self.drive();
+        self.collect()
+    }
+
+    /// Runs to completion like [`Simulation::run`], consuming the
+    /// simulation so the final histograms move into the returned stats
+    /// instead of being cloned.
+    pub fn finish(mut self) -> RunStats {
+        self.drive();
+        self.collect_owned()
+    }
+
+    /// Runs to completion, consuming the simulation, and additionally
+    /// reports wall-clock performance counters (per-phase wall time,
+    /// cycles/sec, flit-hops/sec).
+    pub fn run_instrumented(mut self) -> (RunStats, SimPerf) {
+        let mut perf = SimPerf::default();
+        let start = Instant::now();
+        let hard_cap = self.win_end + self.cfg.drain_cap;
+        while self.cycle < hard_cap {
+            self.step_timed(&mut perf.phases);
+            if self.cycle >= self.win_end && self.labeled_outstanding == 0 {
+                break;
+            }
+        }
+        perf.wall = start.elapsed();
+        perf.cycles = self.cycle;
+        perf.flit_hops = self.flit_hops;
+        (self.collect_owned(), perf)
+    }
+
+    /// The warm-up/measure/drain loop shared by the `run` variants.
+    fn drive(&mut self) {
         let hard_cap = self.win_end + self.cfg.drain_cap;
         while self.cycle < hard_cap {
             self.step();
@@ -352,27 +521,26 @@ impl<'a> Simulation<'a> {
                 break;
             }
         }
-        self.collect()
     }
 
     /// Advances the simulation by one cycle, accumulating per-phase wall
     /// time into `timers` (diagnostic).
     #[doc(hidden)]
-    pub fn step_timed(&mut self, timers: &mut [std::time::Duration; 5]) {
+    pub fn step_timed(&mut self, timers: &mut [Duration; 5]) {
         let t = self.cycle;
-        let clock = std::time::Instant::now();
+        let clock = Instant::now();
         self.deliver_credits(t);
         timers[0] += clock.elapsed();
-        let clock = std::time::Instant::now();
+        let clock = Instant::now();
         self.deliver_flits(t);
         timers[1] += clock.elapsed();
-        let clock = std::time::Instant::now();
+        let clock = Instant::now();
         self.switch(t);
         timers[2] += clock.elapsed();
-        let clock = std::time::Instant::now();
+        let clock = Instant::now();
         self.transmit(t);
         timers[3] += clock.elapsed();
-        let clock = std::time::Instant::now();
+        let clock = Instant::now();
         self.inject(t);
         timers[4] += clock.elapsed();
         self.cycle = t + 1;
@@ -396,16 +564,17 @@ impl<'a> Simulation<'a> {
     /// Phase 1: apply credits whose return (plus any round-trip delay)
     /// completes this cycle.
     fn deliver_credits(&mut self, t: u64) {
-        while let Some(Reverse(ev)) = self.credit_events.peek() {
-            if ev.time > t {
-                break;
-            }
-            let ev = self.credit_events.pop().unwrap().0;
-            match ev.target {
+        if self.credit_ring.pending == 0 {
+            return;
+        }
+        let due = self.credit_ring.take_due(t);
+        for &target in &due {
+            match target {
                 CreditTarget::Router { router, port, vc } => {
                     let core = &mut self.routers[router as usize];
                     let slot = port as usize * self.spec.vcs + vc as usize;
                     core.credits[slot] += 1;
+                    core.outstanding[port as usize] -= 1;
                     debug_assert!(core.credits[slot] <= self.cfg.buffer_depth as u32);
                     if let CreditMode::RoundTrip { sample, estimator } = self.cfg.credit_mode {
                         let p = port as usize;
@@ -433,6 +602,7 @@ impl<'a> Simulation<'a> {
                 }
             }
         }
+        self.credit_ring.restore(t, due);
     }
 
     /// Phase 2: stage flits finishing their channel traversal, compute
@@ -440,34 +610,47 @@ impl<'a> Simulation<'a> {
     /// the input stage.
     fn deliver_flits(&mut self, t: u64) {
         self.arrivals.clear();
-        for fp in 0..self.pipes.len() {
-            if self.pipe_count[fp] == 0 {
-                continue;
-            }
+        // Only channels with flits in flight are visited; a pipe leaves
+        // the worklist the moment it empties. Worklist order does not
+        // affect results: arrivals to the same input slot always come
+        // from the same (FIFO) pipe, and route computation below is a
+        // pure function of the frozen pre-arrival view.
+        let mut i = 0;
+        while i < self.active_pipes.len() {
+            let fp = self.active_pipes[i] as usize;
             while let Some(&(arrival, flit)) = self.pipes[fp].front() {
                 if arrival > t {
                     break;
                 }
                 self.pipes[fp].pop_front();
-                self.pipe_count[fp] -= 1;
                 let (dr, dp) = self.pipe_dest[fp];
                 let slot = dp * self.spec.vcs as u32 + flit.vc as u32;
                 self.arrivals.push((dr, slot, flit));
             }
-        }
-        for term in 0..self.terminals.len() {
-            if self.term_pipe_count[term] == 0 {
-                continue;
+            if self.pipes[fp].is_empty() {
+                self.pipe_active[fp] = false;
+                self.active_pipes.swap_remove(i);
+            } else {
+                i += 1;
             }
+        }
+        let mut i = 0;
+        while i < self.active_terms.len() {
+            let term = self.active_terms[i] as usize;
             while let Some(&(arrival, flit)) = self.terminals[term].pipe.front() {
                 if arrival > t {
                     break;
                 }
                 self.terminals[term].pipe.pop_front();
-                self.term_pipe_count[term] -= 1;
                 let (r, p) = self.spec.terminal_port(term);
                 let slot = (p * self.spec.vcs) as u32 + flit.vc as u32;
                 self.arrivals.push((r as u32, slot, flit));
+            }
+            if self.terminals[term].pipe.is_empty() {
+                self.term_active[term] = false;
+                self.active_terms.swap_remove(i);
+            } else {
+                i += 1;
             }
         }
         self.arrival_routes.clear();
@@ -484,6 +667,11 @@ impl<'a> Simulation<'a> {
             core.in_count += 1;
             core.in_port_count[slot as usize / self.spec.vcs] += 1;
             debug_assert!(core.inputs[slot as usize].len() <= self.cfg.buffer_depth);
+            activate(
+                &mut self.active_routers,
+                &mut self.router_active,
+                r as usize,
+            );
         }
     }
 
@@ -495,7 +683,9 @@ impl<'a> Simulation<'a> {
     fn switch(&mut self, t: u64) {
         let vcs = self.spec.vcs;
         let depth = self.cfg.buffer_depth;
-        for r in 0..self.routers.len() {
+        // Per-router state is disjoint, so worklist order is irrelevant.
+        for idx in 0..self.active_routers.len() {
+            let r = self.active_routers[idx] as usize;
             if self.routers[r].in_count == 0 {
                 continue;
             }
@@ -535,8 +725,21 @@ impl<'a> Simulation<'a> {
         let vcs = self.spec.vcs;
         let in_window = self.in_window(t);
         let round_trip = matches!(self.cfg.credit_mode, CreditMode::RoundTrip { .. });
-        for r in 0..self.routers.len() {
+        // Iterate the active worklist; routers that end the phase fully
+        // idle (no buffered flits anywhere) retire from it. Cross-router
+        // order is irrelevant: each iteration touches only its own
+        // router's state, its own outbound pipes, and commutative global
+        // accumulators, and every credit lands on a distinct target.
+        let mut i = 0;
+        while i < self.active_routers.len() {
+            let r = self.active_routers[i] as usize;
             if self.routers[r].out_count == 0 {
+                if self.routers[r].in_count == 0 {
+                    self.router_active[r] = false;
+                    self.active_routers.swap_remove(i);
+                } else {
+                    i += 1;
+                }
                 continue;
             }
             // Round-trip delay baseline for this router this cycle.
@@ -605,10 +808,7 @@ impl<'a> Simulation<'a> {
                         vc: in_vc,
                     },
                 };
-                let seq = self.credit_seq;
-                self.credit_seq += 1;
-                self.credit_events
-                    .push(Reverse(CreditEvent { time, seq, target }));
+                self.credit_ring.push(t, time, target);
                 let core = &mut self.routers[r];
                 if is_terminal {
                     let arrival = t + out_spec.latency as u64;
@@ -618,6 +818,7 @@ impl<'a> Simulation<'a> {
                     flit.vc = vc as u8;
                     debug_assert!(core.credits[oslot] > 0);
                     core.credits[oslot] -= 1;
+                    core.outstanding[out] += 1;
                     let flat = self.port_base[r] as usize + out;
                     if let CreditMode::RoundTrip { sample, .. } = self.cfg.credit_mode {
                         if core.sent_seq[out].is_multiple_of(sample) {
@@ -626,21 +827,39 @@ impl<'a> Simulation<'a> {
                         core.sent_seq[out] = core.sent_seq[out].wrapping_add(1);
                     }
                     self.pipes[flat].push_back((t + out_spec.latency as u64, flit));
-                    self.pipe_count[flat] += 1;
+                    activate(&mut self.active_pipes, &mut self.pipe_active, flat);
+                    self.flit_hops += 1;
                     if in_window {
                         self.sent_in_window[flat] += 1;
                     }
                 }
             }
+            if self.routers[r].in_count == 0 && self.routers[r].out_count == 0 {
+                self.router_active[r] = false;
+                self.active_routers.swap_remove(i);
+            } else {
+                i += 1;
+            }
         }
     }
 
     /// Phase 5: packet generation and injection onto terminal channels.
+    ///
+    /// Every terminal's injection process is polled every cycle (even
+    /// idle ones) so the per-terminal RNG streams advance identically
+    /// regardless of network state.
     fn inject(&mut self, t: u64) {
         let routing = self.routing;
         let pattern = self.pattern;
+        let spec = self.spec;
         let packet_len = self.cfg.packet_len;
+        let depth = self.cfg.buffer_depth;
         let labeled = self.in_window(t);
+        // Router state is frozen during this phase, so one view serves
+        // every adaptive decision this cycle; built lazily because most
+        // cycles at low load inject no head flit at all.
+        let routers = &self.routers;
+        let mut view: Option<NetView<'_>> = None;
         for term in 0..self.terminals.len() {
             // Packet generation.
             let tc = &mut self.terminals[term];
@@ -676,10 +895,10 @@ impl<'a> Simulation<'a> {
                 // (Re-)evaluate the adaptive decision while the head flit
                 // waits at the source: the packet has not entered the
                 // network yet, so the freshest local state applies.
-                let view = NetView::new(self.spec, &self.routers, self.cfg.buffer_depth, t);
+                let view = view.get_or_insert_with(|| NetView::new(spec, routers, depth, t));
                 let dest = front.dest as usize;
                 let tc = &mut self.terminals[term];
-                let route = routing.inject(&view, term, dest, &mut tc.rng);
+                let route = routing.inject(view, term, dest, &mut tc.rng);
                 tc.active_route = Some(route);
                 route
             } else {
@@ -697,14 +916,14 @@ impl<'a> Simulation<'a> {
             flit.vc = vc as u8;
             flit.injected = t;
             tc.credits[vc] -= 1;
-            let (r, p) = self.spec.terminal_port(term);
-            let latency = self.spec.routers[r].ports[p].latency as u64;
+            let (r, p) = spec.terminal_port(term);
+            let latency = spec.routers[r].ports[p].latency as u64;
             tc.pipe.push_back((t + latency, flit));
-            self.term_pipe_count[term] += 1;
             if flit.is_tail {
                 tc.active_route = None;
             }
-            if self.in_window(t) {
+            activate(&mut self.active_terms, &mut self.term_active, term);
+            if labeled {
                 self.injected_in_window += 1;
             }
         }
@@ -732,8 +951,22 @@ impl<'a> Simulation<'a> {
         }
     }
 
-    /// Builds the final statistics snapshot.
+    /// Builds the final statistics snapshot (cloning the histograms, so
+    /// the simulation stays usable).
     fn collect(&self) -> RunStats {
+        self.stats_with(self.histogram.clone(), self.minimal_histogram.clone())
+    }
+
+    /// Builds the final statistics snapshot, consuming the simulation so
+    /// the histograms move instead of being cloned.
+    fn collect_owned(mut self) -> RunStats {
+        let histogram = std::mem::replace(&mut self.histogram, Histogram::new(1, 1));
+        let minimal_histogram =
+            std::mem::replace(&mut self.minimal_histogram, Histogram::new(1, 1));
+        self.stats_with(histogram, minimal_histogram)
+    }
+
+    fn stats_with(&self, histogram: Histogram, minimal_histogram: Histogram) -> RunStats {
         let denom = (self.spec.num_terminals() as u64 * self.cfg.measure) as f64;
         let channel_loads = self
             .spec
@@ -760,8 +993,8 @@ impl<'a> Simulation<'a> {
             minimal_latency: self.minimal_latency,
             non_minimal_latency: self.non_minimal_latency,
             hops: self.hops,
-            histogram: self.histogram.clone(),
-            minimal_histogram: self.minimal_histogram.clone(),
+            histogram,
+            minimal_histogram,
             channel_loads,
         }
     }
@@ -856,6 +1089,81 @@ mod tests {
     }
 
     #[test]
+    fn credit_ring_delivers_in_push_order_and_grows() {
+        let tgt = |vc: u8| CreditTarget::Terminal { term: 0, vc };
+        let mut ring = CreditRing::with_horizon(2);
+        assert_eq!(ring.mask, 3);
+        // Same delivery cycle: FIFO. Far future: forces growth with
+        // pending events that must re-slot to their absolute times.
+        ring.push(0, 2, tgt(0));
+        ring.push(0, 2, tgt(1));
+        ring.push(0, 1, tgt(2));
+        ring.push(0, 37, tgt(3));
+        assert!(ring.mask >= 63);
+        assert_eq!(ring.pending, 4);
+        let due = ring.take_due(1);
+        assert_eq!(due, vec![tgt(2)]);
+        ring.restore(1, due);
+        let due = ring.take_due(2);
+        assert_eq!(due, vec![tgt(0), tgt(1)]);
+        ring.restore(2, due);
+        assert_eq!(ring.take_due(37), vec![tgt(3)]);
+        assert_eq!(ring.pending, 0);
+    }
+
+    #[test]
+    fn finish_and_instrumented_match_run() {
+        let spec = line_spec();
+        let routing = ShortestPathRouting::new(&spec);
+        let pattern = UniformRandom::new(3);
+        let cfg = SimConfig::paper_default(0.3).with_seed(11);
+        let by_run = Simulation::new(&spec, &routing, &pattern, cfg.clone())
+            .unwrap()
+            .run();
+        let by_finish = Simulation::new(&spec, &routing, &pattern, cfg.clone())
+            .unwrap()
+            .finish();
+        assert_eq!(by_run, by_finish);
+        let (by_inst, perf) = Simulation::new(&spec, &routing, &pattern, cfg)
+            .unwrap()
+            .run_instrumented();
+        assert_eq!(by_run, by_inst);
+        assert_eq!(perf.cycles, by_run.cycles);
+        assert!(perf.flit_hops > 0);
+        assert!(perf.cycles_per_sec() > 0.0);
+        assert!(perf.flit_hops_per_sec() > 0.0);
+        let phase_sum: std::time::Duration = perf.phases.iter().sum();
+        assert!(perf.wall >= phase_sum);
+    }
+
+    #[test]
+    fn worklists_empty_once_drained() {
+        let mut cfg = SimConfig::paper_default(0.4);
+        cfg.warmup = 200;
+        cfg.measure = 1_000;
+        let spec = line_spec();
+        let routing = ShortestPathRouting::new(&spec);
+        let pattern = UniformRandom::new(3);
+        let mut sim = Simulation::new(&spec, &routing, &pattern, cfg).unwrap();
+        sim.run();
+        for tc in &mut sim.terminals {
+            tc.inj = Injector::Bernoulli(Bernoulli::new(0.0));
+        }
+        for _ in 0..2_000 {
+            sim.step();
+        }
+        assert!(sim.active_pipes.is_empty());
+        assert!(sim.active_terms.is_empty());
+        assert!(sim.active_routers.is_empty());
+        assert_eq!(sim.credit_ring.pending, 0);
+        assert!(!sim.pipe_active.iter().any(|&b| b));
+        assert!(!sim.router_active.iter().any(|&b| b));
+        for core in &sim.routers {
+            assert!(core.outstanding.iter().all(|&o| o == 0));
+        }
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let pattern = UniformRandom::new(3);
         let a = run_line(SimConfig::paper_default(0.3).with_seed(7), &pattern);
@@ -944,13 +1252,15 @@ mod tests {
         cfg.warmup = 200;
         cfg.measure = 5_000;
         cfg.drain_cap = 2_000;
-        let stats = Simulation::new(&spec, &routing, &ToTwo, cfg)
-            .unwrap()
-            .run();
+        let stats = Simulation::new(&spec, &routing, &ToTwo, cfg).unwrap().run();
         assert!(!stats.drained, "two 0.9 sources through one link");
         // Terminals 0 and 1 share the link (~0.5 each) while terminal 2's
         // reverse path is free (0.9): average ~0.63, well below offered.
-        assert!(stats.injected_rate < 0.7, "injected {}", stats.injected_rate);
+        assert!(
+            stats.injected_rate < 0.7,
+            "injected {}",
+            stats.injected_rate
+        );
         // The shared link runs at full utilisation.
         let load = stats
             .channel_loads

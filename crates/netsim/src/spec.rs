@@ -114,12 +114,14 @@ impl NetworkSpec {
                             format!("router {r} port {p}: peer port {peer_port} missing")
                         })?;
                         match back.conn {
-                            Connection::Router { router: rr, port: pp }
-                                if rr as usize == r && pp as usize == p => {}
+                            Connection::Router {
+                                router: rr,
+                                port: pp,
+                            } if rr as usize == r && pp as usize == p => {}
                             _ => {
                                 return Err(format!(
-                                    "router {r} port {p}: peer {peer}:{peer_port} does not point back"
-                                ))
+                                "router {r} port {p}: peer {peer}:{peer_port} does not point back"
+                            ))
                             }
                         }
                         if back.latency != port.latency || back.class != port.class {

@@ -29,7 +29,7 @@ mod pattern;
 
 pub use injection::{Bernoulli, InjectionProcess, OnOff};
 pub use pattern::{
-    BitComplement, GroupAdversarial, Permutation, Shift, Tornado, Transpose, TrafficPattern,
+    BitComplement, GroupAdversarial, Permutation, Shift, Tornado, TrafficPattern, Transpose,
     UniformRandom,
 };
 

@@ -215,7 +215,10 @@ impl Shift {
     /// `terminals == 0`.
     pub fn new(terminals: usize, delta: usize) -> Self {
         assert!(terminals > 0, "need >= 1 terminal");
-        assert!(!delta.is_multiple_of(terminals), "shift of 0 is the identity");
+        assert!(
+            !delta.is_multiple_of(terminals),
+            "shift of 0 is the identity"
+        );
         Shift { terminals, delta }
     }
 }
@@ -293,7 +296,10 @@ impl Transpose {
             "transpose needs a power-of-two terminal count >= 4"
         );
         let bits = terminals.trailing_zeros();
-        assert!(bits.is_multiple_of(2), "transpose needs an even power of two");
+        assert!(
+            bits.is_multiple_of(2),
+            "transpose needs an even power of two"
+        );
         Transpose {
             terminals,
             half_bits: bits / 2,

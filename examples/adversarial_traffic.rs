@@ -50,15 +50,21 @@ fn main() {
         cfg.measure = 2_000;
         cfg.drain_cap = 20_000;
         let stats = sim.run(choice, TrafficChoice::WorstCase, cfg);
-        let lat = |v: Option<f64>| {
-            v.map(|x| format!("{x:.1}")).unwrap_or_else(|| "-".into())
-        };
+        let lat = |v: Option<f64>| v.map(|x| format!("{x:.1}")).unwrap_or_else(|| "-".into());
         println!(
             "{:<12} {:>10.3} {:>12} {:>12} {:>9.0}%",
             choice.label(),
             cap,
-            if stats.drained { lat(stats.avg_latency()) } else { "sat".into() },
-            if stats.drained { lat(stats.minimal_latency.mean()) } else { "sat".into() },
+            if stats.drained {
+                lat(stats.avg_latency())
+            } else {
+                "sat".into()
+            },
+            if stats.drained {
+                lat(stats.minimal_latency.mean())
+            } else {
+                "sat".into()
+            },
             stats.minimal_fraction().unwrap_or(0.0) * 100.0,
         );
     }

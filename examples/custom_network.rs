@@ -37,11 +37,7 @@ fn main() {
     }];
     for leaf in 0..4u32 {
         routers.push(RouterSpec {
-            ports: vec![
-                term(2 * leaf),
-                term(2 * leaf + 1),
-                link(0, leaf, 2),
-            ],
+            ports: vec![term(2 * leaf), term(2 * leaf + 1), link(0, leaf, 2)],
         });
     }
     let spec = NetworkSpec::validated(routers, 2).expect("star wiring is consistent");

@@ -27,7 +27,10 @@ fn main() {
     let stats = sim.run(RoutingChoice::UgalLVcH, TrafficChoice::Uniform, cfg);
 
     println!("\nuniform random at 0.30 offered load:");
-    println!("  accepted throughput : {:.3} flits/node/cycle", stats.accepted_rate);
+    println!(
+        "  accepted throughput : {:.3} flits/node/cycle",
+        stats.accepted_rate
+    );
     println!(
         "  average latency     : {:.1} cycles (min {} / max {})",
         stats.avg_latency().unwrap_or(f64::NAN),

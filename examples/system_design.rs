@@ -65,7 +65,11 @@ fn main() {
             c.cables.optical,
             c.cables.mean_cable_length_m(),
             c.total(),
-            if (c.per_node() - best).abs() < 1e-9 { "  <- cheapest" } else { "" }
+            if (c.per_node() - best).abs() < 1e-9 {
+                "  <- cheapest"
+            } else {
+                ""
+            }
         );
     }
     println!(

@@ -77,7 +77,10 @@ fn sweep_api_produces_ascending_latency() {
     );
     assert_eq!(points.len(), 3);
     let lats: Vec<f64> = points.iter().map(|p| p.latency().unwrap()).collect();
-    assert!(lats[0] <= lats[1] + 0.5 && lats[1] <= lats[2] + 0.5, "{lats:?}");
+    assert!(
+        lats[0] <= lats[1] + 0.5 && lats[1] <= lats[2] + 0.5,
+        "{lats:?}"
+    );
 }
 
 #[test]
@@ -101,7 +104,11 @@ fn bursty_injection_is_supported() {
     };
     let stats = sim.run(RoutingChoice::UgalLVcH, TrafficChoice::Uniform, cfg);
     assert!(stats.drained);
-    assert!((stats.injected_rate - 0.1).abs() < 0.03, "{}", stats.injected_rate);
+    assert!(
+        (stats.injected_rate - 0.1).abs() < 0.03,
+        "{}",
+        stats.injected_rate
+    );
 }
 
 #[test]
@@ -119,7 +126,11 @@ fn larger_network_with_custom_latencies() {
         },
     );
     let sim = DragonflySim::with_dragonfly(df);
-    let stats = sim.run(RoutingChoice::Min, TrafficChoice::Uniform, fast_cfg(&sim, 0.1));
+    let stats = sim.run(
+        RoutingChoice::Min,
+        TrafficChoice::Uniform,
+        fast_cfg(&sim, 0.1),
+    );
     assert!(stats.drained);
     // Worst minimal path: 1 + 2 + 5 + 2 + 1 = 11 cycles zero-load.
     assert!(stats.latency.max >= 11);

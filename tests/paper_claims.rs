@@ -76,7 +76,10 @@ fn adaptive_routing_recovers_worst_case_throughput() {
     let ugal_l = capacity(&sim, RoutingChoice::UgalL, TrafficChoice::WorstCase);
     assert!((0.35..0.55).contains(&val), "VAL WC {val}");
     assert!(ugal_g >= val - 0.02, "UGAL-G {ugal_g} vs VAL {val}");
-    assert!(ugal_l < ugal_g, "UGAL-L {ugal_l} should trail UGAL-G {ugal_g}");
+    assert!(
+        ugal_l < ugal_g,
+        "UGAL-L {ugal_l} should trail UGAL-G {ugal_g}"
+    );
     assert!(ugal_l > 0.3, "UGAL-L still delivers substantial throughput");
 }
 
@@ -86,10 +89,22 @@ fn adaptive_routing_recovers_worst_case_throughput() {
 #[test]
 fn ugal_l_minimal_packets_pay_buffer_proportional_latency() {
     let sim = paper_sim();
-    let (_, min16) = latency_at(&sim, RoutingChoice::UgalL, TrafficChoice::WorstCase, 0.2, 16)
-        .expect("0.2 is below UGAL-L saturation");
-    let (_, min64) = latency_at(&sim, RoutingChoice::UgalL, TrafficChoice::WorstCase, 0.2, 64)
-        .expect("0.2 is below UGAL-L saturation");
+    let (_, min16) = latency_at(
+        &sim,
+        RoutingChoice::UgalL,
+        TrafficChoice::WorstCase,
+        0.2,
+        16,
+    )
+    .expect("0.2 is below UGAL-L saturation");
+    let (_, min64) = latency_at(
+        &sim,
+        RoutingChoice::UgalL,
+        TrafficChoice::WorstCase,
+        0.2,
+        64,
+    )
+    .expect("0.2 is below UGAL-L saturation");
     assert!(min16 > 50.0, "16-buffer minimal latency {min16}");
     assert!(
         min64 > 2.0 * min16,
@@ -119,8 +134,14 @@ fn credit_round_trip_fixes_intermediate_latency() {
         16,
     )
     .expect("below saturation");
-    let (g, _) = latency_at(&sim, RoutingChoice::UgalG, TrafficChoice::WorstCase, 0.2, 16)
-        .expect("below saturation");
+    let (g, _) = latency_at(
+        &sim,
+        RoutingChoice::UgalG,
+        TrafficChoice::WorstCase,
+        0.2,
+        16,
+    )
+    .expect("below saturation");
     // Paper: >= 35% reduction vs the conventional variants at 16
     // buffers, approaching UGAL-G.
     assert!(
@@ -260,12 +281,19 @@ fn analytical_bounds_match_measurement() {
     );
     let val_cap = capacity(&sim, RoutingChoice::Valiant, TrafficChoice::WorstCase);
     assert!(val_cap <= wc.valiant + 0.01, "VAL above bound");
-    assert!(val_cap > 0.75 * wc.valiant, "VAL far below bound: {val_cap}");
+    assert!(
+        val_cap > 0.75 * wc.valiant,
+        "VAL far below bound: {val_cap}"
+    );
 
     let ur = uniform_bounds(df);
     let min_ur = capacity(&sim, RoutingChoice::Min, TrafficChoice::Uniform);
     assert!(min_ur <= ur.minimal + 0.01);
-    assert!(min_ur > 0.85 * ur.minimal, "MIN UR {min_ur} vs bound {}", ur.minimal);
+    assert!(
+        min_ur > 0.85 * ur.minimal,
+        "MIN UR {min_ur} vs bound {}",
+        ur.minimal
+    );
 }
 
 /// Footnote 6: "larger packets with sufficient buffering to provide
@@ -292,6 +320,9 @@ fn multi_flit_packets_preserve_trends() {
         latencies.push(stats.avg_latency().unwrap());
     }
     let (g, cr, vch) = (latencies[0], latencies[1], latencies[2]);
-    assert!(cr < vch, "CR {cr} should beat VCH {vch} with 4-flit packets");
+    assert!(
+        cr < vch,
+        "CR {cr} should beat VCH {vch} with 4-flit packets"
+    );
     assert!(cr < 2.5 * g, "CR {cr} should stay near UGAL-G {g}");
 }

@@ -1,0 +1,79 @@
+//! Regression test: fanning a run grid across a thread pool must
+//! produce bit-identical statistics to executing it serially, in the
+//! same order. This pins the determinism contract of the parallel
+//! harness on the paper's 1K-node network.
+
+use dragonfly::{RoutingChoice, RunGrid, RunPlan, TrafficChoice};
+
+#[test]
+fn run_grid_parallel_matches_serial_on_paper_network() {
+    let sim = dfly_bench::paper_network();
+    let mut base = sim.config(0.1);
+    base.warmup = 100;
+    base.measure = 300;
+    base.drain_cap = 4_000;
+    base.seed = 7;
+
+    let grid = RunGrid::cross(
+        &[
+            RoutingChoice::Min,
+            RoutingChoice::Valiant,
+            RoutingChoice::UgalLVcH,
+        ],
+        &[TrafficChoice::Uniform, TrafficChoice::WorstCase],
+        &[0.05, 0.15],
+        &base,
+    );
+
+    let serial = grid.execute_serial(&sim);
+    for threads in [2, 4, 8] {
+        let parallel = grid.execute_on(&sim, threads);
+        assert_eq!(
+            serial, parallel,
+            "parallel ({threads} threads) diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn run_grid_deterministic_with_round_trip_credits() {
+    // UGAL-L_CR flips on the credit round-trip machinery, exercising
+    // the calendar-queue credit path under parallel fan-out.
+    let sim = dfly_bench::paper_network();
+    let mut base = sim.config(0.1);
+    base.warmup = 100;
+    base.measure = 200;
+    base.drain_cap = 3_000;
+    base.seed = 3;
+
+    let mut grid = RunGrid::new();
+    for &load in &[0.05, 0.1] {
+        grid.push(RunPlan::at_load(
+            RoutingChoice::UgalLCr,
+            TrafficChoice::WorstCase,
+            &base,
+            load,
+        ));
+    }
+    assert_eq!(grid.execute_serial(&sim), grid.execute_on(&sim, 4));
+}
+
+#[test]
+fn repeated_parallel_executions_are_stable() {
+    // Two parallel executions of the same grid (different scheduling)
+    // must also agree with each other.
+    let sim = dfly_bench::paper_network();
+    let mut base = sim.config(0.2);
+    base.warmup = 100;
+    base.measure = 200;
+    base.drain_cap = 3_000;
+    base.seed = 11;
+
+    let grid = RunGrid::load_sweep(
+        RoutingChoice::UgalG,
+        TrafficChoice::Uniform,
+        &[0.1, 0.2, 0.3],
+        &base,
+    );
+    assert_eq!(grid.execute_on(&sim, 3), grid.execute_on(&sim, 3));
+}

@@ -1,0 +1,293 @@
+//! A minimal, dependency-free stand-in for the parts of `rayon` this
+//! workspace uses, built on `std::thread::scope`.
+//!
+//! Supported surface:
+//!
+//! * [`ThreadPoolBuilder`] → [`ThreadPool`] with [`ThreadPool::install`];
+//! * `slice.par_iter().map(f).collect::<Vec<_>>()` (via
+//!   [`prelude::IntoParallelRefIterator`]), with **deterministic result
+//!   ordering**: results come back in input order regardless of which
+//!   worker ran which item;
+//! * [`current_num_threads`].
+//!
+//! Work distribution is dynamic (an atomic next-item counter), so
+//! uneven item costs — e.g. saturated vs drained simulation runs —
+//! balance across workers. Worker panics propagate to the caller.
+
+#![deny(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Thread count installed by the innermost `ThreadPool::install`.
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads parallel iterators will use on this thread: the
+/// installed pool's size, or the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|c| c.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Error building a thread pool (kept for API compatibility; the shim
+/// cannot actually fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a bounded [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the pool at `num` threads (0 means "automatic").
+    pub fn num_threads(mut self, num: usize) -> Self {
+        self.num_threads = if num == 0 { None } else { Some(num) };
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this shim; the `Result` mirrors rayon's API.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = self.num_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        Ok(ThreadPool {
+            threads: threads.max(1),
+        })
+    }
+}
+
+/// A bounded thread pool. Workers are spawned per parallel call (scoped
+/// threads), bounded by the pool size; there are no idle persistent
+/// threads.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread bound.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool installed: parallel iterators inside
+    /// `op` (on this thread) use at most this pool's thread count.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(Some(self.threads)));
+        let result = op();
+        INSTALLED_THREADS.with(|c| c.set(prev));
+        result
+    }
+}
+
+/// Runs `f` over `0..len` on up to `threads` workers, returning results
+/// in index order. Items are handed out dynamically via an atomic
+/// counter; each worker keeps `(index, result)` pairs and the caller
+/// reassembles them, so ordering is deterministic.
+fn parallel_map_indexed<R, F>(len: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = threads.min(len).max(1);
+    if workers == 1 {
+        return (0..len).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let shards: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= len {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..len).map(|_| None).collect();
+    for shard in shards {
+        for (i, r) in shard {
+            debug_assert!(slots[i].is_none());
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|o| o.expect("parallel worker skipped an item"))
+        .collect()
+}
+
+/// Parallel iterator types.
+pub mod iter {
+    use super::{current_num_threads, parallel_map_indexed};
+
+    /// Borrowing parallel iterator over a slice.
+    #[derive(Debug)]
+    pub struct ParIter<'a, T> {
+        items: &'a [T],
+    }
+
+    /// A mapped parallel iterator (the only adapter the shim provides).
+    pub struct Map<'a, T, F> {
+        items: &'a [T],
+        f: F,
+    }
+
+    impl<'a, T: Sync> ParIter<'a, T> {
+        /// Maps each item through `f` in parallel.
+        pub fn map<R, F>(self, f: F) -> Map<'a, T, F>
+        where
+            F: Fn(&'a T) -> R + Sync,
+            R: Send,
+        {
+            Map {
+                items: self.items,
+                f,
+            }
+        }
+    }
+
+    impl<'a, T, R, F> Map<'a, T, F>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        /// Executes the map across the installed pool and collects the
+        /// results in input order.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            let f = &self.f;
+            parallel_map_indexed(self.items.len(), current_num_threads(), |i| {
+                f(&self.items[i])
+            })
+            .into_iter()
+            .collect()
+        }
+    }
+
+    /// Conversion of `&self` into a parallel iterator (subset of
+    /// rayon's trait of the same name).
+    pub trait IntoParallelRefIterator<'a> {
+        /// Borrowed item type.
+        type Item: Sync + 'a;
+
+        /// A parallel iterator over borrowed items.
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+}
+
+/// Glob-importable names, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let doubled: Vec<u64> = pool.install(|| items.par_iter().map(|&x| x * 2).collect());
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_is_scoped() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outer = current_num_threads();
+        let inner = pool.install(current_num_threads);
+        assert_eq!(inner, 3);
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        // Items with wildly different costs still come back in order.
+        let items: Vec<u64> = (0..64).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let out: Vec<u64> = pool.install(|| {
+            items
+                .par_iter()
+                .map(|&x| {
+                    let spins = if x % 7 == 0 { 20_000 } else { 10 };
+                    let mut acc = x;
+                    for i in 0..spins {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                    }
+                    let _ = acc;
+                    x
+                })
+                .collect()
+        });
+        assert_eq!(out, items);
+    }
+}
