@@ -118,6 +118,21 @@ fn main() {
             .avg_latency()
             .map_or("null".to_string(), |l| format!("{l:.3}"))
     );
+    let tel = stats.routing;
+    let _ = writeln!(
+        json,
+        "    \"routing_telemetry\": {{\"minimal_takes\": {}, \"non_minimal_takes\": {}, \
+         \"adaptive_decisions\": {}, \"estimator_disagreements\": {}, \
+         \"minimal_take_rate\": {}, \"disagreement_rate\": {}}},",
+        tel.minimal_takes,
+        tel.non_minimal_takes,
+        tel.adaptive_decisions,
+        tel.estimator_disagreements,
+        tel.minimal_take_rate()
+            .map_or("null".to_string(), |r| format!("{r:.4}")),
+        tel.disagreement_rate()
+            .map_or("null".to_string(), |r| format!("{r:.4}")),
+    );
     json.push_str("    \"phase_secs\": {");
     for (i, (name, d)) in dfly_netsim::SimPerf::PHASE_NAMES
         .iter()

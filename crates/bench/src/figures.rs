@@ -53,6 +53,32 @@ fn print_throughputs(series: &[(String, f64)]) {
     }
 }
 
+/// Per-curve routing decision quality, aggregated over the drained
+/// loads of a sweep: what fraction of packets went minimal, and how
+/// often the configured congestion estimator chose differently from the
+/// plain queue-occupancy baseline.
+fn print_decision_quality(series: &[(String, Vec<SweepPoint>)]) {
+    println!("\nRouting decision quality (aggregated over drained loads):");
+    println!("| routing | minimal take rate | estimator disagreement |");
+    println!("|---|---|---|");
+    for (name, points) in series {
+        let mut t = dfly_netsim::RouteTelemetry::default();
+        for p in points.iter().filter(|p| p.stats.drained) {
+            t.minimal_takes += p.stats.routing.minimal_takes;
+            t.non_minimal_takes += p.stats.routing.non_minimal_takes;
+            t.adaptive_decisions += p.stats.routing.adaptive_decisions;
+            t.estimator_disagreements += p.stats.routing.estimator_disagreements;
+        }
+        let rate = t
+            .minimal_take_rate()
+            .map_or("-".into(), |r| format!("{:.1}%", 100.0 * r));
+        let dis = t
+            .disagreement_rate()
+            .map_or("-".into(), |r| format!("{:.1}%", 100.0 * r));
+        println!("| {name} | {rate} | {dis} |");
+    }
+}
+
 /// Figure 1: router radix required for a single global hop vs N.
 pub fn fig1() {
     println!("\n## Figure 1 — radix for one global hop (fully connected, k ~ 2*sqrt(N))");
@@ -138,6 +164,7 @@ pub fn fig8(win: &Windows) {
             &series,
         );
         print_throughputs(&caps);
+        print_decision_quality(&series);
     }
 }
 
@@ -334,6 +361,7 @@ pub fn fig16(win: &Windows) {
                 &loads,
                 &series,
             );
+            print_decision_quality(&series);
         }
     }
 }

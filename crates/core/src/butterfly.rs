@@ -38,12 +38,15 @@
 use std::sync::Arc;
 
 use dfly_netsim::{
-    ChannelClass, Connection, Flit, NetView, NetworkSpec, PortSpec, PortVc, RouteClass, RouteInfo,
-    RouterSpec, RoutingAlgorithm,
+    CandidatePath, CandidatePaths, ChannelClass, Connection, DecisionRecord, Flit, NetView,
+    NetworkSpec, PortSpec, PortVc, RouteClass, RouteInfo, RouterSpec, RoutingAlgorithm,
+    UgalChooser,
 };
 use dfly_topo::{FlattenedButterfly, Topology};
 use rand::rngs::SmallRng;
 use rand::Rng;
+
+use crate::routing::UgalVariant;
 
 /// A flattened butterfly wired for cycle-accurate simulation.
 #[derive(Debug, Clone)]
@@ -173,17 +176,55 @@ impl ButterflyNetwork {
     }
 }
 
-/// Which decision rule drives the butterfly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The flattened butterfly's UGAL candidates: the dimension-order
+/// minimal path and the two-phase Valiant path through intermediate
+/// router `intermediate`. The salt is unused — the butterfly has exactly
+/// one channel per (router, dimension, digit), so there is nothing to
+/// pre-select.
+impl CandidatePaths for ButterflyNetwork {
+    fn minimal_candidate(&self, router: usize, dest: usize, _salt: u32) -> CandidatePath {
+        let rd = dest / self.fb.concentration();
+        if router == rd {
+            return CandidatePath::new(dest % self.fb.concentration(), 0, 0);
+        }
+        let port = self.port_to(router, self.dor_next(router, rd));
+        CandidatePath::new(port, 0, self.fb.min_hops(router, rd) as u32)
+    }
+
+    fn non_minimal_candidate(
+        &self,
+        router: usize,
+        dest: usize,
+        intermediate: u32,
+        _salt: u32,
+    ) -> CandidatePath {
+        let ri = intermediate as usize;
+        let rd = dest / self.fb.concentration();
+        debug_assert!(
+            ri != router && ri != rd,
+            "intermediate must be a third router"
+        );
+        let port = self.port_to(router, self.dor_next(router, ri));
+        let hops = (self.fb.min_hops(router, ri) + self.fb.min_hops(ri, rd)) as u32;
+        CandidatePath::new(port, 0, hops)
+    }
+}
+
+/// Which decision rule drives the butterfly. The adaptive mode carries
+/// its [`UgalChooser`] so every estimator of the shared framework is
+/// available — including the credit-round-trip estimator that used to
+/// be dragonfly-only.
+#[derive(Debug)]
 enum Mode {
     Minimal,
     Valiant,
-    UgalLocal,
+    Ugal(UgalVariant, UgalChooser),
 }
 
 /// Routing for the flattened butterfly: dimension-order minimal,
-/// Valiant, or a UGAL-L adaptive choice between them.
-#[derive(Debug, Clone)]
+/// Valiant, or a UGAL adaptive choice between them driven by any
+/// [`dfly_netsim::CongestionEstimator`].
+#[derive(Debug)]
 pub struct ButterflyRouting {
     net: Arc<ButterflyNetwork>,
     mode: Mode,
@@ -206,15 +247,40 @@ impl ButterflyRouting {
         }
     }
 
-    /// UGAL with local output-queue information, choosing per packet
-    /// between the minimal and a random Valiant path.
-    pub fn ugal_local(net: Arc<ButterflyNetwork>) -> Self {
+    /// UGAL over the given congestion estimator variant.
+    pub fn ugal(net: Arc<ButterflyNetwork>, variant: UgalVariant) -> Self {
         ButterflyRouting {
             net,
-            mode: Mode::UgalLocal,
+            mode: Mode::Ugal(variant, UgalChooser::new(variant.estimator())),
         }
     }
 
+    /// UGAL with local output-queue information, choosing per packet
+    /// between the minimal and a random Valiant path.
+    pub fn ugal_local(net: Arc<ButterflyNetwork>) -> Self {
+        Self::ugal(net, UgalVariant::Local)
+    }
+
+    /// UGAL-L(CR) on the butterfly: credit-inclusive queue estimates,
+    /// to be paired with [`dfly_netsim::CreditMode::RoundTrip`] — the
+    /// estimator the paper develops for the dragonfly, available here
+    /// through the shared adaptive-routing layer.
+    pub fn ugal_credit(net: Arc<ButterflyNetwork>) -> Self {
+        Self::ugal(net, UgalVariant::CreditRoundTrip)
+    }
+}
+
+impl Clone for ButterflyRouting {
+    fn clone(&self) -> Self {
+        match &self.mode {
+            Mode::Minimal => Self::minimal(self.net.clone()),
+            Mode::Valiant => Self::valiant(self.net.clone()),
+            Mode::Ugal(variant, _) => Self::ugal(self.net.clone(), *variant),
+        }
+    }
+}
+
+impl ButterflyRouting {
     /// Draws an intermediate router distinct from `rs` and `rd`.
     fn random_intermediate(&self, rs: usize, rd: usize, rng: &mut SmallRng) -> Option<usize> {
         let n = self.net.fb.num_routers();
@@ -233,42 +299,65 @@ impl ButterflyRouting {
 
 impl RoutingAlgorithm for ButterflyRouting {
     fn name(&self) -> String {
-        match self.mode {
+        match &self.mode {
             Mode::Minimal => "FB-MIN".into(),
             Mode::Valiant => "FB-VAL".into(),
-            Mode::UgalLocal => "FB-UGAL-L".into(),
+            Mode::Ugal(variant, _) => match variant {
+                UgalVariant::Local => "FB-UGAL-L".into(),
+                UgalVariant::LocalVc => "FB-UGAL-L_VC".into(),
+                UgalVariant::LocalVcHybrid => "FB-UGAL-L_VCH".into(),
+                UgalVariant::Global => "FB-UGAL-G".into(),
+                UgalVariant::CreditRoundTrip => "FB-UGAL-L_CR".into(),
+            },
         }
     }
 
     fn inject(&self, view: &NetView<'_>, src: usize, dest: usize, rng: &mut SmallRng) -> RouteInfo {
+        self.inject_traced(view, src, dest, rng).0
+    }
+
+    fn inject_traced(
+        &self,
+        view: &NetView<'_>,
+        src: usize,
+        dest: usize,
+        rng: &mut SmallRng,
+    ) -> (RouteInfo, DecisionRecord) {
         let c = self.net.fb.concentration();
         let rs = src / c;
         let rd = dest / c;
         let minimal = RouteInfo::minimal().with_salt(rng.gen());
         if rs == rd {
-            return minimal;
+            return (minimal, DecisionRecord::default());
         }
-        match self.mode {
-            Mode::Minimal => minimal,
+        match &self.mode {
+            Mode::Minimal => (minimal, DecisionRecord::default()),
             Mode::Valiant => match self.random_intermediate(rs, rd, rng) {
-                Some(ri) => RouteInfo::non_minimal(ri as u32).with_salt(rng.gen()),
-                None => minimal,
+                Some(ri) => (
+                    RouteInfo::non_minimal(ri as u32).with_salt(rng.gen()),
+                    DecisionRecord::default(),
+                ),
+                None => (minimal, DecisionRecord::default()),
             },
-            Mode::UgalLocal => {
+            Mode::Ugal(_, chooser) => {
                 let Some(ri) = self.random_intermediate(rs, rd, rng) else {
-                    return minimal;
+                    return (minimal, DecisionRecord::default());
                 };
                 let net = &self.net;
-                let port_m = net.port_to(rs, net.dor_next(rs, rd));
-                let port_nm = net.port_to(rs, net.dor_next(rs, ri));
-                let qm = view.occupancy(rs, port_m);
-                let qnm = view.occupancy(rs, port_nm);
-                let hm = net.fb.min_hops(rs, rd) as u64;
-                let hnm = (net.fb.min_hops(rs, ri) + net.fb.min_hops(ri, rd)) as u64;
-                if qm as u64 * hm <= qnm as u64 * hnm {
-                    minimal
+                let m = net.minimal_candidate(rs, dest, minimal.salt);
+                let nm = net.non_minimal_candidate(rs, dest, ri as u32, minimal.salt);
+                let decision = chooser.choose(view, rs, &m, &nm);
+                let record = DecisionRecord {
+                    adaptive: true,
+                    estimator_disagreed: decision.estimator_disagreed,
+                };
+                if decision.minimal {
+                    (minimal, record)
                 } else {
-                    RouteInfo::non_minimal(ri as u32).with_salt(rng.gen())
+                    (
+                        RouteInfo::non_minimal(ri as u32).with_salt(rng.gen()),
+                        record,
+                    )
                 }
             }
         }

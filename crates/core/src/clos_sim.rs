@@ -31,12 +31,15 @@
 use std::sync::Arc;
 
 use dfly_netsim::{
-    ChannelClass, Connection, Flit, NetView, NetworkSpec, PortSpec, PortVc, RouteInfo, RouterSpec,
-    RoutingAlgorithm,
+    CandidatePath, CandidatePaths, ChannelClass, Connection, DecisionRecord, Flit, NetView,
+    NetworkSpec, PortSpec, PortVc, RouteClass, RouteInfo, RouterSpec, RoutingAlgorithm,
+    UgalChooser,
 };
 use dfly_topo::{FoldedClos, Topology};
 use rand::rngs::SmallRng;
 use rand::Rng;
+
+use crate::routing::UgalVariant;
 
 /// A folded Clos wired for cycle-accurate simulation.
 ///
@@ -68,10 +71,17 @@ impl ClosNetwork {
     ///
     /// # Panics
     ///
-    /// Panics if `clos.levels() < 2` or `latency == 0`.
+    /// Panics if `clos.levels() < 2`, `latency == 0`, or the switch
+    /// radix is not divisible by 4 (the folded construction pairs
+    /// virtual top switches two by two, so it needs an even `k/2`).
     pub fn with_latency(clos: FoldedClos, latency: u32) -> Self {
         assert!(clos.levels() >= 2, "need >= 2 ranks to have a network");
         assert!(latency > 0, "latency must be >= 1");
+        assert!(
+            clos.switch_radix().is_multiple_of(4),
+            "folded top-switch pairing needs radix divisible by 4, got {}",
+            clos.switch_radix()
+        );
         let mut rank_base = Vec::with_capacity(clos.levels());
         let mut base = 0;
         for l in 0..clos.levels() {
@@ -227,32 +237,145 @@ impl ClosNetwork {
     }
 }
 
-/// Random-up / deterministic-down fat-tree routing.
-#[derive(Debug, Clone)]
+/// The folded Clos's UGAL candidates. Every uplink at a leaf starts an
+/// equal-length up/down path, so the two candidates differ only in
+/// which leaf uplink they commit to: the "minimal" candidate takes the
+/// salt-hashed uplink the oblivious random-up rule would take, the
+/// "non-minimal" one takes the alternative uplink `intermediate` — an
+/// adaptive spread over the full bisection driven by whichever
+/// congestion estimator the chooser carries.
+impl CandidatePaths for ClosNetwork {
+    fn minimal_candidate(&self, router: usize, dest: usize, salt: u32) -> CandidatePath {
+        let half = self.half();
+        let leaf = dest / half;
+        debug_assert_eq!(self.rank_of(router).0, 0, "decisions happen at leaves");
+        if router == leaf {
+            return CandidatePath::new(dest % half, 0, 0);
+        }
+        let u = self.pick_up(salt, 0);
+        CandidatePath::new(half + u, 0, self.min_hops_from_leaf(router, leaf))
+    }
+
+    fn non_minimal_candidate(
+        &self,
+        router: usize,
+        dest: usize,
+        intermediate: u32,
+        _salt: u32,
+    ) -> CandidatePath {
+        let half = self.half();
+        let leaf = dest / half;
+        debug_assert_eq!(self.rank_of(router).0, 0, "decisions happen at leaves");
+        debug_assert_ne!(router, leaf, "no alternative path within a leaf");
+        CandidatePath::new(
+            half + intermediate as usize,
+            0,
+            self.min_hops_from_leaf(router, leaf),
+        )
+    }
+}
+
+/// Which decision rule drives the Clos.
+#[derive(Debug)]
+enum ClosMode {
+    /// Oblivious random-up: the uplink at every rank is salt-hashed.
+    RandomUp,
+    /// Adaptive up: the leaf uplink is chosen per packet between the
+    /// salt-hashed one and a random alternative by congestion estimate.
+    Adaptive(UgalVariant, UgalChooser),
+}
+
+/// Fat-tree routing: random-up / deterministic-down, optionally with an
+/// adaptive leaf-uplink choice through the shared UGAL layer.
+#[derive(Debug)]
 pub struct ClosRouting {
     net: Arc<ClosNetwork>,
+    mode: ClosMode,
 }
 
 impl ClosRouting {
-    /// Creates the routing over `net`.
+    /// Creates the oblivious random-up routing over `net`.
     pub fn new(net: Arc<ClosNetwork>) -> Self {
-        ClosRouting { net }
+        ClosRouting {
+            net,
+            mode: ClosMode::RandomUp,
+        }
+    }
+
+    /// Creates adaptive-up routing: the leaf uplink is picked per packet
+    /// by the given congestion estimator variant (the descent stays
+    /// deterministic, so deadlock freedom is untouched).
+    pub fn adaptive(net: Arc<ClosNetwork>, variant: UgalVariant) -> Self {
+        ClosRouting {
+            net,
+            mode: ClosMode::Adaptive(variant, UgalChooser::new(variant.estimator())),
+        }
+    }
+}
+
+impl Clone for ClosRouting {
+    fn clone(&self) -> Self {
+        match &self.mode {
+            ClosMode::RandomUp => Self::new(self.net.clone()),
+            ClosMode::Adaptive(variant, _) => Self::adaptive(self.net.clone(), *variant),
+        }
     }
 }
 
 impl RoutingAlgorithm for ClosRouting {
     fn name(&self) -> String {
-        "clos-updown".into()
+        match &self.mode {
+            ClosMode::RandomUp => "clos-updown".into(),
+            ClosMode::Adaptive(..) => "clos-adaptive".into(),
+        }
     }
 
-    fn inject(
+    fn inject(&self, view: &NetView<'_>, src: usize, dest: usize, rng: &mut SmallRng) -> RouteInfo {
+        self.inject_traced(view, src, dest, rng).0
+    }
+
+    fn inject_traced(
         &self,
-        _view: &NetView<'_>,
-        _src: usize,
-        _dest: usize,
+        view: &NetView<'_>,
+        src: usize,
+        dest: usize,
         rng: &mut SmallRng,
-    ) -> RouteInfo {
-        RouteInfo::minimal().with_salt(rng.gen())
+    ) -> (RouteInfo, DecisionRecord) {
+        let salt: u32 = rng.gen();
+        let ClosMode::Adaptive(_, chooser) = &self.mode else {
+            return (
+                RouteInfo::minimal().with_salt(salt),
+                DecisionRecord::default(),
+            );
+        };
+        let net = &self.net;
+        let half = net.half();
+        let rs = src / half;
+        let rd = dest / half;
+        if rs == rd || half < 2 {
+            return (
+                RouteInfo::minimal().with_salt(salt),
+                DecisionRecord::default(),
+            );
+        }
+        // Alternative uplink: uniform over the ones the hash did not pick.
+        let u_m = net.pick_up(salt, 0);
+        let mut u_alt = rng.gen_range(0..half - 1);
+        if u_alt >= u_m {
+            u_alt += 1;
+        }
+        let m = net.minimal_candidate(rs, dest, salt);
+        let nm = net.non_minimal_candidate(rs, dest, u_alt as u32, salt);
+        let decision = chooser.choose(view, rs, &m, &nm);
+        let record = DecisionRecord {
+            adaptive: true,
+            estimator_disagreed: decision.estimator_disagreed,
+        };
+        if decision.minimal {
+            (RouteInfo::minimal().with_salt(salt), record)
+        } else {
+            (RouteInfo::non_minimal(u_alt as u32).with_salt(salt), record)
+        }
     }
 
     fn route(&self, _view: &NetView<'_>, router: usize, flit: &Flit) -> PortVc {
@@ -276,8 +399,15 @@ impl RoutingAlgorithm for ClosRouting {
             // Descend: set digit rank-1 to the destination's.
             return PortVc::new(net.digit(leaf, rank - 1), 0);
         }
-        // Ascend on a salt-chosen uplink (random-up).
-        let u = net.pick_up(flit.route.salt, rank);
+        // Ascend. At the leaf, an adaptive packet committed to its
+        // alternative uplink (carried in `intermediate`); everywhere
+        // else the uplink is salt-chosen (random-up).
+        let u = match (rank, flit.route.class) {
+            (0, RouteClass::NonMinimal) => {
+                flit.route.intermediate.expect("adaptive uplink set") as usize
+            }
+            _ => net.pick_up(flit.route.salt, rank),
+        };
         PortVc::new(half + u, 0)
     }
 }
@@ -294,6 +424,20 @@ impl ClosNetwork {
     /// Salt-derived virtual parity at the top rank.
     fn pick_parity(&self, salt: u32) -> usize {
         (salt as usize >> 7) & 1
+    }
+
+    /// Router-to-router hops of the up/down path from leaf `leaf` to
+    /// leaf `dest_leaf`: twice the ascent height, which depends only on
+    /// the highest differing index digit (every uplink choice yields the
+    /// same length).
+    fn min_hops_from_leaf(&self, leaf: usize, dest_leaf: usize) -> u32 {
+        let levels = self.clos.levels();
+        for height in 1..levels {
+            if (height..levels - 1).all(|d| self.digit(leaf, d) == self.digit(dest_leaf, d)) {
+                return 2 * height as u32;
+            }
+        }
+        2 * (levels - 1) as u32
     }
 }
 
@@ -393,6 +537,37 @@ mod tests {
             stats.drained,
             "fat tree should sustain 0.6 on a permutation"
         );
+    }
+
+    #[test]
+    fn adaptive_up_delivers_and_reports_decisions() {
+        let net = Arc::new(ClosNetwork::new(FoldedClos::new(3, 8)));
+        let spec = net.build_spec();
+        let routing = ClosRouting::adaptive(net, crate::UgalVariant::Local);
+        assert_eq!(routing.name(), "clos-adaptive");
+        let pattern = UniformRandom::new(spec.num_terminals());
+        let stats = Simulation::new(&spec, &routing, &pattern, fast_cfg(0.3))
+            .unwrap()
+            .run();
+        assert!(stats.drained);
+        assert!((stats.accepted_rate - 0.3).abs() < 0.04);
+        // Cross-leaf packets all ran the adaptive uplink comparison.
+        assert!(stats.routing.adaptive_decisions > 0);
+        assert_eq!(
+            stats.routing.minimal_takes + stats.routing.non_minimal_takes,
+            stats.latency.count
+        );
+    }
+
+    #[test]
+    fn min_hops_from_leaf_matches_observed_latency_bounds() {
+        let net = ClosNetwork::new(FoldedClos::new(3, 8));
+        // Same mid-rank pod (digit 1 equal): up 1, down 1.
+        assert_eq!(net.min_hops_from_leaf(0, 1), 2);
+        // Different pods: up 2 to the top, down 2.
+        assert_eq!(net.min_hops_from_leaf(0, 15), 4);
+        let two = ClosNetwork::new(FoldedClos::new(2, 8));
+        assert_eq!(two.min_hops_from_leaf(0, 3), 2);
     }
 
     #[test]

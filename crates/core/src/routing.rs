@@ -35,26 +35,17 @@
 
 use std::sync::Arc;
 
-use dfly_netsim::{Flit, NetView, PortVc, RouteClass, RouteInfo, RoutingAlgorithm};
+use dfly_netsim::{
+    CandidatePath, CandidatePaths, CongestionEstimator, CreditCommitted, DecisionRecord, Flit,
+    GlobalOracle, NetView, PortVc, QueueOccupancy, RouteClass, RouteInfo, RoutingAlgorithm,
+    SimError, UgalChooser, VcHybrid, VcOccupancy,
+};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
 use crate::topology::Dragonfly;
 
-/// First-hop summary of a candidate path, used by the UGAL decision.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct PathPlan {
-    /// Output port the path takes out of the deciding router.
-    port: u16,
-    /// VC the packet would occupy on that first channel.
-    vc: u8,
-    /// Router-to-router channel hops on the whole path.
-    hops: u32,
-    /// Router owning the path's (first) global channel, if any.
-    gc_router: u32,
-    /// Port of that global channel on its router.
-    gc_port: u16,
-}
+pub use dfly_netsim::TraceHop;
 
 /// Per-hop route computation shared by every algorithm.
 ///
@@ -106,97 +97,79 @@ fn route_flit(df: &Dragonfly, router: usize, flit: &Flit) -> PortVc {
     }
 }
 
-/// Plans the minimal path from `rs` to `dest` under `salt`.
-fn min_path(df: &Dragonfly, rs: usize, dest: usize, salt: u32) -> PathPlan {
-    let params = df.params();
-    let rd = params.router_of_terminal(dest);
-    if rs == rd {
-        return PathPlan {
-            port: df.eject_port(dest) as u16,
-            vc: 0,
-            hops: 0,
-            gc_router: u32::MAX,
-            gc_port: 0,
+/// The dragonfly's UGAL candidates: the minimal path (≤ 1 global
+/// channel) and the Valiant path through intermediate group
+/// `intermediate`, each summarised by its salt-selected first-hop port,
+/// the first entry of its VC schedule, its total hop count, and — as the
+/// oracle probe point — the router and port owning its first global
+/// channel.
+impl CandidatePaths for Dragonfly {
+    fn minimal_candidate(&self, router: usize, dest: usize, salt: u32) -> CandidatePath {
+        let params = self.params();
+        let rs = router;
+        let rd = params.router_of_terminal(dest);
+        if rs == rd {
+            return CandidatePath::new(self.eject_port(dest), 0, 0);
+        }
+        let gs = params.group_of_router(rs);
+        let gd = params.group_of_router(rd);
+        if gs == gd {
+            return CandidatePath::new(
+                self.local_next_hop(rs, rd),
+                2,
+                self.local_hops(rs, rd) as u32,
+            );
+        }
+        let slots = self.global_slots(gs, gd);
+        let q = slots[self.pick(slots.len(), salt, 0)] as usize;
+        let owner = self.slot_router(gs, q);
+        let (pg, pq) = self.global_slot_target(gs, q).expect("wired slot");
+        let entry = self.slot_router(pg, pq);
+        let hops = self.local_hops(rs, owner) as u32 + 1 + self.local_hops(entry, rd) as u32;
+        let port = if rs == owner {
+            self.slot_port(q)
+        } else {
+            self.local_next_hop(rs, owner)
         };
+        CandidatePath::new(port, 1, hops).with_probe(owner, self.slot_port(q))
     }
-    let gs = params.group_of_router(rs);
-    let gd = params.group_of_router(rd);
-    if gs == gd {
-        return PathPlan {
-            port: df.local_next_hop(rs, rd) as u16,
-            vc: 2,
-            hops: df.local_hops(rs, rd) as u32,
-            gc_router: u32::MAX,
-            gc_port: 0,
+
+    fn non_minimal_candidate(
+        &self,
+        router: usize,
+        dest: usize,
+        intermediate: u32,
+        salt: u32,
+    ) -> CandidatePath {
+        let params = self.params();
+        let rs = router;
+        let gi = intermediate as usize;
+        let rd = params.router_of_terminal(dest);
+        let gs = params.group_of_router(rs);
+        let gd = params.group_of_router(rd);
+        debug_assert!(gi != gs && gi != gd, "intermediate must be a third group");
+        let slots1 = self.global_slots(gs, gi);
+        let q1 = slots1[self.pick(slots1.len(), salt, 0)] as usize;
+        let owner1 = self.slot_router(gs, q1);
+        let (pg1, pq1) = self.global_slot_target(gs, q1).expect("wired slot");
+        let entry1 = self.slot_router(pg1, pq1);
+        let slots2 = self.global_slots(gi, gd);
+        let q2 = slots2[self.pick(slots2.len(), salt, 1)] as usize;
+        let owner2 = self.slot_router(gi, q2);
+        let (pg2, pq2) = self.global_slot_target(gi, q2).expect("wired slot");
+        let entry2 = self.slot_router(pg2, pq2);
+        let hops = self.local_hops(rs, owner1) as u32
+            + 1
+            + self.local_hops(entry1, owner2) as u32
+            + 1
+            + self.local_hops(entry2, rd) as u32;
+        let port = if rs == owner1 {
+            self.slot_port(q1)
+        } else {
+            self.local_next_hop(rs, owner1)
         };
+        CandidatePath::new(port, 0, hops).with_probe(owner1, self.slot_port(q1))
     }
-    let slots = df.global_slots(gs, gd);
-    let q = slots[df.pick(slots.len(), salt, 0)] as usize;
-    let owner = df.slot_router(gs, q);
-    let (pg, pq) = df.global_slot_target(gs, q).expect("wired slot");
-    let entry = df.slot_router(pg, pq);
-    let hops = df.local_hops(rs, owner) as u32 + 1 + df.local_hops(entry, rd) as u32;
-    let port = if rs == owner {
-        df.slot_port(q)
-    } else {
-        df.local_next_hop(rs, owner)
-    };
-    PathPlan {
-        port: port as u16,
-        vc: 1,
-        hops,
-        gc_router: owner as u32,
-        gc_port: df.slot_port(q) as u16,
-    }
-}
-
-/// Plans the Valiant path from `rs` to `dest` through group `gi`.
-fn nonmin_path(df: &Dragonfly, rs: usize, dest: usize, gi: usize, salt: u32) -> PathPlan {
-    let params = df.params();
-    let rd = params.router_of_terminal(dest);
-    let gs = params.group_of_router(rs);
-    let gd = params.group_of_router(rd);
-    debug_assert!(gi != gs && gi != gd, "intermediate must be a third group");
-    let slots1 = df.global_slots(gs, gi);
-    let q1 = slots1[df.pick(slots1.len(), salt, 0)] as usize;
-    let owner1 = df.slot_router(gs, q1);
-    let (pg1, pq1) = df.global_slot_target(gs, q1).expect("wired slot");
-    let entry1 = df.slot_router(pg1, pq1);
-    let slots2 = df.global_slots(gi, gd);
-    let q2 = slots2[df.pick(slots2.len(), salt, 1)] as usize;
-    let owner2 = df.slot_router(gi, q2);
-    let (pg2, pq2) = df.global_slot_target(gi, q2).expect("wired slot");
-    let entry2 = df.slot_router(pg2, pq2);
-    let hops = df.local_hops(rs, owner1) as u32
-        + 1
-        + df.local_hops(entry1, owner2) as u32
-        + 1
-        + df.local_hops(entry2, rd) as u32;
-    let port = if rs == owner1 {
-        df.slot_port(q1)
-    } else {
-        df.local_next_hop(rs, owner1)
-    };
-    PathPlan {
-        port: port as u16,
-        vc: 0,
-        hops,
-        gc_router: owner1 as u32,
-        gc_port: df.slot_port(q1) as u16,
-    }
-}
-
-/// One hop of a traced route.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TraceHop {
-    /// Router the hop leaves from.
-    pub router: usize,
-    /// Output port taken.
-    pub port: usize,
-    /// Virtual channel on the outgoing channel.
-    pub vc: usize,
-    /// Channel class of the hop.
-    pub class: dfly_netsim::ChannelClass,
 }
 
 /// Walks the exact path a packet with the given [`RouteInfo`] takes from
@@ -206,10 +179,12 @@ pub struct TraceHop {
 ///
 /// # Errors
 ///
-/// Returns an error if the route fails to reach `dest` within a
-/// generous hop bound (which would indicate an invalid `RouteInfo`,
-/// e.g. a non-minimal route whose intermediate group equals the
-/// source's).
+/// Returns [`SimError::InvalidRoute`] for out-of-range terminals or a
+/// route that ejects at the wrong terminal, and [`SimError::RouteLoop`]
+/// if the route fails to eject within the diameter-derived bound of
+/// [`Dragonfly::route_hop_bound`] (which would indicate an invalid
+/// `RouteInfo`, e.g. a non-minimal route whose intermediate group equals
+/// the source's).
 ///
 /// # Example
 ///
@@ -227,10 +202,10 @@ pub fn trace_route(
     src: usize,
     dest: usize,
     route: RouteInfo,
-) -> Result<Vec<TraceHop>, String> {
+) -> Result<Vec<TraceHop>, SimError> {
     let params = df.params();
     if src >= params.num_terminals() || dest >= params.num_terminals() {
-        return Err("terminal out of range".into());
+        return Err(SimError::InvalidRoute("terminal out of range".into()));
     }
     let spec = df.build_spec();
     let mut flit = Flit {
@@ -248,8 +223,7 @@ pub fn trace_route(
     };
     let mut router = params.router_of_terminal(src);
     let mut hops = Vec::new();
-    // Upper bound: group-diameter locals on three groups + 2 globals + eject.
-    let bound = 3 * df.group_dims().len() + 3;
+    let bound = df.route_hop_bound();
     for _ in 0..bound {
         let pv = route_flit(df, router, &flit);
         let port_spec = spec.routers[router].ports[pv.port as usize];
@@ -264,7 +238,9 @@ pub fn trace_route(
                 return if terminal as usize == dest {
                     Ok(hops)
                 } else {
-                    Err(format!("route ejected at terminal {terminal}, not {dest}"))
+                    Err(SimError::InvalidRoute(format!(
+                        "route ejected at terminal {terminal}, not {dest}"
+                    )))
                 };
             }
             dfly_netsim::Connection::Router { router: peer, .. } => {
@@ -274,7 +250,7 @@ pub fn trace_route(
             }
         }
     }
-    Err(format!("no ejection within {bound} hops: invalid route"))
+    Err(SimError::RouteLoop { src, dest, bound })
 }
 
 /// Draws a uniformly random intermediate group different from both `gs`
@@ -415,6 +391,21 @@ pub enum UgalVariant {
     CreditRoundTrip,
 }
 
+impl UgalVariant {
+    /// The shared [`CongestionEstimator`] implementing this variant's
+    /// congestion sensing — the same estimator objects every topology's
+    /// UGAL uses.
+    pub fn estimator(&self) -> Box<dyn CongestionEstimator> {
+        match self {
+            UgalVariant::Local => Box::new(QueueOccupancy),
+            UgalVariant::LocalVc => Box::new(VcOccupancy),
+            UgalVariant::LocalVcHybrid => Box::new(VcHybrid),
+            UgalVariant::Global => Box::new(GlobalOracle),
+            UgalVariant::CreditRoundTrip => Box::new(CreditCommitted),
+        }
+    }
+}
+
 /// Universal Globally-Adaptive Load-balanced routing (UGAL) over a
 /// dragonfly: picks minimal or Valiant per packet by comparing
 /// `q_m · H_m ≤ q_nm · H_nm`.
@@ -428,21 +419,33 @@ pub enum UgalVariant {
 /// let df = Arc::new(Dragonfly::new(DragonflyParams::new(2, 4, 2).unwrap()));
 /// let ugal = UgalRouting::new(df, UgalVariant::LocalVcHybrid);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct UgalRouting {
     df: Arc<Dragonfly>,
     variant: UgalVariant,
+    chooser: UgalChooser,
 }
 
 impl UgalRouting {
     /// Creates UGAL routing of the given variant over `df`.
     pub fn new(df: Arc<Dragonfly>, variant: UgalVariant) -> Self {
-        UgalRouting { df, variant }
+        let chooser = UgalChooser::new(variant.estimator());
+        UgalRouting {
+            df,
+            variant,
+            chooser,
+        }
     }
 
     /// The variant in use.
     pub fn variant(&self) -> UgalVariant {
         self.variant
+    }
+}
+
+impl Clone for UgalRouting {
+    fn clone(&self) -> Self {
+        UgalRouting::new(self.df.clone(), self.variant)
     }
 }
 
@@ -458,6 +461,16 @@ impl RoutingAlgorithm for UgalRouting {
     }
 
     fn inject(&self, view: &NetView<'_>, src: usize, dest: usize, rng: &mut SmallRng) -> RouteInfo {
+        self.inject_traced(view, src, dest, rng).0
+    }
+
+    fn inject_traced(
+        &self,
+        view: &NetView<'_>,
+        src: usize,
+        dest: usize,
+        rng: &mut SmallRng,
+    ) -> (RouteInfo, DecisionRecord) {
         let df = &self.df;
         let params = df.params();
         let rs = params.router_of_terminal(src);
@@ -466,59 +479,28 @@ impl RoutingAlgorithm for UgalRouting {
         let gd = params.group_of_router(rd);
         let salt: u32 = rng.gen();
         if rs == rd || gs == gd {
-            return RouteInfo::minimal().with_salt(salt).with_injection_vc(1);
+            let route = RouteInfo::minimal().with_salt(salt).with_injection_vc(1);
+            return (route, DecisionRecord::default());
         }
         let Some(gi) = random_intermediate(params.num_groups(), gs, gd, rng) else {
-            return RouteInfo::minimal().with_salt(salt).with_injection_vc(1);
+            let route = RouteInfo::minimal().with_salt(salt).with_injection_vc(1);
+            return (route, DecisionRecord::default());
         };
-        let m = min_path(df, rs, dest, salt);
-        let nm = nonmin_path(df, rs, dest, gi, salt);
-        let (qm, qnm) = match self.variant {
-            UgalVariant::Local => (
-                view.occupancy(rs, m.port as usize),
-                view.occupancy(rs, nm.port as usize),
-            ),
-            UgalVariant::LocalVc => (
-                view.vc_occupancy(rs, m.port as usize, m.vc as usize),
-                view.vc_occupancy(rs, nm.port as usize, nm.vc as usize),
-            ),
-            UgalVariant::LocalVcHybrid => {
-                if m.port == nm.port {
-                    (
-                        view.vc_occupancy(rs, m.port as usize, m.vc as usize),
-                        view.vc_occupancy(rs, nm.port as usize, nm.vc as usize),
-                    )
-                } else {
-                    (
-                        view.occupancy(rs, m.port as usize),
-                        view.occupancy(rs, nm.port as usize),
-                    )
-                }
-            }
-            UgalVariant::Global => (
-                view.occupancy(m.gc_router as usize, m.gc_port as usize),
-                view.occupancy(nm.gc_router as usize, nm.gc_port as usize),
-            ),
-            UgalVariant::CreditRoundTrip => {
-                if m.port == nm.port {
-                    (
-                        view.vc_committed(rs, m.port as usize, m.vc as usize),
-                        view.vc_committed(rs, nm.port as usize, nm.vc as usize),
-                    )
-                } else {
-                    (
-                        view.committed(rs, m.port as usize),
-                        view.committed(rs, nm.port as usize),
-                    )
-                }
-            }
+        let m = df.minimal_candidate(rs, dest, salt);
+        let nm = df.non_minimal_candidate(rs, dest, gi as u32, salt);
+        let decision = self.chooser.choose(view, rs, &m, &nm);
+        let record = DecisionRecord {
+            adaptive: true,
+            estimator_disagreed: decision.estimator_disagreed,
         };
-        if (qm as u64) * m.hops as u64 <= (qnm as u64) * nm.hops as u64 {
-            RouteInfo::minimal().with_salt(salt).with_injection_vc(1)
+        if decision.minimal {
+            let route = RouteInfo::minimal().with_salt(salt).with_injection_vc(1);
+            (route, record)
         } else {
-            RouteInfo::non_minimal(gi as u32)
+            let route = RouteInfo::non_minimal(gi as u32)
                 .with_salt(salt)
-                .with_injection_vc(0)
+                .with_injection_vc(0);
+            (route, record)
         }
     }
 
@@ -538,47 +520,16 @@ mod tests {
         Arc::new(Dragonfly::new(DragonflyParams::new(2, 4, 2).unwrap()))
     }
 
-    fn flit_to(df: &Dragonfly, src: usize, dest: usize, route: RouteInfo) -> Flit {
-        let _ = df;
-        Flit {
-            packet: 0,
-            src: src as u32,
-            dest: dest as u32,
-            route,
-            created: 0,
-            injected: 0,
-            hops: 0,
-            vc: 0,
-            is_head: true,
-            is_tail: true,
-            labeled: false,
-        }
-    }
-
     /// Walks a flit from its source router to ejection, returning the
-    /// sequence of (channel class, vc) traversed.
+    /// sequence of (channel class, vc) traversed. Ejecting at the wrong
+    /// terminal or looping past the diameter bound surfaces as a
+    /// [`SimError`] from [`trace_route`].
     fn walk(df: &Dragonfly, src: usize, dest: usize, route: RouteInfo) -> Vec<(ChannelClass, u8)> {
-        let spec = df.build_spec();
-        let mut flit = flit_to(df, src, dest, route);
-        let mut router = df.params().router_of_terminal(src);
-        let mut path = Vec::new();
-        for _ in 0..16 {
-            let pv = route_flit(df, router, &flit);
-            let port = &spec.routers[router].ports[pv.port as usize];
-            path.push((port.class, pv.vc));
-            match port.conn {
-                dfly_netsim::Connection::Terminal { terminal } => {
-                    assert_eq!(terminal as usize, dest, "ejected at wrong terminal");
-                    return path;
-                }
-                dfly_netsim::Connection::Router { router: peer, .. } => {
-                    flit.hops += 1;
-                    flit.vc = pv.vc;
-                    router = peer as usize;
-                }
-            }
-        }
-        panic!("no ejection after 16 hops: route loop");
+        trace_route(df, src, dest, route)
+            .expect("route must eject at its destination")
+            .iter()
+            .map(|hop| (hop.class, hop.vc as u8))
+            .collect()
     }
 
     #[test]
@@ -666,7 +617,7 @@ mod tests {
                 }
                 let salt = 99;
                 let rs = df.params().router_of_terminal(src);
-                let plan = min_path(&df, rs, dest, salt);
+                let plan = df.minimal_candidate(rs, dest, salt);
                 let path = walk(&df, src, dest, RouteInfo::minimal().with_salt(salt));
                 // walk includes the ejection hop; plan.hops counts only
                 // router-to-router channels.
@@ -684,7 +635,7 @@ mod tests {
             let gs = df.params().group_of_terminal(src);
             let gd = df.params().group_of_terminal(dest);
             let gi = (0..9).find(|&x| x != gs && x != gd).unwrap();
-            let plan = nonmin_path(&df, rs, dest, gi, salt);
+            let plan = df.non_minimal_candidate(rs, dest, gi as u32, salt);
             let path = walk(
                 &df,
                 src,

@@ -269,6 +269,17 @@ impl Dragonfly {
         self.local_ports
     }
 
+    /// Upper bound on the hops of any valid route, derived from the
+    /// topology diameter: the longest (Valiant) route traverses at most
+    /// three groups — each at most the intra-group diameter, which is
+    /// the group's dimension count — plus two global channels and the
+    /// ejection hop. Route walkers ([`crate::trace_route`],
+    /// [`dfly_netsim::trace_path`]) report a
+    /// [`dfly_netsim::SimError::RouteLoop`] past this bound.
+    pub fn route_hop_bound(&self) -> usize {
+        3 * self.dims.len() + 3
+    }
+
     /// Actual router radix: `p + local ports + h`. Equals
     /// [`DragonflyParams::router_radix`] for complete groups and is
     /// smaller for multi-dimensional groups — the §3.2 trade.
@@ -709,11 +720,15 @@ mod tests {
         let mut at = 0usize;
         let mut hops = 0;
         while at != 7 {
-            let port = df.local_next_hop(at, 7);
-            match spec.routers[at].ports[port].conn {
-                Connection::Router { router, .. } => at = router as usize,
-                _ => panic!("local port wired to a terminal"),
-            }
+            let port_spec = spec.routers[at].ports[df.local_next_hop(at, 7)];
+            // `NetworkSpec::validated` rejects any local-class port wired
+            // to a terminal at construction, so the wiring guarantee
+            // holds before any route is ever walked.
+            assert_eq!(port_spec.class, ChannelClass::Local);
+            let Connection::Router { router, .. } = port_spec.conn else {
+                unreachable!("validated spec: non-terminal class implies router wiring");
+            };
+            at = router as usize;
             hops += 1;
             assert!(hops <= 3, "dimension-order walk too long");
         }

@@ -38,12 +38,15 @@
 use std::sync::Arc;
 
 use dfly_netsim::{
-    ChannelClass, Connection, Flit, NetView, NetworkSpec, PortSpec, PortVc, RouteInfo, RouterSpec,
-    RoutingAlgorithm,
+    CandidatePath, CandidatePaths, ChannelClass, Connection, DecisionRecord, Flit, NetView,
+    NetworkSpec, PortSpec, PortVc, RouteClass, RouteInfo, RouterSpec, RoutingAlgorithm,
+    UgalChooser,
 };
 use dfly_topo::{Topology, Torus};
 use rand::rngs::SmallRng;
 use rand::Rng;
+
+use crate::routing::UgalVariant;
 
 /// A torus wired for cycle-accurate simulation.
 #[derive(Debug, Clone)]
@@ -156,33 +159,185 @@ impl TorusNetwork {
     }
 }
 
-/// Deterministic shortest-way dimension-order routing with dateline VCs.
-#[derive(Debug, Clone)]
+impl CandidatePaths for TorusNetwork {
+    /// Minimal candidate: the short way around the first differing
+    /// dimension's ring, on its dateline VC; `hops` is the full
+    /// Manhattan distance. The salt is unused — a torus has exactly one
+    /// channel per (router, dimension, direction).
+    fn minimal_candidate(&self, router: usize, dest: usize, _salt: u32) -> CandidatePath {
+        let c = self.torus.concentration();
+        let rd = dest / c;
+        if router == rd {
+            return CandidatePath::new(dest % c, 0, 0);
+        }
+        let k = self.torus.arity();
+        let ca = self.torus.coordinates(router);
+        let cb = self.torus.coordinates(rd);
+        let dim = (0..ca.len())
+            .find(|&d| ca[d] != cb[d])
+            .expect("router != rd");
+        let (x, y) = (ca[dim], cb[dim]);
+        let forward = (y + k - x) % k;
+        let plus = forward <= k - forward;
+        let will_wrap = if plus { x > y } else { x < y };
+        let hops: u32 = (0..ca.len())
+            .map(|d| {
+                let f = (cb[d] + k - ca[d]) % k;
+                f.min(k - f) as u32
+            })
+            .sum();
+        CandidatePath::new(self.dir_port(dim, plus), usize::from(!will_wrap), hops)
+    }
+
+    /// Non-minimal candidate: the long way around one ring.
+    /// `intermediate` is the tag stored in the route —
+    /// `dim * 2 + (direction is +)` — naming the detour dimension and
+    /// travel direction; the remaining dimensions stay minimal.
+    fn non_minimal_candidate(
+        &self,
+        router: usize,
+        dest: usize,
+        intermediate: u32,
+        _salt: u32,
+    ) -> CandidatePath {
+        let c = self.torus.concentration();
+        let rd = dest / c;
+        let k = self.torus.arity();
+        let ca = self.torus.coordinates(router);
+        let cb = self.torus.coordinates(rd);
+        let dim = intermediate as usize / 2;
+        let plus = intermediate % 2 == 1;
+        debug_assert_ne!(ca[dim], cb[dim], "detour dimension already resolved");
+        let (x, y) = (ca[dim], cb[dim]);
+        let will_wrap = if plus { x > y } else { x < y };
+        let hops: u32 = (0..ca.len())
+            .map(|d| {
+                let f = (cb[d] + k - ca[d]) % k;
+                if d == dim {
+                    // Distance travelling the tagged direction, which may
+                    // be (and for a true detour is) the long way around.
+                    (if plus { f } else { k - f }) as u32
+                } else {
+                    f.min(k - f) as u32
+                }
+            })
+            .sum();
+        CandidatePath::new(self.dir_port(dim, plus), usize::from(!will_wrap), hops)
+    }
+}
+
+/// Which decision rule drives [`TorusRouting`].
+#[derive(Debug)]
+enum TorusMode {
+    /// Oblivious shortest-way dimension-order routing (the baseline).
+    Dor,
+    /// Per-packet UGAL choice between the short and the long way around
+    /// the first differing dimension's ring, via the shared chooser.
+    Adaptive(UgalVariant, UgalChooser),
+}
+
+/// Dimension-order routing with dateline VCs: deterministic shortest-way
+/// by default, or per-packet adaptive between the short and the long way
+/// around a ring (see [`TorusRouting::adaptive`]).
+#[derive(Debug)]
 pub struct TorusRouting {
     net: Arc<TorusNetwork>,
+    mode: TorusMode,
+}
+
+impl Clone for TorusRouting {
+    fn clone(&self) -> Self {
+        match &self.mode {
+            TorusMode::Dor => TorusRouting::new(self.net.clone()),
+            TorusMode::Adaptive(variant, _) => TorusRouting::adaptive(self.net.clone(), *variant),
+        }
+    }
 }
 
 impl TorusRouting {
-    /// Creates the routing over `net`.
+    /// Creates the oblivious shortest-way routing over `net`.
     pub fn new(net: Arc<TorusNetwork>) -> Self {
-        TorusRouting { net }
+        TorusRouting {
+            net,
+            mode: TorusMode::Dor,
+        }
+    }
+
+    /// Creates adaptive ring routing over `net`: each packet compares
+    /// the short way against the long way around the first differing
+    /// dimension's ring with the UGAL rule under `variant`'s congestion
+    /// estimator. Both directions use the dateline VC scheme, so the
+    /// detour stays deadlock-free. On an arity-2 torus (one shared
+    /// channel per dimension) no distinct long way exists and the
+    /// routing degenerates to shortest-way.
+    pub fn adaptive(net: Arc<TorusNetwork>, variant: UgalVariant) -> Self {
+        TorusRouting {
+            net,
+            mode: TorusMode::Adaptive(variant, UgalChooser::new(variant.estimator())),
+        }
     }
 }
 
 impl RoutingAlgorithm for TorusRouting {
     fn name(&self) -> String {
-        "torus-DOR".into()
+        match &self.mode {
+            TorusMode::Dor => "torus-DOR".into(),
+            TorusMode::Adaptive(variant, _) => match variant {
+                UgalVariant::Local => "torus-UGAL-L".into(),
+                UgalVariant::LocalVc => "torus-UGAL-L_VC".into(),
+                UgalVariant::LocalVcHybrid => "torus-UGAL-L_VCH".into(),
+                UgalVariant::Global => "torus-UGAL-G".into(),
+                UgalVariant::CreditRoundTrip => "torus-UGAL-L_CR".into(),
+            },
+        }
     }
 
-    fn inject(
+    fn inject(&self, view: &NetView<'_>, src: usize, dest: usize, rng: &mut SmallRng) -> RouteInfo {
+        self.inject_traced(view, src, dest, rng).0
+    }
+
+    fn inject_traced(
         &self,
-        _view: &NetView<'_>,
-        _src: usize,
-        _dest: usize,
+        view: &NetView<'_>,
+        src: usize,
+        dest: usize,
         rng: &mut SmallRng,
-    ) -> RouteInfo {
+    ) -> (RouteInfo, DecisionRecord) {
         // Injection uses VC0; the first network hop re-derives its VC.
-        RouteInfo::minimal().with_salt(rng.gen())
+        let minimal = RouteInfo::minimal().with_salt(rng.gen());
+        let TorusMode::Adaptive(_, chooser) = &self.mode else {
+            return (minimal, DecisionRecord::default());
+        };
+        let torus = &self.net.torus;
+        let c = torus.concentration();
+        let (rs, rd) = (src / c, dest / c);
+        let k = torus.arity();
+        // Arity 2 folds both directions onto one shared channel: there is
+        // no distinct long way to weigh against.
+        if rs == rd || k <= 2 {
+            return (minimal, DecisionRecord::default());
+        }
+        let ca = torus.coordinates(rs);
+        let cb = torus.coordinates(rd);
+        let dim = (0..ca.len()).find(|&d| ca[d] != cb[d]).expect("rs != rd");
+        let (x, y) = (ca[dim], cb[dim]);
+        let forward = (y + k - x) % k;
+        // The detour direction is the opposite of the short way (ties
+        // travel +, so the detour then travels −).
+        let plus_long = forward > k - forward;
+        let tag = (dim * 2 + usize::from(plus_long)) as u32;
+        let m = self.net.minimal_candidate(rs, dest, minimal.salt);
+        let nm = self.net.non_minimal_candidate(rs, dest, tag, minimal.salt);
+        let decision = chooser.choose(view, rs, &m, &nm);
+        let record = DecisionRecord {
+            adaptive: true,
+            estimator_disagreed: decision.estimator_disagreed,
+        };
+        if decision.minimal {
+            (minimal, record)
+        } else {
+            (RouteInfo::non_minimal(tag).with_salt(minimal.salt), record)
+        }
     }
 
     fn route(&self, _view: &NetView<'_>, router: usize, flit: &Flit) -> PortVc {
@@ -200,11 +355,20 @@ impl RoutingAlgorithm for TorusRouting {
             .find(|&d| ca[d] != cb[d])
             .expect("router != rd");
         let (x, y) = (ca[dim], cb[dim]);
-        let forward = (y + k - x) % k;
-        let plus = forward <= k - forward; // ties travel +
-                                           // Dateline rule: while the remaining travel must wrap past the
-                                           // dateline (next to node 0), stay on VC0; afterwards (or if no
-                                           // wrap is needed) use VC1.
+        // A non-minimal route rides its tagged direction until the detour
+        // dimension resolves; everything else travels the short way
+        // (ties travel +).
+        let plus = match (flit.route.class, flit.route.intermediate) {
+            (RouteClass::NonMinimal, Some(tag)) if tag as usize / 2 == dim => tag % 2 == 1,
+            _ => {
+                let forward = (y + k - x) % k;
+                forward <= k - forward
+            }
+        };
+        // Dateline rule: while the remaining travel must wrap past the
+        // dateline (next to node 0), stay on VC0; afterwards (or if no
+        // wrap is needed) use VC1. The rule is direction-generic, so the
+        // long way around keeps its ring deadlock-free too.
         let will_wrap = if plus { x > y } else { x < y };
         let vc = if will_wrap { 0 } else { 1 };
         PortVc::new(self.net.dir_port(dim, plus), vc)
@@ -372,6 +536,59 @@ mod tests {
                 assert_eq!(at, dest, "{src}->{dest} did not arrive");
             }
         }
+    }
+
+    #[test]
+    fn candidate_hops_count_short_and_long_way() {
+        let net = TorusNetwork::new(Torus::new(1, 8, 1));
+        // 0 -> 3: short way is +3 hops, long way is -5.
+        let m = net.minimal_candidate(0, 3, 0);
+        assert_eq!(m.hops, 3);
+        assert_eq!(m.vc, 1, "no wrap ahead of +travel from 0 to 3");
+        let nm = net.non_minimal_candidate(0, 3, 0, 0); // dim 0, - direction
+        assert_eq!(nm.hops, 5);
+        assert_eq!(nm.vc, 0, "the long way - from 0 wraps the dateline");
+        assert_ne!(m.port, nm.port);
+    }
+
+    #[test]
+    fn adaptive_takes_long_way_under_tornado_and_drains() {
+        // Tornado at 0.4 exceeds the ring's 1/3 minimal capacity; UGAL
+        // must spill onto the long way to keep up, and the run telemetry
+        // must witness those decisions.
+        let net = Arc::new(TorusNetwork::new(Torus::new(1, 8, 1)));
+        let spec = net.build_spec();
+        let routing = TorusRouting::adaptive(net, UgalVariant::Local);
+        let pattern = Tornado::new(8);
+        let mut cfg = fast_cfg(0.4);
+        cfg.drain_cap = 60_000;
+        let stats = Simulation::new(&spec, &routing, &pattern, cfg)
+            .unwrap()
+            .run();
+        assert!(stats.drained, "adaptive ring starved under tornado");
+        assert!(stats.routing.adaptive_decisions > 0);
+        assert!(
+            stats.routing.non_minimal_takes > 0,
+            "UGAL never took the long way"
+        );
+        assert_eq!(
+            stats.routing.minimal_takes + stats.routing.non_minimal_takes,
+            stats.latency.count
+        );
+    }
+
+    #[test]
+    fn adaptive_stays_minimal_on_benign_traffic() {
+        let net = Arc::new(TorusNetwork::new(Torus::new(2, 4, 1)));
+        let spec = net.build_spec();
+        let routing = TorusRouting::adaptive(net, UgalVariant::Local);
+        let pattern = UniformRandom::new(16);
+        let stats = Simulation::new(&spec, &routing, &pattern, fast_cfg(0.05))
+            .unwrap()
+            .run();
+        assert!(stats.drained);
+        let rate = stats.routing.minimal_take_rate().unwrap();
+        assert!(rate > 0.9, "minimal take rate {rate} at near-zero load");
     }
 
     /// Calls the routing rule without a live simulation view (the torus

@@ -44,7 +44,7 @@ pub use cable::{CableCostModel, CableTechnology, CABLE_TECHNOLOGIES};
 pub use compare::{
     case_study_64k, dragonfly_cable_lengths_in_e, table2, CaseStudy64K, HopExpr, Table2Row,
 };
-pub use network::{CableStats, CostConfig, NetworkCost};
+pub use network::{CableStats, CostConfig, NetworkCost, SizingError};
 pub use packaging::Floorplan;
 pub use power::{NetworkPower, PowerModel};
 pub use scaling::{

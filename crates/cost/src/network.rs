@@ -14,6 +14,30 @@ use dragonfly::{Dragonfly, DragonflyParams};
 use crate::cable::CableCostModel;
 use crate::packaging::Floorplan;
 
+/// A requested network size that no topology in the radix budget can
+/// realise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizingError {
+    /// Requested terminal count.
+    pub terminals: usize,
+    /// Largest terminal count the sizing rule can reach.
+    pub max_terminals: usize,
+    /// Human description of the exhausted design rule.
+    pub rule: &'static str,
+}
+
+impl std::fmt::Display for SizingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "network of {} terminals exceeds the {} (max {} terminals)",
+            self.terminals, self.rule, self.max_terminals
+        )
+    }
+}
+
+impl std::error::Error for SizingError {}
+
 /// Cost-model parameters shared by all topologies.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -228,25 +252,45 @@ impl CostConfig {
     /// fewest dimensions that fit with concentration `k/(d+1)` (the
     /// balanced split) and *full-radix* dimension sizes; the machine is
     /// scaled by populating the outermost dimension.
-    pub fn flattened_butterfly_dims(&self, n: usize) -> FlattenedButterfly {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SizingError`] when `n` exceeds what four dimensions
+    /// (the rule's practical ceiling — beyond it the per-hop serialisa-
+    /// tion latency erases the butterfly's advantage) can reach.
+    pub fn flattened_butterfly_dims(&self, n: usize) -> Result<FlattenedButterfly, SizingError> {
+        let mut max_terminals = 0;
         for d in 1..=4usize {
             let c = self.router_radix / (d + 1);
             let s_max = (self.router_radix - c) / d + 1;
-            if c * s_max.pow(d as u32) < n {
+            max_terminals = c * s_max.pow(d as u32);
+            if max_terminals < n {
                 continue;
             }
             let inner: usize = c * s_max.pow(d as u32 - 1);
             let last = n.div_ceil(inner).max(if d == 1 { 2 } else { 1 });
             let mut dims = vec![s_max; d - 1];
             dims.push(last);
-            return FlattenedButterfly::with_dims(&dims, c);
+            return Ok(FlattenedButterfly::with_dims(&dims, c));
         }
-        panic!("network of {n} terminals exceeds 4-dimension flattened butterfly range");
+        Err(SizingError {
+            terminals: n,
+            max_terminals,
+            rule: "4-dimension flattened-butterfly design rule",
+        })
     }
 
     /// Prices a flattened butterfly of at least `n` terminals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the four-dimension design-rule range; use
+    /// [`CostConfig::flattened_butterfly_dims`] to handle that case
+    /// gracefully.
     pub fn flattened_butterfly(&self, n: usize) -> NetworkCost {
-        let fb = self.flattened_butterfly_dims(n);
+        let fb = self
+            .flattened_butterfly_dims(n)
+            .expect("flattened butterfly sizing out of range");
         let c = fb.concentration();
         let nodes = fb.num_terminals();
         let mut pricer = Pricer::new(self, nodes);
@@ -433,10 +477,19 @@ mod tests {
     fn fb_sizing_respects_radix() {
         let cfg = CostConfig::default();
         for n in [1_000usize, 5_000, 20_000, 64 * 1024] {
-            let fb = cfg.flattened_butterfly_dims(n);
+            let fb = cfg.flattened_butterfly_dims(n).unwrap();
             assert!(fb.num_terminals() >= n, "n={n}");
             assert!(fb.radix() <= cfg.router_radix, "n={n} radix {}", fb.radix());
         }
+    }
+
+    #[test]
+    fn fb_sizing_reports_out_of_range_instead_of_panicking() {
+        let cfg = CostConfig::default();
+        let err = cfg.flattened_butterfly_dims(usize::MAX).unwrap_err();
+        assert!(err.max_terminals > 0);
+        assert_eq!(err.terminals, usize::MAX);
+        assert!(err.to_string().contains("flattened-butterfly design rule"));
     }
 
     #[test]

@@ -1,0 +1,361 @@
+//! Topology-agnostic adaptive routing: candidate paths, pluggable
+//! congestion estimators, and the generic UGAL chooser.
+//!
+//! The paper's UGAL family is one decision — *minimal or Valiant, per
+//! packet* — parameterised by where the congestion estimate comes from
+//! (§4.3). This module factors that decision out of the topologies:
+//!
+//! ```text
+//!   topology            engine hooks              decision
+//!   ────────            ────────────              ────────
+//!   CandidatePaths ──►  CandidatePath ×2 ──►  UgalChooser ──► minimal?
+//!   (per topology)            │                    ▲
+//!                             ▼                    │ (q_m, q_nm)
+//!                      CongestionEstimator ────────┘
+//!                      (QueueOccupancy │ VcOccupancy │ VcHybrid │
+//!                       CreditCommitted │ GlobalOracle)
+//! ```
+//!
+//! A topology implements [`CandidatePaths`] once — enumerating the
+//! first-hop port, VC schedule entry and hop count of its minimal and
+//! non-minimal candidates — and any [`CongestionEstimator`] becomes
+//! available to it, including the credit-round-trip estimator that only
+//! the dragonfly used before this layer existed. The estimators read
+//! live queue state exclusively through the [`NetView`] hooks
+//! ([`NetView::occupancy`], [`NetView::vc_occupancy`],
+//! [`NetView::committed`], [`NetView::vc_committed`]), which is where
+//! the engine keeps its congestion-sensing state (per-port occupancy
+//! aggregates, VC queue depths, outstanding-credit counters fed by the
+//! credit-timestamp mechanism).
+
+use std::fmt;
+
+use crate::routing::NetView;
+
+/// First-hop summary of one candidate path, produced by a topology's
+/// [`CandidatePaths`] implementation and consumed by a
+/// [`CongestionEstimator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidatePath {
+    /// Output port the path takes out of the deciding router.
+    pub port: u16,
+    /// VC the packet would occupy on that first channel (the first entry
+    /// of the path's VC schedule).
+    pub vc: u8,
+    /// Router-to-router channel hops on the whole path.
+    pub hops: u32,
+    /// Router owning the path's bottleneck (e.g. first global) channel,
+    /// for oracle estimators; `u32::MAX` when the path has none.
+    pub probe_router: u32,
+    /// Port of that bottleneck channel on its owning router.
+    pub probe_port: u16,
+}
+
+impl CandidatePath {
+    /// A candidate leaving through `port` on `vc` with `hops` total
+    /// router-to-router hops and no oracle probe point.
+    pub fn new(port: usize, vc: usize, hops: u32) -> Self {
+        CandidatePath {
+            port: port as u16,
+            vc: vc as u8,
+            hops,
+            probe_router: u32::MAX,
+            probe_port: 0,
+        }
+    }
+
+    /// Attaches the bottleneck-channel probe point read by
+    /// [`GlobalOracle`].
+    pub fn with_probe(mut self, router: usize, port: usize) -> Self {
+        self.probe_router = router as u32;
+        self.probe_port = port as u16;
+        self
+    }
+
+    /// Whether an oracle probe point is attached.
+    pub fn has_probe(&self) -> bool {
+        self.probe_router != u32::MAX
+    }
+}
+
+/// A topology's enumeration of the two UGAL candidates.
+///
+/// `dest` is a terminal index; `intermediate` is a topology-interpreted
+/// tag (the dragonfly's intermediate *group*, the flattened butterfly's
+/// intermediate *router*, …) matching the `intermediate` field the
+/// topology stores in its non-minimal [`crate::RouteInfo`]s; `salt` is
+/// the per-packet salt used to pre-select among parallel channels so
+/// the queue a decision inspects is the queue the packet will use.
+pub trait CandidatePaths {
+    /// The minimal candidate from `router` toward `dest`.
+    fn minimal_candidate(&self, router: usize, dest: usize, salt: u32) -> CandidatePath;
+
+    /// The non-minimal (Valiant) candidate from `router` toward `dest`
+    /// through `intermediate`.
+    fn non_minimal_candidate(
+        &self,
+        router: usize,
+        dest: usize,
+        intermediate: u32,
+        salt: u32,
+    ) -> CandidatePath;
+}
+
+/// A congestion estimator: turns the two candidates into the queue
+/// estimates `(q_m, q_nm)` the UGAL rule compares.
+///
+/// Implementations read live state only through the [`NetView`] hooks,
+/// so they work unchanged on every topology. Both candidates are passed
+/// together because the hybrid estimators discriminate per-VC only when
+/// the candidates share an output port.
+pub trait CongestionEstimator: fmt::Debug + Send + Sync {
+    /// Estimator name for reports, e.g. `"queue-occupancy"`.
+    fn name(&self) -> &'static str;
+
+    /// Queue estimates `(q_m, q_nm)` for taking `minimal` respectively
+    /// `non_minimal` out of `router`.
+    fn estimate(
+        &self,
+        view: &NetView<'_>,
+        router: usize,
+        minimal: &CandidatePath,
+        non_minimal: &CandidatePath,
+    ) -> (u64, u64);
+}
+
+/// UGAL-L: total output-queue occupancy of each candidate's first-hop
+/// port at the deciding router (the paper's "local queue information").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueOccupancy;
+
+impl CongestionEstimator for QueueOccupancy {
+    fn name(&self) -> &'static str {
+        "queue-occupancy"
+    }
+
+    fn estimate(
+        &self,
+        view: &NetView<'_>,
+        router: usize,
+        minimal: &CandidatePath,
+        non_minimal: &CandidatePath,
+    ) -> (u64, u64) {
+        (
+            view.occupancy(router, minimal.port as usize) as u64,
+            view.occupancy(router, non_minimal.port as usize) as u64,
+        )
+    }
+}
+
+/// UGAL-L_VC: per-VC output-queue occupancy, always — each candidate is
+/// judged by the depth of the VC its own class would occupy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VcOccupancy;
+
+impl CongestionEstimator for VcOccupancy {
+    fn name(&self) -> &'static str {
+        "vc-occupancy"
+    }
+
+    fn estimate(
+        &self,
+        view: &NetView<'_>,
+        router: usize,
+        minimal: &CandidatePath,
+        non_minimal: &CandidatePath,
+    ) -> (u64, u64) {
+        (
+            view.vc_occupancy(router, minimal.port as usize, minimal.vc as usize) as u64,
+            view.vc_occupancy(router, non_minimal.port as usize, non_minimal.vc as usize) as u64,
+        )
+    }
+}
+
+/// UGAL-L_VCH: per-VC occupancy only when both candidates leave through
+/// the same output port, total occupancy otherwise — the paper's hybrid
+/// that fixes UGAL-L_VC's uniform-random throughput loss.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VcHybrid;
+
+impl CongestionEstimator for VcHybrid {
+    fn name(&self) -> &'static str {
+        "vc-hybrid"
+    }
+
+    fn estimate(
+        &self,
+        view: &NetView<'_>,
+        router: usize,
+        minimal: &CandidatePath,
+        non_minimal: &CandidatePath,
+    ) -> (u64, u64) {
+        if minimal.port == non_minimal.port {
+            VcOccupancy.estimate(view, router, minimal, non_minimal)
+        } else {
+            QueueOccupancy.estimate(view, router, minimal, non_minimal)
+        }
+    }
+}
+
+/// UGAL-L(CR): the hybrid rule over credit-inclusive estimates — queue
+/// depth **plus** the flits sent on the first-hop channel whose credits
+/// have not returned. Paired with [`crate::CreditMode::RoundTrip`]
+/// (credits return when a flit leaves the downstream router, delayed in
+/// proportion to measured congestion), this senses a congested remote
+/// channel within one credit round trip (§4.3.2 of the paper).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CreditCommitted;
+
+impl CongestionEstimator for CreditCommitted {
+    fn name(&self) -> &'static str {
+        "credit-round-trip"
+    }
+
+    fn estimate(
+        &self,
+        view: &NetView<'_>,
+        router: usize,
+        minimal: &CandidatePath,
+        non_minimal: &CandidatePath,
+    ) -> (u64, u64) {
+        if minimal.port == non_minimal.port {
+            (
+                view.vc_committed(router, minimal.port as usize, minimal.vc as usize) as u64,
+                view.vc_committed(router, non_minimal.port as usize, non_minimal.vc as usize)
+                    as u64,
+            )
+        } else {
+            (
+                view.committed(router, minimal.port as usize) as u64,
+                view.committed(router, non_minimal.port as usize) as u64,
+            )
+        }
+    }
+}
+
+/// UGAL-G: oracle occupancy of each candidate's bottleneck channel, read
+/// from whichever router owns it — an idealised upper bound no real
+/// implementation has access to. Falls back to the local first-hop
+/// occupancy for candidates without a probe point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalOracle;
+
+impl GlobalOracle {
+    fn read(&self, view: &NetView<'_>, router: usize, path: &CandidatePath) -> u64 {
+        if path.has_probe() {
+            view.occupancy(path.probe_router as usize, path.probe_port as usize) as u64
+        } else {
+            view.occupancy(router, path.port as usize) as u64
+        }
+    }
+}
+
+impl CongestionEstimator for GlobalOracle {
+    fn name(&self) -> &'static str {
+        "global-oracle"
+    }
+
+    fn estimate(
+        &self,
+        view: &NetView<'_>,
+        router: usize,
+        minimal: &CandidatePath,
+        non_minimal: &CandidatePath,
+    ) -> (u64, u64) {
+        (
+            self.read(view, router, minimal),
+            self.read(view, router, non_minimal),
+        )
+    }
+}
+
+/// Outcome of one [`UgalChooser::choose`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UgalDecision {
+    /// `true` to take the minimal candidate.
+    pub minimal: bool,
+    /// The estimator's queue estimate for the minimal candidate.
+    pub q_minimal: u64,
+    /// The estimator's queue estimate for the non-minimal candidate.
+    pub q_non_minimal: u64,
+    /// Whether the configured estimator chose differently from the plain
+    /// [`QueueOccupancy`] baseline on the same candidates — the
+    /// decision-quality signal surfaced through run telemetry.
+    pub estimator_disagreed: bool,
+}
+
+/// The generic UGAL rule: take the minimal candidate iff
+/// `q_m · H_m ≤ q_nm · H_nm`, with queue estimates from a pluggable
+/// [`CongestionEstimator`].
+///
+/// The arithmetic (u64 products, `<=` favouring minimal on ties) is the
+/// one the paper's §4.3 rule prescribes and every topology previously
+/// duplicated.
+#[derive(Debug)]
+pub struct UgalChooser {
+    estimator: Box<dyn CongestionEstimator>,
+}
+
+impl UgalChooser {
+    /// A chooser over the given estimator.
+    pub fn new(estimator: Box<dyn CongestionEstimator>) -> Self {
+        UgalChooser { estimator }
+    }
+
+    /// The configured estimator's name.
+    pub fn estimator_name(&self) -> &'static str {
+        self.estimator.name()
+    }
+
+    /// Applies the UGAL rule to the two candidates at `router`.
+    pub fn choose(
+        &self,
+        view: &NetView<'_>,
+        router: usize,
+        minimal: &CandidatePath,
+        non_minimal: &CandidatePath,
+    ) -> UgalDecision {
+        let (qm, qnm) = self.estimator.estimate(view, router, minimal, non_minimal);
+        let take_minimal = qm * minimal.hops as u64 <= qnm * non_minimal.hops as u64;
+        // Decision-quality telemetry: would plain queue occupancy have
+        // chosen differently? (Reads queue state only — no RNG — so it
+        // cannot perturb determinism.)
+        let (bm, bnm) = QueueOccupancy.estimate(view, router, minimal, non_minimal);
+        let baseline_minimal = bm * minimal.hops as u64 <= bnm * non_minimal.hops as u64;
+        UgalDecision {
+            minimal: take_minimal,
+            q_minimal: qm,
+            q_non_minimal: qnm,
+            estimator_disagreed: take_minimal != baseline_minimal,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_probe_roundtrip() {
+        let c = CandidatePath::new(3, 1, 4);
+        assert!(!c.has_probe());
+        let c = c.with_probe(7, 2);
+        assert!(c.has_probe());
+        assert_eq!((c.probe_router, c.probe_port), (7, 2));
+    }
+
+    #[test]
+    fn estimator_names_are_distinct() {
+        let names = [
+            QueueOccupancy.name(),
+            VcOccupancy.name(),
+            VcHybrid.name(),
+            CreditCommitted.name(),
+            GlobalOracle.name(),
+        ];
+        let mut dedup = names.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -1,5 +1,7 @@
 //! Simulation configuration.
 
+use crate::error::SimError;
+
 /// How packets are injected at each terminal.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -142,24 +144,26 @@ impl SimConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns [`SimError::InvalidConfig`] describing the first invalid
+    /// field.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let invalid = |msg: String| Err(SimError::InvalidConfig(msg));
         if self.buffer_depth == 0 {
-            return Err("buffer depth must be >= 1".into());
+            return invalid("buffer depth must be >= 1".into());
         }
         if self.packet_len == 0 {
-            return Err("packet length must be >= 1".into());
+            return invalid("packet length must be >= 1".into());
         }
         let rate = self.injection.rate();
         if !(0.0..=1.0).contains(&rate) {
-            return Err(format!("injection rate {rate} outside [0, 1]"));
+            return invalid(format!("injection rate {rate} outside [0, 1]"));
         }
         if self.measure == 0 {
-            return Err("measurement window must be >= 1 cycle".into());
+            return invalid("measurement window must be >= 1 cycle".into());
         }
         if let CreditMode::RoundTrip { sample, .. } = self.credit_mode {
             if sample == 0 {
-                return Err("credit sample ratio must be >= 1".into());
+                return invalid("credit sample ratio must be >= 1".into());
             }
         }
         Ok(())

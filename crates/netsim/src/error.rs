@@ -1,0 +1,66 @@
+//! Typed errors for spec validation, configuration and route tracing.
+
+use std::fmt;
+
+/// An error raised while constructing or driving a simulation.
+///
+/// Every fallible entry point of the engine — [`crate::NetworkSpec::validated`],
+/// [`crate::SimConfig::validate`], [`crate::Simulation::new`] and the route
+/// walkers ([`crate::trace_path`]) — reports through this type, so callers can
+/// match on the failure kind instead of parsing strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The network description is structurally invalid (dangling wiring,
+    /// mismatched channel pairs, missing terminals, …).
+    InvalidSpec(String),
+    /// The simulation configuration is out of range.
+    InvalidConfig(String),
+    /// A route is malformed: it references an out-of-range terminal or
+    /// ejects at the wrong one.
+    InvalidRoute(String),
+    /// A route failed to reach its ejection port within the hop bound
+    /// derived from the topology diameter — the route computation loops.
+    RouteLoop {
+        /// Source terminal of the traced route.
+        src: usize,
+        /// Destination terminal of the traced route.
+        dest: usize,
+        /// The diameter-derived hop bound that was exceeded.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidSpec(msg) => write!(f, "invalid network spec: {msg}"),
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::InvalidRoute(msg) => write!(f, "invalid route: {msg}"),
+            SimError::RouteLoop { src, dest, bound } => write!(
+                f,
+                "route {src} -> {dest} did not eject within {bound} hops: route loop"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_detail() {
+        let e = SimError::InvalidSpec("router 3 port 1: peer missing".into());
+        assert!(e.to_string().contains("invalid network spec"));
+        assert!(e.to_string().contains("peer missing"));
+        let e = SimError::RouteLoop {
+            src: 4,
+            dest: 9,
+            bound: 6,
+        };
+        assert!(e.to_string().contains("4 -> 9"));
+        assert!(e.to_string().contains("6 hops"));
+    }
+}

@@ -31,16 +31,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adaptive;
 mod config;
+mod error;
 mod flit;
 mod routing;
 mod sim;
 mod spec;
 mod stats;
 
+pub use adaptive::{
+    CandidatePath, CandidatePaths, CongestionEstimator, CreditCommitted, GlobalOracle,
+    QueueOccupancy, UgalChooser, UgalDecision, VcHybrid, VcOccupancy,
+};
 pub use config::{CreditMode, InjectionKind, SimConfig, TdEstimator};
+pub use error::SimError;
 pub use flit::{Flit, RouteClass, RouteInfo};
-pub use routing::{NetView, PortVc, RoutingAlgorithm, ShortestPathRouting};
+pub use routing::{
+    trace_path, DecisionRecord, NetView, PortVc, RoutingAlgorithm, ShortestPathRouting, TraceHop,
+};
 pub use sim::{SimPerf, Simulation};
 pub use spec::{ChannelClass, Connection, NetworkSpec, PortSpec, RouterSpec};
-pub use stats::{ChannelLoad, Histogram, LatencySummary, RunStats};
+pub use stats::{ChannelLoad, Histogram, LatencySummary, RouteTelemetry, RunStats};

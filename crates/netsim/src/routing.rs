@@ -2,9 +2,10 @@
 
 use rand::rngs::SmallRng;
 
+use crate::error::SimError;
 use crate::flit::{Flit, RouteInfo};
 use crate::sim::RouterCore;
-use crate::spec::{Connection, NetworkSpec};
+use crate::spec::{ChannelClass, Connection, NetworkSpec};
 
 /// An output port / virtual channel pair produced by route computation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,6 +142,19 @@ impl<'a> NetView<'a> {
     }
 }
 
+/// Telemetry describing one injection decision, reported alongside the
+/// [`RouteInfo`] by [`RoutingAlgorithm::inject_traced`]. The engine
+/// accumulates these into [`crate::RouteTelemetry`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecisionRecord {
+    /// An adaptive minimal/non-minimal comparison actually ran (both
+    /// candidates existed and queue state was consulted).
+    pub adaptive: bool,
+    /// The configured congestion estimator chose differently from the
+    /// plain queue-occupancy baseline on the same candidates.
+    pub estimator_disagreed: bool,
+}
+
 /// A routing algorithm driving a [`crate::Simulation`].
 ///
 /// The same object serves every router, so implementations hold only
@@ -163,10 +177,115 @@ pub trait RoutingAlgorithm {
         rng: &mut SmallRng,
     ) -> RouteInfo;
 
+    /// Like [`RoutingAlgorithm::inject`], but also reports per-decision
+    /// telemetry. The engine calls this entry point; adaptive algorithms
+    /// override it and implement `inject` as `inject_traced(..).0`.
+    fn inject_traced(
+        &self,
+        view: &NetView<'_>,
+        src_term: usize,
+        dest_term: usize,
+        rng: &mut SmallRng,
+    ) -> (RouteInfo, DecisionRecord) {
+        (
+            self.inject(view, src_term, dest_term, rng),
+            DecisionRecord::default(),
+        )
+    }
+
     /// Computes the output port and VC for `flit` currently buffered at
     /// `router`. Must be deterministic in `(router, flit)` so that every
     /// flit of a packet follows the same path.
     fn route(&self, view: &NetView<'_>, router: usize, flit: &Flit) -> PortVc;
+}
+
+/// One hop of a traced route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceHop {
+    /// Router the hop leaves from.
+    pub router: usize,
+    /// Output port taken.
+    pub port: usize,
+    /// Virtual channel on the outgoing channel.
+    pub vc: usize,
+    /// Channel class of the hop.
+    pub class: ChannelClass,
+}
+
+/// Walks the exact path a packet with the given [`RouteInfo`] takes from
+/// terminal `src` to terminal `dest` under `routing`, hop by hop, ending
+/// with the ejection hop — the same deterministic computation the
+/// simulator performs, exposed for debugging and validation on any
+/// topology. The walk runs over an idle network (queue state empty), so
+/// it exercises only the deterministic `route` path, never `inject`.
+///
+/// `hop_bound` should derive from the topology diameter (e.g. the
+/// longest admissible non-minimal path plus the ejection hop).
+///
+/// # Errors
+///
+/// [`SimError::InvalidRoute`] if a terminal is out of range or the walk
+/// ejects at the wrong terminal; [`SimError::RouteLoop`] if no ejection
+/// occurs within `hop_bound` hops.
+pub fn trace_path(
+    spec: &NetworkSpec,
+    routing: &dyn RoutingAlgorithm,
+    src: usize,
+    dest: usize,
+    route: RouteInfo,
+    hop_bound: usize,
+) -> Result<Vec<TraceHop>, SimError> {
+    if src >= spec.num_terminals() || dest >= spec.num_terminals() {
+        return Err(SimError::InvalidRoute("terminal out of range".into()));
+    }
+    let cores: Vec<RouterCore> = Vec::new();
+    let view = NetView::new(spec, &cores, 1, 0);
+    let mut flit = Flit {
+        packet: 0,
+        src: src as u32,
+        dest: dest as u32,
+        route,
+        created: 0,
+        injected: 0,
+        hops: 0,
+        vc: route.injection_vc,
+        is_head: true,
+        is_tail: true,
+        labeled: false,
+    };
+    let mut router = spec.terminal_router(src);
+    let mut hops = Vec::new();
+    for _ in 0..hop_bound {
+        let pv = routing.route(&view, router, &flit);
+        let port_spec = spec.routers[router].ports[pv.port as usize];
+        hops.push(TraceHop {
+            router,
+            port: pv.port as usize,
+            vc: pv.vc as usize,
+            class: port_spec.class,
+        });
+        match port_spec.conn {
+            Connection::Terminal { terminal } => {
+                return if terminal as usize == dest {
+                    Ok(hops)
+                } else {
+                    Err(SimError::InvalidRoute(format!(
+                        "route ejected at terminal {terminal}, not {dest}"
+                    )))
+                };
+            }
+            Connection::Router { router: peer, .. } => {
+                flit.hops += 1;
+                flit.vc = pv.vc;
+                router = peer as usize;
+            }
+        }
+    }
+    Err(SimError::RouteLoop {
+        src,
+        dest,
+        bound: hop_bound,
+    })
 }
 
 /// Deterministic shortest-path (table) routing with hop-indexed VCs.

@@ -39,10 +39,11 @@ use dfly_traffic::{rng_for, Bernoulli, InjectionProcess, OnOff, TrafficPattern};
 use rand::rngs::SmallRng;
 
 use crate::config::{CreditMode, InjectionKind, SimConfig, TdEstimator};
+use crate::error::SimError;
 use crate::flit::{Flit, RouteClass, RouteInfo};
-use crate::routing::{NetView, PortVc, RoutingAlgorithm};
+use crate::routing::{DecisionRecord, NetView, PortVc, RoutingAlgorithm};
 use crate::spec::{ChannelClass, Connection, NetworkSpec};
-use crate::stats::{ChannelLoad, Histogram, LatencySummary, RunStats};
+use crate::stats::{ChannelLoad, Histogram, LatencySummary, RouteTelemetry, RunStats};
 
 /// Live state of one router (visible crate-wide so [`NetView`] can read
 /// the output-queue depths).
@@ -267,7 +268,7 @@ fn activate(list: &mut Vec<u32>, flags: &mut [bool], idx: usize) {
 /// };
 /// use dfly_traffic::UniformRandom;
 ///
-/// # fn main() -> Result<(), String> {
+/// # fn main() -> Result<(), dfly_netsim::SimError> {
 /// let term = |t: u32| PortSpec {
 ///     conn: Connection::Terminal { terminal: t },
 ///     latency: 1,
@@ -347,6 +348,7 @@ pub struct Simulation<'a> {
     hops: LatencySummary,
     histogram: Histogram,
     minimal_histogram: Histogram,
+    telemetry: RouteTelemetry,
 }
 
 impl<'a> Simulation<'a> {
@@ -354,21 +356,21 @@ impl<'a> Simulation<'a> {
     ///
     /// # Errors
     ///
-    /// Returns an error if the configuration is invalid or the pattern's
-    /// terminal count does not match the network's.
+    /// Returns [`SimError`] if the configuration is invalid or the
+    /// pattern's terminal count does not match the network's.
     pub fn new(
         spec: &'a NetworkSpec,
         routing: &'a dyn RoutingAlgorithm,
         pattern: &'a dyn TrafficPattern,
         cfg: SimConfig,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, SimError> {
         cfg.validate()?;
         if pattern.num_terminals() != spec.num_terminals() {
-            return Err(format!(
+            return Err(SimError::InvalidConfig(format!(
                 "pattern covers {} terminals but network has {}",
                 pattern.num_terminals(),
                 spec.num_terminals()
-            ));
+            )));
         }
         let vcs = spec.vcs;
         let mut routers = Vec::with_capacity(spec.num_routers());
@@ -461,6 +463,7 @@ impl<'a> Simulation<'a> {
             hops: LatencySummary::default(),
             histogram: Histogram::new(4096, 1),
             minimal_histogram: Histogram::new(4096, 1),
+            telemetry: RouteTelemetry::default(),
             cfg,
         })
     }
@@ -891,20 +894,21 @@ impl<'a> Simulation<'a> {
             let Some(front) = tc.source.front() else {
                 continue;
             };
-            let route = if front.is_head {
+            let (route, decision) = if front.is_head {
                 // (Re-)evaluate the adaptive decision while the head flit
                 // waits at the source: the packet has not entered the
                 // network yet, so the freshest local state applies.
                 let view = view.get_or_insert_with(|| NetView::new(spec, routers, depth, t));
                 let dest = front.dest as usize;
                 let tc = &mut self.terminals[term];
-                let route = routing.inject(view, term, dest, &mut tc.rng);
+                let (route, decision) = routing.inject_traced(view, term, dest, &mut tc.rng);
                 tc.active_route = Some(route);
-                route
+                (route, decision)
             } else {
-                self.terminals[term]
+                let route = self.terminals[term]
                     .active_route
-                    .expect("body flit with no active route")
+                    .expect("body flit with no active route");
+                (route, DecisionRecord::default())
             };
             let vc = route.injection_vc as usize;
             let tc = &mut self.terminals[term];
@@ -921,6 +925,21 @@ impl<'a> Simulation<'a> {
             tc.pipe.push_back((t + latency, flit));
             if flit.is_tail {
                 tc.active_route = None;
+            }
+            // Telemetry commits only when the head flit actually enters
+            // the injection channel: the per-cycle re-evaluations above
+            // are provisional while the flit waits for a credit.
+            if flit.is_head && flit.labeled {
+                match route.class {
+                    RouteClass::Minimal => self.telemetry.minimal_takes += 1,
+                    RouteClass::NonMinimal => self.telemetry.non_minimal_takes += 1,
+                }
+                if decision.adaptive {
+                    self.telemetry.adaptive_decisions += 1;
+                    if decision.estimator_disagreed {
+                        self.telemetry.estimator_disagreements += 1;
+                    }
+                }
             }
             activate(&mut self.active_terms, &mut self.term_active, term);
             if labeled {
@@ -996,6 +1015,7 @@ impl<'a> Simulation<'a> {
             histogram,
             minimal_histogram,
             channel_loads,
+            routing: self.telemetry,
         }
     }
 }

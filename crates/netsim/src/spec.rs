@@ -1,5 +1,7 @@
 //! Structural description of a simulatable network.
 
+use crate::error::SimError;
+
 /// The packaging class of a channel, which determines its latency default
 /// and whether the credit-delay mechanism applies to credits crossing it
 /// (credits over *global* channels are never delayed, per §4.3.2 of the
@@ -75,13 +77,16 @@ impl NetworkSpec {
     ///
     /// # Errors
     ///
-    /// Returns a message describing the first structural defect found:
-    /// dangling or asymmetric router-router wiring, mismatched latency or
-    /// class across a channel pair, terminals that are missing,
-    /// duplicated, or not densely numbered, or a zero VC count.
-    pub fn validated(routers: Vec<RouterSpec>, vcs: usize) -> Result<Self, String> {
+    /// Returns [`SimError::InvalidSpec`] describing the first structural
+    /// defect found: dangling or asymmetric router-router wiring,
+    /// mismatched latency or class across a channel pair, terminals that
+    /// are missing, duplicated, or not densely numbered, local ports wired
+    /// to a terminal (or vice versa), or a zero VC count. Catching these
+    /// at construction means routing never encounters them at run time.
+    pub fn validated(routers: Vec<RouterSpec>, vcs: usize) -> Result<Self, SimError> {
+        let invalid = |msg: String| SimError::InvalidSpec(msg);
         if vcs == 0 {
-            return Err("virtual channel count must be >= 1".into());
+            return Err(invalid("virtual channel count must be >= 1".into()));
         }
         let mut terminals: Vec<Option<(u32, u32)>> = Vec::new();
         for (r, router) in routers.iter().enumerate() {
@@ -90,16 +95,16 @@ impl NetworkSpec {
                     Connection::Terminal { terminal } => {
                         let t = terminal as usize;
                         if port.class != ChannelClass::Terminal {
-                            return Err(format!(
+                            return Err(invalid(format!(
                                 "router {r} port {p}: terminal connection with class {:?}",
                                 port.class
-                            ));
+                            )));
                         }
                         if t >= terminals.len() {
                             terminals.resize(t + 1, None);
                         }
                         if terminals[t].is_some() {
-                            return Err(format!("terminal {t} attached more than once"));
+                            return Err(invalid(format!("terminal {t} attached more than once")));
                         }
                         terminals[t] = Some((r as u32, p as u32));
                     }
@@ -107,11 +112,13 @@ impl NetworkSpec {
                         router: peer,
                         port: peer_port,
                     } => {
-                        let peer_spec = routers
-                            .get(peer as usize)
-                            .ok_or_else(|| format!("router {r} port {p}: peer {peer} missing"))?;
+                        let peer_spec = routers.get(peer as usize).ok_or_else(|| {
+                            invalid(format!("router {r} port {p}: peer {peer} missing"))
+                        })?;
                         let back = peer_spec.ports.get(peer_port as usize).ok_or_else(|| {
-                            format!("router {r} port {p}: peer port {peer_port} missing")
+                            invalid(format!(
+                                "router {r} port {p}: peer port {peer_port} missing"
+                            ))
                         })?;
                         match back.conn {
                             Connection::Router {
@@ -119,35 +126,37 @@ impl NetworkSpec {
                                 port: pp,
                             } if rr as usize == r && pp as usize == p => {}
                             _ => {
-                                return Err(format!(
+                                return Err(invalid(format!(
                                 "router {r} port {p}: peer {peer}:{peer_port} does not point back"
-                            ))
+                            )))
                             }
                         }
                         if back.latency != port.latency || back.class != port.class {
-                            return Err(format!(
+                            return Err(invalid(format!(
                                 "router {r} port {p}: latency/class mismatch with peer"
-                            ));
+                            )));
                         }
                         if port.class == ChannelClass::Terminal {
-                            return Err(format!(
+                            return Err(invalid(format!(
                                 "router {r} port {p}: router connection with terminal class"
-                            ));
+                            )));
                         }
                     }
                 }
                 if port.latency == 0 {
-                    return Err(format!("router {r} port {p}: latency must be >= 1"));
+                    return Err(invalid(format!(
+                        "router {r} port {p}: latency must be >= 1"
+                    )));
                 }
             }
         }
         let terminal_ports = terminals
             .into_iter()
             .enumerate()
-            .map(|(t, slot)| slot.ok_or_else(|| format!("terminal {t} not attached")))
+            .map(|(t, slot)| slot.ok_or_else(|| invalid(format!("terminal {t} not attached"))))
             .collect::<Result<Vec<_>, _>>()?;
         if terminal_ports.is_empty() {
-            return Err("network has no terminals".into());
+            return Err(invalid("network has no terminals".into()));
         }
         Ok(NetworkSpec {
             routers,
@@ -239,7 +248,7 @@ mod tests {
     fn asymmetric_wiring_rejected() {
         let mut routers = tiny_spec();
         routers[1].ports[0].conn = Connection::Router { router: 0, port: 0 };
-        let err = NetworkSpec::validated(routers, 3).unwrap_err();
+        let err = NetworkSpec::validated(routers, 3).unwrap_err().to_string();
         assert!(err.contains("does not point back"), "{err}");
     }
 
@@ -247,7 +256,7 @@ mod tests {
     fn latency_mismatch_rejected() {
         let mut routers = tiny_spec();
         routers[1].ports[0].latency = 5;
-        let err = NetworkSpec::validated(routers, 3).unwrap_err();
+        let err = NetworkSpec::validated(routers, 3).unwrap_err().to_string();
         assert!(err.contains("mismatch"), "{err}");
     }
 
@@ -255,7 +264,7 @@ mod tests {
     fn duplicate_terminal_rejected() {
         let mut routers = tiny_spec();
         routers[1].ports[1].conn = Connection::Terminal { terminal: 0 };
-        let err = NetworkSpec::validated(routers, 3).unwrap_err();
+        let err = NetworkSpec::validated(routers, 3).unwrap_err().to_string();
         assert!(err.contains("more than once"), "{err}");
     }
 
@@ -263,13 +272,15 @@ mod tests {
     fn missing_terminal_rejected() {
         let mut routers = tiny_spec();
         routers[1].ports[1].conn = Connection::Terminal { terminal: 2 };
-        let err = NetworkSpec::validated(routers, 3).unwrap_err();
+        let err = NetworkSpec::validated(routers, 3).unwrap_err().to_string();
         assert!(err.contains("terminal 1 not attached"), "{err}");
     }
 
     #[test]
     fn zero_vcs_rejected() {
-        let err = NetworkSpec::validated(tiny_spec(), 0).unwrap_err();
+        let err = NetworkSpec::validated(tiny_spec(), 0)
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("virtual channel"), "{err}");
     }
 
@@ -278,7 +289,7 @@ mod tests {
         let mut routers = tiny_spec();
         routers[0].ports[0].latency = 0;
         routers[1].ports[1].latency = 0;
-        let err = NetworkSpec::validated(routers, 2).unwrap_err();
+        let err = NetworkSpec::validated(routers, 2).unwrap_err().to_string();
         assert!(err.contains("latency"), "{err}");
     }
 
@@ -286,7 +297,7 @@ mod tests {
     fn wrong_class_on_terminal_rejected() {
         let mut routers = tiny_spec();
         routers[0].ports[0].class = ChannelClass::Local;
-        let err = NetworkSpec::validated(routers, 2).unwrap_err();
+        let err = NetworkSpec::validated(routers, 2).unwrap_err().to_string();
         assert!(err.contains("terminal connection with class"), "{err}");
     }
 }

@@ -169,6 +169,44 @@ pub struct ChannelLoad {
     pub utilization: f64,
 }
 
+/// Per-decision routing telemetry over the measurement window: how the
+/// injection-time minimal/non-minimal choice went, and how often the
+/// configured congestion estimator disagreed with the plain
+/// queue-occupancy baseline on the same candidates. Only labelled
+/// packets (those created inside the window) are counted, and every
+/// count is deterministic for a fixed seed.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteTelemetry {
+    /// Labelled packets injected on their minimal path.
+    pub minimal_takes: u64,
+    /// Labelled packets injected non-minimally.
+    pub non_minimal_takes: u64,
+    /// Injections where an adaptive minimal/non-minimal comparison ran
+    /// (both candidates existed and queue state was consulted).
+    pub adaptive_decisions: u64,
+    /// Adaptive decisions where the configured estimator chose
+    /// differently from the queue-occupancy baseline.
+    pub estimator_disagreements: u64,
+}
+
+impl RouteTelemetry {
+    /// Fraction of labelled packets injected minimally, or `None` if no
+    /// packet was injected in the window.
+    pub fn minimal_take_rate(&self) -> Option<f64> {
+        let total = self.minimal_takes + self.non_minimal_takes;
+        (total > 0).then(|| self.minimal_takes as f64 / total as f64)
+    }
+
+    /// Fraction of adaptive decisions on which the estimator disagreed
+    /// with the queue-occupancy baseline, or `None` if no adaptive
+    /// decision ran.
+    pub fn disagreement_rate(&self) -> Option<f64> {
+        (self.adaptive_decisions > 0)
+            .then(|| self.estimator_disagreements as f64 / self.adaptive_decisions as f64)
+    }
+}
+
 /// Everything measured by one simulation run.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, PartialEq)]
@@ -204,6 +242,8 @@ pub struct RunStats {
     /// Per-channel loads over the measurement window (network channels
     /// only, in `(router, port)` order).
     pub channel_loads: Vec<ChannelLoad>,
+    /// Injection-decision telemetry over the measurement window.
+    pub routing: RouteTelemetry,
 }
 
 impl RunStats {
@@ -231,6 +271,21 @@ impl RunStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn telemetry_rates() {
+        let t = RouteTelemetry::default();
+        assert_eq!(t.minimal_take_rate(), None);
+        assert_eq!(t.disagreement_rate(), None);
+        let t = RouteTelemetry {
+            minimal_takes: 3,
+            non_minimal_takes: 1,
+            adaptive_decisions: 4,
+            estimator_disagreements: 1,
+        };
+        assert_eq!(t.minimal_take_rate(), Some(0.75));
+        assert_eq!(t.disagreement_rate(), Some(0.25));
+    }
 
     #[test]
     fn summary_mean_and_bounds() {

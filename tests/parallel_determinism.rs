@@ -1,9 +1,20 @@
 //! Regression test: fanning a run grid across a thread pool must
 //! produce bit-identical statistics to executing it serially, in the
 //! same order. This pins the determinism contract of the parallel
-//! harness on the paper's 1K-node network.
+//! harness on the paper's 1K-node network, and — now that every
+//! topology routes through the shared adaptive layer — one adaptive
+//! sweep per baseline topology as well.
 
-use dragonfly::{RoutingChoice, RunGrid, RunPlan, TrafficChoice};
+use std::sync::Arc;
+
+use dfly_netsim::{CreditMode, SimConfig, Simulation};
+use dfly_topo::{FlattenedButterfly, FoldedClos, Torus};
+use dfly_traffic::UniformRandom;
+
+use dragonfly::butterfly::{ButterflyNetwork, ButterflyRouting};
+use dragonfly::clos_sim::{ClosNetwork, ClosRouting};
+use dragonfly::torus_sim::{TorusNetwork, TorusRouting};
+use dragonfly::{RoutingChoice, RunGrid, RunPlan, TrafficChoice, UgalVariant};
 
 #[test]
 fn run_grid_parallel_matches_serial_on_paper_network() {
@@ -76,4 +87,81 @@ fn repeated_parallel_executions_are_stable() {
         &base,
     );
     assert_eq!(grid.execute_on(&sim, 3), grid.execute_on(&sim, 3));
+}
+
+fn fast_cfg(seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(0.1);
+    cfg.warmup = 150;
+    cfg.measure = 300;
+    cfg.drain_cap = 5_000;
+    cfg.seed = seed;
+    cfg
+}
+
+/// One adaptive sweep per baseline topology: the parallel fan-out must
+/// be bit-identical to running each load point serially, with the new
+/// routing telemetry included in the comparison (`LoadPoint` equality
+/// covers the whole `RunStats`).
+#[test]
+fn adaptive_sweeps_deterministic_on_every_topology() {
+    let loads = [0.05, 0.15];
+
+    // Flattened butterfly under UGAL-L(CR) — the credit-round-trip
+    // estimator running on a non-dragonfly topology.
+    let fb = Arc::new(ButterflyNetwork::new(FlattenedButterfly::new(2, 4, 2)));
+    let fb_routing = ButterflyRouting::ugal_credit(fb.clone());
+    let mut fb_cfg = fast_cfg(5);
+    fb_cfg.credit_mode = CreditMode::round_trip();
+    let fb_pattern = UniformRandom::new(fb.build_spec().num_terminals());
+    check_sweep_matches_serial(&fb.build_spec(), &fb_routing, &fb_pattern, &loads, &fb_cfg);
+
+    // Folded Clos spreading over its equal-length uplinks adaptively.
+    let clos = Arc::new(ClosNetwork::new(FoldedClos::new(3, 8)));
+    let clos_routing = ClosRouting::adaptive(clos.clone(), UgalVariant::Local);
+    let clos_pattern = UniformRandom::new(clos.build_spec().num_terminals());
+    check_sweep_matches_serial(
+        &clos.build_spec(),
+        &clos_routing,
+        &clos_pattern,
+        &loads,
+        &fast_cfg(6),
+    );
+
+    // Torus choosing between the short and the long way around.
+    let torus = Arc::new(TorusNetwork::new(Torus::new(2, 4, 1)));
+    let torus_routing = TorusRouting::adaptive(torus.clone(), UgalVariant::Local);
+    let torus_pattern = UniformRandom::new(torus.build_spec().num_terminals());
+    check_sweep_matches_serial(
+        &torus.build_spec(),
+        &torus_routing,
+        &torus_pattern,
+        &loads,
+        &fast_cfg(8),
+    );
+}
+
+fn check_sweep_matches_serial(
+    spec: &dfly_netsim::NetworkSpec,
+    routing: &(dyn dfly_netsim::RoutingAlgorithm + Sync),
+    pattern: &(dyn dfly_traffic::TrafficPattern + Sync),
+    loads: &[f64],
+    base: &SimConfig,
+) {
+    let parallel = dragonfly::parallel::sweep_network(spec, routing, pattern, loads, base);
+    assert_eq!(parallel.len(), loads.len());
+    for point in &parallel {
+        let mut cfg = base.clone();
+        cfg.injection = dfly_netsim::InjectionKind::Bernoulli { rate: point.load };
+        let serial = Simulation::new(spec, routing, pattern, cfg)
+            .unwrap()
+            .finish();
+        assert_eq!(
+            serial,
+            point.stats,
+            "{} sweep diverged from serial at load {}",
+            routing.name(),
+            point.load
+        );
+        assert!(point.stats.drained, "{} did not drain", routing.name());
+    }
 }
