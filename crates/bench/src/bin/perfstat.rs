@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use dfly_bench::Windows;
 use dragonfly::parallel::configured_threads;
-use dragonfly::{RoutingChoice, RunGrid, TrafficChoice};
+use dragonfly::{FaultSweep, RoutingChoice, RunGrid, TrafficChoice};
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -58,6 +58,38 @@ fn main() {
     assert!(bit_identical, "parallel sweep diverged from serial sweep");
     let speedup = serial_secs / parallel_secs.max(1e-12);
     eprintln!("perfstat: speedup {speedup:.2}x (bit-identical: {bit_identical})");
+
+    // A small deterministic fault-degradation curve: saturation
+    // throughput with 0, 1/16 and 1/8 of the global cables failed.
+    let fault_fractions = [0.0, 1.0 / 16.0, 1.0 / 8.0];
+    let mut fault_cfg = win.config(1.0);
+    fault_cfg.seed = 1;
+    let fault_sweep = FaultSweep::new(
+        dfly_bench::paper_params(),
+        RoutingChoice::UgalLVcH,
+        TrafficChoice::Uniform,
+        &fault_cfg,
+        &fault_fractions,
+        42,
+    );
+    let t0 = Instant::now();
+    let fault_points = fault_sweep.execute().expect("fault plans must apply");
+    let fault_secs = t0.elapsed().as_secs_f64();
+    let fault_serial = fault_sweep
+        .execute_serial()
+        .expect("fault plans must apply");
+    let fault_identical = fault_points == fault_serial;
+    assert!(fault_identical, "parallel fault sweep diverged from serial");
+    let fault_monotone = fault_points
+        .windows(2)
+        .all(|pair| pair[1].throughput() <= pair[0].throughput() + 1e-9);
+    eprintln!(
+        "perfstat: fault sweep {fault_secs:.3}s, throughputs {:?} (monotone: {fault_monotone})",
+        fault_points
+            .iter()
+            .map(|pt| (pt.throughput() * 1e4).round() / 1e4)
+            .collect::<Vec<_>>()
+    );
 
     // Single-run hot-path counters at a representative operating point.
     let mut cfg = win.config(0.3);
@@ -123,11 +155,16 @@ fn main() {
         json,
         "    \"routing_telemetry\": {{\"minimal_takes\": {}, \"non_minimal_takes\": {}, \
          \"adaptive_decisions\": {}, \"estimator_disagreements\": {}, \
+         \"fault_avoided_decisions\": {}, \"dropped_candidates\": {}, \
+         \"oracle_probe_fallbacks\": {}, \
          \"minimal_take_rate\": {}, \"disagreement_rate\": {}}},",
         tel.minimal_takes,
         tel.non_minimal_takes,
         tel.adaptive_decisions,
         tel.estimator_disagreements,
+        tel.fault_avoided_decisions,
+        tel.dropped_candidates,
+        tel.oracle_probe_fallbacks,
         tel.minimal_take_rate()
             .map_or("null".to_string(), |r| format!("{r:.4}")),
         tel.disagreement_rate()
@@ -145,6 +182,32 @@ fn main() {
         let _ = write!(json, "\"{name}\": {:.6}", d.as_secs_f64());
     }
     json.push_str("}\n");
+    json.push_str("  },\n");
+    json.push_str("  \"fault_sweep\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"routing\": \"{}\",",
+        json_escape(RoutingChoice::UgalLVcH.label())
+    );
+    let _ = writeln!(json, "    \"traffic\": \"uniform\",");
+    let _ = writeln!(json, "    \"fault_seed\": 42,");
+    let _ = writeln!(json, "    \"secs\": {fault_secs:.6},");
+    let _ = writeln!(json, "    \"bit_identical\": {fault_identical},");
+    let _ = writeln!(json, "    \"monotone\": {fault_monotone},");
+    json.push_str("    \"points\": [");
+    for (i, pt) in fault_points.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        let _ = write!(
+            json,
+            "{{\"fraction\": {:.6}, \"failed_links\": {}, \"throughput\": {:.6}}}",
+            pt.fraction,
+            pt.failed_links,
+            pt.throughput()
+        );
+    }
+    json.push_str("]\n");
     json.push_str("  }\n");
     json.push_str("}\n");
 

@@ -81,7 +81,12 @@ impl Windows {
 
 /// The paper's evaluation network: 1K nodes, `p = h = 4`, `a = 8`.
 pub fn paper_network() -> DragonflySim {
-    DragonflySim::new(DragonflyParams::new(4, 8, 4).expect("paper parameters are valid"))
+    DragonflySim::new(paper_params())
+}
+
+/// Parameters of the paper's evaluation network.
+pub fn paper_params() -> DragonflyParams {
+    DragonflyParams::new(4, 8, 4).expect("paper parameters are valid")
 }
 
 /// One measured sweep point.

@@ -38,9 +38,9 @@
 use std::sync::Arc;
 
 use dfly_netsim::{
-    CandidatePath, CandidatePaths, ChannelClass, Connection, DecisionRecord, Flit, NetView,
-    NetworkSpec, PortSpec, PortVc, RouteClass, RouteInfo, RouterSpec, RoutingAlgorithm,
-    UgalChooser,
+    CandidatePath, CandidatePaths, ChannelClass, Connection, DecisionRecord, FaultPlan, FaultTable,
+    Flit, NetView, NetworkSpec, PortSpec, PortVc, RouteClass, RouteInfo, RouterSpec,
+    RoutingAlgorithm, SimError, UgalChooser,
 };
 use dfly_topo::{FlattenedButterfly, Topology};
 use rand::rngs::SmallRng;
@@ -57,6 +57,21 @@ pub struct ButterflyNetwork {
     dim_base: Vec<usize>,
     /// Channel latency for every network channel.
     latency: u32,
+    /// Link-failure state, present after
+    /// [`ButterflyNetwork::with_fault_plan`]: the canonical failed
+    /// cables plus BFS next-hop tables over the surviving links. Under
+    /// faults every phase of a route follows the table toward its phase
+    /// target (strictly decreasing alive distance, so no loops); the
+    /// two-phase VC split still separates the Valiant legs, but detours
+    /// within a phase share that phase's VC, so deadlock freedom is
+    /// best-effort rather than proven.
+    faults: Option<Box<ButterflyFaults>>,
+}
+
+#[derive(Debug, Clone)]
+struct ButterflyFaults {
+    failed_links: Vec<(usize, usize)>,
+    table: FaultTable,
 }
 
 impl ButterflyNetwork {
@@ -82,12 +97,80 @@ impl ButterflyNetwork {
             fb,
             dim_base,
             latency,
+            faults: None,
         }
     }
 
     /// The underlying structural topology.
     pub fn topology(&self) -> &FlattenedButterfly {
         &self.fb
+    }
+
+    /// Applies a [`FaultPlan`] (composing with any faults already
+    /// present): routes detour around the dead links along BFS next-hop
+    /// tables over the survivors.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidFaultPlan`] for malformed plans and
+    /// [`SimError::Unreachable`] when the plan disconnects the network.
+    pub fn with_fault_plan(mut self, plan: &FaultPlan) -> Result<Self, SimError> {
+        let spec = self.build_spec().with_faults(plan)?;
+        if spec.failed_links().is_empty() {
+            self.faults = None;
+            return Ok(self);
+        }
+        self.faults = Some(Box::new(ButterflyFaults {
+            failed_links: spec.failed_links().to_vec(),
+            table: FaultTable::new(&spec),
+        }));
+        Ok(self)
+    }
+
+    /// Whether a fault plan has been applied.
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The canonical failed cables, empty for a fault-free network.
+    pub fn failed_links(&self) -> &[(usize, usize)] {
+        self.faults.as_ref().map_or(&[], |f| &f.failed_links)
+    }
+
+    /// The output port one (fault-aware) shortest hop from `router`
+    /// toward `target`: dimension-ordered on a fault-free network, BFS
+    /// over the surviving links under a fault plan.
+    fn next_toward(&self, router: usize, target: usize) -> usize {
+        match &self.faults {
+            Some(f) => f
+                .table
+                .next_port(router, target)
+                .expect("validated fault plan keeps the network connected"),
+            None => self.port_to(router, self.dor_next(router, target)),
+        }
+    }
+
+    /// Router-to-router hops from `a` to `b`, over the surviving links
+    /// under a fault plan.
+    fn hops_between(&self, a: usize, b: usize) -> u32 {
+        match &self.faults {
+            Some(f) => f
+                .table
+                .distance(a, b)
+                .expect("validated fault plan keeps the network connected"),
+            None => self.fb.min_hops(a, b) as u32,
+        }
+    }
+
+    /// Upper bound on the hops of any valid route: two phases, each at
+    /// most the (fault-aware) router-graph diameter, plus the ejection
+    /// hop.
+    pub fn route_hop_bound(&self) -> usize {
+        let diameter = match &self.faults {
+            Some(f) => f.table.diameter() as usize,
+            None => self.fb.dimensions(),
+        };
+        2 * diameter + 1
     }
 
     /// The port of `router` leading directly to `peer`, which must
@@ -102,6 +185,21 @@ impl ButterflyNetwork {
         let them = cb[dim];
         let me = ca[dim];
         self.dim_base[dim] + if them < me { them } else { them - 1 }
+    }
+
+    /// The router reached through network port `port` of `router` (the
+    /// inverse of [`ButterflyNetwork::port_to`]).
+    fn peer_of(&self, router: usize, port: usize) -> usize {
+        let coords = self.fb.coordinates(router);
+        let dim = (0..self.fb.dimensions())
+            .rfind(|&d| self.dim_base[d] <= port)
+            .expect("port within network range");
+        let within = port - self.dim_base[dim];
+        let me = coords[dim];
+        let them = if within < me { within } else { within + 1 };
+        let mut c2 = coords.clone();
+        c2[dim] = them;
+        self.fb.router_index(&c2)
     }
 
     /// The next router on the dimension-order path from `router` toward
@@ -119,8 +217,21 @@ impl ButterflyNetwork {
 
     /// Builds the simulator wiring: concentration ports first, then one
     /// fully connected port group per dimension. Dimension 0 channels
-    /// are classed local (intra-cabinet), higher dimensions global.
+    /// are classed local (intra-cabinet), higher dimensions global. Any
+    /// applied fault plan is re-applied, so the spec's failure marks
+    /// always match the routing tables.
     pub fn build_spec(&self) -> NetworkSpec {
+        let spec = self.build_spec_clean();
+        match &self.faults {
+            None => spec,
+            Some(f) => spec
+                .with_faults(&FaultPlan::Explicit(f.failed_links.clone()))
+                .expect("stored fault list was validated when the plan was applied"),
+        }
+    }
+
+    /// The fault-free wiring.
+    fn build_spec_clean(&self) -> NetworkSpec {
         let c = self.fb.concentration();
         let mut routers = Vec::with_capacity(self.fb.num_routers());
         for r in 0..self.fb.num_routers() {
@@ -180,15 +291,28 @@ impl ButterflyNetwork {
 /// minimal path and the two-phase Valiant path through intermediate
 /// router `intermediate`. The salt is unused — the butterfly has exactly
 /// one channel per (router, dimension, digit), so there is nothing to
-/// pre-select.
+/// pre-select. Under a fault plan both first hops and hop counts follow
+/// the BFS detour tables.
+///
+/// As the oracle (UGAL-G) probe point each candidate reports its
+/// bottleneck channel: for the minimal path the channel *after* the
+/// first hop (where dimension-order traffic converges; the first-hop
+/// channel itself for single-hop paths), for the Valiant path the
+/// channel leaving the intermediate router toward the destination.
 impl CandidatePaths for ButterflyNetwork {
     fn minimal_candidate(&self, router: usize, dest: usize, _salt: u32) -> CandidatePath {
         let rd = dest / self.fb.concentration();
         if router == rd {
             return CandidatePath::new(dest % self.fb.concentration(), 0, 0);
         }
-        let port = self.port_to(router, self.dor_next(router, rd));
-        CandidatePath::new(port, 0, self.fb.min_hops(router, rd) as u32)
+        let port = self.next_toward(router, rd);
+        let path = CandidatePath::new(port, 0, self.hops_between(router, rd));
+        let mid = self.peer_of(router, port);
+        if mid == rd {
+            path.with_probe(router, port)
+        } else {
+            path.with_probe(mid, self.next_toward(mid, rd))
+        }
     }
 
     fn non_minimal_candidate(
@@ -204,9 +328,9 @@ impl CandidatePaths for ButterflyNetwork {
             ri != router && ri != rd,
             "intermediate must be a third router"
         );
-        let port = self.port_to(router, self.dor_next(router, ri));
-        let hops = (self.fb.min_hops(router, ri) + self.fb.min_hops(ri, rd)) as u32;
-        CandidatePath::new(port, 0, hops)
+        let port = self.next_toward(router, ri);
+        let hops = self.hops_between(router, ri) + self.hops_between(ri, rd);
+        CandidatePath::new(port, 0, hops).with_probe(ri, self.next_toward(ri, rd))
     }
 }
 
@@ -348,8 +472,11 @@ impl RoutingAlgorithm for ButterflyRouting {
                 let nm = net.non_minimal_candidate(rs, dest, ri as u32, minimal.salt);
                 let decision = chooser.choose(view, rs, &m, &nm);
                 let record = DecisionRecord {
-                    adaptive: true,
+                    adaptive: !decision.fault_avoided,
                     estimator_disagreed: decision.estimator_disagreed,
+                    fault_avoided: decision.fault_avoided,
+                    dropped_candidates: decision.dropped_candidates,
+                    probe_fallbacks: decision.probe_fallbacks,
                 };
                 if decision.minimal {
                     (minimal, record)
@@ -385,8 +512,7 @@ impl RoutingAlgorithm for ButterflyRouting {
             return PortVc::new(dest % c, 0);
         }
         let _ = view;
-        let next = net.dor_next(router, target);
-        PortVc::new(net.port_to(router, next), vc)
+        PortVc::new(net.next_toward(router, target), vc)
     }
 }
 
@@ -491,5 +617,80 @@ mod tests {
                 assert_ne!(ri, 5);
             }
         }
+    }
+
+    #[test]
+    fn candidates_carry_probe_points() {
+        let net = net_2x4();
+        // Router 0 -> router 15 (terminal 30): the minimal path's
+        // second hop leaves the mid router; the probe names it.
+        let m = net.minimal_candidate(0, 30, 0);
+        let mid = net.peer_of(0, m.port as usize);
+        assert_eq!(m.probe_router as usize, mid);
+        assert_eq!(
+            m.probe_port as usize,
+            net.next_toward(mid, 15),
+            "probe must sit on the mid router's onward channel"
+        );
+        // Single-hop minimal: the probe is the first channel itself.
+        let direct = net.minimal_candidate(0, 2, 0);
+        assert_eq!(direct.probe_router, 0);
+        assert_eq!(direct.probe_port, direct.port);
+        // Non-minimal via router 5: probed at the intermediate.
+        let nm = net.non_minimal_candidate(0, 30, 5, 0);
+        assert_eq!(nm.probe_router, 5);
+        assert_eq!(nm.probe_port as usize, net.next_toward(5, 15));
+    }
+
+    #[test]
+    fn ugal_g_on_butterfly_has_no_probe_fallbacks() {
+        let net = net_2x4();
+        let spec = net.build_spec();
+        let routing = ButterflyRouting::ugal(net, UgalVariant::Global);
+        let pattern = BitComplement::new(32);
+        let stats = Simulation::new(&spec, &routing, &pattern, fast_cfg(0.2))
+            .unwrap()
+            .run();
+        assert!(stats.drained);
+        assert!(stats.routing.adaptive_decisions > 0);
+        assert_eq!(
+            stats.routing.oracle_probe_fallbacks, 0,
+            "every butterfly candidate must carry a probe point"
+        );
+    }
+
+    #[test]
+    fn faulty_butterfly_delivers_uniform() {
+        let net = ButterflyNetwork::new(FlattenedButterfly::new(2, 4, 2))
+            .with_fault_plan(&FaultPlan::random_any(0.1, 5))
+            .unwrap();
+        assert!(net.has_faults());
+        assert!(!net.failed_links().is_empty());
+        let spec = net.build_spec();
+        assert!(spec.has_faults());
+        let routing = ButterflyRouting::minimal(Arc::new(net));
+        let pattern = UniformRandom::new(32);
+        let stats = Simulation::new(&spec, &routing, &pattern, fast_cfg(0.1))
+            .unwrap()
+            .run();
+        assert!(stats.drained, "faulty butterfly starved");
+    }
+
+    #[test]
+    fn ugal_butterfly_under_faults_delivers() {
+        let net = ButterflyNetwork::new(FlattenedButterfly::new(2, 4, 2))
+            .with_fault_plan(&FaultPlan::random_any(0.1, 7))
+            .unwrap();
+        let spec = net.build_spec();
+        let routing = ButterflyRouting::ugal_local(Arc::new(net));
+        let pattern = UniformRandom::new(32);
+        let stats = Simulation::new(&spec, &routing, &pattern, fast_cfg(0.15))
+            .unwrap()
+            .run();
+        assert!(stats.drained, "faulty adaptive butterfly starved");
+        assert_eq!(
+            stats.routing.minimal_takes + stats.routing.non_minimal_takes,
+            stats.latency.count
+        );
     }
 }

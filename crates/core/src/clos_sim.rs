@@ -31,9 +31,9 @@
 use std::sync::Arc;
 
 use dfly_netsim::{
-    CandidatePath, CandidatePaths, ChannelClass, Connection, DecisionRecord, Flit, NetView,
-    NetworkSpec, PortSpec, PortVc, RouteClass, RouteInfo, RouterSpec, RoutingAlgorithm,
-    UgalChooser,
+    CandidatePath, CandidatePaths, ChannelClass, Connection, DecisionRecord, FaultPlan, FaultTable,
+    Flit, NetView, NetworkSpec, PortSpec, PortVc, RouteClass, RouteInfo, RouterSpec,
+    RoutingAlgorithm, SimError, UgalChooser,
 };
 use dfly_topo::{FoldedClos, Topology};
 use rand::rngs::SmallRng;
@@ -47,13 +47,29 @@ use crate::routing::UgalVariant;
 /// base `k/2`; uplink `u` at rank `l` leads to the rank-`l+1` switch
 /// with digit `l` replaced by `u`. The top rank is halved, each real
 /// switch absorbing two virtual ones (differing in digit 0), with all
-/// `k` ports pointing down.
+/// `k` ports pointing down. When `k/2` is odd (e.g. radix 6) the
+/// virtual count is odd too, and the last real top switch absorbs a
+/// single virtual, using only its parity-0 half of the down ports.
 #[derive(Debug, Clone)]
 pub struct ClosNetwork {
     clos: FoldedClos,
     /// First global router index of each rank.
     rank_base: Vec<usize>,
     latency: u32,
+    /// Link-failure state, present after
+    /// [`ClosNetwork::with_fault_plan`]. Under faults every flit
+    /// follows the BFS next-hop tables over the surviving links
+    /// (strictly decreasing alive distance, so no loops), instead of
+    /// the structured random-up/deterministic-down walk — detours may
+    /// mix up and down hops, so single-VC deadlock freedom becomes
+    /// best-effort rather than proven.
+    faults: Option<Box<ClosFaults>>,
+}
+
+#[derive(Debug, Clone)]
+struct ClosFaults {
+    failed_links: Vec<(usize, usize)>,
+    table: FaultTable,
 }
 
 impl ClosNetwork {
@@ -67,21 +83,16 @@ impl ClosNetwork {
         Self::with_latency(clos, 1)
     }
 
-    /// Wires `clos` with the given network-channel latency.
+    /// Wires `clos` with the given network-channel latency. Any even
+    /// radix works: when `k/2` is odd the last top switch absorbs a
+    /// single virtual switch and exposes only `k/2` down ports.
     ///
     /// # Panics
     ///
-    /// Panics if `clos.levels() < 2`, `latency == 0`, or the switch
-    /// radix is not divisible by 4 (the folded construction pairs
-    /// virtual top switches two by two, so it needs an even `k/2`).
+    /// Panics if `clos.levels() < 2` or `latency == 0`.
     pub fn with_latency(clos: FoldedClos, latency: u32) -> Self {
         assert!(clos.levels() >= 2, "need >= 2 ranks to have a network");
         assert!(latency > 0, "latency must be >= 1");
-        assert!(
-            clos.switch_radix().is_multiple_of(4),
-            "folded top-switch pairing needs radix divisible by 4, got {}",
-            clos.switch_radix()
-        );
         let mut rank_base = Vec::with_capacity(clos.levels());
         let mut base = 0;
         for l in 0..clos.levels() {
@@ -92,7 +103,52 @@ impl ClosNetwork {
             clos,
             rank_base,
             latency,
+            faults: None,
         }
+    }
+
+    /// Applies a link-failure plan, composing with any faults already
+    /// present. Routing then follows BFS shortest paths over the
+    /// surviving links. Rejects plans that disconnect any switch pair.
+    pub fn with_fault_plan(mut self, plan: &FaultPlan) -> Result<Self, SimError> {
+        let spec = self.build_spec().with_faults(plan)?;
+        let failed = spec.failed_links().to_vec();
+        if failed.is_empty() {
+            self.faults = None;
+        } else {
+            let table = FaultTable::new(&spec);
+            self.faults = Some(Box::new(ClosFaults {
+                failed_links: failed,
+                table,
+            }));
+        }
+        Ok(self)
+    }
+
+    /// Whether a fault plan with at least one failed link is applied.
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The failed `(router, port)` link ends, both directions listed.
+    pub fn failed_links(&self) -> &[(usize, usize)] {
+        self.faults.as_ref().map_or(&[], |f| &f.failed_links)
+    }
+
+    /// Number of virtual top switches (the switch count of every rank
+    /// below the top).
+    fn virtual_tops(&self) -> usize {
+        self.clos.switches_at(0)
+    }
+
+    /// Upper bound on network hops any routed packet takes, plus the
+    /// ejection hop.
+    pub fn route_hop_bound(&self) -> usize {
+        let diameter = match &self.faults {
+            Some(f) => f.table.diameter() as usize,
+            None => 2 * (self.clos.levels() - 1),
+        };
+        diameter + 1
     }
 
     /// The underlying structural topology.
@@ -138,18 +194,37 @@ impl ClosNetwork {
     /// Leaves: ports `[0, k/2)` terminals, `[k/2, k)` up. Interior
     /// ranks: `[0, k/2)` down, `[k/2, k)` up. Top rank: all `k` ports
     /// down — `[0, k/2)` for its even virtual, `[k/2, k)` for its odd
-    /// one. Leaf uplinks are classed local (intra-pod), higher ranks
-    /// global.
+    /// one (the last top switch has only the parity-0 block when the
+    /// virtual count is odd). Leaf uplinks are classed local
+    /// (intra-pod), higher ranks global. Any applied fault plan is
+    /// re-marked on the returned spec.
     pub fn build_spec(&self) -> NetworkSpec {
+        let spec = self.build_spec_clean();
+        match &self.faults {
+            None => spec,
+            Some(f) => spec
+                .with_faults(&FaultPlan::Explicit(f.failed_links.clone()))
+                .expect("stored fault list was validated when the plan was applied"),
+        }
+    }
+
+    fn build_spec_clean(&self) -> NetworkSpec {
         let half = self.half();
         let levels = self.clos.levels();
         let mut routers: Vec<RouterSpec> = Vec::with_capacity(self.clos.num_routers());
         // Pre-create empty specs, then fill by wiring each uplink pair.
         // Every rank uses all k ports (leaves: k/2 terminals + k/2 up;
-        // interior: k/2 down + k/2 up; top: k down). Placeholders are
-        // overwritten below; any survivor fails validation.
+        // interior: k/2 down + k/2 up; top: k down — except an odd-half
+        // tail top switch, which only has its parity-0 k/2 block).
+        // Placeholders are overwritten below; any survivor fails
+        // validation.
         for l in 0..levels {
-            for _ in 0..self.clos.switches_at(l) {
+            for s in 0..self.clos.switches_at(l) {
+                let np = if l + 1 == levels && 2 * s + 1 >= self.virtual_tops() {
+                    half
+                } else {
+                    self.clos.switch_radix()
+                };
                 routers.push(RouterSpec {
                     ports: vec![
                         PortSpec {
@@ -157,7 +232,7 @@ impl ClosNetwork {
                             latency: 1,
                             class: ChannelClass::Terminal,
                         };
-                        self.clos.switch_radix()
+                        np
                     ],
                 });
             }
@@ -352,7 +427,9 @@ impl RoutingAlgorithm for ClosRouting {
         let half = net.half();
         let rs = src / half;
         let rd = dest / half;
-        if rs == rd || half < 2 {
+        // Under faults every flit follows the BFS tables (see `route`),
+        // so the uplink choice would only be ignored — stay minimal.
+        if rs == rd || half < 2 || net.has_faults() {
             return (
                 RouteInfo::minimal().with_salt(salt),
                 DecisionRecord::default(),
@@ -370,6 +447,9 @@ impl RoutingAlgorithm for ClosRouting {
         let record = DecisionRecord {
             adaptive: true,
             estimator_disagreed: decision.estimator_disagreed,
+            fault_avoided: decision.fault_avoided,
+            dropped_candidates: decision.dropped_candidates,
+            probe_fallbacks: decision.probe_fallbacks,
         };
         if decision.minimal {
             (RouteInfo::minimal().with_salt(salt), record)
@@ -383,13 +463,31 @@ impl RoutingAlgorithm for ClosRouting {
         let half = net.half();
         let dest = flit.dest as usize;
         let leaf = dest / half;
+        if let Some(f) = &net.faults {
+            // Fault branch: follow the BFS next hop over surviving
+            // links toward the destination leaf (alive distance
+            // strictly decreases, so the walk terminates).
+            if router == leaf {
+                return PortVc::new(dest % half, 0);
+            }
+            let port = f
+                .table
+                .next_port(router, leaf)
+                .expect("validated fault plan keeps the network connected");
+            return PortVc::new(port, 0);
+        }
         let (rank, s) = net.rank_of(router);
         let levels = net.clos.levels();
         if rank + 1 == levels {
             // Top: descend toward the virtual that exists on this
             // switch; both virtuals work (their differing digit is
-            // rewritten on the way down), pick by salt for balance.
-            let parity = net.pick_parity(flit.route.salt);
+            // rewritten on the way down), pick by salt for balance. An
+            // odd-half tail switch only hosts its parity-0 virtual.
+            let parity = if 2 * s + 1 < net.virtual_tops() {
+                net.pick_parity(flit.route.salt)
+            } else {
+                0
+            };
             return PortVc::new(parity * half + net.digit(leaf, levels - 2), 0);
         }
         if rank == 0 && s == leaf {
@@ -599,5 +697,72 @@ mod tests {
             assert_eq!(load.flits, 0, "channel {:?} carried traffic", load);
         }
         assert_eq!(stats.latency.min, 2);
+    }
+
+    #[test]
+    fn odd_half_radix_six_wires_and_delivers() {
+        // radix 6 → odd k/2: the last top switch absorbs a single
+        // virtual and exposes only 3 down ports.
+        let net = Arc::new(ClosNetwork::new(FoldedClos::new(2, 6)));
+        let spec = net.build_spec();
+        assert_eq!(spec.num_terminals(), 9);
+        assert_eq!(spec.num_routers(), 5);
+        assert_eq!(spec.routers[3].ports.len(), 6);
+        assert_eq!(spec.routers[4].ports.len(), 3);
+        let routing = ClosRouting::new(net);
+        let pattern = UniformRandom::new(9);
+        let stats = Simulation::new(&spec, &routing, &pattern, fast_cfg(0.02))
+            .unwrap()
+            .run();
+        assert!(stats.drained);
+        // Up 1, down 1, plus inject and eject, with near-zero queueing.
+        assert!(stats.latency.max <= 6, "max {}", stats.latency.max);
+    }
+
+    #[test]
+    fn odd_half_three_levels_deliver() {
+        let net = Arc::new(ClosNetwork::new(FoldedClos::new(3, 6)));
+        let spec = net.build_spec();
+        assert_eq!(spec.num_terminals(), 27);
+        let routing = ClosRouting::new(net);
+        let pattern = UniformRandom::new(27);
+        let stats = Simulation::new(&spec, &routing, &pattern, fast_cfg(0.15))
+            .unwrap()
+            .run();
+        assert!(stats.drained);
+    }
+
+    #[test]
+    fn faulty_clos_delivers_uniform() {
+        let net = ClosNetwork::new(FoldedClos::new(3, 8))
+            .with_fault_plan(&FaultPlan::random_any(0.05, 9))
+            .unwrap();
+        assert!(net.has_faults());
+        assert!(!net.failed_links().is_empty());
+        let spec = net.build_spec();
+        assert!(spec.has_faults());
+        let routing = ClosRouting::new(Arc::new(net));
+        let pattern = UniformRandom::new(spec.num_terminals());
+        let stats = Simulation::new(&spec, &routing, &pattern, fast_cfg(0.1))
+            .unwrap()
+            .run();
+        assert!(stats.drained, "faulty Clos starved");
+    }
+
+    #[test]
+    fn adaptive_clos_under_faults_stays_minimal_and_drains() {
+        let net = ClosNetwork::new(FoldedClos::new(2, 8))
+            .with_fault_plan(&FaultPlan::random_any(0.05, 4))
+            .unwrap();
+        let spec = net.build_spec();
+        let routing = ClosRouting::adaptive(Arc::new(net), crate::UgalVariant::Local);
+        let pattern = UniformRandom::new(spec.num_terminals());
+        let stats = Simulation::new(&spec, &routing, &pattern, fast_cfg(0.1))
+            .unwrap()
+            .run();
+        assert!(stats.drained);
+        // Under faults every flit rides the BFS tables: no uplink tags.
+        assert_eq!(stats.routing.non_minimal_takes, 0);
+        assert_eq!(stats.routing.adaptive_decisions, 0);
     }
 }

@@ -4,7 +4,8 @@
 use std::sync::Arc;
 
 use dfly_netsim::{
-    CreditMode, NetworkSpec, RoutingAlgorithm, RunStats, SimConfig, SimPerf, Simulation,
+    CreditMode, FaultPlan, NetworkSpec, RoutingAlgorithm, RunStats, SimConfig, SimError, SimPerf,
+    Simulation,
 };
 use dfly_traffic::{GroupAdversarial, Permutation, TrafficPattern, UniformRandom};
 
@@ -167,6 +168,20 @@ impl DragonflySim {
     /// Builds the harness for `params`.
     pub fn new(params: DragonflyParams) -> Self {
         Self::with_dragonfly(Dragonfly::new(params))
+    }
+
+    /// Builds the harness for `params` with a [`FaultPlan`] applied:
+    /// the spec carries the failure marks and every routing choice
+    /// steers around the dead links.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Dragonfly::with_fault_plan`] rejects: malformed
+    /// plans, locally disconnected groups, and plans that leave some
+    /// group pair with no usable route
+    /// ([`dfly_netsim::SimError::Unreachable`]).
+    pub fn with_faults(params: DragonflyParams, plan: &FaultPlan) -> Result<Self, SimError> {
+        Ok(Self::with_dragonfly(Dragonfly::with_faults(params, plan)?))
     }
 
     /// Builds the harness around an explicitly configured dragonfly

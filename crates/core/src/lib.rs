@@ -21,7 +21,11 @@
 //! * [`butterfly`] / [`clos_sim`] / [`torus_sim`] — the flattened
 //!   butterfly, folded Clos and k-ary n-cube torus (the paper's §5
 //!   baselines) wired for the same simulator, each with its own
-//!   deadlock-free routing.
+//!   deadlock-free routing;
+//! * link-failure injection — apply a [`FaultPlan`] with
+//!   [`Dragonfly::with_fault_plan`] / [`DragonflySim::with_faults`] and
+//!   every routing algorithm steers around the dead links; [`FaultSweep`]
+//!   measures throughput degradation over failed-link fractions.
 //!
 //! # Quickstart
 //!
@@ -50,8 +54,9 @@ mod routing;
 mod topology;
 pub mod torus_sim;
 
+pub use dfly_netsim::{FaultClass, FaultPlan, SimError};
 pub use experiment::{DragonflySim, LoadPoint, RoutingChoice, TrafficChoice};
-pub use parallel::{RunGrid, RunPlan};
+pub use parallel::{FaultPoint, FaultSweep, RunGrid, RunPlan};
 pub use params::DragonflyParams;
 pub use routing::{
     trace_route, MinimalRouting, TraceHop, UgalRouting, UgalVariant, ValiantRouting,

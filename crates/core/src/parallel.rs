@@ -13,11 +13,15 @@
 //! set (a positive integer), falling back to the machine's available
 //! parallelism. `DFLY_THREADS=1` forces serial execution.
 
-use dfly_netsim::{InjectionKind, NetworkSpec, RoutingAlgorithm, RunStats, SimConfig, Simulation};
+use dfly_netsim::{
+    FaultClass, FaultPlan, InjectionKind, NetworkSpec, RoutingAlgorithm, RunStats, SimConfig,
+    SimError, Simulation,
+};
 use dfly_traffic::TrafficPattern;
 use rayon::prelude::*;
 
 use crate::experiment::{DragonflySim, LoadPoint, RoutingChoice, TrafficChoice};
+use crate::DragonflyParams;
 
 /// Thread budget for parallel execution: `DFLY_THREADS` when set to a
 /// positive integer, otherwise the machine's available parallelism.
@@ -218,6 +222,149 @@ impl RunGrid {
     }
 }
 
+/// One point of a fault-degradation curve: the network with a seeded
+/// random `fraction` of its links failed, driven at an offered load of
+/// 1.0 so [`RunStats::accepted_rate`] reads the saturation throughput.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPoint {
+    /// Failed-link fraction the point was run at.
+    pub fraction: f64,
+    /// Number of cables the plan actually failed (both directions each).
+    pub failed_links: usize,
+    /// Full statistics of the saturation run.
+    pub stats: RunStats,
+}
+
+impl FaultPoint {
+    /// Saturation throughput at this fault level (accepted
+    /// packets/terminal/cycle at an offered load of 1.0).
+    pub fn throughput(&self) -> f64 {
+        self.stats.accepted_rate
+    }
+}
+
+/// A throughput-vs-failed-link-fraction sweep: one saturation run per
+/// fraction, each on its own dragonfly built with a seeded random fault
+/// plan.
+///
+/// The per-fraction fault sets are *nested* (see
+/// [`FaultPlan::Random`]): with one seed, every cable failed at
+/// fraction `f1 < f2` is also failed at `f2`, so the measured curve
+/// degrades monotonically instead of comparing unrelated fault draws.
+/// Points are independent runs and fan out across the worker pool;
+/// [`FaultSweep::execute`] is bit-identical to
+/// [`FaultSweep::execute_serial`].
+///
+/// # Example
+///
+/// ```no_run
+/// use dragonfly::{DragonflyParams, FaultSweep, RoutingChoice, TrafficChoice};
+/// use dfly_netsim::SimConfig;
+///
+/// let sweep = FaultSweep::new(
+///     DragonflyParams::new(2, 4, 2).unwrap(),
+///     RoutingChoice::UgalLVcH,
+///     TrafficChoice::Uniform,
+///     &SimConfig::paper_default(1.0),
+///     &[0.0, 1.0 / 16.0, 1.0 / 8.0],
+///     7,
+/// );
+/// let points = sweep.execute().unwrap();
+/// assert_eq!(points.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultSweep {
+    /// Dragonfly configuration each point rebuilds.
+    pub params: DragonflyParams,
+    /// Routing algorithm under test.
+    pub routing: RoutingChoice,
+    /// Traffic pattern under test.
+    pub traffic: TrafficChoice,
+    /// Base configuration; each point forces an offered load of 1.0 and
+    /// skips the (futile) drain, as
+    /// [`DragonflySim::saturation_throughput`] does.
+    pub cfg: SimConfig,
+    /// Failed-link fractions, one run per entry.
+    pub fractions: Vec<f64>,
+    /// Seed of the nested random draws.
+    pub seed: u64,
+    /// Channel class the draws select from.
+    pub class: FaultClass,
+}
+
+impl FaultSweep {
+    /// A sweep failing global channels (the paper's expensive optical
+    /// cables — the interesting failure mode) at each of `fractions`.
+    pub fn new(
+        params: DragonflyParams,
+        routing: RoutingChoice,
+        traffic: TrafficChoice,
+        base: &SimConfig,
+        fractions: &[f64],
+        seed: u64,
+    ) -> Self {
+        FaultSweep {
+            params,
+            routing,
+            traffic,
+            cfg: base.clone(),
+            fractions: fractions.to_vec(),
+            seed,
+            class: FaultClass::Global,
+        }
+    }
+
+    /// The same sweep drawing from a different channel class.
+    pub fn with_class(mut self, class: FaultClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    fn run_point(&self, fraction: f64) -> Result<FaultPoint, SimError> {
+        let plan = FaultPlan::Random {
+            fraction,
+            seed: self.seed,
+            class: self.class,
+        };
+        let sim = DragonflySim::with_faults(self.params, &plan)?;
+        let mut cfg = self.cfg.clone();
+        cfg.injection = InjectionKind::Bernoulli { rate: 1.0 };
+        cfg.drain_cap = 0;
+        let stats = sim.run(self.routing, self.traffic, cfg);
+        Ok(FaultPoint {
+            fraction,
+            failed_links: sim.dragonfly().failed_links().len(),
+            stats,
+        })
+    }
+
+    /// Runs every fraction across the configured thread pool (see
+    /// [`configured_threads`]); results are in fraction order and
+    /// bit-identical to [`FaultSweep::execute_serial`].
+    ///
+    /// # Errors
+    ///
+    /// The first fault-plan rejection, if any fraction disconnects the
+    /// network or the plan is malformed.
+    pub fn execute(&self) -> Result<Vec<FaultPoint>, SimError> {
+        self.execute_on(configured_threads())
+    }
+
+    /// [`FaultSweep::execute`] with an explicit thread bound.
+    pub fn execute_on(&self, threads: usize) -> Result<Vec<FaultPoint>, SimError> {
+        parallel_map_on(&self.fractions, threads, |&fraction| {
+            self.run_point(fraction)
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Runs every fraction on the calling thread, in order.
+    pub fn execute_serial(&self) -> Result<Vec<FaultPoint>, SimError> {
+        self.execute_on(1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,5 +449,46 @@ mod tests {
             assert_eq!(a.load, b.load);
             assert_eq!(a.stats, b.stats);
         }
+    }
+
+    #[test]
+    fn fault_sweep_is_deterministic_across_thread_counts() {
+        let mut cfg = SimConfig::paper_default(1.0);
+        cfg.warmup = 100;
+        cfg.measure = 300;
+        let sweep = FaultSweep::new(
+            DragonflyParams::new(2, 4, 2).unwrap(),
+            RoutingChoice::UgalLVcH,
+            TrafficChoice::Uniform,
+            &cfg,
+            &[0.0, 0.125],
+            3,
+        );
+        let parallel = sweep.execute().unwrap();
+        let serial = sweep.execute_serial().unwrap();
+        assert_eq!(parallel, serial);
+        assert_eq!(parallel.len(), 2);
+        assert_eq!(parallel[0].failed_links, 0);
+        // 36 global cables at 1/8: round(4.5) cables die.
+        assert_eq!(parallel[1].failed_links, 5);
+        assert!(parallel[0].throughput() > 0.0);
+        assert!(parallel[1].throughput() > 0.0);
+    }
+
+    #[test]
+    fn fault_sweep_surfaces_plan_errors() {
+        let cfg = SimConfig::paper_default(1.0);
+        let sweep = FaultSweep::new(
+            DragonflyParams::new(2, 4, 2).unwrap(),
+            RoutingChoice::Min,
+            TrafficChoice::Uniform,
+            &cfg,
+            &[2.0],
+            1,
+        );
+        assert!(matches!(
+            sweep.execute(),
+            Err(SimError::InvalidFaultPlan(_))
+        ));
     }
 }

@@ -103,6 +103,13 @@ fn route_flit(df: &Dragonfly, router: usize, flit: &Flit) -> PortVc {
 /// the first entry of its VC schedule, its total hop count, and — as the
 /// oracle probe point — the router and port owning its first global
 /// channel.
+///
+/// Under a fault plan the salt picks among the *surviving* parallel
+/// channels only, and each candidate reports the removed channels along
+/// its legs as [`CandidatePath::dropped`]. Callers must not request a
+/// candidate whose group pair has lost every direct channel (injection
+/// logic checks [`Dragonfly::global_slots`] /
+/// [`Dragonfly::viable_intermediates`] first).
 impl CandidatePaths for Dragonfly {
     fn minimal_candidate(&self, router: usize, dest: usize, salt: u32) -> CandidatePath {
         let params = self.params();
@@ -131,7 +138,9 @@ impl CandidatePaths for Dragonfly {
         } else {
             self.local_next_hop(rs, owner)
         };
-        CandidatePath::new(port, 1, hops).with_probe(owner, self.slot_port(q))
+        CandidatePath::new(port, 1, hops)
+            .with_probe(owner, self.slot_port(q))
+            .with_dropped(self.dead_global_slots(gs, gd))
     }
 
     fn non_minimal_candidate(
@@ -168,7 +177,9 @@ impl CandidatePaths for Dragonfly {
         } else {
             self.local_next_hop(rs, owner1)
         };
-        CandidatePath::new(port, 0, hops).with_probe(owner1, self.slot_port(q1))
+        CandidatePath::new(port, 0, hops)
+            .with_probe(owner1, self.slot_port(q1))
+            .with_dropped(self.dead_global_slots(gs, gi) + self.dead_global_slots(gi, gd))
     }
 }
 
@@ -271,6 +282,17 @@ fn random_intermediate(g: usize, gs: usize, gd: usize, rng: &mut SmallRng) -> Op
     Some(gi)
 }
 
+/// Fault-aware intermediate draw: uniform over the third groups whose
+/// Valiant legs both survive (every third group on a fault-free
+/// network). Returns `None` when no usable intermediate exists.
+fn pick_intermediate(df: &Dragonfly, gs: usize, gd: usize, rng: &mut SmallRng) -> Option<usize> {
+    match df.viable_intermediates(gs, gd) {
+        None => random_intermediate(df.params().num_groups(), gs, gd, rng),
+        Some([]) => None,
+        Some(viable) => Some(viable[rng.gen_range(0..viable.len())] as usize),
+    }
+}
+
 /// Minimal (MIN) routing: always the shortest path — at most one global
 /// channel (local, global, local).
 ///
@@ -294,16 +316,43 @@ impl RoutingAlgorithm for MinimalRouting {
         "MIN".into()
     }
 
-    fn inject(
+    fn inject(&self, view: &NetView<'_>, src: usize, dest: usize, rng: &mut SmallRng) -> RouteInfo {
+        self.inject_traced(view, src, dest, rng).0
+    }
+
+    fn inject_traced(
         &self,
         _view: &NetView<'_>,
-        _src: usize,
-        _dest: usize,
+        src: usize,
+        dest: usize,
         rng: &mut SmallRng,
-    ) -> RouteInfo {
-        RouteInfo::minimal()
-            .with_salt(rng.gen())
-            .with_injection_vc(1)
+    ) -> (RouteInfo, DecisionRecord) {
+        let salt: u32 = rng.gen();
+        if self.df.has_faults() {
+            let params = self.df.params();
+            let gs = params.group_of_terminal(src);
+            let gd = params.group_of_terminal(dest);
+            if gs != gd && self.df.global_slots(gs, gd).is_empty() {
+                // Every direct channel is dead: detour through a viable
+                // intermediate group (fault validation guarantees one).
+                let viable = self
+                    .df
+                    .viable_intermediates(gs, gd)
+                    .expect("faulted network has viability tables");
+                let gi = viable[rng.gen_range(0..viable.len())];
+                let route = RouteInfo::non_minimal(gi)
+                    .with_salt(salt)
+                    .with_injection_vc(0);
+                let record = DecisionRecord {
+                    fault_avoided: true,
+                    dropped_candidates: 1,
+                    ..DecisionRecord::default()
+                };
+                return (route, record);
+            }
+        }
+        let route = RouteInfo::minimal().with_salt(salt).with_injection_vc(1);
+        (route, DecisionRecord::default())
     }
 
     fn route(&self, _view: &NetView<'_>, router: usize, flit: &Flit) -> PortVc {
@@ -332,30 +381,52 @@ impl RoutingAlgorithm for ValiantRouting {
         "VAL".into()
     }
 
-    fn inject(
+    fn inject(&self, view: &NetView<'_>, src: usize, dest: usize, rng: &mut SmallRng) -> RouteInfo {
+        self.inject_traced(view, src, dest, rng).0
+    }
+
+    fn inject_traced(
         &self,
         _view: &NetView<'_>,
         src: usize,
         dest: usize,
         rng: &mut SmallRng,
-    ) -> RouteInfo {
+    ) -> (RouteInfo, DecisionRecord) {
         let params = self.df.params();
         let gs = params.group_of_terminal(src);
         let gd = params.group_of_terminal(dest);
         if gs == gd {
             // Intra-group traffic stays minimal; Valiant randomisation at
             // the system level only needs to balance the global channels.
-            return RouteInfo::minimal()
+            let route = RouteInfo::minimal()
                 .with_salt(rng.gen())
                 .with_injection_vc(1);
+            return (route, DecisionRecord::default());
         }
-        match random_intermediate(params.num_groups(), gs, gd, rng) {
-            Some(gi) => RouteInfo::non_minimal(gi as u32)
-                .with_salt(rng.gen())
-                .with_injection_vc(0),
-            None => RouteInfo::minimal()
-                .with_salt(rng.gen())
-                .with_injection_vc(1),
+        match pick_intermediate(&self.df, gs, gd, rng) {
+            Some(gi) => {
+                let route = RouteInfo::non_minimal(gi as u32)
+                    .with_salt(rng.gen())
+                    .with_injection_vc(0);
+                (route, DecisionRecord::default())
+            }
+            None => {
+                // No third group (tiny network), or faults killed every
+                // viable intermediate while the direct channel survives.
+                let route = RouteInfo::minimal()
+                    .with_salt(rng.gen())
+                    .with_injection_vc(1);
+                let record = if self.df.has_faults() && params.num_groups() >= 3 {
+                    DecisionRecord {
+                        fault_avoided: true,
+                        dropped_candidates: 1,
+                        ..DecisionRecord::default()
+                    }
+                } else {
+                    DecisionRecord::default()
+                };
+                (route, record)
+            }
         }
     }
 
@@ -482,16 +553,49 @@ impl RoutingAlgorithm for UgalRouting {
             let route = RouteInfo::minimal().with_salt(salt).with_injection_vc(1);
             return (route, DecisionRecord::default());
         }
-        let Some(gi) = random_intermediate(params.num_groups(), gs, gd, rng) else {
-            let route = RouteInfo::minimal().with_salt(salt).with_injection_vc(1);
-            return (route, DecisionRecord::default());
+        let direct_alive = !df.has_faults() || !df.global_slots(gs, gd).is_empty();
+        let gi = match pick_intermediate(df, gs, gd, rng) {
+            Some(gi) => gi,
+            None if direct_alive => {
+                // No usable intermediate: minimal is the only shape left.
+                let route = RouteInfo::minimal().with_salt(salt).with_injection_vc(1);
+                let record = if df.has_faults() && params.num_groups() >= 3 {
+                    DecisionRecord {
+                        fault_avoided: true,
+                        dropped_candidates: 1,
+                        ..DecisionRecord::default()
+                    }
+                } else {
+                    DecisionRecord::default()
+                };
+                return (route, record);
+            }
+            None => unreachable!(
+                "fault validation guarantees a direct channel or a viable intermediate"
+            ),
         };
+        if !direct_alive {
+            // Every direct channel is dead: the Valiant path wins without
+            // a queue comparison.
+            let route = RouteInfo::non_minimal(gi as u32)
+                .with_salt(salt)
+                .with_injection_vc(0);
+            let record = DecisionRecord {
+                fault_avoided: true,
+                dropped_candidates: 1,
+                ..DecisionRecord::default()
+            };
+            return (route, record);
+        }
         let m = df.minimal_candidate(rs, dest, salt);
         let nm = df.non_minimal_candidate(rs, dest, gi as u32, salt);
         let decision = self.chooser.choose(view, rs, &m, &nm);
         let record = DecisionRecord {
-            adaptive: true,
+            adaptive: !decision.fault_avoided,
             estimator_disagreed: decision.estimator_disagreed,
+            fault_avoided: decision.fault_avoided,
+            dropped_candidates: decision.dropped_candidates,
+            probe_fallbacks: decision.probe_fallbacks,
         };
         if decision.minimal {
             let route = RouteInfo::minimal().with_salt(salt).with_injection_vc(1);
@@ -513,7 +617,7 @@ impl RoutingAlgorithm for UgalRouting {
 mod tests {
     use super::*;
     use crate::params::DragonflyParams;
-    use dfly_netsim::ChannelClass;
+    use dfly_netsim::{ChannelClass, FaultPlan};
     use dfly_traffic::rng_for;
 
     fn df72() -> Arc<Dragonfly> {
@@ -673,5 +777,96 @@ mod tests {
         );
         assert_eq!(MinimalRouting::new(df.clone()).name(), "MIN");
         assert_eq!(ValiantRouting::new(df).name(), "VAL");
+    }
+
+    /// A 72-terminal dragonfly with the single group 0 <-> 1 global
+    /// cable failed.
+    fn df72_dead_01() -> Dragonfly {
+        let params = DragonflyParams::new(2, 4, 2).unwrap();
+        let clean = Dragonfly::new(params);
+        let spec = clean.build_spec();
+        let a = params.routers_per_group();
+        let cable = (0..a)
+            .flat_map(|r| {
+                spec.routers[r]
+                    .ports
+                    .iter()
+                    .enumerate()
+                    .map(move |(p, port)| (r, p, *port))
+                    .collect::<Vec<_>>()
+            })
+            .find_map(|(r, p, port)| match port.conn {
+                dfly_netsim::Connection::Router { router: peer, .. }
+                    if port.class == ChannelClass::Global
+                        && params.group_of_router(peer as usize) == 1 =>
+                {
+                    Some((r, p))
+                }
+                _ => None,
+            })
+            .expect("0-1 cable exists");
+        clean
+            .with_fault_plan(&FaultPlan::Explicit(vec![cable]))
+            .unwrap()
+    }
+
+    #[test]
+    fn min_detours_nonminimally_around_dead_direct_cable() {
+        use crate::{DragonflySim, RoutingChoice, TrafficChoice};
+        let sim = DragonflySim::with_dragonfly(df72_dead_01());
+        let mut cfg = sim.config(0.2);
+        cfg.warmup = 300;
+        cfg.measure = 1_000;
+        cfg.drain_cap = 30_000;
+        let stats = sim.run(RoutingChoice::Min, TrafficChoice::Uniform, cfg);
+        assert!(stats.drained, "MIN starved around the dead cable");
+        // Every group 0 <-> 1 packet was force-detoured and counted.
+        assert!(stats.routing.fault_avoided_decisions > 0);
+        assert!(stats.routing.dropped_candidates > 0);
+        assert!(stats.routing.non_minimal_takes > 0);
+    }
+
+    #[test]
+    fn ugal_detours_and_keeps_adapting_around_dead_cable() {
+        use crate::{DragonflySim, RoutingChoice, TrafficChoice};
+        let sim = DragonflySim::with_dragonfly(df72_dead_01());
+        let mut cfg = sim.config(0.2);
+        cfg.warmup = 300;
+        cfg.measure = 1_000;
+        cfg.drain_cap = 30_000;
+        let stats = sim.run(RoutingChoice::UgalLVcH, TrafficChoice::Uniform, cfg);
+        assert!(stats.drained, "UGAL starved around the dead cable");
+        assert!(stats.routing.fault_avoided_decisions > 0);
+        // Pairs with a live direct cable still run the full comparison.
+        assert!(stats.routing.adaptive_decisions > 0);
+    }
+
+    #[test]
+    fn forced_detours_trace_through_a_viable_intermediate() {
+        let df = df72_dead_01();
+        let viable = df.viable_intermediates(0, 1).unwrap().to_vec();
+        assert!(!viable.is_empty());
+        for gi in viable {
+            let hops = walk(&df, 0, 8, RouteInfo::non_minimal(gi));
+            let globals = hops
+                .iter()
+                .filter(|(class, _)| *class == ChannelClass::Global)
+                .count();
+            assert_eq!(globals, 2, "detour via {gi} must cross two globals");
+        }
+    }
+
+    #[test]
+    fn valiant_under_faults_avoids_dead_legs() {
+        // Every Valiant route drawn at injection must stay on alive
+        // cables: exercise the picker through a live simulation.
+        use crate::{DragonflySim, RoutingChoice, TrafficChoice};
+        let sim = DragonflySim::with_dragonfly(df72_dead_01());
+        let mut cfg = sim.config(0.15);
+        cfg.warmup = 300;
+        cfg.measure = 1_000;
+        cfg.drain_cap = 30_000;
+        let stats = sim.run(RoutingChoice::Valiant, TrafficChoice::Uniform, cfg);
+        assert!(stats.drained, "VAL starved around the dead cable");
     }
 }

@@ -1,6 +1,10 @@
 //! The dragonfly topology: wiring, port maps and route primitives.
 
-use dfly_netsim::{ChannelClass, Connection, NetworkSpec, PortSpec, RouterSpec};
+use std::collections::VecDeque;
+
+use dfly_netsim::{
+    ChannelClass, Connection, FaultPlan, NetworkSpec, PortSpec, RouterSpec, SimError,
+};
 use dfly_topo::{Graph, Topology};
 
 use crate::params::DragonflyParams;
@@ -93,6 +97,36 @@ pub struct Dragonfly {
     /// Global slots per group left unused (by the ring construction or
     /// bandwidth tapering).
     unused_slots_per_group: usize,
+    /// Link-failure state, present after [`Dragonfly::with_fault_plan`].
+    faults: Option<Box<DragonflyFaults>>,
+}
+
+/// Derived fault state: which channels survive and how to route around
+/// the dead ones while keeping the paper's VC schedule intact. Local
+/// detours stay inside their group (each group must remain internally
+/// connected) and global detours stay within the Valiant shape (at most
+/// one intermediate group), so every route still ascends
+/// `l0 < g0 < l1 < g1 < l2` and deadlock freedom is preserved.
+#[derive(Debug, Clone)]
+struct DragonflyFaults {
+    /// Canonical failed cables, as `(router, port)` spec endpoints.
+    failed_links: Vec<(usize, usize)>,
+    /// [`Dragonfly::links`] filtered to surviving slots:
+    /// `alive[src_group * g + dst_group]`.
+    alive_links: Vec<Vec<u16>>,
+    /// Valiant intermediates still usable for each ordered group pair:
+    /// `viable[gs * g + gd]` = groups `gi` with alive `gs→gi` *and*
+    /// `gi→gd` channels.
+    viable_inter: Vec<Vec<u32>>,
+    /// BFS next-hop local port over alive intra-group links:
+    /// `next[router * a + target_group_index]`; `u16::MAX` on the
+    /// diagonal.
+    local_next: Vec<u16>,
+    /// BFS intra-group hop distance, same indexing.
+    local_dist: Vec<u16>,
+    /// Longest surviving intra-group shortest path (≥ the fault-free
+    /// group diameter), for the route hop bound.
+    max_local_dist: usize,
 }
 
 impl Dragonfly {
@@ -245,6 +279,190 @@ impl Dragonfly {
             links,
             slot_target,
             unused_slots_per_group: unused + budget,
+            faults: None,
+        }
+    }
+
+    /// Builds the dragonfly for `params` with the given link failures
+    /// applied (see [`Dragonfly::with_fault_plan`]).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Dragonfly::with_fault_plan`] rejects.
+    pub fn with_faults(params: DragonflyParams, plan: &FaultPlan) -> Result<Self, SimError> {
+        Self::new(params).with_fault_plan(plan)
+    }
+
+    /// Applies a [`FaultPlan`] on top of this dragonfly (composing with
+    /// any faults already present), rebuilding the routing tables to
+    /// steer around the dead links: global channel picks draw from the
+    /// surviving parallel slots, local hops follow per-group BFS
+    /// next-hop tables, and Valiant intermediates are restricted to
+    /// groups with both legs alive.
+    ///
+    /// # Errors
+    ///
+    /// - [`SimError::InvalidFaultPlan`] for malformed plans (see
+    ///   [`FaultPlan::resolve`]) and for plans whose local failures
+    ///   disconnect a group internally — fault-aware routing keeps the
+    ///   paper's VC schedule by detouring locals *within* their group.
+    /// - [`SimError::Unreachable`] when some group pair retains neither
+    ///   a direct alive channel nor any viable intermediate group, so
+    ///   traffic between those groups cannot be delivered.
+    pub fn with_fault_plan(mut self, plan: &FaultPlan) -> Result<Self, SimError> {
+        // `build_spec` re-applies any existing faults, so the new plan
+        // composes; `with_faults` also re-checks global connectivity.
+        let spec = self.build_spec().with_faults(plan)?;
+        if spec.failed_links().is_empty() {
+            self.faults = None;
+            return Ok(self);
+        }
+        self.faults = Some(Box::new(self.compute_faults(&spec)?));
+        Ok(self)
+    }
+
+    /// Derives the fault-routing tables from a spec with failures marked.
+    fn compute_faults(&self, spec: &NetworkSpec) -> Result<DragonflyFaults, SimError> {
+        let g = self.params.num_groups();
+        let a = self.params.routers_per_group();
+        let p = self.params.terminals_per_router();
+
+        let mut alive_links = vec![Vec::new(); g * g];
+        for i in 0..g {
+            for j in 0..g {
+                alive_links[i * g + j] = self.links[i * g + j]
+                    .iter()
+                    .copied()
+                    .filter(|&q| {
+                        !spec.is_failed(self.slot_router(i, q as usize), self.slot_port(q as usize))
+                    })
+                    .collect();
+            }
+        }
+
+        let mut viable_inter = vec![Vec::new(); g * g];
+        for gs in 0..g {
+            for gd in 0..g {
+                if gs == gd {
+                    continue;
+                }
+                viable_inter[gs * g + gd] = (0..g)
+                    .filter(|&gi| {
+                        gi != gs
+                            && gi != gd
+                            && !alive_links[gs * g + gi].is_empty()
+                            && !alive_links[gi * g + gd].is_empty()
+                    })
+                    .map(|gi| gi as u32)
+                    .collect();
+            }
+        }
+
+        // Per-group BFS from every target over the surviving local
+        // links: `local_next[v*a + t]` is v's port one shortest alive
+        // hop toward group member t.
+        let n = self.params.num_routers();
+        let mut local_next = vec![u16::MAX; n * a];
+        let mut local_dist = vec![u16::MAX; n * a];
+        let mut max_local_dist = 0usize;
+        let mut queue = VecDeque::new();
+        for grp in 0..g {
+            let base = grp * a;
+            for t_idx in 0..a {
+                local_dist[(base + t_idx) * a + t_idx] = 0;
+                queue.clear();
+                queue.push_back(base + t_idx);
+                while let Some(u) = queue.pop_front() {
+                    let du = local_dist[u * a + t_idx];
+                    for lp in p..p + self.local_ports {
+                        if spec.is_failed(u, lp) {
+                            continue;
+                        }
+                        let Connection::Router { router, port } = spec.routers[u].ports[lp].conn
+                        else {
+                            continue;
+                        };
+                        let (v, vp) = (router as usize, port as usize);
+                        if local_dist[v * a + t_idx] != u16::MAX {
+                            continue;
+                        }
+                        local_dist[v * a + t_idx] = du + 1;
+                        local_next[v * a + t_idx] = vp as u16;
+                        max_local_dist = max_local_dist.max(du as usize + 1);
+                        queue.push_back(v);
+                    }
+                }
+                for idx in 0..a {
+                    if local_dist[(base + idx) * a + t_idx] == u16::MAX {
+                        return Err(SimError::InvalidFaultPlan(format!(
+                            "local faults disconnect group {grp}: router {} cannot reach \
+                             router {} inside the group (local detours never leave a group, \
+                             preserving the VC schedule)",
+                            base + idx,
+                            base + t_idx
+                        )));
+                    }
+                }
+            }
+        }
+
+        // Every group pair must keep a direct channel or one viable
+        // Valiant intermediate; otherwise the dragonfly route shapes
+        // cannot deliver and the plan is rejected up front (typed error,
+        // never a routing hang).
+        let tpg = a * p;
+        for gs in 0..g {
+            for gd in 0..g {
+                if gs != gd
+                    && alive_links[gs * g + gd].is_empty()
+                    && viable_inter[gs * g + gd].is_empty()
+                {
+                    return Err(SimError::Unreachable {
+                        src: gs * tpg,
+                        dest: gd * tpg,
+                    });
+                }
+            }
+        }
+
+        Ok(DragonflyFaults {
+            failed_links: spec.failed_links().to_vec(),
+            alive_links,
+            viable_inter,
+            local_next,
+            local_dist,
+            max_local_dist,
+        })
+    }
+
+    /// Whether a fault plan has been applied.
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The canonical failed cables, empty for a fault-free network.
+    pub fn failed_links(&self) -> &[(usize, usize)] {
+        self.faults.as_ref().map_or(&[], |f| &f.failed_links)
+    }
+
+    /// The Valiant intermediate groups still viable between `gs` and
+    /// `gd` (both legs alive), or `None` on a fault-free network where
+    /// every third group is viable.
+    pub fn viable_intermediates(&self, gs: usize, gd: usize) -> Option<&[u32]> {
+        let g = self.params.num_groups();
+        assert!(gs < g && gd < g, "group out of range");
+        self.faults
+            .as_ref()
+            .map(|f| f.viable_inter[gs * g + gd].as_slice())
+    }
+
+    /// How many parallel `gs → gd` global channels a fault plan removed
+    /// (0 on a fault-free network).
+    pub(crate) fn dead_global_slots(&self, gs: usize, gd: usize) -> u32 {
+        let g = self.params.num_groups();
+        match &self.faults {
+            Some(f) => (self.links[gs * g + gd].len() - f.alive_links[gs * g + gd].len()) as u32,
+            None => 0,
         }
     }
 
@@ -272,12 +490,17 @@ impl Dragonfly {
     /// Upper bound on the hops of any valid route, derived from the
     /// topology diameter: the longest (Valiant) route traverses at most
     /// three groups — each at most the intra-group diameter, which is
-    /// the group's dimension count — plus two global channels and the
+    /// the group's dimension count (under faults, the longest surviving
+    /// intra-group shortest path) — plus two global channels and the
     /// ejection hop. Route walkers ([`crate::trace_route`],
     /// [`dfly_netsim::trace_path`]) report a
     /// [`dfly_netsim::SimError::RouteLoop`] past this bound.
     pub fn route_hop_bound(&self) -> usize {
-        3 * self.dims.len() + 3
+        let group_diameter = match &self.faults {
+            Some(f) => f.max_local_dist.max(self.dims.len()),
+            None => self.dims.len(),
+        };
+        3 * group_diameter + 3
     }
 
     /// Actual router radix: `p + local ports + h`. Equals
@@ -296,7 +519,9 @@ impl Dragonfly {
     }
 
     /// The global slots of `src_group` whose channels lead to
-    /// `dst_group`.
+    /// `dst_group`. Under a fault plan only the surviving slots are
+    /// returned (possibly none), so routing picks stay consistent with
+    /// the channels packets actually use.
     ///
     /// # Panics
     ///
@@ -304,7 +529,10 @@ impl Dragonfly {
     pub fn global_slots(&self, src_group: usize, dst_group: usize) -> &[u16] {
         let g = self.params.num_groups();
         assert!(src_group < g && dst_group < g, "group out of range");
-        &self.links[src_group * g + dst_group]
+        match &self.faults {
+            Some(f) => &f.alive_links[src_group * g + dst_group],
+            None => &self.links[src_group * g + dst_group],
+        }
     }
 
     /// `(peer_group, peer_slot)` reached by global slot `q` of `group`,
@@ -346,7 +574,9 @@ impl Dragonfly {
     }
 
     /// Local hops between two routers of the same group: the number of
-    /// group dimensions in which they differ (1 for complete groups).
+    /// group dimensions in which they differ (1 for complete groups);
+    /// under a fault plan, the BFS distance over the surviving local
+    /// links.
     ///
     /// # Panics
     ///
@@ -354,14 +584,18 @@ impl Dragonfly {
     pub fn local_hops(&self, router: usize, peer: usize) -> usize {
         let a = self.params.routers_per_group();
         assert_eq!(router / a, peer / a, "routers in different groups");
+        if let Some(f) = &self.faults {
+            return f.local_dist[router * a + peer % a] as usize;
+        }
         let ca = self.group_coords(router % a);
         let cb = self.group_coords(peer % a);
         (0..self.dims.len()).filter(|&d| ca[d] != cb[d]).count()
     }
 
-    /// The local port of `router` leading one dimension-ordered hop
-    /// toward `peer` (both in the same group). For complete groups this
-    /// is the direct channel to `peer`.
+    /// The local port of `router` leading one hop toward `peer` (both in
+    /// the same group): dimension-ordered on a fault-free network (the
+    /// direct channel for complete groups), the BFS next hop over the
+    /// surviving local links under a fault plan.
     ///
     /// # Panics
     ///
@@ -370,6 +604,16 @@ impl Dragonfly {
         let a = self.params.routers_per_group();
         assert_eq!(router / a, peer / a, "routers in different groups");
         assert_ne!(router, peer, "no local channel to self");
+        if let Some(f) = &self.faults {
+            return f.local_next[router * a + peer % a] as usize;
+        }
+        self.local_port_toward(router, peer)
+    }
+
+    /// The fault-free dimension-ordered local port from `router` toward
+    /// `peer`: the physical wiring, used to build the spec.
+    fn local_port_toward(&self, router: usize, peer: usize) -> usize {
+        let a = self.params.routers_per_group();
         let ca = self.group_coords(router % a);
         let cb = self.group_coords(peer % a);
         let d = (0..self.dims.len())
@@ -419,13 +663,26 @@ impl Dragonfly {
     }
 
     /// Builds the cycle-accurate network description (3 VCs, the count
-    /// the paper's deadlock-avoidance assignment needs).
+    /// the paper's deadlock-avoidance assignment needs). Any applied
+    /// fault plan is re-applied, so the spec's failure marks always
+    /// match this dragonfly's routing tables.
     ///
     /// # Panics
     ///
     /// Panics only if the internal wiring is inconsistent, which would
     /// be a bug in this crate.
     pub fn build_spec(&self) -> NetworkSpec {
+        let spec = self.build_spec_clean();
+        match &self.faults {
+            None => spec,
+            Some(f) => spec
+                .with_faults(&FaultPlan::Explicit(f.failed_links.clone()))
+                .expect("stored fault list was validated when the plan was applied"),
+        }
+    }
+
+    /// The fault-free wiring.
+    fn build_spec_clean(&self) -> NetworkSpec {
         let p = self.params.terminals_per_router();
         let a = self.params.routers_per_group();
         let h = self.params.global_ports_per_router();
@@ -449,7 +706,7 @@ impl Dragonfly {
                     ports.push(PortSpec {
                         conn: Connection::Router {
                             router: peer as u32,
-                            port: self.local_next_hop(peer, router) as u32,
+                            port: self.local_port_toward(peer, router) as u32,
                         },
                         latency: self.latencies.local,
                         class: ChannelClass::Local,
@@ -780,5 +1037,126 @@ mod tests {
         assert!(Dragonfly::with_taper(params, 0.3).is_err());
         assert!(Dragonfly::with_taper(params, 1.5).is_err());
         assert!(Dragonfly::with_taper(params, 1.0).is_ok());
+    }
+
+    /// The (router, port) of the unique global cable from group `ga`
+    /// toward group `gb` in `spec`.
+    fn global_cable(df: &Dragonfly, spec: &NetworkSpec, ga: usize, gb: usize) -> (usize, usize) {
+        let a = df.params().routers_per_group();
+        for r in ga * a..(ga + 1) * a {
+            for (p, port) in spec.routers[r].ports.iter().enumerate() {
+                if let Connection::Router { router: peer, .. } = port.conn {
+                    if port.class == ChannelClass::Global
+                        && df.params().group_of_router(peer as usize) == gb
+                    {
+                        return (r, p);
+                    }
+                }
+            }
+        }
+        panic!("no cable {ga}-{gb}")
+    }
+
+    #[test]
+    fn fault_plan_filters_slots_and_intermediates() {
+        let clean = n72();
+        assert!(!clean.has_faults());
+        assert!(clean.viable_intermediates(0, 1).is_none());
+        let cable = global_cable(&clean, &clean.build_spec(), 0, 1);
+        let df = clean
+            .with_fault_plan(&FaultPlan::Explicit(vec![cable]))
+            .unwrap();
+        assert!(df.has_faults());
+        assert_eq!(df.failed_links().len(), 1);
+        // The dead cable vanishes from both directions' slot lists;
+        // every other pair keeps its single cable.
+        assert!(df.global_slots(0, 1).is_empty());
+        assert!(df.global_slots(1, 0).is_empty());
+        assert_eq!(df.global_slots(0, 2).len(), 1);
+        assert_eq!(df.dead_global_slots(0, 1), 1);
+        assert_eq!(df.dead_global_slots(0, 2), 0);
+        let viable = df.viable_intermediates(0, 1).unwrap();
+        assert!(!viable.is_empty());
+        assert!(viable.iter().all(|&gi| gi != 0 && gi != 1));
+        // An unaffected pair keeps every third group viable.
+        assert_eq!(
+            df.viable_intermediates(2, 3).unwrap().len(),
+            df.params().num_groups() - 2
+        );
+    }
+
+    #[test]
+    fn local_fault_detours_within_group() {
+        let clean = n72();
+        let spec = clean.build_spec();
+        // Kill the 0 <-> 1 local cable inside group 0.
+        let cable = spec.routers[0]
+            .ports
+            .iter()
+            .enumerate()
+            .find_map(|(p, port)| match port.conn {
+                Connection::Router { router: 1, .. } if port.class == ChannelClass::Local => {
+                    Some((0, p))
+                }
+                _ => None,
+            })
+            .expect("group peers are directly wired");
+        let df = clean
+            .with_fault_plan(&FaultPlan::Explicit(vec![cable]))
+            .unwrap();
+        // Router 0 now reaches router 1 in two hops via a live peer, and
+        // the first hop stays inside the group.
+        assert_eq!(df.local_hops(0, 1), 2);
+        let via = df.local_next_hop(0, 1);
+        let step = match df.build_spec().routers[0].ports[via].conn {
+            Connection::Router { router, .. } => router as usize,
+            other => panic!("local hop left the network: {other:?}"),
+        };
+        assert!(step < df.params().routers_per_group());
+        assert_ne!(step, 1);
+        assert_eq!(df.local_hops(step, 1), 1);
+        // The hop bound stretches to cover the detour.
+        assert!(df.route_hop_bound() > n72().route_hop_bound());
+    }
+
+    #[test]
+    fn local_fault_that_splits_a_group_is_rejected() {
+        // p=1, a=2: each group is two routers joined by one local cable.
+        let params = DragonflyParams::new(1, 2, 2).unwrap();
+        let clean = Dragonfly::new(params);
+        let spec = clean.build_spec();
+        let cable = spec.routers[0]
+            .ports
+            .iter()
+            .enumerate()
+            .find_map(|(p, port)| (port.class == ChannelClass::Local).then_some((0usize, p)))
+            .expect("local cable exists");
+        let err = clean
+            .with_fault_plan(&FaultPlan::Explicit(vec![cable]))
+            .expect_err("splitting a group must be rejected");
+        assert!(
+            matches!(err, SimError::InvalidFaultPlan(_)),
+            "unexpected error {err:?}"
+        );
+    }
+
+    #[test]
+    fn fault_plans_compose_and_zero_fraction_is_clean() {
+        let clean = n72();
+        let spec = clean.build_spec();
+        let c01 = global_cable(&clean, &spec, 0, 1);
+        let c23 = global_cable(&clean, &spec, 2, 3);
+        let df = n72()
+            .with_fault_plan(&FaultPlan::Explicit(vec![c01]))
+            .unwrap()
+            .with_fault_plan(&FaultPlan::Explicit(vec![c23]))
+            .unwrap();
+        assert_eq!(df.failed_links().len(), 2);
+        assert!(df.global_slots(0, 1).is_empty());
+        assert!(df.global_slots(2, 3).is_empty());
+        let df0 = n72()
+            .with_fault_plan(&FaultPlan::random_global(0.0, 9))
+            .unwrap();
+        assert!(!df0.has_faults());
     }
 }

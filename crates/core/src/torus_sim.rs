@@ -38,9 +38,9 @@
 use std::sync::Arc;
 
 use dfly_netsim::{
-    CandidatePath, CandidatePaths, ChannelClass, Connection, DecisionRecord, Flit, NetView,
-    NetworkSpec, PortSpec, PortVc, RouteClass, RouteInfo, RouterSpec, RoutingAlgorithm,
-    UgalChooser,
+    CandidatePath, CandidatePaths, ChannelClass, Connection, DecisionRecord, FaultPlan, FaultTable,
+    Flit, NetView, NetworkSpec, PortSpec, PortVc, RouteClass, RouteInfo, RouterSpec,
+    RoutingAlgorithm, SimError, UgalChooser,
 };
 use dfly_topo::{Topology, Torus};
 use rand::rngs::SmallRng;
@@ -53,6 +53,22 @@ use crate::routing::UgalVariant;
 pub struct TorusNetwork {
     torus: Torus,
     latency: u32,
+    /// Link-failure state, present after
+    /// [`TorusNetwork::with_fault_plan`]. Under faults every flit
+    /// follows the BFS next-hop tables over the surviving links
+    /// (strictly decreasing alive distance, so no loops); adaptive
+    /// long-way detours are disabled, because riding a fixed ring
+    /// direction around dead links could ping-pong against the BFS
+    /// fallback. The dateline rule still assigns the VC per hop, but
+    /// detours may cross datelines off the dimension-order schedule, so
+    /// deadlock freedom is best-effort rather than proven.
+    faults: Option<Box<TorusFaults>>,
+}
+
+#[derive(Debug, Clone)]
+struct TorusFaults {
+    failed_links: Vec<(usize, usize)>,
+    table: FaultTable,
 }
 
 impl TorusNetwork {
@@ -68,7 +84,85 @@ impl TorusNetwork {
     /// Panics if `latency == 0`.
     pub fn with_latency(torus: Torus, latency: u32) -> Self {
         assert!(latency > 0, "latency must be >= 1");
-        TorusNetwork { torus, latency }
+        TorusNetwork {
+            torus,
+            latency,
+            faults: None,
+        }
+    }
+
+    /// Applies a link-failure plan, composing with any faults already
+    /// present. Routing then follows BFS shortest paths over the
+    /// surviving links. Rejects plans that disconnect any router pair.
+    pub fn with_fault_plan(mut self, plan: &FaultPlan) -> Result<Self, SimError> {
+        let spec = self.build_spec().with_faults(plan)?;
+        let failed = spec.failed_links().to_vec();
+        if failed.is_empty() {
+            self.faults = None;
+        } else {
+            let table = FaultTable::new(&spec);
+            self.faults = Some(Box::new(TorusFaults {
+                failed_links: failed,
+                table,
+            }));
+        }
+        Ok(self)
+    }
+
+    /// Whether a fault plan with at least one failed link is applied.
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The failed `(router, port)` link ends, both directions listed.
+    pub fn failed_links(&self) -> &[(usize, usize)] {
+        self.faults.as_ref().map_or(&[], |f| &f.failed_links)
+    }
+
+    /// The congestion-probe point for a ring traversal: the router
+    /// midway along `travel` hops in `dim`/`plus` from `coords`, and
+    /// its onward same-direction port.
+    fn ring_midpoint(
+        &self,
+        coords: &[usize],
+        dim: usize,
+        plus: bool,
+        travel: usize,
+    ) -> (usize, usize) {
+        let k = self.torus.arity();
+        let steps = travel / 2;
+        let mut mid = coords.to_vec();
+        mid[dim] = if plus {
+            (coords[dim] + steps) % k
+        } else {
+            (coords[dim] + k - steps % k) % k
+        };
+        (self.torus.router_index(&mid), self.dir_port(dim, plus))
+    }
+
+    /// Inverse of [`dir_port`](Self::dir_port): the (dimension,
+    /// direction) a network port travels in.
+    fn port_dir(&self, port: usize) -> (usize, bool) {
+        let off = port - self.torus.concentration();
+        let ppd = self.ports_per_dim();
+        (
+            off / ppd,
+            self.torus.arity() == 2 || off.is_multiple_of(ppd),
+        )
+    }
+
+    /// Upper bound on network hops any routed packet takes, plus the
+    /// ejection hop. Fault-free the worst case is one long-way ring
+    /// (`k - 1` hops) plus minimal travel in every other dimension;
+    /// under faults it is the BFS diameter of the surviving network.
+    pub fn route_hop_bound(&self) -> usize {
+        let k = self.torus.arity();
+        let dims = self.torus.dimensions();
+        let diameter = match &self.faults {
+            Some(f) => f.table.diameter() as usize,
+            None => (k - 1) + dims.saturating_sub(1) * (k / 2),
+        };
+        diameter + 1
     }
 
     /// The underlying structural topology.
@@ -99,8 +193,19 @@ impl TorusNetwork {
     /// Builds the simulator wiring: concentration ports, then per
     /// dimension the +direction port and (for arity > 2) the −direction
     /// port. All network channels are classed local — torus cables are
-    /// short by construction.
+    /// short by construction. Any applied fault plan is re-marked on
+    /// the returned spec.
     pub fn build_spec(&self) -> NetworkSpec {
+        let spec = self.build_spec_clean();
+        match &self.faults {
+            None => spec,
+            Some(f) => spec
+                .with_faults(&FaultPlan::Explicit(f.failed_links.clone()))
+                .expect("stored fault list was validated when the plan was applied"),
+        }
+    }
+
+    fn build_spec_clean(&self) -> NetworkSpec {
         let c = self.torus.concentration();
         let k = self.torus.arity();
         let mut routers = Vec::with_capacity(self.torus.num_routers());
@@ -163,7 +268,9 @@ impl CandidatePaths for TorusNetwork {
     /// Minimal candidate: the short way around the first differing
     /// dimension's ring, on its dateline VC; `hops` is the full
     /// Manhattan distance. The salt is unused — a torus has exactly one
-    /// channel per (router, dimension, direction).
+    /// channel per (router, dimension, direction). The UGAL-G probe
+    /// point is the same-direction channel at the router midway along
+    /// the ring traversal — the bottleneck a ring path contends at.
     fn minimal_candidate(&self, router: usize, dest: usize, _salt: u32) -> CandidatePath {
         let c = self.torus.concentration();
         let rd = dest / c;
@@ -186,7 +293,10 @@ impl CandidatePaths for TorusNetwork {
                 f.min(k - f) as u32
             })
             .sum();
+        let travel = forward.min(k - forward);
+        let (mid, mid_port) = self.ring_midpoint(&ca, dim, plus, travel);
         CandidatePath::new(self.dir_port(dim, plus), usize::from(!will_wrap), hops)
+            .with_probe(mid, mid_port)
     }
 
     /// Non-minimal candidate: the long way around one ring.
@@ -222,7 +332,11 @@ impl CandidatePaths for TorusNetwork {
                 }
             })
             .sum();
+        let forward = (y + k - x) % k;
+        let travel = if plus { forward } else { k - forward };
+        let (mid, mid_port) = self.ring_midpoint(&ca, dim, plus, travel);
         CandidatePath::new(self.dir_port(dim, plus), usize::from(!will_wrap), hops)
+            .with_probe(mid, mid_port)
     }
 }
 
@@ -313,8 +427,10 @@ impl RoutingAlgorithm for TorusRouting {
         let (rs, rd) = (src / c, dest / c);
         let k = torus.arity();
         // Arity 2 folds both directions onto one shared channel: there is
-        // no distinct long way to weigh against.
-        if rs == rd || k <= 2 {
+        // no distinct long way to weigh against. Under faults every flit
+        // follows the BFS tables (see `route`), so a long-way tag would
+        // only be ignored — stay minimal and let the tables steer.
+        if rs == rd || k <= 2 || self.net.has_faults() {
             return (minimal, DecisionRecord::default());
         }
         let ca = torus.coordinates(rs);
@@ -332,6 +448,9 @@ impl RoutingAlgorithm for TorusRouting {
         let record = DecisionRecord {
             adaptive: true,
             estimator_disagreed: decision.estimator_disagreed,
+            fault_avoided: decision.fault_avoided,
+            dropped_candidates: decision.dropped_candidates,
+            probe_fallbacks: decision.probe_fallbacks,
         };
         if decision.minimal {
             (minimal, record)
@@ -347,6 +466,23 @@ impl RoutingAlgorithm for TorusRouting {
         let rd = dest / c;
         if router == rd {
             return PortVc::new(dest % c, 0);
+        }
+        if let Some(f) = &self.net.faults {
+            // Fault branch: follow the BFS next hop over surviving
+            // links (alive distance strictly decreases, so the walk
+            // terminates). The dateline rule still picks the VC from
+            // the hop's ring direction; a detour hop in an already
+            // resolved dimension conservatively stays on VC0.
+            let port = f
+                .table
+                .next_port(router, rd)
+                .expect("validated fault plan keeps the network connected");
+            let (dim, plus) = self.net.port_dir(port);
+            let ca = torus.coordinates(router);
+            let cb = torus.coordinates(rd);
+            let (x, y) = (ca[dim], cb[dim]);
+            let will_wrap = x == y || if plus { x > y } else { x < y };
+            return PortVc::new(port, usize::from(!will_wrap));
         }
         let k = torus.arity();
         let ca = torus.coordinates(router);
@@ -589,6 +725,74 @@ mod tests {
         assert!(stats.drained);
         let rate = stats.routing.minimal_take_rate().unwrap();
         assert!(rate > 0.9, "minimal take rate {rate} at near-zero load");
+    }
+
+    #[test]
+    fn ring_probes_sit_midway_along_the_traversal() {
+        let net = TorusNetwork::new(Torus::new(1, 8, 1));
+        // 0 -> 3 short way: 3 hops +, midpoint one step in at router 1.
+        let m = net.minimal_candidate(0, 3, 0);
+        assert_eq!(m.probe_router, 1);
+        assert_eq!(m.probe_port as usize, net.dir_port(0, true));
+        // Long way: 5 hops −, midpoint two steps back at router 6.
+        let nm = net.non_minimal_candidate(0, 3, 0, 0);
+        assert_eq!(nm.probe_router, 6);
+        assert_eq!(nm.probe_port as usize, net.dir_port(0, false));
+    }
+
+    #[test]
+    fn ugal_g_on_torus_has_no_probe_fallbacks() {
+        let net = Arc::new(TorusNetwork::new(Torus::new(1, 8, 1)));
+        let spec = net.build_spec();
+        let routing = TorusRouting::adaptive(net, UgalVariant::Global);
+        let pattern = Tornado::new(8);
+        let mut cfg = fast_cfg(0.3);
+        cfg.drain_cap = 60_000;
+        let stats = Simulation::new(&spec, &routing, &pattern, cfg)
+            .unwrap()
+            .run();
+        assert!(stats.drained);
+        assert!(stats.routing.adaptive_decisions > 0);
+        assert_eq!(
+            stats.routing.oracle_probe_fallbacks, 0,
+            "every ring candidate must carry a probe point"
+        );
+    }
+
+    #[test]
+    fn faulty_torus_delivers_uniform() {
+        // Kill the (0,0) -> (1,0) +x cable: c = 1, so dir_port(0,+) = 1.
+        let net = TorusNetwork::new(Torus::new(2, 4, 1))
+            .with_fault_plan(&FaultPlan::Explicit(vec![(0, 1)]))
+            .unwrap();
+        assert!(net.has_faults());
+        assert_eq!(net.failed_links().len(), 1);
+        let spec = net.build_spec();
+        assert!(spec.has_faults());
+        let routing = TorusRouting::new(Arc::new(net));
+        let pattern = UniformRandom::new(16);
+        let stats = Simulation::new(&spec, &routing, &pattern, fast_cfg(0.1))
+            .unwrap()
+            .run();
+        assert!(stats.drained, "faulty torus starved");
+    }
+
+    #[test]
+    fn adaptive_torus_under_faults_stays_minimal_and_drains() {
+        let net = TorusNetwork::new(Torus::new(1, 8, 1))
+            .with_fault_plan(&FaultPlan::random_any(0.1, 3))
+            .unwrap();
+        assert!(net.has_faults());
+        let spec = net.build_spec();
+        let routing = TorusRouting::adaptive(Arc::new(net), UgalVariant::Local);
+        let pattern = UniformRandom::new(8);
+        let stats = Simulation::new(&spec, &routing, &pattern, fast_cfg(0.15))
+            .unwrap()
+            .run();
+        assert!(stats.drained);
+        // Under faults every flit rides the BFS tables: no long-way tags.
+        assert_eq!(stats.routing.non_minimal_takes, 0);
+        assert_eq!(stats.routing.adaptive_decisions, 0);
     }
 
     /// Calls the routing rule without a live simulation view (the torus

@@ -49,6 +49,11 @@ pub struct CandidatePath {
     pub probe_router: u32,
     /// Port of that bottleneck channel on its owning router.
     pub probe_port: u16,
+    /// How many alternative candidates of this class the topology
+    /// discarded because a fault made them unusable (dead first hop or
+    /// dead link further along the path). Surfaced through run
+    /// telemetry as `dropped_candidates`.
+    pub dropped: u32,
 }
 
 impl CandidatePath {
@@ -61,6 +66,7 @@ impl CandidatePath {
             hops,
             probe_router: u32::MAX,
             probe_port: 0,
+            dropped: 0,
         }
     }
 
@@ -69,6 +75,12 @@ impl CandidatePath {
     pub fn with_probe(mut self, router: usize, port: usize) -> Self {
         self.probe_router = router as u32;
         self.probe_port = port as u16;
+        self
+    }
+
+    /// Records `n` fault-discarded alternatives of this class.
+    pub fn with_dropped(mut self, n: u32) -> Self {
+        self.dropped = n;
         self
     }
 
@@ -121,6 +133,14 @@ pub trait CongestionEstimator: fmt::Debug + Send + Sync {
         minimal: &CandidatePath,
         non_minimal: &CandidatePath,
     ) -> (u64, u64);
+
+    /// Whether this estimator reads candidate probe points (and thus
+    /// degrades to a local estimate on candidates without one). The
+    /// chooser counts those degradations so a UGAL-G comparison is never
+    /// *silently* UGAL-L.
+    fn needs_probe(&self) -> bool {
+        false
+    }
 }
 
 /// UGAL-L: total output-queue occupancy of each candidate's first-hop
@@ -267,6 +287,10 @@ impl CongestionEstimator for GlobalOracle {
             self.read(view, router, non_minimal),
         )
     }
+
+    fn needs_probe(&self) -> bool {
+        true
+    }
 }
 
 /// Outcome of one [`UgalChooser::choose`] call.
@@ -282,6 +306,16 @@ pub struct UgalDecision {
     /// [`QueueOccupancy`] baseline on the same candidates — the
     /// decision-quality signal surfaced through run telemetry.
     pub estimator_disagreed: bool,
+    /// Whether a fault forced the outcome: one candidate's first hop was
+    /// a failed link, so the other was taken without comparing queues.
+    pub fault_avoided: bool,
+    /// Fault-discarded alternatives accumulated over both candidates
+    /// (see [`CandidatePath::dropped`]).
+    pub dropped_candidates: u32,
+    /// How many of the candidates lacked a probe point under an
+    /// estimator that [`CongestionEstimator::needs_probe`] — each one a
+    /// silent oracle→local degradation (0, 1 or 2).
+    pub probe_fallbacks: u32,
 }
 
 /// The generic UGAL rule: take the minimal candidate iff
@@ -308,6 +342,14 @@ impl UgalChooser {
     }
 
     /// Applies the UGAL rule to the two candidates at `router`.
+    ///
+    /// When the spec carries faults, a candidate whose first hop is a
+    /// failed link is masked: the surviving candidate wins outright
+    /// (`fault_avoided`), with no queue comparison. Topologies enumerate
+    /// candidates around dead links before calling this, so the mask is
+    /// a backstop; if both first hops are somehow dead it falls through
+    /// to the queue rule (the engine's hop bound, not this chooser, owns
+    /// that pathology).
     pub fn choose(
         &self,
         view: &NetView<'_>,
@@ -315,6 +357,28 @@ impl UgalChooser {
         minimal: &CandidatePath,
         non_minimal: &CandidatePath,
     ) -> UgalDecision {
+        let dropped_candidates = minimal.dropped + non_minimal.dropped;
+        let probe_fallbacks = if self.estimator.needs_probe() {
+            u32::from(!minimal.has_probe()) + u32::from(!non_minimal.has_probe())
+        } else {
+            0
+        };
+        let spec = view.spec();
+        if spec.has_faults() {
+            let m_dead = spec.is_failed(router, minimal.port as usize);
+            let nm_dead = spec.is_failed(router, non_minimal.port as usize);
+            if m_dead != nm_dead {
+                return UgalDecision {
+                    minimal: nm_dead,
+                    q_minimal: 0,
+                    q_non_minimal: 0,
+                    estimator_disagreed: false,
+                    fault_avoided: true,
+                    dropped_candidates: dropped_candidates + 1,
+                    probe_fallbacks,
+                };
+            }
+        }
         let (qm, qnm) = self.estimator.estimate(view, router, minimal, non_minimal);
         let take_minimal = qm * minimal.hops as u64 <= qnm * non_minimal.hops as u64;
         // Decision-quality telemetry: would plain queue occupancy have
@@ -327,6 +391,9 @@ impl UgalChooser {
             q_minimal: qm,
             q_non_minimal: qnm,
             estimator_disagreed: take_minimal != baseline_minimal,
+            fault_avoided: false,
+            dropped_candidates,
+            probe_fallbacks,
         }
     }
 }
@@ -339,9 +406,20 @@ mod tests {
     fn candidate_probe_roundtrip() {
         let c = CandidatePath::new(3, 1, 4);
         assert!(!c.has_probe());
-        let c = c.with_probe(7, 2);
+        assert_eq!(c.dropped, 0);
+        let c = c.with_probe(7, 2).with_dropped(3);
         assert!(c.has_probe());
         assert_eq!((c.probe_router, c.probe_port), (7, 2));
+        assert_eq!(c.dropped, 3);
+    }
+
+    #[test]
+    fn only_the_oracle_needs_probes() {
+        assert!(GlobalOracle.needs_probe());
+        assert!(!QueueOccupancy.needs_probe());
+        assert!(!VcOccupancy.needs_probe());
+        assert!(!VcHybrid.needs_probe());
+        assert!(!CreditCommitted.needs_probe());
     }
 
     #[test]

@@ -28,6 +28,19 @@ pub enum SimError {
         /// The diameter-derived hop bound that was exceeded.
         bound: usize,
     },
+    /// A fault plan is malformed: a fraction out of range, an explicit
+    /// link that does not exist (or is a terminal channel), or a random
+    /// draw over an empty candidate set.
+    InvalidFaultPlan(String),
+    /// Applying a fault plan disconnected a pair of terminals: no alive
+    /// path remains from `src` to `dest`. Raised at fault-application
+    /// time so routing never discovers it as a hang.
+    Unreachable {
+        /// A terminal that lost connectivity.
+        src: usize,
+        /// A terminal it can no longer reach.
+        dest: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -39,6 +52,11 @@ impl fmt::Display for SimError {
             SimError::RouteLoop { src, dest, bound } => write!(
                 f,
                 "route {src} -> {dest} did not eject within {bound} hops: route loop"
+            ),
+            SimError::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+            SimError::Unreachable { src, dest } => write!(
+                f,
+                "fault plan disconnects the network: terminal {src} cannot reach terminal {dest}"
             ),
         }
     }
@@ -62,5 +80,15 @@ mod tests {
         };
         assert!(e.to_string().contains("4 -> 9"));
         assert!(e.to_string().contains("6 hops"));
+    }
+
+    #[test]
+    fn fault_errors_display() {
+        let e = SimError::InvalidFaultPlan("fraction 1.5 out of range".into());
+        assert!(e.to_string().contains("invalid fault plan"));
+        assert!(e.to_string().contains("1.5"));
+        let e = SimError::Unreachable { src: 3, dest: 11 };
+        assert!(e.to_string().contains("terminal 3"));
+        assert!(e.to_string().contains("terminal 11"));
     }
 }

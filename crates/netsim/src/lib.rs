@@ -34,6 +34,7 @@
 mod adaptive;
 mod config;
 mod error;
+mod fault;
 mod flit;
 mod routing;
 mod sim;
@@ -46,6 +47,7 @@ pub use adaptive::{
 };
 pub use config::{CreditMode, InjectionKind, SimConfig, TdEstimator};
 pub use error::SimError;
+pub use fault::{FaultClass, FaultPlan, FaultTable};
 pub use flit::{Flit, RouteClass, RouteInfo};
 pub use routing::{
     trace_path, DecisionRecord, NetView, PortVc, RoutingAlgorithm, ShortestPathRouting, TraceHop,

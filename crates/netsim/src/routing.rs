@@ -153,6 +153,15 @@ pub struct DecisionRecord {
     /// The configured congestion estimator chose differently from the
     /// plain queue-occupancy baseline on the same candidates.
     pub estimator_disagreed: bool,
+    /// A fault forced the outcome: the usual choice (or one of the two
+    /// candidates) was unusable because of a failed link.
+    pub fault_avoided: bool,
+    /// Candidates the topology (or the chooser's mask) discarded because
+    /// a fault made them unusable.
+    pub dropped_candidates: u32,
+    /// Candidates read without a probe point under a probe-needing
+    /// (oracle) estimator — silent UGAL-G → UGAL-L degradations.
+    pub probe_fallbacks: u32,
 }
 
 /// A routing algorithm driving a [`crate::Simulation`].
@@ -310,10 +319,29 @@ impl ShortestPathRouting {
     ///
     /// # Panics
     ///
-    /// Panics if the network is not connected.
+    /// Panics if the network is not connected (over alive links, when
+    /// the spec carries faults); [`ShortestPathRouting::try_new`] is the
+    /// non-panicking form.
     pub fn new(spec: &NetworkSpec) -> Self {
+        match Self::try_new(spec) {
+            Ok(r) => r,
+            Err(SimError::Unreachable { src, dest }) => {
+                panic!("network disconnected: router {src} cannot reach {dest}")
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds tables for `spec` by BFS from every router, skipping
+    /// failed links.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Unreachable`] (router-indexed) if some router cannot
+    /// reach another over the alive links.
+    pub fn try_new(spec: &NetworkSpec) -> Result<Self, SimError> {
         let n = spec.num_routers();
-        // Reverse-BFS from each destination over router links.
+        // Reverse-BFS from each destination over alive router links.
         let mut next_hop = vec![vec![u16::MAX; n]; n];
         for dest in 0..n {
             // BFS from dest; next_hop[r][dest] = port of r on the first
@@ -323,11 +351,14 @@ impl ShortestPathRouting {
             let mut queue = std::collections::VecDeque::from([dest]);
             while let Some(u) = queue.pop_front() {
                 // Look at routers v adjacent to u: v -> u edge means v can
-                // reach dest through u.
-                for (p, port) in spec.routers[u].ports.iter().enumerate() {
-                    let _ = p;
+                // reach dest through u (links are symmetric pairs, so the
+                // reverse edge v -> u is alive iff u's port is).
+                for port in spec.routers[u].ports.iter() {
                     if let Connection::Router { router, port: rp } = port.conn {
                         let v = router as usize;
+                        if spec.is_failed(v, rp as usize) {
+                            continue;
+                        }
                         if dist[v] > dist[u] + 1 {
                             dist[v] = dist[u] + 1;
                             next_hop[v][dest] = rp as u16;
@@ -337,20 +368,19 @@ impl ShortestPathRouting {
                 }
             }
             for (r, row) in next_hop.iter().enumerate() {
-                assert!(
-                    r == dest || row[dest] != u16::MAX,
-                    "network disconnected: router {r} cannot reach {dest}"
-                );
+                if r != dest && row[dest] == u16::MAX {
+                    return Err(SimError::Unreachable { src: r, dest });
+                }
             }
         }
         let eject_port = (0..spec.num_terminals())
             .map(|t| spec.terminal_port(t).1 as u16)
             .collect();
-        ShortestPathRouting {
+        Ok(ShortestPathRouting {
             next_hop,
             eject_port,
             vcs: spec.vcs,
-        }
+        })
     }
 }
 
@@ -450,6 +480,23 @@ mod tests {
         )
         .unwrap();
         ShortestPathRouting::new(&spec);
+    }
+
+    #[test]
+    fn try_new_routes_around_failed_links() {
+        use crate::fault::FaultPlan;
+        use crate::spec::tests::ring_spec;
+        let spec = NetworkSpec::validated(ring_spec(4), 2).unwrap();
+        // Fail the 0 <-> 1 link: router 0 must reach 1 the long way.
+        let faulted = spec
+            .clone()
+            .with_faults(&FaultPlan::Explicit(vec![(0, 1)]))
+            .unwrap();
+        let r = ShortestPathRouting::try_new(&faulted).unwrap();
+        // Port 2 is counter-clockwise (toward router 3).
+        assert_eq!(r.next_hop[0][1], 2);
+        let clean = ShortestPathRouting::try_new(&spec).unwrap();
+        assert_eq!(clean.next_hop[0][1], 1);
     }
 
     #[test]

@@ -940,6 +940,11 @@ impl<'a> Simulation<'a> {
                         self.telemetry.estimator_disagreements += 1;
                     }
                 }
+                if decision.fault_avoided {
+                    self.telemetry.fault_avoided_decisions += 1;
+                }
+                self.telemetry.dropped_candidates += decision.dropped_candidates as u64;
+                self.telemetry.oracle_probe_fallbacks += decision.probe_fallbacks as u64;
             }
             activate(&mut self.active_terms, &mut self.term_active, term);
             if labeled {
@@ -1274,6 +1279,16 @@ mod tests {
         cfg.drain_cap = 2_000;
         let stats = Simulation::new(&spec, &routing, &ToTwo, cfg).unwrap().run();
         assert!(!stats.drained, "two 0.9 sources through one link");
+        // Hitting drain_cap means the sampled packets are the ones that
+        // escaped the backlog: their mean is biased low, so the
+        // aggregate accessor must refuse to report it — even though the
+        // partial population itself is non-empty.
+        assert!(stats.latency.count > 0, "some labelled packets escaped");
+        assert_eq!(
+            stats.avg_latency(),
+            None,
+            "undrained run must not report a biased mean"
+        );
         // Terminals 0 and 1 share the link (~0.5 each) while terminal 2's
         // reverse path is free (0.9): average ~0.63, well below offered.
         assert!(

@@ -1,6 +1,7 @@
 //! Structural description of a simulatable network.
 
 use crate::error::SimError;
+use crate::fault::FaultPlan;
 
 /// The packaging class of a channel, which determines its latency default
 /// and whether the credit-delay mechanism applies to credits crossing it
@@ -70,6 +71,12 @@ pub struct NetworkSpec {
     /// For each terminal `t`, the `(router, port)` it attaches to.
     /// Derived by [`NetworkSpec::validated`].
     terminal_ports: Vec<(u32, u32)>,
+    /// Per-router per-port failure mask; empty when no faults were
+    /// applied. Both directions of a failed cable are marked.
+    failed: Vec<Vec<bool>>,
+    /// Canonical failed cables, as resolved by the applied [`FaultPlan`]
+    /// (lexicographically smaller directed endpoint per cable).
+    failed_links: Vec<(usize, usize)>,
 }
 
 impl NetworkSpec {
@@ -162,7 +169,96 @@ impl NetworkSpec {
             routers,
             vcs,
             terminal_ports,
+            failed: Vec::new(),
+            failed_links: Vec::new(),
         })
+    }
+
+    /// Applies a [`FaultPlan`], failing both directions of every cable
+    /// it resolves to. Faults compose: applying a second plan adds to
+    /// the links already failed.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidFaultPlan`] if the plan is malformed (see
+    /// [`FaultPlan::resolve`]); [`SimError::Unreachable`] if the
+    /// surviving links leave some pair of terminals disconnected —
+    /// degraded networks always deliver, or they are rejected here, so
+    /// routing never hangs on an unreachable destination.
+    pub fn with_faults(mut self, plan: &FaultPlan) -> Result<Self, SimError> {
+        let links = plan.resolve(&self)?;
+        if links.is_empty() {
+            return Ok(self);
+        }
+        if self.failed.is_empty() {
+            self.failed = self
+                .routers
+                .iter()
+                .map(|r| vec![false; r.ports.len()])
+                .collect();
+        }
+        for &(r, p) in &links {
+            self.failed[r][p] = true;
+            if let Connection::Router {
+                router: peer,
+                port: peer_port,
+            } = self.routers[r].ports[p].conn
+            {
+                self.failed[peer as usize][peer_port as usize] = true;
+            }
+            if !self.failed_links.contains(&(r, p)) {
+                self.failed_links.push((r, p));
+            }
+        }
+        self.failed_links.sort_unstable();
+        self.check_connected()?;
+        Ok(self)
+    }
+
+    /// BFS over alive links from the first terminal's router; errors
+    /// with the first disconnected terminal pair found.
+    fn check_connected(&self) -> Result<(), SimError> {
+        let start = self.terminal_router(0);
+        let mut seen = vec![false; self.routers.len()];
+        seen[start] = true;
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(r) = queue.pop_front() {
+            for (p, port) in self.routers[r].ports.iter().enumerate() {
+                if self.is_failed(r, p) {
+                    continue;
+                }
+                if let Connection::Router { router: peer, .. } = port.conn {
+                    let peer = peer as usize;
+                    if !seen[peer] {
+                        seen[peer] = true;
+                        queue.push_back(peer);
+                    }
+                }
+            }
+        }
+        for (t, &(r, _)) in self.terminal_ports.iter().enumerate() {
+            if !seen[r as usize] {
+                return Err(SimError::Unreachable { src: 0, dest: t });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the directed channel out of `(router, port)` is failed.
+    #[inline]
+    pub fn is_failed(&self, router: usize, port: usize) -> bool {
+        !self.failed.is_empty() && self.failed[router][port]
+    }
+
+    /// Whether any fault plan has been applied.
+    #[inline]
+    pub fn has_faults(&self) -> bool {
+        !self.failed_links.is_empty()
+    }
+
+    /// The canonical failed cables (one `(router, port)` endpoint each).
+    pub fn failed_links(&self) -> &[(usize, usize)] {
+        &self.failed_links
     }
 
     /// Number of routers.
@@ -209,8 +305,67 @@ impl NetworkSpec {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
+
+    /// A ring of `n` routers, one terminal each: port 0 terminal,
+    /// port 1 clockwise, port 2 counter-clockwise.
+    pub(crate) fn ring_spec(n: usize) -> Vec<RouterSpec> {
+        (0..n)
+            .map(|r| RouterSpec {
+                ports: vec![
+                    PortSpec {
+                        conn: Connection::Terminal { terminal: r as u32 },
+                        latency: 1,
+                        class: ChannelClass::Terminal,
+                    },
+                    PortSpec {
+                        conn: Connection::Router {
+                            router: ((r + 1) % n) as u32,
+                            port: 2,
+                        },
+                        latency: 1,
+                        class: ChannelClass::Local,
+                    },
+                    PortSpec {
+                        conn: Connection::Router {
+                            router: ((r + n - 1) % n) as u32,
+                            port: 1,
+                        },
+                        latency: 1,
+                        class: ChannelClass::Local,
+                    },
+                ],
+            })
+            .collect()
+    }
+
+    /// A complete graph on `n` routers, one terminal each: port 0
+    /// terminal, port `1 + i` to the i-th other router (in index order).
+    pub(crate) fn full_spec(n: usize) -> Vec<RouterSpec> {
+        let port_to = |r: usize, s: usize| if s < r { 1 + s } else { s };
+        (0..n)
+            .map(|r| {
+                let mut ports = vec![PortSpec {
+                    conn: Connection::Terminal { terminal: r as u32 },
+                    latency: 1,
+                    class: ChannelClass::Terminal,
+                }];
+                for s in (0..n).filter(|&s| s != r) {
+                    ports.push(PortSpec {
+                        conn: Connection::Router {
+                            router: s as u32,
+                            port: port_to(s, r) as u32,
+                        },
+                        latency: 1,
+                        class: ChannelClass::Local,
+                    });
+                }
+                RouterSpec { ports }
+            })
+            .collect()
+    }
 
     /// Two routers joined by one local channel, one terminal each.
     pub(crate) fn tiny_spec() -> Vec<RouterSpec> {
@@ -291,6 +446,62 @@ mod tests {
         routers[1].ports[1].latency = 0;
         let err = NetworkSpec::validated(routers, 2).unwrap_err().to_string();
         assert!(err.contains("latency"), "{err}");
+    }
+
+    #[test]
+    fn fault_application_marks_both_directions() {
+        let spec = NetworkSpec::validated(ring_spec(4), 2).unwrap();
+        assert!(!spec.has_faults());
+        let spec = spec
+            .with_faults(&FaultPlan::Explicit(vec![(1, 2)]))
+            .unwrap();
+        assert!(spec.has_faults());
+        // (1,2) <-> (0,1): canonical endpoint is (0,1).
+        assert_eq!(spec.failed_links(), &[(0, 1)]);
+        assert!(spec.is_failed(0, 1));
+        assert!(spec.is_failed(1, 2));
+        assert!(!spec.is_failed(1, 1));
+        assert!(!spec.is_failed(0, 0));
+    }
+
+    #[test]
+    fn faults_compose_across_applications() {
+        // A complete graph survives two separate cable failures.
+        let spec = NetworkSpec::validated(full_spec(4), 2)
+            .unwrap()
+            .with_faults(&FaultPlan::Explicit(vec![(0, 1)]))
+            .unwrap()
+            .with_faults(&FaultPlan::Explicit(vec![(2, 3)]))
+            .unwrap();
+        assert_eq!(spec.failed_links(), &[(0, 1), (2, 3)]);
+        // A later application that disconnects on top of the earlier
+        // faults is still caught.
+        let spec2 = NetworkSpec::validated(ring_spec(4), 2)
+            .unwrap()
+            .with_faults(&FaultPlan::Explicit(vec![(0, 1)]))
+            .unwrap();
+        let err = spec2
+            .with_faults(&FaultPlan::Explicit(vec![(1, 1)]))
+            .unwrap_err();
+        assert_eq!(err, SimError::Unreachable { src: 0, dest: 1 });
+    }
+
+    #[test]
+    fn disconnecting_plan_surfaces_unreachable() {
+        // Failing both ring links around router 1 isolates terminal 1.
+        let spec = NetworkSpec::validated(ring_spec(4), 2).unwrap();
+        let err = spec
+            .with_faults(&FaultPlan::Explicit(vec![(0, 1), (1, 1)]))
+            .unwrap_err();
+        assert_eq!(err, SimError::Unreachable { src: 0, dest: 1 });
+    }
+
+    #[test]
+    fn none_plan_leaves_spec_unchanged() {
+        let spec = NetworkSpec::validated(ring_spec(4), 2).unwrap();
+        let same = spec.clone().with_faults(&FaultPlan::None).unwrap();
+        assert_eq!(spec, same);
+        assert!(!same.has_faults());
     }
 
     #[test]

@@ -188,6 +188,18 @@ pub struct RouteTelemetry {
     /// Adaptive decisions where the configured estimator chose
     /// differently from the queue-occupancy baseline.
     pub estimator_disagreements: u64,
+    /// Injections where a fault forced the route class: the usual
+    /// choice (or one of the two candidates) was unusable because of a
+    /// failed link, so the surviving alternative was taken without a
+    /// queue comparison.
+    pub fault_avoided_decisions: u64,
+    /// Candidate paths discarded at injection time because a fault made
+    /// them unusable (dead first hop, or a dead link further along).
+    pub dropped_candidates: u64,
+    /// Candidates evaluated without a probe point under a probe-needing
+    /// (oracle) estimator — each one a silent UGAL-G → UGAL-L
+    /// degradation that previous versions did not report.
+    pub oracle_probe_fallbacks: u64,
 }
 
 impl RouteTelemetry {
@@ -247,8 +259,15 @@ pub struct RunStats {
 }
 
 impl RunStats {
-    /// Mean latency of all labelled packets, if any drained.
+    /// Mean latency of all labelled packets — `None` unless the run
+    /// drained. An undrained (saturated, or fault-starved) run has only
+    /// measured the packets that escaped before the cap, so its mean is
+    /// biased low; use [`RunStats::latency`] directly for that partial
+    /// population.
     pub fn avg_latency(&self) -> Option<f64> {
+        if !self.drained {
+            return None;
+        }
         self.latency.mean()
     }
 
@@ -282,9 +301,13 @@ mod tests {
             non_minimal_takes: 1,
             adaptive_decisions: 4,
             estimator_disagreements: 1,
+            ..RouteTelemetry::default()
         };
         assert_eq!(t.minimal_take_rate(), Some(0.75));
         assert_eq!(t.disagreement_rate(), Some(0.25));
+        assert_eq!(t.fault_avoided_decisions, 0);
+        assert_eq!(t.dropped_candidates, 0);
+        assert_eq!(t.oracle_probe_fallbacks, 0);
     }
 
     #[test]

@@ -74,8 +74,11 @@ impl FoldedClos {
     /// Switches in rank `level` (0 = leaves).
     ///
     /// Every rank below the top has `(k/2)^(levels-1)` switches; the top
-    /// rank has half as many because each of its switches points all `k`
-    /// ports downward.
+    /// rank has (roughly) half as many because each of its switches
+    /// points all `k` ports downward. When the count below the top is
+    /// odd (odd `k/2`, e.g. radix 6), the pairing leaves one virtual
+    /// switch over: the last real top switch absorbs a single virtual
+    /// one and uses only `k/2` of its ports.
     ///
     /// # Panics
     ///
@@ -84,7 +87,7 @@ impl FoldedClos {
         assert!(level < self.levels, "level {level} out of range");
         let m = self.half().pow(self.levels as u32 - 1);
         if level + 1 == self.levels {
-            (m / 2).max(1)
+            m.div_ceil(2)
         } else {
             m
         }
@@ -247,5 +250,29 @@ mod tests {
     #[should_panic(expected = "even")]
     fn odd_radix_panics() {
         FoldedClos::new(2, 7);
+    }
+
+    #[test]
+    fn odd_half_radix_six_builds() {
+        // radix 6 → k/2 = 3 is odd: 3 virtual top switches fold into 2
+        // real ones, the last absorbing a single virtual.
+        let c = FoldedClos::new(2, 6);
+        assert_eq!(c.switches_at(0), 3);
+        assert_eq!(c.switches_at(1), 2);
+        assert_eq!(c.num_terminals(), 9);
+        let g = c.router_graph();
+        assert!(g.is_connected());
+        // Real top 0 absorbs virtuals 0 and 1 (one uplink from each leaf
+        // per virtual); real top 1 absorbs only virtual 2.
+        assert_eq!(g.degree(3), 6);
+        assert_eq!(g.degree(4), 3);
+    }
+
+    #[test]
+    fn odd_half_three_levels_stay_connected() {
+        let c = FoldedClos::new(3, 6);
+        assert_eq!(c.switches_at(0), 9);
+        assert_eq!(c.switches_at(2), 5);
+        assert!(c.router_graph().is_connected());
     }
 }
