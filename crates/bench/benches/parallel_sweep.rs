@@ -3,6 +3,7 @@
 //! single-run hot path it is built from.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfly_netsim::TelemetryConfig;
 use dragonfly::{DragonflyParams, DragonflySim, RoutingChoice, RunGrid, TrafficChoice};
 
 /// The grid behind a Figure 8 panel: every routing family member over
@@ -44,7 +45,10 @@ fn sweep_fanout(c: &mut Criterion) {
 fn single_run_hot_path(c: &mut Criterion) {
     // The per-run engine the harness fans out: one UGAL-L run at
     // moderate uniform load (dominated by phases 2-4 of the cycle
-    // loop).
+    // loop). Telemetry is disabled (the default); the companion
+    // benchmark below bounds what enabling it costs — the gap between
+    // this one and its pre-telemetry baseline is the disabled-path
+    // overhead budget (< 3%).
     let sim = DragonflySim::new(DragonflyParams::new(4, 8, 4).unwrap());
     c.bench_function("single_run_ugal_l", |b| {
         b.iter(|| {
@@ -57,5 +61,30 @@ fn single_run_hot_path(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, sweep_fanout, single_run_hot_path);
+fn single_run_telemetry(c: &mut Criterion) {
+    // The same run with channel sampling and the seeded flit tracer
+    // switched on at the cadence perfstat benchmarks.
+    let sim = DragonflySim::new(DragonflyParams::new(4, 8, 4).unwrap());
+    c.bench_function("single_run_ugal_l_telemetry", |b| {
+        b.iter(|| {
+            let mut cfg = sim.config(0.3);
+            cfg.warmup = 50;
+            cfg.measure = 200;
+            cfg.drain_cap = 2_000;
+            cfg.telemetry = TelemetryConfig {
+                sample_every: 256,
+                trace_rate: 0.01,
+                trace_seed: 7,
+            };
+            sim.run(RoutingChoice::UgalL, TrafficChoice::Uniform, cfg)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    sweep_fanout,
+    single_run_hot_path,
+    single_run_telemetry
+);
 criterion_main!(benches);

@@ -8,10 +8,14 @@
 //! count inflates its latency, the Clos needs twice the hops of the
 //! dragonfly, and the butterfly matches the dragonfly only by spending
 //! twice the router ports.
+//!
+//! All four curves are described as [`TopoCurve`]s and fanned out as a
+//! single flat batch of independent runs (see
+//! [`sweep_topology_curves`]), rather than one sweep per topology.
 
 use std::sync::Arc;
 
-use dfly_bench::Windows;
+use dfly_bench::{sweep_topology_curves, TopoCurve, Windows};
 use dfly_netsim::RunStats;
 use dfly_topo::{FlattenedButterfly, FoldedClos, Topology, Torus};
 use dfly_traffic::UniformRandom;
@@ -40,9 +44,9 @@ fn main() {
     let clos = Arc::new(ClosNetwork::new(FoldedClos::new(3, 8))); // 64
     let torus = Arc::new(TorusNetwork::new(Torus::new(3, 4, 1))); // 64
 
-    let fb_spec = fbn.build_spec();
-    let clos_spec = clos.build_spec();
-    let torus_spec = torus.build_spec();
+    let fb_spec = Arc::new(fbn.build_spec());
+    let clos_spec = Arc::new(clos.build_spec());
+    let torus_spec = Arc::new(torus.build_spec());
 
     println!("# Four topologies on one engine (uniform random)");
     println!(
@@ -65,34 +69,47 @@ fn main() {
         torus.topology().radix(),
     );
 
-    println!("\n| load | dragonfly UGAL | butterfly UGAL | Clos up/down | torus DOR |");
-    println!("|---|---|---|---|---|");
     let loads = win.thin(&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]);
     let base = win.config(0.1);
-    // Each curve is one parallel load sweep on the shared engine.
-    let df_curve = df.sweep(
-        RoutingChoice::UgalLVcH,
-        TrafficChoice::Uniform,
-        &loads,
-        &base,
-    );
-    let fb_routing = ButterflyRouting::ugal_local(fbn.clone());
-    let fb_traffic = UniformRandom::new(fb_spec.num_terminals());
-    let fb_curve = fbn.sweep(&fb_routing, &fb_traffic, &loads, &base);
-    let clos_routing = ClosRouting::new(clos.clone());
-    let clos_traffic = UniformRandom::new(clos_spec.num_terminals());
-    let clos_curve = clos.sweep(&clos_routing, &clos_traffic, &loads, &base);
-    let torus_routing = TorusRouting::new(torus.clone());
-    let torus_traffic = UniformRandom::new(torus_spec.num_terminals());
-    let torus_curve = torus.sweep(&torus_routing, &torus_traffic, &loads, &base);
+    // One flat batch: every (topology, load) pair is an independent run.
+    let curves = [
+        TopoCurve {
+            label: "dragonfly UGAL".into(),
+            ..TopoCurve::dragonfly(&df, RoutingChoice::UgalLVcH, TrafficChoice::Uniform)
+        },
+        TopoCurve::new(
+            "butterfly UGAL",
+            Arc::clone(&fb_spec),
+            Arc::new(ButterflyRouting::ugal_local(Arc::clone(&fbn))),
+            Arc::new(UniformRandom::new(fb_spec.num_terminals())),
+        ),
+        TopoCurve::new(
+            "Clos up/down",
+            Arc::clone(&clos_spec),
+            Arc::new(ClosRouting::new(Arc::clone(&clos))),
+            Arc::new(UniformRandom::new(clos_spec.num_terminals())),
+        ),
+        TopoCurve::new(
+            "torus DOR",
+            Arc::clone(&torus_spec),
+            Arc::new(TorusRouting::new(Arc::clone(&torus))),
+            Arc::new(UniformRandom::new(torus_spec.num_terminals())),
+        ),
+    ];
+    let (series, _) = sweep_topology_curves(&curves, &loads, &base, false, false);
+
+    print!("\n| load |");
+    for (label, _) in &series {
+        print!(" {label} |");
+    }
+    println!();
+    println!("|---|{}", "---|".repeat(series.len()));
     for (i, &load) in loads.iter().enumerate() {
-        println!(
-            "| {load:.1} | {} | {} | {} | {} |",
-            cell(&df_curve[i].stats),
-            cell(&fb_curve[i].stats),
-            cell(&clos_curve[i].stats),
-            cell(&torus_curve[i].stats),
-        );
+        print!("| {load:.1} |");
+        for (_, points) in &series {
+            print!(" {} |", cell(&points[i].stats));
+        }
+        println!();
     }
     println!(
         "\nHop counts at 0.1 load: dragonfly/butterfly ~2, Clos ~2x ranks, \

@@ -1,21 +1,63 @@
 //! Engine performance baseline: times a Figure 8-equivalent load sweep
 //! serially and across the worker pool, verifies the results are bit
 //! identical, collects the engine's per-phase counters for one
-//! representative run, and writes everything to
-//! `BENCH_parallel_sweep.json` (run from the repository root).
+//! representative run, measures the telemetry layer (latency
+//! histograms, channel time series, flit tracing, estimator-accuracy
+//! scoreboard) and its overhead, and writes everything to
+//! `BENCH_parallel_sweep.json` plus a full telemetry artifact
+//! `BENCH_telemetry.json` (run from the repository root).
 //!
 //! Knobs: `DFLY_THREADS` bounds the pool, `DFLY_QUICK=1` shortens the
 //! simulation windows.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
-use dfly_bench::Windows;
-use dragonfly::parallel::configured_threads;
-use dragonfly::{FaultSweep, RoutingChoice, RunGrid, TrafficChoice};
+use dfly_bench::{TopoCurve, Windows};
+use dfly_netsim::{CreditMode, InjectionKind, Simulation, TelemetryConfig};
+use dfly_topo::FlattenedButterfly;
+use dfly_traffic::UniformRandom;
+use dragonfly::butterfly::{ButterflyNetwork, ButterflyRouting};
+use dragonfly::parallel::{configured_threads, parallel_map};
+use dragonfly::{
+    DragonflyParams, DragonflySim, FaultSweep, RoutingChoice, RunGrid, TrafficChoice, UgalVariant,
+};
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map_or("null".to_string(), |x| format!("{x:.4}"))
+}
+
+fn fmt_opt_u64(v: Option<u64>) -> String {
+    v.map_or("null".to_string(), |x| x.to_string())
+}
+
+fn median3(mut v: [f64; 3]) -> f64 {
+    v.sort_by(f64::total_cmp);
+    v[1]
+}
+
+/// The five congestion estimators scored against the oracle.
+const ESTIMATORS: [(UgalVariant, &str); 5] = [
+    (UgalVariant::Local, "queue_occupancy"),
+    (UgalVariant::LocalVc, "vc_occupancy"),
+    (UgalVariant::LocalVcHybrid, "vc_hybrid"),
+    (UgalVariant::CreditRoundTrip, "credit_committed"),
+    (UgalVariant::Global, "global_oracle"),
+];
+
+fn routing_for(variant: UgalVariant) -> RoutingChoice {
+    match variant {
+        UgalVariant::Local => RoutingChoice::UgalL,
+        UgalVariant::LocalVc => RoutingChoice::UgalLVc,
+        UgalVariant::LocalVcHybrid => RoutingChoice::UgalLVcH,
+        UgalVariant::CreditRoundTrip => RoutingChoice::UgalLCr,
+        UgalVariant::Global => RoutingChoice::UgalG,
+    }
 }
 
 fn main() {
@@ -49,8 +91,10 @@ fn main() {
     let serial_secs = t0.elapsed().as_secs_f64();
     eprintln!("perfstat: serial sweep {serial_secs:.3}s");
 
+    // The parallel leg also folds every run into one merged metrics
+    // registry (merge order is plan order, independent of threading).
     let t0 = Instant::now();
-    let parallel = grid.execute_on(&sim, threads);
+    let (parallel, registry) = grid.execute_with_metrics_on(&sim, threads);
     let parallel_secs = t0.elapsed().as_secs_f64();
     eprintln!("perfstat: parallel sweep {parallel_secs:.3}s");
 
@@ -91,10 +135,45 @@ fn main() {
             .collect::<Vec<_>>()
     );
 
-    // Single-run hot-path counters at a representative operating point.
-    let mut cfg = win.config(0.3);
-    cfg.seed = 1;
-    let (stats, perf) = sim.run_instrumented(RoutingChoice::UgalL, TrafficChoice::Uniform, cfg);
+    // Single-run hot-path counters at a representative operating
+    // point, interleaved with the telemetry overhead measurement: each
+    // round runs the instrumented engine (the reference), the plain
+    // engine with telemetry left disabled (the default), and the plain
+    // engine with sampling + tracing switched on. Interleaving keeps
+    // the three medians comparable under machine noise; excess of the
+    // disabled median over the reference means telemetry work leaking
+    // into the disabled hot path.
+    let mut single = None;
+    let mut reference_wall = [0.0; 3];
+    let mut disabled_wall = [0.0; 3];
+    let mut enabled_wall = [0.0; 3];
+    for round in 0..3 {
+        let mut cfg = win.config(0.3);
+        cfg.seed = 1;
+        let (stats, perf) = sim.run_instrumented(RoutingChoice::UgalL, TrafficChoice::Uniform, cfg);
+        reference_wall[round] = perf.wall.as_secs_f64();
+        if single.is_none() {
+            single = Some((stats, perf));
+        }
+
+        let mut cfg = win.config(0.3);
+        cfg.seed = 1;
+        let t0 = Instant::now();
+        let _ = sim.run(RoutingChoice::UgalL, TrafficChoice::Uniform, cfg);
+        disabled_wall[round] = t0.elapsed().as_secs_f64();
+
+        let mut cfg = win.config(0.3);
+        cfg.seed = 1;
+        cfg.telemetry = TelemetryConfig {
+            sample_every: 256,
+            trace_rate: 0.01,
+            trace_seed: 7,
+        };
+        let t0 = Instant::now();
+        let _ = sim.run(RoutingChoice::UgalL, TrafficChoice::Uniform, cfg);
+        enabled_wall[round] = t0.elapsed().as_secs_f64();
+    }
+    let (stats, perf) = single.expect("three rounds ran");
     eprintln!(
         "perfstat: single run {} cycles in {:.3}s ({:.0} cycles/s, {:.0} flit-hops/s)",
         perf.cycles,
@@ -102,6 +181,122 @@ fn main() {
         perf.cycles_per_sec(),
         perf.flit_hops_per_sec()
     );
+    let reference_secs = median3(reference_wall);
+    let disabled_secs = median3(disabled_wall);
+    let enabled_secs = median3(enabled_wall);
+    let disabled_over_reference = disabled_secs / reference_secs.max(1e-12);
+    let enabled_over_disabled = enabled_secs / disabled_secs.max(1e-12);
+    eprintln!(
+        "perfstat: telemetry off {disabled_secs:.3}s ({disabled_over_reference:.3}x reference \
+         {reference_secs:.3}s), on {enabled_secs:.3}s ({enabled_over_disabled:.3}x off)"
+    );
+
+    // A fully instrumented small run: channel time series sampled every
+    // 32 cycles and a 5% seeded flit trace, exported in full to
+    // BENCH_telemetry.json.
+    let df_small = DragonflySim::new(DragonflyParams::new(2, 4, 2).expect("valid params"));
+    let sample_every = 32u64;
+    let trace_rate = 0.05f64;
+    let trace_seed = 7u64;
+    let mut tcfg = win.config(0.3);
+    tcfg.seed = 1;
+    tcfg.telemetry = TelemetryConfig {
+        sample_every,
+        trace_rate,
+        trace_seed,
+    };
+    let t0 = Instant::now();
+    let tstats = df_small.run(RoutingChoice::UgalL, TrafficChoice::Uniform, tcfg);
+    let telemetry_secs = t0.elapsed().as_secs_f64();
+    let series = tstats.series.as_ref().expect("sampling was enabled");
+    let trace = tstats.trace.as_ref().expect("tracing was enabled");
+    let mut ranked: Vec<usize> = (0..series.channels.len()).collect();
+    ranked.sort_by(|&a, &b| {
+        let (ca, cb) = (&series.channels[a], &series.channels[b]);
+        cb.peak_occupancy()
+            .cmp(&ca.peak_occupancy())
+            .then(ca.router.cmp(&cb.router))
+            .then(ca.port.cmp(&cb.port))
+    });
+    eprintln!(
+        "perfstat: telemetry run {} ticks x {} channels, {} trace events, p50/p95/p99/max = {}/{}/{}/{}",
+        series.ticks.len(),
+        series.channels.len(),
+        trace.events.len(),
+        fmt_opt_u64(tstats.p50_latency()),
+        fmt_opt_u64(tstats.p95_latency()),
+        fmt_opt_u64(tstats.p99_latency()),
+        fmt_opt_u64(tstats.max_latency()),
+    );
+
+    // Estimator-accuracy scoreboard: every congestion estimator scored
+    // against the oracle queue depth at each UGAL decision, on the
+    // dragonfly and the flattened butterfly, under bursty Markov
+    // on/off injection.
+    let acc_injection = InjectionKind::MarkovOnOff {
+        rate: 0.2,
+        burst_len: 8.0,
+        duty: 0.5,
+    };
+    let fbn = Arc::new(ButterflyNetwork::new(FlattenedButterfly::new(2, 6, 2)));
+    let fb_spec = Arc::new(fbn.build_spec());
+    let mut acc_curves = Vec::new();
+    for (variant, est) in ESTIMATORS {
+        acc_curves.push(TopoCurve {
+            label: format!("dragonfly/{est}"),
+            ..TopoCurve::dragonfly(&df_small, routing_for(variant), TrafficChoice::Uniform)
+        });
+    }
+    for (variant, est) in ESTIMATORS {
+        acc_curves.push(TopoCurve {
+            label: format!("butterfly/{est}"),
+            round_trip_credits: variant == UgalVariant::CreditRoundTrip,
+            ..TopoCurve::new(
+                "",
+                Arc::clone(&fb_spec),
+                Arc::new(ButterflyRouting::ugal(Arc::clone(&fbn), variant)),
+                Arc::new(UniformRandom::new(fb_spec.num_terminals())),
+            )
+        });
+    }
+    let t0 = Instant::now();
+    let boards = parallel_map(&acc_curves, |tc| {
+        let mut cfg = win.config(0.2);
+        cfg.seed = 1;
+        cfg.injection = acc_injection;
+        if tc.round_trip_credits && cfg.credit_mode == CreditMode::Conventional {
+            cfg.credit_mode = CreditMode::round_trip();
+        }
+        Simulation::new(&tc.spec, tc.routing.as_ref(), tc.pattern.as_ref(), cfg)
+            .expect("estimator-accuracy run must be valid")
+            .finish()
+            .scoreboard
+    });
+    let acc_secs = t0.elapsed().as_secs_f64();
+    for (tc, board) in acc_curves.iter().zip(&boards) {
+        assert!(board.scored > 0, "{}: no scored decisions", tc.label);
+        if tc.label.ends_with("global_oracle") {
+            // The oracle estimator scored against itself is exact.
+            assert_eq!(
+                board.mean_abs_error(),
+                Some(0.0),
+                "{}: oracle must have zero error",
+                tc.label
+            );
+        }
+    }
+    eprintln!(
+        "perfstat: estimator accuracy {acc_secs:.3}s over {} runs",
+        boards.len()
+    );
+    for (tc, board) in acc_curves.iter().zip(&boards) {
+        eprintln!(
+            "perfstat:   {:28} abs_err {} disagree {}",
+            tc.label,
+            fmt_opt(board.mean_abs_error()),
+            fmt_opt(board.disagreement_rate()),
+        );
+    }
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -183,6 +378,106 @@ fn main() {
     }
     json.push_str("}\n");
     json.push_str("  },\n");
+
+    json.push_str("  \"telemetry\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"network\": \"dragonfly p=2 a=4 h=2 (72 terminals)\","
+    );
+    let _ = writeln!(
+        json,
+        "    \"routing\": \"{}\",",
+        json_escape(RoutingChoice::UgalL.label())
+    );
+    let _ = writeln!(json, "    \"traffic\": \"uniform\",");
+    let _ = writeln!(json, "    \"load\": 0.3,");
+    let _ = writeln!(json, "    \"sample_every\": {sample_every},");
+    let _ = writeln!(json, "    \"trace_rate\": {trace_rate},");
+    let _ = writeln!(json, "    \"trace_seed\": {trace_seed},");
+    let _ = writeln!(json, "    \"secs\": {telemetry_secs:.6},");
+    let _ = writeln!(
+        json,
+        "    \"latency\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}, \"histogram\": {}}},",
+        fmt_opt_u64(tstats.p50_latency()),
+        fmt_opt_u64(tstats.p95_latency()),
+        fmt_opt_u64(tstats.p99_latency()),
+        fmt_opt_u64(tstats.max_latency()),
+        tstats.latency_log.to_json(),
+    );
+    let _ = writeln!(json, "    \"series_ticks\": {},", series.ticks.len());
+    let _ = writeln!(json, "    \"series_channels\": {},", series.channels.len());
+    // Top channels by peak occupancy; the full per-channel series lives
+    // in BENCH_telemetry.json.
+    json.push_str("    \"top_channels\": [");
+    for (i, &ch) in ranked.iter().take(5).enumerate() {
+        let c = &series.channels[ch];
+        if i > 0 {
+            json.push_str(", ");
+        }
+        let _ = write!(
+            json,
+            "{{\"router\": {}, \"port\": {}, \"class\": \"{:?}\", \
+             \"peak_occupancy\": {}, \"mean_utilization\": {:.4}}}",
+            c.router,
+            c.port,
+            c.class,
+            c.peak_occupancy(),
+            c.mean_utilization(series.every),
+        );
+    }
+    json.push_str("],\n");
+    let _ = writeln!(json, "    \"trace_events\": {},", trace.events.len());
+    let _ = writeln!(json, "    \"sweep_registry\": {}", registry.to_json());
+    json.push_str("  },\n");
+
+    json.push_str("  \"estimator_accuracy\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"injection\": {{\"kind\": \"markov_on_off\", \"rate\": 0.2, \"burst_len\": 8.0, \"duty\": 0.5}},"
+    );
+    let _ = writeln!(json, "    \"traffic\": \"uniform\",");
+    let _ = writeln!(json, "    \"load\": 0.2,");
+    let _ = writeln!(json, "    \"secs\": {acc_secs:.6},");
+    json.push_str("    \"estimators\": [\n");
+    for (i, (tc, board)) in acc_curves.iter().zip(&boards).enumerate() {
+        let (topo, est) = tc.label.split_once('/').expect("label is topo/estimator");
+        let _ = write!(
+            json,
+            "      {{\"topology\": \"{}\", \"estimator\": \"{}\", \"decisions\": {}, \
+             \"scored\": {}, \"mean_estimate\": {}, \"mean_oracle\": {}, \
+             \"mean_abs_error\": {}, \"disagreement_rate\": {}}}",
+            json_escape(topo),
+            json_escape(est),
+            board.decisions,
+            board.scored,
+            fmt_opt(board.mean_estimate()),
+            fmt_opt(board.mean_oracle()),
+            fmt_opt(board.mean_abs_error()),
+            fmt_opt(board.disagreement_rate()),
+        );
+        json.push_str(if i + 1 < acc_curves.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ]\n");
+    json.push_str("  },\n");
+
+    json.push_str("  \"telemetry_overhead\": {\n");
+    let _ = writeln!(json, "    \"reference_secs\": {reference_secs:.6},");
+    let _ = writeln!(json, "    \"disabled_secs\": {disabled_secs:.6},");
+    let _ = writeln!(json, "    \"enabled_secs\": {enabled_secs:.6},");
+    let _ = writeln!(
+        json,
+        "    \"disabled_over_reference\": {disabled_over_reference:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"enabled_over_disabled\": {enabled_over_disabled:.4}"
+    );
+    json.push_str("  },\n");
+
     json.push_str("  \"fault_sweep\": {\n");
     let _ = writeln!(
         json,
@@ -214,5 +509,59 @@ fn main() {
     let path = "BENCH_parallel_sweep.json";
     std::fs::write(path, &json).expect("write baseline JSON");
     eprintln!("perfstat: wrote {path}");
+
+    // The full telemetry artifact: complete latency histogram, every
+    // channel's time series, the chrome-trace flit events and the full
+    // scoreboard of the sampled small run, plus the estimator table.
+    let mut tj = String::new();
+    tj.push_str("{\n");
+    let _ = writeln!(tj, "  \"benchmark\": \"telemetry\",");
+    let _ = writeln!(
+        tj,
+        "  \"network\": \"dragonfly p=2 a=4 h=2 (72 terminals)\","
+    );
+    let _ = writeln!(
+        tj,
+        "  \"routing\": \"{}\",",
+        json_escape(RoutingChoice::UgalL.label())
+    );
+    let _ = writeln!(tj, "  \"traffic\": \"uniform\",");
+    let _ = writeln!(tj, "  \"load\": 0.3,");
+    let _ = writeln!(
+        tj,
+        "  \"windows\": {{\"warmup\": {}, \"measure\": {}, \"drain_cap\": {}}},",
+        win.warmup, win.measure, win.drain_cap
+    );
+    let _ = writeln!(tj, "  \"sample_every\": {sample_every},");
+    let _ = writeln!(tj, "  \"trace_rate\": {trace_rate},");
+    let _ = writeln!(tj, "  \"trace_seed\": {trace_seed},");
+    let _ = writeln!(
+        tj,
+        "  \"latency_histogram\": {},",
+        tstats.latency_log.to_json()
+    );
+    let _ = writeln!(tj, "  \"scoreboard\": {},", tstats.scoreboard.to_json());
+    let _ = writeln!(tj, "  \"series\": {},", series.to_json());
+    let _ = writeln!(tj, "  \"chrome_trace\": {},", trace.to_chrome_json());
+    tj.push_str("  \"estimator_accuracy\": [\n");
+    for (i, (tc, board)) in acc_curves.iter().zip(&boards).enumerate() {
+        let _ = write!(
+            tj,
+            "    {{\"label\": \"{}\", \"scoreboard\": {}}}",
+            json_escape(&tc.label),
+            board.to_json()
+        );
+        tj.push_str(if i + 1 < acc_curves.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    tj.push_str("  ]\n");
+    tj.push_str("}\n");
+    let tpath = "BENCH_telemetry.json";
+    std::fs::write(tpath, &tj).expect("write telemetry JSON");
+    eprintln!("perfstat: wrote {tpath}");
+
     print!("{json}");
 }

@@ -7,7 +7,13 @@
 //! set. Set `DFLY_QUICK=1` to use shorter simulation windows and coarser
 //! sweeps while iterating.
 
-use dfly_netsim::{RunStats, SimConfig};
+use std::sync::Arc;
+
+use dfly_netsim::{
+    CreditMode, InjectionKind, NetworkSpec, RoutingAlgorithm, RunStats, SimConfig, Simulation,
+};
+use dfly_traffic::TrafficPattern;
+use dragonfly::parallel::parallel_map;
 use dragonfly::{DragonflyParams, DragonflySim, RoutingChoice, RunGrid, RunPlan, TrafficChoice};
 
 pub mod figures;
@@ -214,6 +220,145 @@ pub fn sweep_curves(
     (series, caps)
 }
 
+/// One latency-load curve on an arbitrary wired network: the spec plus
+/// the routing algorithm and traffic pattern driving it.
+///
+/// This is the cross-topology counterpart of [`CurveSpec`] (which is
+/// dragonfly-only): the flattened-butterfly, folded-Clos and torus
+/// baselines describe their sweeps with it so all curves — dragonfly
+/// included — fan out as one flat batch of independent runs.
+pub struct TopoCurve {
+    /// Column label.
+    pub label: String,
+    /// The wired network.
+    pub spec: Arc<NetworkSpec>,
+    /// Routing algorithm under test.
+    pub routing: Arc<dyn RoutingAlgorithm + Send + Sync>,
+    /// Offered traffic pattern.
+    pub pattern: Arc<dyn TrafficPattern + Send + Sync>,
+    /// Switch runs to round-trip credit accounting (required by
+    /// routings that meter credit round-trip latency, e.g. UGAL-L_CR).
+    pub round_trip_credits: bool,
+}
+
+impl std::fmt::Debug for TopoCurve {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TopoCurve")
+            .field("label", &self.label)
+            .field("routing", &self.routing.name())
+            .field("pattern", &self.pattern.name())
+            .field("round_trip_credits", &self.round_trip_credits)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TopoCurve {
+    /// A curve for `routing` under `pattern` on `spec`.
+    pub fn new(
+        label: impl Into<String>,
+        spec: Arc<NetworkSpec>,
+        routing: Arc<dyn RoutingAlgorithm + Send + Sync>,
+        pattern: Arc<dyn TrafficPattern + Send + Sync>,
+    ) -> Self {
+        TopoCurve {
+            label: label.into(),
+            spec,
+            routing,
+            pattern,
+            round_trip_credits: false,
+        }
+    }
+
+    /// A dragonfly curve through the same generic path as the baseline
+    /// topologies, labelled with the routing's paper label.
+    pub fn dragonfly(sim: &DragonflySim, choice: RoutingChoice, traffic: TrafficChoice) -> Self {
+        TopoCurve {
+            label: choice.label().to_string(),
+            spec: Arc::new(sim.spec().clone()),
+            routing: Arc::from(choice.build(sim.shared_dragonfly())),
+            pattern: Arc::from(traffic.build(sim.dragonfly().params())),
+            round_trip_credits: choice.needs_round_trip_credits(),
+        }
+    }
+}
+
+/// Computes latency-load curves across heterogeneous topologies as one
+/// flat batch of independent runs fanned out across the worker pool.
+///
+/// Every `(curve, load)` pair becomes one run of `base` with Bernoulli
+/// injection at that load (plus, when `saturation` is set, one
+/// drain-capped run at load 1.0 per curve for its saturation
+/// throughput). When `truncate` is set each curve is cut one point past
+/// its first saturated load, exactly like [`sweep_curves`]; otherwise
+/// every requested load is reported (cross-topology tables print `sat`
+/// cells instead of ending the row). Results are bit-identical to a
+/// serial sweep regardless of thread count.
+pub fn sweep_topology_curves(
+    curves: &[TopoCurve],
+    loads: &[f64],
+    base: &SimConfig,
+    truncate: bool,
+    saturation: bool,
+) -> (Vec<Curve>, Vec<Throughput>) {
+    struct Job {
+        curve: usize,
+        load: f64,
+        cap: bool,
+    }
+    let mut jobs = Vec::new();
+    for curve in 0..curves.len() {
+        for &load in loads {
+            jobs.push(Job {
+                curve,
+                load,
+                cap: false,
+            });
+        }
+        if saturation {
+            jobs.push(Job {
+                curve,
+                load: 1.0,
+                cap: true,
+            });
+        }
+    }
+    let stats = parallel_map(&jobs, |job| {
+        let tc = &curves[job.curve];
+        let mut cfg = base.clone();
+        cfg.injection = InjectionKind::Bernoulli { rate: job.load };
+        if job.cap {
+            // Don't wait for a futile drain at full load.
+            cfg.drain_cap = 0;
+        }
+        if tc.round_trip_credits && cfg.credit_mode == CreditMode::Conventional {
+            cfg.credit_mode = CreditMode::round_trip();
+        }
+        Simulation::new(&tc.spec, tc.routing.as_ref(), tc.pattern.as_ref(), cfg)
+            .expect("topology sweep configuration must be valid")
+            .finish()
+    });
+    let mut results = stats.into_iter();
+    let mut series = Vec::with_capacity(curves.len());
+    let mut caps = Vec::new();
+    for curve in curves {
+        let mut points = Vec::new();
+        let mut saturated = false;
+        for &load in loads {
+            let stats = results.next().expect("one result per job");
+            if !(truncate && saturated) {
+                saturated = !stats.drained;
+                points.push(SweepPoint { load, stats });
+            }
+        }
+        series.push((curve.label.clone(), points));
+        if saturation {
+            let stats = results.next().expect("one result per job");
+            caps.push((curve.label.clone(), stats.accepted_rate));
+        }
+    }
+    (series, caps)
+}
+
 /// Measures accepted throughput at an offered load of 1.0 (saturation
 /// throughput).
 pub fn saturation_throughput(
@@ -249,6 +394,30 @@ mod tests {
         assert_eq!(w.thin(&[0.1, 0.2, 0.3, 0.4]), vec![0.1, 0.3, 0.4]);
         let w1 = Windows::full();
         assert_eq!(w1.thin(&[0.1, 0.2]), vec![0.1, 0.2]);
+    }
+
+    #[test]
+    fn topology_curves_match_dragonfly_sweep() {
+        let sim = DragonflySim::new(DragonflyParams::new(2, 4, 2).unwrap());
+        let win = Windows {
+            warmup: 100,
+            measure: 200,
+            drain_cap: 1_000,
+            stride: 1,
+        };
+        let loads = [0.1, 0.3];
+        let base = win.config(0.1);
+        let curve = TopoCurve::dragonfly(&sim, RoutingChoice::UgalL, TrafficChoice::Uniform);
+        let (curves, caps) = sweep_topology_curves(&[curve], &loads, &base, false, true);
+        let by_grid = sim.sweep(RoutingChoice::UgalL, TrafficChoice::Uniform, &loads, &base);
+        assert_eq!(curves.len(), 1);
+        assert_eq!(curves[0].0, "UGAL-L");
+        assert_eq!(curves[0].1.len(), loads.len());
+        assert!(caps[0].1 > 0.0);
+        for (p, lp) in curves[0].1.iter().zip(&by_grid) {
+            assert_eq!(p.load, lp.load);
+            assert_eq!(p.stats, lp.stats);
+        }
     }
 
     #[test]

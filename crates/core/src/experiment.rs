@@ -64,7 +64,11 @@ impl RoutingChoice {
         matches!(self, RoutingChoice::UgalLCr)
     }
 
-    fn build(&self, df: Arc<Dragonfly>) -> Box<dyn RoutingAlgorithm> {
+    /// Builds the routing algorithm for `df`. Public so generic
+    /// cross-topology harnesses (e.g. the bench crate's curve sweeps)
+    /// can drive dragonfly choices through the same code path as the
+    /// baseline topologies.
+    pub fn build(&self, df: Arc<Dragonfly>) -> Box<dyn RoutingAlgorithm + Send + Sync> {
         match self {
             RoutingChoice::Min => Box::new(MinimalRouting::new(df)),
             RoutingChoice::Valiant => Box::new(ValiantRouting::new(df)),
@@ -107,7 +111,7 @@ impl TrafficChoice {
     }
 
     /// Builds the pattern for a dragonfly of the given parameters.
-    pub fn build(&self, params: &DragonflyParams) -> Box<dyn TrafficPattern> {
+    pub fn build(&self, params: &DragonflyParams) -> Box<dyn TrafficPattern + Send + Sync> {
         let n = params.num_terminals();
         let group = params.routers_per_group() * params.terminals_per_router();
         match *self {
@@ -195,6 +199,13 @@ impl DragonflySim {
     /// The underlying dragonfly.
     pub fn dragonfly(&self) -> &Dragonfly {
         &self.df
+    }
+
+    /// A shared handle on the underlying dragonfly, for building
+    /// routing algorithms outside the harness (see
+    /// [`RoutingChoice::build`]).
+    pub fn shared_dragonfly(&self) -> Arc<Dragonfly> {
+        Arc::clone(&self.df)
     }
 
     /// The wired network description.

@@ -14,8 +14,8 @@
 //! parallelism. `DFLY_THREADS=1` forces serial execution.
 
 use dfly_netsim::{
-    FaultClass, FaultPlan, InjectionKind, NetworkSpec, RoutingAlgorithm, RunStats, SimConfig,
-    SimError, Simulation,
+    FaultClass, FaultPlan, InjectionKind, MetricsRegistry, NetworkSpec, RoutingAlgorithm, RunStats,
+    SimConfig, SimError, Simulation,
 };
 use dfly_traffic::TrafficPattern;
 use rayon::prelude::*;
@@ -220,6 +220,78 @@ impl RunGrid {
     pub fn execute_serial(&self, sim: &DragonflySim) -> Vec<RunStats> {
         self.execute_on(sim, 1)
     }
+
+    /// Like [`RunGrid::execute`], but additionally builds a merged
+    /// [`MetricsRegistry`] over the whole grid: each worker absorbs its
+    /// own runs into a private registry and the per-worker registries
+    /// are folded in plan order, so the merged registry (and its JSON)
+    /// is bit-identical to a serial execution's.
+    pub fn execute_with_metrics(&self, sim: &DragonflySim) -> (Vec<RunStats>, MetricsRegistry) {
+        self.execute_with_metrics_on(sim, configured_threads())
+    }
+
+    /// [`RunGrid::execute_with_metrics`] with an explicit thread bound.
+    pub fn execute_with_metrics_on(
+        &self,
+        sim: &DragonflySim,
+        threads: usize,
+    ) -> (Vec<RunStats>, MetricsRegistry) {
+        let per_run = parallel_map_on(&self.plans, threads, |plan| {
+            let stats = sim.run(plan.routing, plan.traffic, plan.cfg.clone());
+            let mut registry = MetricsRegistry::new();
+            absorb_run(&mut registry, plan, &stats);
+            (stats, registry)
+        });
+        let mut all = Vec::with_capacity(per_run.len());
+        let mut merged = MetricsRegistry::new();
+        for (stats, registry) in per_run {
+            merged.merge(&registry);
+            all.push(stats);
+        }
+        (all, merged)
+    }
+}
+
+/// Folds one run's statistics into a registry under the standard
+/// counter/histogram names (`runs`, `drained_runs`, `labeled_packets`,
+/// the routing-decision counters, and the `packet_latency` /
+/// `scoreboard_abs_error` histograms).
+fn absorb_run(registry: &mut MetricsRegistry, plan: &RunPlan, stats: &RunStats) {
+    registry.inc("runs", 1);
+    registry.inc("drained_runs", u64::from(stats.drained));
+    registry.inc("labeled_packets", stats.latency.count);
+    registry.inc("cycles", stats.cycles);
+    registry.inc("minimal_takes", stats.routing.minimal_takes);
+    registry.inc("non_minimal_takes", stats.routing.non_minimal_takes);
+    registry.inc("adaptive_decisions", stats.routing.adaptive_decisions);
+    registry.inc(
+        "estimator_disagreements",
+        stats.routing.estimator_disagreements,
+    );
+    registry.inc(
+        "fault_avoided_decisions",
+        stats.routing.fault_avoided_decisions,
+    );
+    registry.inc("dropped_candidates", stats.routing.dropped_candidates);
+    registry.inc(
+        "oracle_probe_fallbacks",
+        stats.routing.oracle_probe_fallbacks,
+    );
+    registry.inc("scoreboard_decisions", stats.scoreboard.decisions);
+    registry.inc(
+        "scoreboard_oracle_disagreements",
+        stats.scoreboard.oracle_disagreements,
+    );
+    registry
+        .histogram_mut("packet_latency")
+        .merge(&stats.latency_log);
+    registry
+        .histogram_mut("scoreboard_abs_error")
+        .merge(&stats.scoreboard.abs_error);
+    // Per-routing-choice latency breakdown, keyed by the plan's label.
+    registry
+        .histogram_mut(&format!("latency/{}", plan.routing.label()))
+        .merge(&stats.latency_log);
 }
 
 /// One point of a fault-degradation curve: the network with a seeded
@@ -420,6 +492,31 @@ mod tests {
         let parallel = grid.execute_on(&sim, 4);
         assert_eq!(serial.len(), grid.len());
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn merged_metrics_match_serial_byte_for_byte() {
+        let sim = tiny();
+        let base = fast_cfg(&sim, 0.0);
+        let grid = RunGrid::cross(
+            &[RoutingChoice::Min, RoutingChoice::UgalL],
+            &[TrafficChoice::Uniform],
+            &[0.1, 0.2],
+            &base,
+        );
+        let (serial_stats, serial_reg) = grid.execute_with_metrics_on(&sim, 1);
+        let (par_stats, par_reg) = grid.execute_with_metrics_on(&sim, 4);
+        assert_eq!(serial_stats, par_stats);
+        assert_eq!(serial_reg, par_reg);
+        assert_eq!(serial_reg.to_json(), par_reg.to_json());
+        assert_eq!(serial_reg.counters["runs"], 4);
+        assert_eq!(
+            serial_reg.histograms["packet_latency"].count,
+            serial_stats.iter().map(|s| s.latency.count).sum::<u64>()
+        );
+        // UGAL-L runs contribute scoreboard decisions; MIN runs none.
+        assert!(serial_reg.counters["scoreboard_decisions"] > 0);
+        assert!(serial_reg.histograms.contains_key("latency/UGAL-L"));
     }
 
     #[test]

@@ -596,6 +596,10 @@ impl RoutingAlgorithm for UgalRouting {
             fault_avoided: decision.fault_avoided,
             dropped_candidates: decision.dropped_candidates,
             probe_fallbacks: decision.probe_fallbacks,
+            q_chosen: decision.q_chosen(),
+            oracle_chosen: decision.oracle_chosen(),
+            oracle_disagreed: decision.oracle_disagreed,
+            oracle_scored: decision.oracle_scored,
         };
         if decision.minimal {
             let route = RouteInfo::minimal().with_salt(salt).with_injection_vc(1);

@@ -316,6 +316,38 @@ pub struct UgalDecision {
     /// estimator that [`CongestionEstimator::needs_probe`] — each one a
     /// silent oracle→local degradation (0, 1 or 2).
     pub probe_fallbacks: u32,
+    /// The oracle's ground-truth reading for the minimal candidate
+    /// (bottleneck-channel occupancy, local first hop when probe-less).
+    pub oracle_minimal: u64,
+    /// The oracle's ground-truth reading for the non-minimal candidate.
+    pub oracle_non_minimal: u64,
+    /// Whether the UGAL rule evaluated over the oracle readings would
+    /// have picked the other path — the estimator-accuracy scoreboard's
+    /// disagreement signal.
+    pub oracle_disagreed: bool,
+    /// Whether oracle readings were taken; `false` on fault-masked
+    /// shortcuts, which never reach the queue comparison.
+    pub oracle_scored: bool,
+}
+
+impl UgalDecision {
+    /// The estimator's reading for the candidate that was chosen.
+    pub fn q_chosen(&self) -> u64 {
+        if self.minimal {
+            self.q_minimal
+        } else {
+            self.q_non_minimal
+        }
+    }
+
+    /// The oracle's reading for the candidate that was chosen.
+    pub fn oracle_chosen(&self) -> u64 {
+        if self.minimal {
+            self.oracle_minimal
+        } else {
+            self.oracle_non_minimal
+        }
+    }
 }
 
 /// The generic UGAL rule: take the minimal candidate iff
@@ -376,6 +408,10 @@ impl UgalChooser {
                     fault_avoided: true,
                     dropped_candidates: dropped_candidates + 1,
                     probe_fallbacks,
+                    oracle_minimal: 0,
+                    oracle_non_minimal: 0,
+                    oracle_disagreed: false,
+                    oracle_scored: false,
                 };
             }
         }
@@ -386,6 +422,10 @@ impl UgalChooser {
         // cannot perturb determinism.)
         let (bm, bnm) = QueueOccupancy.estimate(view, router, minimal, non_minimal);
         let baseline_minimal = bm * minimal.hops as u64 <= bnm * non_minimal.hops as u64;
+        // Estimator-accuracy scoreboard: the oracle's ground-truth view
+        // of the same candidates (same no-RNG argument as above).
+        let (om, onm) = GlobalOracle.estimate(view, router, minimal, non_minimal);
+        let oracle_minimal_take = om * minimal.hops as u64 <= onm * non_minimal.hops as u64;
         UgalDecision {
             minimal: take_minimal,
             q_minimal: qm,
@@ -394,6 +434,10 @@ impl UgalChooser {
             fault_avoided: false,
             dropped_candidates,
             probe_fallbacks,
+            oracle_minimal: om,
+            oracle_non_minimal: onm,
+            oracle_disagreed: take_minimal != oracle_minimal_take,
+            oracle_scored: true,
         }
     }
 }

@@ -20,6 +20,22 @@ pub enum InjectionKind {
         /// Mean burst length in cycles (>= 1).
         burst_len: f64,
     },
+    /// Two-state Markov on/off injection with an explicit duty cycle:
+    /// the terminal alternates geometric on-bursts of mean length
+    /// `burst_len` with geometric off-gaps sized so the on-state holds
+    /// `duty` of the time. During a burst it injects at `rate / duty`,
+    /// so the long-run average rate is `rate` — the same offered load
+    /// as Bernoulli, concentrated into transients that stress the
+    /// congestion estimators.
+    MarkovOnOff {
+        /// Long-run average injection rate; must satisfy `rate <= duty`
+        /// so the in-burst rate stays at or below one flit per cycle.
+        rate: f64,
+        /// Mean burst length in cycles (>= 1).
+        burst_len: f64,
+        /// Fraction of time spent in the on state, in `(0, 1]`.
+        duty: f64,
+    },
 }
 
 impl InjectionKind {
@@ -28,7 +44,42 @@ impl InjectionKind {
         match *self {
             InjectionKind::Bernoulli { rate } => rate,
             InjectionKind::OnOff { rate, .. } => rate,
+            InjectionKind::MarkovOnOff { rate, .. } => rate,
         }
+    }
+}
+
+/// Telemetry collection knobs. The default disables every optional
+/// collector, leaving only the always-on (O(1)-per-packet) latency
+/// histogram and estimator scoreboard.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryConfig {
+    /// Channel time-series sampling cadence in cycles across warmup,
+    /// measurement, and drain; 0 disables sampling.
+    pub sample_every: u64,
+    /// Fraction of packets the flit tracer follows, in `[0, 1]`;
+    /// 0 disables tracing.
+    pub trace_rate: f64,
+    /// Tracer packet-selection seed. Independent of the run seed so
+    /// tracing the same run twice picks identical packets.
+    pub trace_seed: u64,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            sample_every: 0,
+            trace_rate: 0.0,
+            trace_seed: 0,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Whether any optional collector is enabled.
+    pub fn any_enabled(&self) -> bool {
+        self.sample_every > 0 || self.trace_rate > 0.0
     }
 }
 
@@ -103,6 +154,8 @@ pub struct SimConfig {
     pub seed: u64,
     /// Credit flow-control mode.
     pub credit_mode: CreditMode,
+    /// Telemetry collection knobs (sampling cadence, flit tracer).
+    pub telemetry: TelemetryConfig,
 }
 
 impl SimConfig {
@@ -119,6 +172,7 @@ impl SimConfig {
             drain_cap: 100_000,
             seed: 1,
             credit_mode: CreditMode::Conventional,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -140,6 +194,12 @@ impl SimConfig {
         self
     }
 
+    /// Sets the telemetry knobs (builder style).
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Validates parameter ranges.
     ///
     /// # Errors
@@ -157,6 +217,30 @@ impl SimConfig {
         let rate = self.injection.rate();
         if !(0.0..=1.0).contains(&rate) {
             return invalid(format!("injection rate {rate} outside [0, 1]"));
+        }
+        if let InjectionKind::MarkovOnOff {
+            rate,
+            burst_len,
+            duty,
+        } = self.injection
+        {
+            if burst_len.is_nan() || burst_len < 1.0 {
+                return invalid(format!("burst length {burst_len} must be >= 1"));
+            }
+            if !(duty > 0.0 && duty <= 1.0) {
+                return invalid(format!("duty cycle {duty} outside (0, 1]"));
+            }
+            if rate > duty {
+                return invalid(format!(
+                    "rate {rate} exceeds duty {duty}: in-burst rate would exceed 1"
+                ));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.telemetry.trace_rate) {
+            return invalid(format!(
+                "trace rate {} outside [0, 1]",
+                self.telemetry.trace_rate
+            ));
         }
         if self.measure == 0 {
             return invalid("measurement window must be >= 1 cycle".into());
@@ -214,12 +298,59 @@ mod tests {
     }
 
     #[test]
+    fn markov_on_off_validation() {
+        let markov = |rate, burst_len, duty| {
+            let mut c = SimConfig::paper_default(0.1);
+            c.injection = InjectionKind::MarkovOnOff {
+                rate,
+                burst_len,
+                duty,
+            };
+            c.validate()
+        };
+        assert!(markov(0.2, 8.0, 0.5).is_ok());
+        assert!(markov(0.5, 1.0, 0.5).is_ok());
+        assert!(markov(0.2, 0.5, 0.5).is_err(), "burst shorter than 1");
+        assert!(markov(0.2, f64::NAN, 0.5).is_err(), "NaN burst length");
+        assert!(markov(0.2, 8.0, 0.0).is_err(), "zero duty");
+        assert!(markov(0.2, 8.0, 1.5).is_err(), "duty above 1");
+        assert!(markov(0.6, 8.0, 0.5).is_err(), "rate above duty");
+    }
+
+    #[test]
+    fn telemetry_validation() {
+        let mut c = SimConfig::paper_default(0.1);
+        assert!(!c.telemetry.any_enabled(), "telemetry defaults off");
+        c.telemetry.trace_rate = 1.5;
+        assert!(c.validate().is_err(), "trace rate above 1");
+        c.telemetry.trace_rate = 0.5;
+        assert!(c.validate().is_ok());
+        assert!(c.telemetry.any_enabled());
+        let c = SimConfig::paper_default(0.1).with_telemetry(TelemetryConfig {
+            sample_every: 64,
+            trace_rate: 0.0,
+            trace_seed: 0,
+        });
+        assert!(c.telemetry.any_enabled());
+        assert_eq!(c.telemetry.sample_every, 64);
+    }
+
+    #[test]
     fn injection_rate_accessor() {
         assert_eq!(InjectionKind::Bernoulli { rate: 0.25 }.rate(), 0.25);
         assert_eq!(
             InjectionKind::OnOff {
                 rate: 0.2,
                 burst_len: 8.0
+            }
+            .rate(),
+            0.2
+        );
+        assert_eq!(
+            InjectionKind::MarkovOnOff {
+                rate: 0.2,
+                burst_len: 8.0,
+                duty: 0.5
             }
             .rate(),
             0.2
@@ -238,6 +369,7 @@ mod serde_tests {
     fn data_types_implement_serde() {
         assert_serde::<SimConfig>();
         assert_serde::<InjectionKind>();
+        assert_serde::<TelemetryConfig>();
         assert_serde::<CreditMode>();
         assert_serde::<TdEstimator>();
         assert_serde::<RunStats>();

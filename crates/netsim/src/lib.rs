@@ -40,12 +40,13 @@ mod routing;
 mod sim;
 mod spec;
 mod stats;
+pub mod telemetry;
 
 pub use adaptive::{
     CandidatePath, CandidatePaths, CongestionEstimator, CreditCommitted, GlobalOracle,
     QueueOccupancy, UgalChooser, UgalDecision, VcHybrid, VcOccupancy,
 };
-pub use config::{CreditMode, InjectionKind, SimConfig, TdEstimator};
+pub use config::{CreditMode, InjectionKind, SimConfig, TdEstimator, TelemetryConfig};
 pub use error::SimError;
 pub use fault::{FaultClass, FaultPlan, FaultTable};
 pub use flit::{Flit, RouteClass, RouteInfo};
@@ -55,3 +56,7 @@ pub use routing::{
 pub use sim::{SimPerf, Simulation};
 pub use spec::{ChannelClass, Connection, NetworkSpec, PortSpec, RouterSpec};
 pub use stats::{ChannelLoad, Histogram, LatencySummary, RouteTelemetry, RunStats};
+pub use telemetry::{
+    ChannelSeries, EstimatorScoreboard, FlitTrace, FlitTracer, LogHistogram, MetricsRegistry,
+    TimeSeries, TraceEvent, TraceEventKind,
+};

@@ -162,6 +162,17 @@ pub struct DecisionRecord {
     /// Candidates read without a probe point under a probe-needing
     /// (oracle) estimator — silent UGAL-G → UGAL-L degradations.
     pub probe_fallbacks: u32,
+    /// The active estimator's reading for the path that was chosen.
+    pub q_chosen: u64,
+    /// The oracle's ground-truth reading for the chosen path — what a
+    /// perfect (UGAL-G) estimator would have reported.
+    pub oracle_chosen: u64,
+    /// The UGAL rule evaluated over the oracle's readings would have
+    /// picked the other path.
+    pub oracle_disagreed: bool,
+    /// Oracle readings were taken for this decision; the engine's
+    /// estimator-accuracy scoreboard only scores records with this set.
+    pub oracle_scored: bool,
 }
 
 /// A routing algorithm driving a [`crate::Simulation`].

@@ -44,6 +44,9 @@ use crate::flit::{Flit, RouteClass, RouteInfo};
 use crate::routing::{DecisionRecord, NetView, PortVc, RoutingAlgorithm};
 use crate::spec::{ChannelClass, Connection, NetworkSpec};
 use crate::stats::{ChannelLoad, Histogram, LatencySummary, RouteTelemetry, RunStats};
+use crate::telemetry::{
+    ChannelSeries, EstimatorScoreboard, FlitTracer, LogHistogram, TimeSeries, TraceEventKind,
+};
 
 /// Live state of one router (visible crate-wide so [`NetView`] can read
 /// the output-queue depths).
@@ -116,6 +119,11 @@ impl Injector {
             InjectionKind::OnOff { rate, burst_len } => {
                 Injector::OnOff(OnOff::with_rate(rate, burst_len))
             }
+            InjectionKind::MarkovOnOff {
+                rate,
+                burst_len,
+                duty,
+            } => Injector::OnOff(OnOff::with_rate_and_duty(rate, burst_len, duty)),
         }
     }
 
@@ -349,6 +357,36 @@ pub struct Simulation<'a> {
     histogram: Histogram,
     minimal_histogram: Histogram,
     telemetry: RouteTelemetry,
+    /// Log-bucketed latency distribution (always on; one O(1) insert
+    /// per labelled ejected packet).
+    latency_log: LogHistogram,
+    /// Estimator-accuracy scoreboard (always on; one O(1) update per
+    /// labelled adaptive injection).
+    scoreboard: EstimatorScoreboard,
+    /// Channel time-series sampler; `None` unless
+    /// `cfg.telemetry.sample_every > 0`, so the per-flit hot path pays
+    /// one predictable branch when sampling is off.
+    sampler: Option<ChannelSampler>,
+    /// Sampling flit tracer; `None` unless `cfg.telemetry.trace_rate
+    /// > 0`, same single-branch disabled cost.
+    tracer: Option<FlitTracer>,
+}
+
+/// Working state of the per-channel time-series sampler.
+struct ChannelSampler {
+    /// Sampling cadence in cycles (> 0).
+    every: u64,
+    /// Flat port index of each sampled channel, parallel to
+    /// `series.channels`.
+    flats: Vec<u32>,
+    /// Lifetime flits transmitted per flat port (only maintained while
+    /// the sampler exists).
+    sent_total: Vec<u64>,
+    /// `sent_total` snapshot at the previous sample tick, per sampled
+    /// channel.
+    prev_sent: Vec<u64>,
+    /// The series under construction.
+    series: TimeSeries,
 }
 
 impl<'a> Simulation<'a> {
@@ -428,6 +466,36 @@ impl<'a> Simulation<'a> {
         let win_end = cfg.warmup + cfg.measure;
         let horizon = tcrt0.iter().copied().max().unwrap_or(2) + 2;
         let num_routers = spec.num_routers();
+        let sampler = (cfg.telemetry.sample_every > 0).then(|| {
+            let mut flats = Vec::new();
+            let mut channels = Vec::new();
+            for (r, p) in spec.network_channels() {
+                flats.push(port_base[r] + p as u32);
+                channels.push(ChannelSeries {
+                    router: r as u32,
+                    port: p as u16,
+                    class: spec.routers[r].ports[p].class,
+                    occupancy: Vec::new(),
+                    vc_occupancy: Vec::new(),
+                    credits: Vec::new(),
+                    sent: Vec::new(),
+                });
+            }
+            ChannelSampler {
+                every: cfg.telemetry.sample_every,
+                prev_sent: vec![0; flats.len()],
+                flats,
+                sent_total: vec![0; flat as usize],
+                series: TimeSeries {
+                    every: cfg.telemetry.sample_every,
+                    vcs: vcs as u8,
+                    ticks: Vec::new(),
+                    channels,
+                },
+            }
+        });
+        let tracer = (cfg.telemetry.trace_rate > 0.0)
+            .then(|| FlitTracer::new(cfg.telemetry.trace_rate, cfg.telemetry.trace_seed));
         Ok(Simulation {
             spec,
             routing,
@@ -464,6 +532,10 @@ impl<'a> Simulation<'a> {
             histogram: Histogram::new(4096, 1),
             minimal_histogram: Histogram::new(4096, 1),
             telemetry: RouteTelemetry::default(),
+            latency_log: LogHistogram::new(),
+            scoreboard: EstimatorScoreboard::new(),
+            sampler,
+            tracer,
             cfg,
         })
     }
@@ -546,6 +618,9 @@ impl<'a> Simulation<'a> {
         let clock = Instant::now();
         self.inject(t);
         timers[4] += clock.elapsed();
+        if self.sampler.is_some() {
+            self.sample_tick(t);
+        }
         self.cycle = t + 1;
     }
 
@@ -557,7 +632,39 @@ impl<'a> Simulation<'a> {
         self.switch(t);
         self.transmit(t);
         self.inject(t);
+        if self.sampler.is_some() {
+            self.sample_tick(t);
+        }
         self.cycle = t + 1;
+    }
+
+    /// Appends one sample column to the channel time series if `t` is
+    /// on the sampling cadence. Reads the settled end-of-cycle state
+    /// (after transmission and injection).
+    fn sample_tick(&mut self, t: u64) {
+        let Some(s) = self.sampler.as_mut() else {
+            return;
+        };
+        if !t.is_multiple_of(s.every) {
+            return;
+        }
+        s.series.ticks.push(t);
+        let vcs = self.spec.vcs;
+        for (i, ch) in s.series.channels.iter_mut().enumerate() {
+            let core = &self.routers[ch.router as usize];
+            let p = ch.port as usize;
+            ch.occupancy.push(core.out_port_count[p]);
+            let mut credits = 0u32;
+            for vc in 0..vcs {
+                let slot = p * vcs + vc;
+                ch.vc_occupancy.push(core.out_q[slot].len() as u16);
+                credits += core.credits[slot];
+            }
+            ch.credits.push(credits as u16);
+            let sent = s.sent_total[s.flats[i] as usize];
+            ch.sent.push((sent - s.prev_sent[i]) as u32);
+            s.prev_sent[i] = sent;
+        }
     }
 
     fn in_window(&self, t: u64) -> bool {
@@ -829,6 +936,26 @@ impl<'a> Simulation<'a> {
                         }
                         core.sent_seq[out] = core.sent_seq[out].wrapping_add(1);
                     }
+                    // Telemetry hooks: both are `None` checks when
+                    // telemetry is disabled, keeping the hot path flat.
+                    if let Some(s) = self.sampler.as_mut() {
+                        s.sent_total[flat] += 1;
+                    }
+                    if flit.is_head && flit.labeled {
+                        if let Some(tr) = self.tracer.as_mut() {
+                            if tr.selected(flit.packet) {
+                                tr.push(
+                                    t,
+                                    flit.packet,
+                                    TraceEventKind::Hop {
+                                        router: r as u32,
+                                        port: out as u16,
+                                        vc: vc as u8,
+                                    },
+                                );
+                            }
+                        }
+                    }
                     self.pipes[flat].push_back((t + out_spec.latency as u64, flit));
                     activate(&mut self.active_pipes, &mut self.pipe_active, flat);
                     self.flit_hops += 1;
@@ -939,12 +1066,35 @@ impl<'a> Simulation<'a> {
                     if decision.estimator_disagreed {
                         self.telemetry.estimator_disagreements += 1;
                     }
+                    // Estimator-accuracy scoreboard: the committed
+                    // decision's estimator reading vs the oracle's.
+                    self.scoreboard.record(
+                        decision.q_chosen,
+                        decision.oracle_chosen,
+                        decision.oracle_disagreed,
+                        decision.oracle_scored,
+                    );
                 }
                 if decision.fault_avoided {
                     self.telemetry.fault_avoided_decisions += 1;
                 }
                 self.telemetry.dropped_candidates += decision.dropped_candidates as u64;
                 self.telemetry.oracle_probe_fallbacks += decision.probe_fallbacks as u64;
+                if let Some(tr) = self.tracer.as_mut() {
+                    if tr.selected(flit.packet) {
+                        tr.push(
+                            t,
+                            flit.packet,
+                            TraceEventKind::Inject {
+                                src: flit.src,
+                                dest: flit.dest,
+                                minimal: route.class == RouteClass::Minimal,
+                                q_chosen: decision.q_chosen,
+                                oracle: decision.oracle_chosen,
+                            },
+                        );
+                    }
+                }
             }
             activate(&mut self.active_terms, &mut self.term_active, term);
             if labeled {
@@ -966,6 +1116,12 @@ impl<'a> Simulation<'a> {
         self.latency.record(latency);
         self.hops.record(flit.hops as u64);
         self.histogram.record(latency);
+        self.latency_log.record(latency);
+        if let Some(tr) = self.tracer.as_mut() {
+            if tr.selected(flit.packet) {
+                tr.push(arrival, flit.packet, TraceEventKind::Eject { latency });
+            }
+        }
         match flit.route.class {
             RouteClass::Minimal => {
                 self.minimal_latency.record(latency);
@@ -978,19 +1134,36 @@ impl<'a> Simulation<'a> {
     /// Builds the final statistics snapshot (cloning the histograms, so
     /// the simulation stays usable).
     fn collect(&self) -> RunStats {
-        self.stats_with(self.histogram.clone(), self.minimal_histogram.clone())
+        self.stats_with(
+            self.histogram.clone(),
+            self.minimal_histogram.clone(),
+            self.latency_log.clone(),
+            self.sampler.as_ref().map(|s| s.series.clone()),
+            self.tracer.as_ref().map(FlitTracer::snapshot),
+        )
     }
 
     /// Builds the final statistics snapshot, consuming the simulation so
-    /// the histograms move instead of being cloned.
+    /// the histograms (and telemetry buffers) move instead of being
+    /// cloned.
     fn collect_owned(mut self) -> RunStats {
         let histogram = std::mem::replace(&mut self.histogram, Histogram::new(1, 1));
         let minimal_histogram =
             std::mem::replace(&mut self.minimal_histogram, Histogram::new(1, 1));
-        self.stats_with(histogram, minimal_histogram)
+        let latency_log = std::mem::take(&mut self.latency_log);
+        let series = self.sampler.take().map(|s| s.series);
+        let trace = self.tracer.take().map(FlitTracer::finish);
+        self.stats_with(histogram, minimal_histogram, latency_log, series, trace)
     }
 
-    fn stats_with(&self, histogram: Histogram, minimal_histogram: Histogram) -> RunStats {
+    fn stats_with(
+        &self,
+        histogram: Histogram,
+        minimal_histogram: Histogram,
+        latency_log: LogHistogram,
+        series: Option<TimeSeries>,
+        trace: Option<crate::telemetry::FlitTrace>,
+    ) -> RunStats {
         let denom = (self.spec.num_terminals() as u64 * self.cfg.measure) as f64;
         let channel_loads = self
             .spec
@@ -1021,6 +1194,10 @@ impl<'a> Simulation<'a> {
             minimal_histogram,
             channel_loads,
             routing: self.telemetry,
+            latency_log,
+            scoreboard: self.scoreboard.clone(),
+            series,
+            trace,
         }
     }
 }

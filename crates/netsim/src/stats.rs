@@ -1,6 +1,7 @@
 //! Run statistics: latency, throughput, histograms, channel loads.
 
 use crate::spec::ChannelClass;
+use crate::telemetry::{EstimatorScoreboard, FlitTrace, LogHistogram, TimeSeries};
 
 /// Streaming summary statistics for one latency population.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -256,6 +257,20 @@ pub struct RunStats {
     pub channel_loads: Vec<ChannelLoad>,
     /// Injection-decision telemetry over the measurement window.
     pub routing: RouteTelemetry,
+    /// Log-bucketed latency distribution of all labelled packets —
+    /// unlike [`RunStats::histogram`] it has no overflow bucket, so
+    /// p50/p95/p99/max queries always resolve. Always collected.
+    pub latency_log: LogHistogram,
+    /// Estimator-accuracy scoreboard: the active estimator's reading
+    /// vs the oracle's ground truth at each labelled adaptive
+    /// decision. Always collected; empty under non-adaptive routing.
+    pub scoreboard: EstimatorScoreboard,
+    /// Per-channel queue/credit/utilization time series, present when
+    /// [`crate::TelemetryConfig::sample_every`] was non-zero.
+    pub series: Option<TimeSeries>,
+    /// Sampled flit trace, present when
+    /// [`crate::TelemetryConfig::trace_rate`] was non-zero.
+    pub trace: Option<FlitTrace>,
 }
 
 impl RunStats {
@@ -271,10 +286,62 @@ impl RunStats {
         self.latency.mean()
     }
 
-    /// Fraction of labelled packets routed minimally.
+    /// Fraction of labelled packets routed minimally — `None` unless
+    /// the run drained. Same bias as [`RunStats::avg_latency`] on an
+    /// undrained run: non-minimal packets take longer and are the ones
+    /// still stuck at the cap, so the surviving population over-counts
+    /// minimal ones. Use [`RunStats::routing`] (which counts at
+    /// injection, not ejection) for the saturated picture.
     pub fn minimal_fraction(&self) -> Option<f64> {
+        if !self.drained {
+            return None;
+        }
         let total = self.minimal_latency.count + self.non_minimal_latency.count;
         (total > 0).then(|| self.minimal_latency.count as f64 / total as f64)
+    }
+
+    /// Mean network hop count of labelled packets — `None` unless the
+    /// run drained (the packets stuck at the cap are disproportionately
+    /// the longer, non-minimal ones, biasing the surviving mean low).
+    pub fn avg_hops(&self) -> Option<f64> {
+        if !self.drained {
+            return None;
+        }
+        self.hops.mean()
+    }
+
+    /// Latency at quantile `p` from the log-bucketed histogram —
+    /// `None` unless the run drained, for the same reason as
+    /// [`RunStats::avg_latency`]. Resolution is the containing
+    /// power-of-two bucket's upper edge, clamped to the exact max.
+    pub fn latency_percentile(&self, p: f64) -> Option<u64> {
+        if !self.drained {
+            return None;
+        }
+        self.latency_log.percentile(p)
+    }
+
+    /// Median labelled-packet latency (drained runs only).
+    pub fn p50_latency(&self) -> Option<u64> {
+        self.latency_percentile(0.50)
+    }
+
+    /// 95th-percentile labelled-packet latency (drained runs only).
+    pub fn p95_latency(&self) -> Option<u64> {
+        self.latency_percentile(0.95)
+    }
+
+    /// 99th-percentile labelled-packet latency (drained runs only).
+    pub fn p99_latency(&self) -> Option<u64> {
+        self.latency_percentile(0.99)
+    }
+
+    /// Largest labelled-packet latency (drained runs only).
+    pub fn max_latency(&self) -> Option<u64> {
+        if !self.drained || self.latency_log.count == 0 {
+            return None;
+        }
+        Some(self.latency_log.max)
     }
 
     /// Loads of the global channels only.

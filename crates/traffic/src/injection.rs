@@ -114,6 +114,49 @@ impl OnOff {
         let p = 1.0 / burst_len;
         OnOff::new(2.0 * rate, p, p)
     }
+
+    /// Creates a Markov on/off process with average rate `rate`, mean
+    /// burst length `burst_len` cycles, and an explicit `duty` cycle —
+    /// the stationary fraction of time spent on. During a burst the
+    /// terminal injects at `rate / duty`, so small duties concentrate
+    /// the same offered load into sharper transients; `duty = 0.5`
+    /// reproduces [`OnOff::with_rate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_len < 1.0`, `duty` is outside `(0, 1]`, or
+    /// `rate > duty` (the in-burst rate would exceed 1 packet/cycle).
+    pub fn with_rate_and_duty(rate: f64, burst_len: f64, duty: f64) -> Self {
+        assert!(burst_len >= 1.0, "burst length {burst_len} < 1");
+        assert!(duty > 0.0 && duty <= 1.0, "duty {duty} outside (0, 1]");
+        assert!(
+            rate <= duty,
+            "rate {rate} > duty {duty}: in-burst rate would exceed 1"
+        );
+        let mut p_off = 1.0 / burst_len;
+        if duty >= 1.0 {
+            // Degenerate always-on case: never leave the on state.
+            // A mean off-gap of zero cycles is not expressible with a
+            // geometric transition, so model it as plain Bernoulli-like
+            // behaviour with p_on = 1 and an unreachable p_off path.
+            return OnOff {
+                burst_rate: rate,
+                p_on: 1.0,
+                p_off: f64::MIN_POSITIVE,
+                on: true,
+            };
+        }
+        // Stationary duty = p_on / (p_on + p_off); solve for p_on. If
+        // the requested burst length is too short to realise the duty
+        // (p_on would exceed 1), keep the duty — and therefore the
+        // average rate — and let the bursts lengthen instead.
+        let mut p_on = p_off * duty / (1.0 - duty);
+        if p_on > 1.0 {
+            p_on = 1.0;
+            p_off = (1.0 - duty) / duty;
+        }
+        OnOff::new(rate / duty, p_on, p_off)
+    }
 }
 
 impl InjectionProcess for OnOff {
@@ -176,6 +219,65 @@ mod tests {
         let hits = (0..n).filter(|_| p.inject(&mut rng)).count();
         let measured = hits as f64 / n as f64;
         assert!((measured - 0.25).abs() < 0.01, "measured {measured}");
+    }
+
+    #[test]
+    fn markov_on_off_duty_preserves_rate() {
+        for duty in [0.125, 0.25, 0.5, 0.75] {
+            let mut p = OnOff::with_rate_and_duty(0.1, 16.0, duty);
+            assert!(
+                (p.rate() - 0.1).abs() < 1e-9,
+                "duty {duty}: rate {}",
+                p.rate()
+            );
+            let mut rng = rng_for(19, duty.to_bits());
+            let n = 400_000;
+            let hits = (0..n).filter(|_| p.inject(&mut rng)).count();
+            let measured = hits as f64 / n as f64;
+            assert!(
+                (measured - 0.1).abs() < 0.01,
+                "duty {duty}: measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn markov_on_off_half_duty_matches_with_rate() {
+        assert_eq!(
+            OnOff::with_rate_and_duty(0.2, 16.0, 0.5),
+            OnOff::with_rate(0.2, 16.0)
+        );
+    }
+
+    #[test]
+    fn markov_on_off_short_bursts_keep_duty_when_clamped() {
+        // duty 0.9 with burst length 2 is unrealisable (p_on would be
+        // 4.5); the constructor must preserve the rate, not the burst
+        // length.
+        let mut p = OnOff::with_rate_and_duty(0.45, 2.0, 0.9);
+        assert!((p.rate() - 0.45).abs() < 1e-9, "rate {}", p.rate());
+        let mut rng = rng_for(23, 0);
+        let n = 400_000;
+        let hits = (0..n).filter(|_| p.inject(&mut rng)).count();
+        let measured = hits as f64 / n as f64;
+        assert!((measured - 0.45).abs() < 0.01, "measured {measured}");
+    }
+
+    #[test]
+    fn markov_on_off_full_duty_is_steady() {
+        let mut p = OnOff::with_rate_and_duty(0.3, 8.0, 1.0);
+        assert!((p.rate() - 0.3).abs() < 1e-9);
+        let mut rng = rng_for(29, 0);
+        let n = 200_000;
+        let hits = (0..n).filter(|_| p.inject(&mut rng)).count();
+        let measured = hits as f64 / n as f64;
+        assert!((measured - 0.3).abs() < 0.01, "measured {measured}");
+    }
+
+    #[test]
+    #[should_panic(expected = "in-burst rate would exceed 1")]
+    fn markov_on_off_rejects_rate_above_duty() {
+        OnOff::with_rate_and_duty(0.5, 8.0, 0.25);
     }
 
     #[test]

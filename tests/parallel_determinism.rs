@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use dfly_netsim::{CreditMode, SimConfig, Simulation};
+use dfly_netsim::{CreditMode, SimConfig, Simulation, TelemetryConfig};
 use dfly_topo::{FlattenedButterfly, FoldedClos, Torus};
 use dfly_traffic::UniformRandom;
 
@@ -95,7 +95,60 @@ fn fast_cfg(seed: u64) -> SimConfig {
     cfg.measure = 300;
     cfg.drain_cap = 5_000;
     cfg.seed = seed;
+    // Telemetry on in every baseline sweep: the channel series and the
+    // seeded flit trace are part of `RunStats` equality below, so the
+    // serial-vs-parallel comparison pins their determinism too.
+    cfg.telemetry = TelemetryConfig {
+        sample_every: 16,
+        trace_rate: 0.25,
+        trace_seed: 9,
+    };
     cfg
+}
+
+/// Telemetry must not perturb the simulation: the same grid with
+/// sampling and tracing enabled yields the same core statistics, and
+/// its trace/series/registry JSON is byte-identical between a serial
+/// and a parallel execution.
+#[test]
+fn telemetry_output_bit_identical_serial_vs_parallel() {
+    let sim = dragonfly::DragonflySim::new(dragonfly::DragonflyParams::new(2, 4, 2).unwrap());
+    let mut base = sim.config(0.1);
+    base.warmup = 150;
+    base.measure = 300;
+    base.drain_cap = 4_000;
+    base.seed = 21;
+    base.telemetry = TelemetryConfig {
+        sample_every: 16,
+        trace_rate: 0.25,
+        trace_seed: 9,
+    };
+    let grid = RunGrid::cross(
+        &[RoutingChoice::UgalL, RoutingChoice::UgalLVcH],
+        &[TrafficChoice::Uniform],
+        &[0.1, 0.2],
+        &base,
+    );
+
+    let (serial, serial_reg) = grid.execute_with_metrics_on(&sim, 1);
+    let (parallel, parallel_reg) = grid.execute_with_metrics_on(&sim, 4);
+    assert_eq!(serial, parallel, "telemetry-enabled grid diverged");
+    assert_eq!(
+        serial_reg.to_json(),
+        parallel_reg.to_json(),
+        "merged registries diverged"
+    );
+    for (s, p) in serial.iter().zip(&parallel) {
+        let (st, pt) = (s.trace.as_ref().unwrap(), p.trace.as_ref().unwrap());
+        assert!(!st.events.is_empty(), "tracer sampled no packets");
+        assert_eq!(st.to_chrome_json(), pt.to_chrome_json());
+        let (ss, ps) = (s.series.as_ref().unwrap(), p.series.as_ref().unwrap());
+        assert!(!ss.ticks.is_empty(), "sampler recorded no ticks");
+        assert_eq!(ss.to_json(), ps.to_json());
+        assert_eq!(s.latency_log.to_json(), p.latency_log.to_json());
+        assert_eq!(s.scoreboard.to_json(), p.scoreboard.to_json());
+        assert!(s.scoreboard.scored > 0, "no scored adaptive decisions");
+    }
 }
 
 /// One adaptive sweep per baseline topology: the parallel fan-out must
@@ -163,5 +216,14 @@ fn check_sweep_matches_serial(
             point.load
         );
         assert!(point.stats.drained, "{} did not drain", routing.name());
+        // Struct equality already implies it, but the exported bytes
+        // are the product — compare them directly too.
+        if let (Some(st), Some(pt)) = (&serial.trace, &point.stats.trace) {
+            assert!(!st.events.is_empty(), "{}: empty trace", routing.name());
+            assert_eq!(st.to_chrome_json(), pt.to_chrome_json());
+        }
+        if let (Some(ss), Some(ps)) = (&serial.series, &point.stats.series) {
+            assert_eq!(ss.to_json(), ps.to_json());
+        }
     }
 }
