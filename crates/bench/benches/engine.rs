@@ -33,6 +33,32 @@ fn engine_cycles(c: &mut Criterion) {
     group.finish();
 }
 
+fn sharded_single_run(c: &mut Criterion) {
+    // The sharded cycle engine: one run split across 1, 2 and 4 router
+    // shards. The 1-shard variant doubles as the no-overhead reference
+    // for the shard machinery.
+    let sim = DragonflySim::new(DragonflyParams::new(4, 8, 4).unwrap());
+    let mut group = c.benchmark_group("single_run_shards");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let mut cfg = sim.config(0.3);
+                    cfg.warmup = 50;
+                    cfg.measure = 200;
+                    cfg.drain_cap = 2_000;
+                    cfg.shards = shards;
+                    sim.run(RoutingChoice::UgalL, TrafficChoice::Uniform, cfg)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 fn credit_round_trip_overhead(c: &mut Criterion) {
     // The CR mechanism's bookkeeping (CTQ, delayed credits) vs
     // conventional credits at identical load.
@@ -57,5 +83,10 @@ fn credit_round_trip_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, engine_cycles, credit_round_trip_overhead);
+criterion_group!(
+    benches,
+    engine_cycles,
+    sharded_single_run,
+    credit_round_trip_overhead
+);
 criterion_main!(benches);

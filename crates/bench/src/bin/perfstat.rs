@@ -41,11 +41,12 @@ fn median3(mut v: [f64; 3]) -> f64 {
     v[1]
 }
 
-/// The five congestion estimators scored against the oracle.
-const ESTIMATORS: [(UgalVariant, &str); 5] = [
+/// The six congestion estimators scored against the oracle.
+const ESTIMATORS: [(UgalVariant, &str); 6] = [
     (UgalVariant::Local, "queue_occupancy"),
     (UgalVariant::LocalVc, "vc_occupancy"),
     (UgalVariant::LocalVcHybrid, "vc_hybrid"),
+    (UgalVariant::LocalEwma, "ewma_occupancy"),
     (UgalVariant::CreditRoundTrip, "credit_committed"),
     (UgalVariant::Global, "global_oracle"),
 ];
@@ -55,6 +56,7 @@ fn routing_for(variant: UgalVariant) -> RoutingChoice {
         UgalVariant::Local => RoutingChoice::UgalL,
         UgalVariant::LocalVc => RoutingChoice::UgalLVc,
         UgalVariant::LocalVcHybrid => RoutingChoice::UgalLVcH,
+        UgalVariant::LocalEwma => RoutingChoice::UgalLEwma,
         UgalVariant::CreditRoundTrip => RoutingChoice::UgalLCr,
         UgalVariant::Global => RoutingChoice::UgalG,
     }
@@ -174,6 +176,49 @@ fn main() {
         enabled_wall[round] = t0.elapsed().as_secs_f64();
     }
     let (stats, perf) = single.expect("three rounds ran");
+
+    // Sharded single-run scaling: the same operating point on 1, 2 and
+    // 4 router shards. The stats must be bit identical across shard
+    // counts (the engine's core guarantee), and the medians feed the CI
+    // overhead and speedup guards. Rounds are interleaved across shard
+    // counts so the medians stay comparable under machine noise.
+    let shard_counts = [1usize, 2, 4];
+    let mut shard_walls = vec![Vec::with_capacity(3); shard_counts.len()];
+    let mut shard_stats = Vec::new();
+    for round in 0..3 {
+        for (i, &sc) in shard_counts.iter().enumerate() {
+            let mut cfg = win.config(0.3);
+            cfg.seed = 1;
+            cfg.shards = sc;
+            let (sstats, sperf) =
+                sim.run_instrumented(RoutingChoice::UgalL, TrafficChoice::Uniform, cfg);
+            assert_eq!(
+                sperf.shards, sc,
+                "engine did not honour the requested shard count"
+            );
+            shard_walls[i].push(sperf.wall.as_secs_f64());
+            if round == 0 {
+                shard_stats.push((sstats, sperf.cycles));
+            }
+        }
+    }
+    let shard_cycles = shard_stats[0].1;
+    let sharded_identical = shard_stats.iter().all(|(st, _)| *st == shard_stats[0].0);
+    assert!(
+        sharded_identical,
+        "sharded runs diverged from the 1-shard run"
+    );
+    let shard_medians: Vec<f64> = shard_walls
+        .iter()
+        .map(|w| median3([w[0], w[1], w[2]]))
+        .collect();
+    for (&sc, &secs) in shard_counts.iter().zip(&shard_medians) {
+        eprintln!(
+            "perfstat: sharded single run x{sc}: {secs:.3}s ({:.0} cycles/s)",
+            shard_cycles as f64 / secs.max(1e-12)
+        );
+    }
+
     eprintln!(
         "perfstat: single run {} cycles in {:.3}s ({:.0} cycles/s, {:.0} flit-hops/s)",
         perf.cycles,
@@ -318,6 +363,8 @@ fn main() {
     let _ = writeln!(json, "  \"speedup\": {speedup:.4},");
     let _ = writeln!(json, "  \"bit_identical\": {bit_identical},");
     let _ = writeln!(json, "  \"single_run\": {{");
+    let _ = writeln!(json, "    \"hardware_threads\": {hw},");
+    let _ = writeln!(json, "    \"shards\": {},", perf.shards);
     let _ = writeln!(
         json,
         "    \"routing\": \"{}\",",
@@ -379,7 +426,34 @@ fn main() {
     json.push_str("}\n");
     json.push_str("  },\n");
 
+    json.push_str("  \"sharded_single_run\": {\n");
+    let _ = writeln!(json, "    \"hardware_threads\": {hw},");
+    let _ = writeln!(
+        json,
+        "    \"routing\": \"{}\",",
+        json_escape(RoutingChoice::UgalL.label())
+    );
+    let _ = writeln!(json, "    \"traffic\": \"uniform\",");
+    let _ = writeln!(json, "    \"load\": 0.3,");
+    let _ = writeln!(json, "    \"cycles\": {shard_cycles},");
+    let _ = writeln!(json, "    \"bit_identical\": {sharded_identical},");
+    json.push_str("    \"points\": [");
+    for (i, (&sc, &secs)) in shard_counts.iter().zip(&shard_medians).enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        let _ = write!(
+            json,
+            "{{\"shards\": {sc}, \"wall_secs\": {secs:.6}, \"cycles_per_sec\": {:.1}}}",
+            shard_cycles as f64 / secs.max(1e-12)
+        );
+    }
+    json.push_str("]\n");
+    json.push_str("  },\n");
+
     json.push_str("  \"telemetry\": {\n");
+    let _ = writeln!(json, "    \"hardware_threads\": {hw},");
+    let _ = writeln!(json, "    \"shards\": 1,");
     let _ = writeln!(
         json,
         "    \"network\": \"dragonfly p=2 a=4 h=2 (72 terminals)\","
@@ -431,6 +505,8 @@ fn main() {
     json.push_str("  },\n");
 
     json.push_str("  \"estimator_accuracy\": {\n");
+    let _ = writeln!(json, "    \"hardware_threads\": {hw},");
+    let _ = writeln!(json, "    \"shards\": 1,");
     let _ = writeln!(
         json,
         "    \"injection\": {{\"kind\": \"markov_on_off\", \"rate\": 0.2, \"burst_len\": 8.0, \"duty\": 0.5}},"
@@ -465,6 +541,8 @@ fn main() {
     json.push_str("  },\n");
 
     json.push_str("  \"telemetry_overhead\": {\n");
+    let _ = writeln!(json, "    \"hardware_threads\": {hw},");
+    let _ = writeln!(json, "    \"shards\": 1,");
     let _ = writeln!(json, "    \"reference_secs\": {reference_secs:.6},");
     let _ = writeln!(json, "    \"disabled_secs\": {disabled_secs:.6},");
     let _ = writeln!(json, "    \"enabled_secs\": {enabled_secs:.6},");
@@ -479,6 +557,8 @@ fn main() {
     json.push_str("  },\n");
 
     json.push_str("  \"fault_sweep\": {\n");
+    let _ = writeln!(json, "    \"hardware_threads\": {hw},");
+    let _ = writeln!(json, "    \"shards\": 1,");
     let _ = writeln!(
         json,
         "    \"routing\": \"{}\",",
@@ -516,6 +596,8 @@ fn main() {
     let mut tj = String::new();
     tj.push_str("{\n");
     let _ = writeln!(tj, "  \"benchmark\": \"telemetry\",");
+    let _ = writeln!(tj, "  \"hardware_threads\": {hw},");
+    let _ = writeln!(tj, "  \"shards\": 1,");
     let _ = writeln!(
         tj,
         "  \"network\": \"dragonfly p=2 a=4 h=2 (72 terminals)\","

@@ -432,6 +432,7 @@ impl RoutingAlgorithm for ButterflyRouting {
                 UgalVariant::LocalVcHybrid => "FB-UGAL-L_VCH".into(),
                 UgalVariant::Global => "FB-UGAL-G".into(),
                 UgalVariant::CreditRoundTrip => "FB-UGAL-L_CR".into(),
+                UgalVariant::LocalEwma => "FB-UGAL-L_EWMA".into(),
             },
         }
     }

@@ -32,11 +32,14 @@ pub enum RoutingChoice {
     UgalLCr,
     /// The idealised global-information oracle (UGAL-G).
     UgalG,
+    /// UGAL with EWMA-smoothed local occupancy (UGAL-L_EWMA).
+    UgalLEwma,
 }
 
 impl RoutingChoice {
-    /// All choices, in the order the paper introduces them.
-    pub const ALL: [RoutingChoice; 7] = [
+    /// All choices, in the order the paper introduces them (with the
+    /// EWMA ablation appended).
+    pub const ALL: [RoutingChoice; 8] = [
         RoutingChoice::Min,
         RoutingChoice::Valiant,
         RoutingChoice::UgalL,
@@ -44,6 +47,7 @@ impl RoutingChoice {
         RoutingChoice::UgalLVcH,
         RoutingChoice::UgalLCr,
         RoutingChoice::UgalG,
+        RoutingChoice::UgalLEwma,
     ];
 
     /// Display label matching the paper's plots.
@@ -56,6 +60,7 @@ impl RoutingChoice {
             RoutingChoice::UgalLVcH => "UGAL-L_VCH",
             RoutingChoice::UgalLCr => "UGAL-L_CR",
             RoutingChoice::UgalG => "UGAL-G",
+            RoutingChoice::UgalLEwma => "UGAL-L_EWMA",
         }
     }
 
@@ -77,6 +82,7 @@ impl RoutingChoice {
             RoutingChoice::UgalLVcH => Box::new(UgalRouting::new(df, UgalVariant::LocalVcHybrid)),
             RoutingChoice::UgalLCr => Box::new(UgalRouting::new(df, UgalVariant::CreditRoundTrip)),
             RoutingChoice::UgalG => Box::new(UgalRouting::new(df, UgalVariant::Global)),
+            RoutingChoice::UgalLEwma => Box::new(UgalRouting::new(df, UgalVariant::LocalEwma)),
         }
     }
 }
@@ -387,9 +393,10 @@ mod tests {
 
     #[test]
     fn labels_and_round_trip_flags() {
-        assert_eq!(RoutingChoice::ALL.len(), 7);
+        assert_eq!(RoutingChoice::ALL.len(), 8);
         let labels: Vec<&str> = RoutingChoice::ALL.iter().map(|c| c.label()).collect();
         assert!(labels.contains(&"UGAL-L_CR"));
+        assert!(labels.contains(&"UGAL-L_EWMA"));
         for c in RoutingChoice::ALL {
             assert_eq!(
                 c.needs_round_trip_credits(),

@@ -12,6 +12,14 @@
 //! The pool is bounded by the `DFLY_THREADS` environment variable when
 //! set (a positive integer), falling back to the machine's available
 //! parallelism. `DFLY_THREADS=1` forces serial execution.
+//!
+//! `DFLY_THREADS` is shared with the cycle engine's router sharding
+//! (`SimConfig::shards == 0` resolves against the same variable): a
+//! sweep of serial runs fans the whole budget out here, while a sweep
+//! of sharded runs divides it — [`RunGrid::execute`] shrinks its pool
+//! by each run's shard demand (see [`configured_threads_for`]) so the
+//! two levels of parallelism compose without oversubscribing the
+//! machine.
 
 use dfly_netsim::{
     FaultClass, FaultPlan, InjectionKind, MetricsRegistry, NetworkSpec, RoutingAlgorithm, RunStats,
@@ -47,6 +55,19 @@ where
     F: Fn(&T) -> R + Sync,
 {
     parallel_map_on(items, configured_threads(), f)
+}
+
+/// The sweep-level thread budget left after each run claims
+/// `shards_per_run` worker threads for the cycle engine:
+/// `configured_threads() / shards_per_run`, at least 1. A
+/// `shards_per_run` of 0 (auto) assumes the engine grabs the whole
+/// budget, so grids of auto-sharded runs execute one run at a time.
+pub fn configured_threads_for(shards_per_run: usize) -> usize {
+    let budget = configured_threads();
+    if shards_per_run == 0 {
+        return 1;
+    }
+    (budget / shards_per_run).max(1)
 }
 
 /// [`parallel_map`] with an explicit thread bound.
@@ -202,11 +223,25 @@ impl RunGrid {
         self.plans.is_empty()
     }
 
+    /// The largest engine-level shard count any plan asks for (`0`
+    /// — auto — dominates everything else; `1` if the grid is empty).
+    pub fn shard_demand(&self) -> usize {
+        let mut demand = 1;
+        for plan in &self.plans {
+            if plan.cfg.shards == 0 {
+                return 0;
+            }
+            demand = demand.max(plan.cfg.shards);
+        }
+        demand
+    }
+
     /// Executes every plan against `sim` across the configured thread
-    /// pool (see [`configured_threads`]); results are in plan order and
-    /// bit-identical to [`RunGrid::execute_serial`].
+    /// pool (see [`configured_threads`]), leaving room for each run's
+    /// own router shards (see [`configured_threads_for`]); results are
+    /// in plan order and bit-identical to [`RunGrid::execute_serial`].
     pub fn execute(&self, sim: &DragonflySim) -> Vec<RunStats> {
-        self.execute_on(sim, configured_threads())
+        self.execute_on(sim, configured_threads_for(self.shard_demand()))
     }
 
     /// [`RunGrid::execute`] with an explicit thread bound.
@@ -227,7 +262,7 @@ impl RunGrid {
     /// are folded in plan order, so the merged registry (and its JSON)
     /// is bit-identical to a serial execution's.
     pub fn execute_with_metrics(&self, sim: &DragonflySim) -> (Vec<RunStats>, MetricsRegistry) {
-        self.execute_with_metrics_on(sim, configured_threads())
+        self.execute_with_metrics_on(sim, configured_threads_for(self.shard_demand()))
     }
 
     /// [`RunGrid::execute_with_metrics`] with an explicit thread bound.
@@ -452,6 +487,39 @@ mod tests {
         cfg.measure = 600;
         cfg.drain_cap = 20_000;
         cfg
+    }
+
+    #[test]
+    fn shard_demand_tracks_plan_configs() {
+        let sim = tiny();
+        let base = fast_cfg(&sim, 0.0);
+        let grid = RunGrid::cross(
+            &[RoutingChoice::Min],
+            &[TrafficChoice::Uniform],
+            &[0.1, 0.2],
+            &base,
+        );
+        assert_eq!(grid.shard_demand(), 1);
+        let mut sharded = base.clone();
+        sharded.shards = 4;
+        let grid = RunGrid::cross(
+            &[RoutingChoice::Min],
+            &[TrafficChoice::Uniform],
+            &[0.1],
+            &sharded,
+        );
+        assert_eq!(grid.shard_demand(), 4);
+        let mut auto = base;
+        auto.shards = 0;
+        let grid = RunGrid::cross(
+            &[RoutingChoice::Min],
+            &[TrafficChoice::Uniform],
+            &[0.1],
+            &auto,
+        );
+        assert_eq!(grid.shard_demand(), 0);
+        assert_eq!(configured_threads_for(0), 1);
+        assert!(configured_threads_for(usize::MAX) >= 1);
     }
 
     #[test]

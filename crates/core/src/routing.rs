@@ -14,6 +14,7 @@
 //! | [`UgalVariant::LocalVcHybrid`] | per-VC only when the two paths share an output port (UGAL-L_VCH) |
 //! | [`UgalVariant::Global`] | oracle occupancy of the actual global channels (UGAL-G) |
 //! | [`UgalVariant::CreditRoundTrip`] | the hybrid rule over credit-inclusive estimates (UGAL-L_CR) |
+//! | [`UgalVariant::LocalEwma`] | EWMA-smoothed local total-port occupancies (UGAL-L_EWMA) |
 //!
 //! UGAL-L(CR) pairs [`UgalVariant::CreditRoundTrip`] with
 //! [`dfly_netsim::CreditMode::RoundTrip`]: queue estimates count the
@@ -36,9 +37,9 @@
 use std::sync::Arc;
 
 use dfly_netsim::{
-    CandidatePath, CandidatePaths, CongestionEstimator, CreditCommitted, DecisionRecord, Flit,
-    GlobalOracle, NetView, PortVc, QueueOccupancy, RouteClass, RouteInfo, RoutingAlgorithm,
-    SimError, UgalChooser, VcHybrid, VcOccupancy,
+    CandidatePath, CandidatePaths, CongestionEstimator, CreditCommitted, DecisionRecord,
+    EwmaOccupancy, Flit, GlobalOracle, NetView, PortVc, QueueOccupancy, RouteClass, RouteInfo,
+    RoutingAlgorithm, SimError, UgalChooser, VcHybrid, VcOccupancy,
 };
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -460,6 +461,13 @@ pub enum UgalVariant {
     /// remote global channel within one credit round trip instead of
     /// waiting for the intervening buffers to fill (§4.3.2).
     CreditRoundTrip,
+    /// UGAL-L(EWMA): local total-port occupancies smoothed by an
+    /// integer exponentially weighted moving average (weight 1/4 on new
+    /// readings), damping the transient-burst noise that inflates the
+    /// raw occupancy estimators' error under Markov on/off injection.
+    /// The estimator is stateful, so each [`UgalRouting`] instance
+    /// (and each clone) carries its own accumulators.
+    LocalEwma,
 }
 
 impl UgalVariant {
@@ -473,6 +481,7 @@ impl UgalVariant {
             UgalVariant::LocalVcHybrid => Box::new(VcHybrid),
             UgalVariant::Global => Box::new(GlobalOracle),
             UgalVariant::CreditRoundTrip => Box::new(CreditCommitted),
+            UgalVariant::LocalEwma => Box::new(EwmaOccupancy::new(2)),
         }
     }
 }
@@ -528,6 +537,7 @@ impl RoutingAlgorithm for UgalRouting {
             UgalVariant::LocalVcHybrid => "UGAL-L_VCH".into(),
             UgalVariant::Global => "UGAL-G".into(),
             UgalVariant::CreditRoundTrip => "UGAL-L_CR".into(),
+            UgalVariant::LocalEwma => "UGAL-L_EWMA".into(),
         }
     }
 

@@ -402,6 +402,7 @@ impl RoutingAlgorithm for TorusRouting {
                 UgalVariant::LocalVcHybrid => "torus-UGAL-L_VCH".into(),
                 UgalVariant::Global => "torus-UGAL-G".into(),
                 UgalVariant::CreditRoundTrip => "torus-UGAL-L_CR".into(),
+                UgalVariant::LocalEwma => "torus-UGAL-L_EWMA".into(),
             },
         }
     }

@@ -217,6 +217,80 @@ impl CongestionEstimator for VcHybrid {
     }
 }
 
+/// UGAL-L(EWMA): an integer exponentially weighted moving average of
+/// each candidate's first-hop queue occupancy at the deciding router,
+/// with weight `1 / 2^shift` on new readings. Instantaneous occupancy
+/// is a noisy signal under bursty (Markov on/off) injection — the
+/// estimator-accuracy scoreboard shows the raw occupancy estimators
+/// tracking transients the oracle has already drained. Smoothing over
+/// successive decisions at the same output damps that noise.
+///
+/// The accumulator for a port is kept scaled by `2^shift` and updated
+/// as `s ← s − (s >> shift) + x` per reading; the estimate is
+/// `s >> shift`, seeded so the first reading passes through exactly.
+/// All arithmetic is integral, so results are bit-reproducible.
+///
+/// The estimator carries per-(router, port) state across decisions:
+/// build a **fresh instance per run** (as [`crate::UgalChooser`]
+/// construction does) — sharing one instance across runs would leak
+/// state between them. Within a run, a port's state is only ever
+/// touched by injections at its own router, in terminal order, so the
+/// sharded engine reproduces it bit-identically at any shard count.
+#[derive(Debug, Default)]
+pub struct EwmaOccupancy {
+    shift: u32,
+    state: std::sync::Mutex<std::collections::BTreeMap<(u32, u16), u64>>,
+}
+
+impl EwmaOccupancy {
+    /// An estimator with weight `1 / 2^shift` on new readings.
+    pub fn new(shift: u32) -> Self {
+        EwmaOccupancy {
+            shift,
+            state: std::sync::Mutex::new(std::collections::BTreeMap::new()),
+        }
+    }
+
+    /// Folds reading `x` into the port's accumulator and returns the
+    /// smoothed estimate.
+    fn update(
+        state: &mut std::collections::BTreeMap<(u32, u16), u64>,
+        key: (u32, u16),
+        x: u64,
+        shift: u32,
+    ) -> u64 {
+        let s = state.entry(key).or_insert(x << shift);
+        *s = *s - (*s >> shift) + x;
+        *s >> shift
+    }
+}
+
+impl CongestionEstimator for EwmaOccupancy {
+    fn name(&self) -> &'static str {
+        "ewma-occupancy"
+    }
+
+    fn estimate(
+        &self,
+        view: &NetView<'_>,
+        router: usize,
+        minimal: &CandidatePath,
+        non_minimal: &CandidatePath,
+    ) -> (u64, u64) {
+        let (qm, qnm) = QueueOccupancy.estimate(view, router, minimal, non_minimal);
+        let mut state = self.state.lock().expect("ewma state poisoned");
+        let r = router as u32;
+        let em = Self::update(&mut state, (r, minimal.port), qm, self.shift);
+        if non_minimal.port == minimal.port {
+            // Same output queue: one reading, one accumulator advance.
+            (em, em)
+        } else {
+            let enm = Self::update(&mut state, (r, non_minimal.port), qnm, self.shift);
+            (em, enm)
+        }
+    }
+}
+
 /// UGAL-L(CR): the hybrid rule over credit-inclusive estimates — queue
 /// depth **plus** the flits sent on the first-hop channel whose credits
 /// have not returned. Paired with [`crate::CreditMode::RoundTrip`]
@@ -464,6 +538,7 @@ mod tests {
         assert!(!VcOccupancy.needs_probe());
         assert!(!VcHybrid.needs_probe());
         assert!(!CreditCommitted.needs_probe());
+        assert!(!EwmaOccupancy::new(2).needs_probe());
     }
 
     #[test]
@@ -474,10 +549,33 @@ mod tests {
             VcHybrid.name(),
             CreditCommitted.name(),
             GlobalOracle.name(),
+            EwmaOccupancy::new(2).name(),
         ];
         let mut dedup = names.to_vec();
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn ewma_smooths_toward_new_readings() {
+        let mut state = std::collections::BTreeMap::new();
+        let key = (0u32, 0u16);
+        // First reading passes through exactly.
+        assert_eq!(EwmaOccupancy::update(&mut state, key, 8, 2), 8);
+        // A constant signal is a fixed point.
+        assert_eq!(EwmaOccupancy::update(&mut state, key, 8, 2), 8);
+        // A step change moves the estimate by 1/4 of the gap.
+        let e = EwmaOccupancy::update(&mut state, key, 0, 2);
+        assert_eq!(e, 6);
+        // Repeated zeros converge to zero.
+        let mut last = e;
+        for _ in 0..64 {
+            last = EwmaOccupancy::update(&mut state, key, 0, 2);
+        }
+        assert_eq!(last, 0);
+        // Distinct ports keep independent accumulators.
+        assert_eq!(EwmaOccupancy::update(&mut state, (0, 1), 4, 2), 4);
+        assert_eq!(state.len(), 2);
     }
 }

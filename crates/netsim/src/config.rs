@@ -156,6 +156,19 @@ pub struct SimConfig {
     pub credit_mode: CreditMode,
     /// Telemetry collection knobs (sampling cadence, flit tracer).
     pub telemetry: TelemetryConfig,
+    /// Router shards the cycle engine splits this run across: 1 runs
+    /// the whole network on the calling thread, `n > 1` partitions the
+    /// routers into `n` contiguous shards driven by worker threads, and
+    /// 0 picks a shard count automatically from the available hardware
+    /// threads (respecting `DFLY_THREADS`). Results are bit-identical
+    /// at every shard count; counts beyond the router count are clamped.
+    #[cfg_attr(feature = "serde", serde(default = "default_shards"))]
+    pub shards: usize,
+}
+
+#[cfg(feature = "serde")]
+fn default_shards() -> usize {
+    1
 }
 
 impl SimConfig {
@@ -173,6 +186,7 @@ impl SimConfig {
             seed: 1,
             credit_mode: CreditMode::Conventional,
             telemetry: TelemetryConfig::default(),
+            shards: 1,
         }
     }
 
@@ -197,6 +211,12 @@ impl SimConfig {
     /// Sets the telemetry knobs (builder style).
     pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Sets the shard count (builder style); 0 = auto.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 
@@ -268,9 +288,11 @@ mod tests {
         let c = SimConfig::paper_default(0.1)
             .with_buffer_depth(256)
             .with_credit_mode(CreditMode::round_trip())
-            .with_seed(9);
+            .with_seed(9)
+            .with_shards(4);
         assert_eq!(c.buffer_depth, 256);
         assert_eq!(c.seed, 9);
+        assert_eq!(c.shards, 4);
         assert!(matches!(
             c.credit_mode,
             CreditMode::RoundTrip { sample: 1, .. }

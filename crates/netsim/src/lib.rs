@@ -28,7 +28,11 @@
 //! println!("avg latency {:?}", stats.avg_latency());
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and allowed only on the two items the
+// sharded cycle engine needs: the shared router table (`sim::ShardTable`)
+// and the raw-pointer internals of `NetView`. Each unsafe block carries
+// its field-disjointness argument.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod adaptive;
@@ -43,8 +47,8 @@ mod stats;
 pub mod telemetry;
 
 pub use adaptive::{
-    CandidatePath, CandidatePaths, CongestionEstimator, CreditCommitted, GlobalOracle,
-    QueueOccupancy, UgalChooser, UgalDecision, VcHybrid, VcOccupancy,
+    CandidatePath, CandidatePaths, CongestionEstimator, CreditCommitted, EwmaOccupancy,
+    GlobalOracle, QueueOccupancy, UgalChooser, UgalDecision, VcHybrid, VcOccupancy,
 };
 pub use config::{CreditMode, InjectionKind, SimConfig, TdEstimator, TelemetryConfig};
 pub use error::SimError;

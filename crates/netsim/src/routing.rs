@@ -38,11 +38,19 @@ impl PortVc {
 /// idealised UGAL-G oracle may do.
 pub struct NetView<'a> {
     spec: &'a NetworkSpec,
-    routers: &'a [RouterCore],
+    // Raw pointer rather than `&'a [RouterCore]` so the sharded engine
+    // can build views over its shared router table while worker threads
+    // hold mutable projections to *disjoint fields* of the same cores
+    // (input-side fields; the view reads only output-side fields). All
+    // accessors bounds-check against `len` before dereferencing.
+    routers: *const RouterCore,
+    len: usize,
     buffer_depth: usize,
     cycle: u64,
+    _marker: std::marker::PhantomData<&'a RouterCore>,
 }
 
+#[allow(unsafe_code)]
 impl<'a> NetView<'a> {
     pub(crate) fn new(
         spec: &'a NetworkSpec,
@@ -52,10 +60,47 @@ impl<'a> NetView<'a> {
     ) -> Self {
         NetView {
             spec,
-            routers,
+            routers: routers.as_ptr(),
+            len: routers.len(),
             buffer_depth,
             cycle,
+            _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Builds a view over `len` routers starting at `routers`.
+    ///
+    /// # Safety
+    ///
+    /// For the view's lifetime, `routers..routers+len` must stay valid,
+    /// and no thread may mutate the output-side fields (`out_q`,
+    /// `out_port_count`, `credits`, `outstanding`) of any core in that
+    /// range. Mutation of the input-side fields by other threads is
+    /// fine — the view never reads them.
+    pub(crate) unsafe fn from_raw(
+        spec: &'a NetworkSpec,
+        routers: *const RouterCore,
+        len: usize,
+        buffer_depth: usize,
+        cycle: u64,
+    ) -> Self {
+        NetView {
+            spec,
+            routers,
+            len,
+            buffer_depth,
+            cycle,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Pointer to router `core`'s state, bounds-checked.
+    #[inline]
+    fn core(&self, router: usize) -> *const RouterCore {
+        assert!(router < self.len, "router range");
+        // SAFETY: in range per the assert; valid per the constructor
+        // contract.
+        unsafe { self.routers.add(router) }
     }
 
     /// The network description.
@@ -82,7 +127,11 @@ impl<'a> NetView<'a> {
     /// Panics if `router`, `port` or `vc` is out of range.
     pub fn vc_occupancy(&self, router: usize, port: usize, vc: usize) -> usize {
         assert!(port < self.spec.routers[router].ports.len(), "port range");
-        self.routers[router].out_q[port * self.spec.vcs + vc].len()
+        let core = self.core(router);
+        // SAFETY: shared read of an output-side field, permitted by the
+        // constructor contract. `&(*core).out_q` projects only that
+        // field, never the whole struct.
+        unsafe { (&(*core).out_q)[port * self.spec.vcs + vc].len() }
     }
 
     /// Flits buffered in `router` whose next hop is output `port`,
@@ -96,7 +145,9 @@ impl<'a> NetView<'a> {
         // The engine maintains this per-port aggregate, so the hot
         // UGAL comparison is O(1) instead of a sum over VC queues.
         assert!(port < self.spec.routers[router].ports.len(), "port range");
-        self.routers[router].out_port_count[port] as usize
+        let core = self.core(router);
+        // SAFETY: shared read of an output-side field (see `core`).
+        unsafe { (&(*core).out_port_count)[port] as usize }
     }
 
     /// Everything `router` has committed toward output `port` on VC
@@ -118,13 +169,15 @@ impl<'a> NetView<'a> {
     /// Panics if `router`, `port` or `vc` is out of range.
     pub fn vc_committed(&self, router: usize, port: usize, vc: usize) -> usize {
         let slot = port * self.spec.vcs + vc;
-        let outstanding = match self.spec.routers[router].ports[port].conn {
-            Connection::Terminal { .. } => 0,
-            Connection::Router { .. } => {
-                self.buffer_depth - self.routers[router].credits[slot] as usize
-            }
-        };
-        self.routers[router].out_q[slot].len() + outstanding
+        let core = self.core(router);
+        // SAFETY: shared reads of output-side fields (see `core`).
+        unsafe {
+            let outstanding = match self.spec.routers[router].ports[port].conn {
+                Connection::Terminal { .. } => 0,
+                Connection::Router { .. } => self.buffer_depth - (&(*core).credits)[slot] as usize,
+            };
+            (&(*core).out_q)[slot].len() + outstanding
+        }
     }
 
     /// Total committed flits toward `router`'s output `port` across all
@@ -137,8 +190,9 @@ impl<'a> NetView<'a> {
         // queue depth + unreturned credits, both per-port aggregates
         // the engine keeps up to date — O(1) instead of a VC sum.
         assert!(port < self.spec.routers[router].ports.len(), "port range");
-        let core = &self.routers[router];
-        core.out_port_count[port] as usize + core.outstanding[port] as usize
+        let core = self.core(router);
+        // SAFETY: shared reads of output-side fields (see `core`).
+        unsafe { (&(*core).out_port_count)[port] as usize + (&(*core).outstanding)[port] as usize }
     }
 }
 
@@ -179,8 +233,10 @@ pub struct DecisionRecord {
 ///
 /// The same object serves every router, so implementations hold only
 /// immutable topology tables; all per-packet state travels in
-/// [`RouteInfo`] / [`Flit`].
-pub trait RoutingAlgorithm {
+/// [`RouteInfo`] / [`Flit`]. `Sync` is a supertrait: the sharded cycle
+/// engine shares one algorithm reference across its worker threads
+/// (any interior mutability must therefore be thread-safe).
+pub trait RoutingAlgorithm: Sync {
     /// Algorithm name for reports, e.g. `"UGAL-L"`.
     fn name(&self) -> String;
 

@@ -33,6 +33,8 @@
 //!    injection channel if a credit is available.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use dfly_traffic::{rng_for, Bernoulli, InjectionProcess, OnOff, TrafficPattern};
@@ -172,11 +174,13 @@ impl CreditRing {
         }
     }
 
-    /// Queues `target` for delivery at `time`, where `time > now`
-    /// (channel latencies are >= 1, so credits never land in the
-    /// current cycle's already-drained bucket).
+    /// Queues `target` for delivery at `time`, where `time >= now`.
+    /// Channel latencies are >= 1, so locally generated credits land
+    /// strictly in the future; credits drained from a cross-shard
+    /// mailbox at the start of cycle `now` may be due exactly at `now`,
+    /// whose bucket has not been taken yet.
     fn push(&mut self, now: u64, time: u64, target: CreditTarget) {
-        debug_assert!(time > now);
+        debug_assert!(time >= now);
         if time - now > self.mask {
             self.grow(now, time);
         }
@@ -230,10 +234,16 @@ pub struct SimPerf {
     pub cycles: u64,
     /// Total wall time of the run loop.
     pub wall: Duration,
-    /// Wall time per phase, in [`SimPerf::PHASE_NAMES`] order.
+    /// Wall time per phase, in [`SimPerf::PHASE_NAMES`] order. On a
+    /// sharded run each entry is the *maximum* compute time any shard
+    /// spent in that phase, so `wall >= phases.iter().sum()` stays true:
+    /// every phase ends at a barrier, hence each phase's wall-clock
+    /// segment is at least the slowest shard's compute time in it.
     pub phases: [Duration; 5],
     /// Network channel traversals (flit-hops) executed.
     pub flit_hops: u64,
+    /// Number of router shards (worker threads) the run executed on.
+    pub shards: usize,
 }
 
 impl SimPerf {
@@ -262,8 +272,392 @@ fn activate(list: &mut Vec<u32>, flags: &mut [bool], idx: usize) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Sharded cycle engine infrastructure
+// ---------------------------------------------------------------------
+//
+// Routers are partitioned into contiguous shards; every intra-shard
+// channel stays local to its worker thread and the >= 1-cycle pipeline
+// latency of inter-shard channels is the synchronisation slack: a flit
+// (or credit) transmitted at cycle `t` cannot be observed before cycle
+// `t + 1`, so cross-shard traffic is staged into per-(source, target)
+// mailboxes during phase 4 and drained by the owning shard at the start
+// of the next cycle. Five barriers per cycle — one per engine phase —
+// keep every shard in the same phase at all times, which is what makes
+// the split sound (see `ShardTable` for the aliasing protocol) and the
+// results bit-identical at any shard count.
+
+/// Interior-mutable router table shared by the shard workers.
+///
+/// Aliasing protocol, enforced by the per-cycle barriers:
+///
+/// * Phases 1, 3 and 4 are shard-exclusive: a worker takes `&mut
+///   RouterCore` only for routers inside its own contiguous range
+///   (foreign credits and flits are staged through the exchange, never
+///   applied directly).
+/// * Phase 2 is split-borrow: a worker writes only the *input-side*
+///   fields (`inputs`, `in_count`, `in_port_count`) of its own routers
+///   through raw field projections, while any worker may concurrently
+///   read the *output-side* fields through [`NetView`]. The two field
+///   sets are disjoint and no whole-struct reference is ever formed.
+/// * Phase 5 only reads router state.
+#[allow(unsafe_code)]
+mod shard_table {
+    use std::cell::UnsafeCell;
+
+    #[derive(Debug)]
+    pub(crate) struct ShardTable<T> {
+        cells: Vec<UnsafeCell<T>>,
+    }
+
+    // SAFETY: concurrent access is coordinated by the barrier protocol
+    // documented on the parent module; workers never form conflicting
+    // references to the same field of the same element.
+    unsafe impl<T: Send> Sync for ShardTable<T> {}
+
+    impl<T> ShardTable<T> {
+        pub fn new(items: Vec<T>) -> Self {
+            ShardTable {
+                cells: items.into_iter().map(UnsafeCell::new).collect(),
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.cells.len()
+        }
+
+        /// Raw pointer to element `i`, for field-granular access.
+        pub fn ptr(&self, i: usize) -> *mut T {
+            self.cells[i].get()
+        }
+
+        /// Base pointer over the whole table (`UnsafeCell<T>` is
+        /// `repr(transparent)` over `T`).
+        pub fn base(&self) -> *const T {
+            self.cells.as_ptr().cast()
+        }
+
+        /// Exclusive reference to element `i`.
+        ///
+        /// # Safety
+        ///
+        /// The caller must hold shard-exclusive access to `i`: no other
+        /// thread may read or write any part of the element for the
+        /// lifetime of the reference.
+        #[allow(clippy::mut_from_ref)]
+        pub unsafe fn get_mut(&self, i: usize) -> &mut T {
+            &mut *self.cells[i].get()
+        }
+
+        /// Shared reference to element `i`.
+        ///
+        /// # Safety
+        ///
+        /// No thread may mutate the element for the lifetime of the
+        /// reference.
+        pub unsafe fn get_ref(&self, i: usize) -> &T {
+            &*self.cells[i].get()
+        }
+
+        /// Exclusive view of the whole table; safe because `&mut self`
+        /// rules out any concurrent access.
+        #[cfg(test)]
+        pub fn slice_mut(&mut self) -> &mut [T] {
+            let len = self.cells.len();
+            let base = self.cells.as_mut_ptr().cast::<T>();
+            // SAFETY: `&mut self` is exclusive and the layout matches.
+            unsafe { std::slice::from_raw_parts_mut(base, len) }
+        }
+    }
+}
+use shard_table::ShardTable;
+
+/// Sense-reversing spin barrier; `wait` is a no-op for a single shard,
+/// so the one-shard engine pays (almost) nothing for the rendezvous
+/// points.
+#[derive(Debug)]
+struct SpinBarrier {
+    n: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> Self {
+        SpinBarrier {
+            n,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    fn wait(&self) {
+        if self.n <= 1 {
+            return;
+        }
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            self.generation
+                .store(generation.wrapping_add(1), Ordering::Release);
+        } else {
+            // Spin briefly for the dedicated-core case, then yield so
+            // oversubscribed shards (more shards than cores) hand the
+            // core to whoever still has phase work instead of burning
+            // whole scheduler quanta.
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == generation {
+                if spins < 1024 {
+                    std::hint::spin_loop();
+                    spins += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Cross-shard mailboxes and replicated-counter publication slots.
+///
+/// Mailboxes are indexed `[source_shard * shards + target_shard]` and
+/// drained in fixed source order, so delivery order is deterministic —
+/// and because each channel pipeline has exactly one source port, the
+/// per-pipe FIFO order matches the serial engine exactly.
+#[derive(Debug)]
+struct Exchange {
+    shards: usize,
+    /// Staged cross-shard flits: `(destination flat port, arrival, flit)`.
+    flits: Vec<Mutex<Vec<(u32, u64, Flit)>>>,
+    /// Staged cross-shard credit returns: `(delivery time, target)`.
+    credits: Vec<Mutex<Vec<(u64, CreditTarget)>>>,
+    /// Packets generated by each shard this cycle; published in phase 1,
+    /// read in phase 5 to derive the packet-id prefix sums (three
+    /// barriers apart, so the plain store/load pair is race-free).
+    gen_counts: Vec<AtomicU64>,
+    /// Cumulative labelled packets generated per shard, published at the
+    /// end of phase 5 so every shard evaluates the identical
+    /// end-of-cycle termination condition.
+    gen_labeled: Vec<AtomicU64>,
+    /// Cumulative labelled packets ejected per shard (same protocol).
+    eject_labeled: Vec<AtomicU64>,
+    barrier: SpinBarrier,
+}
+
+impl Exchange {
+    fn new(shards: usize) -> Self {
+        Exchange {
+            shards,
+            flits: (0..shards * shards)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+            credits: (0..shards * shards)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+            gen_counts: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            gen_labeled: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            eject_labeled: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            barrier: SpinBarrier::new(shards),
+        }
+    }
+
+    /// Labelled packets still in flight, summed over every shard's
+    /// published counters (identical on all shards after the phase-5
+    /// barrier).
+    fn labeled_outstanding(&self) -> u64 {
+        let generated: u64 = self
+            .gen_labeled
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .sum();
+        let ejected: u64 = self
+            .eject_labeled
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .sum();
+        generated - ejected
+    }
+}
+
+/// Contiguous slice of the network owned by one shard: routers
+/// `[r0, r1)` and terminals `[t0, t1)`.
+#[derive(Debug, Clone, Copy)]
+struct ShardRange {
+    r0: usize,
+    r1: usize,
+    t0: usize,
+    t1: usize,
+}
+
+/// Resolves the configured shard count: `0` means auto — `DFLY_THREADS`
+/// if set (shared with the sweep-level parallel layer), otherwise the
+/// hardware thread count — and everything is clamped to the router
+/// count.
+fn resolve_shards(cfg: &SimConfig, num_routers: usize) -> usize {
+    let want = if cfg.shards == 0 {
+        std::env::var("DFLY_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    } else {
+        cfg.shards
+    };
+    want.clamp(1, num_routers.max(1))
+}
+
+/// Cuts the routers into `shards` contiguous ranges balanced by flat
+/// port count (the best static proxy for per-cycle work), then derives
+/// the matching terminal ranges. Falls back to a single shard when the
+/// terminal numbering is not monotone in router order — partitioning
+/// such a network would break the global packet-id order that keeps
+/// sharded runs bit-identical.
+fn plan_shards(
+    spec: &NetworkSpec,
+    port_base: &[u32],
+    total_flats: usize,
+    shards: usize,
+) -> Vec<ShardRange> {
+    let num_routers = spec.num_routers();
+    let num_terminals = spec.num_terminals();
+    let single = vec![ShardRange {
+        r0: 0,
+        r1: num_routers,
+        t0: 0,
+        t1: num_terminals,
+    }];
+    if shards <= 1 {
+        return single;
+    }
+    let mut cuts = Vec::with_capacity(shards + 1);
+    cuts.push(0usize);
+    for k in 1..shards {
+        let target = (total_flats * k / shards) as u32;
+        let split = port_base.partition_point(|&b| b < target);
+        let prev = *cuts.last().unwrap();
+        cuts.push(split.clamp(prev + 1, num_routers - (shards - k)));
+    }
+    cuts.push(num_routers);
+    let shard_of = |r: usize| cuts.partition_point(|&c| c <= r) - 1;
+    let mut terminal_start = vec![0usize; shards + 1];
+    terminal_start[shards] = num_terminals;
+    let mut current = 0usize;
+    for t in 0..num_terminals {
+        let s = shard_of(spec.terminal_router(t));
+        if s < current {
+            return single; // terminals not monotone in router order
+        }
+        while current < s {
+            current += 1;
+            terminal_start[current] = t;
+        }
+    }
+    while current < shards - 1 {
+        current += 1;
+        terminal_start[current] = num_terminals;
+    }
+    (0..shards)
+        .map(|s| ShardRange {
+            r0: cuts[s],
+            r1: cuts[s + 1],
+            t0: terminal_start[s],
+            t1: terminal_start[s + 1],
+        })
+        .collect()
+}
+
+/// Per-run state shared (immutably, plus the coordinated `ShardTable`
+/// and `Exchange` interior mutability) by every shard worker.
+struct EngineShared<'a> {
+    spec: &'a NetworkSpec,
+    cfg: SimConfig,
+    routing: &'a dyn RoutingAlgorithm,
+    pattern: &'a dyn TrafficPattern,
+    routers: ShardTable<RouterCore>,
+    /// First flat-port index of each router.
+    port_base: Vec<u32>,
+    /// Destination flat port of each source flat port's channel;
+    /// `u32::MAX` marks terminal ports. Channel pipelines are owned by
+    /// their *destination* shard, which is what keeps every pipe a
+    /// plain, lock-free `VecDeque`.
+    dst_flat: Vec<u32>,
+    /// Router owning each flat port.
+    flat_router: Vec<u32>,
+    /// Shard owning each router.
+    router_shard: Vec<u32>,
+    /// Zero-load credit round trip per flat port.
+    tcrt0: Vec<u64>,
+    /// Network (non-terminal) output ports per router.
+    net_ports: Vec<Vec<u16>>,
+    win_start: u64,
+    win_end: u64,
+    exch: Exchange,
+}
+
+/// Mutable state owned by one shard worker.
+struct ShardState {
+    id: usize,
+    range: ShardRange,
+    /// Terminals `range.t0..range.t1` (index offset by `range.t0`).
+    terminals: Vec<TerminalCore>,
+    /// In-flight flits per directed network channel, indexed by the
+    /// channel's *destination* flat port; only this shard's range is
+    /// populated.
+    pipes: Vec<VecDeque<(u64, Flit)>>,
+    active_pipes: Vec<u32>,
+    pipe_active: Vec<bool>,
+    active_terms: Vec<u32>,
+    term_active: Vec<bool>,
+    active_routers: Vec<u32>,
+    router_active: Vec<bool>,
+    credit_ring: CreditRing,
+    arrivals: Vec<(u32, u32, Flit)>,
+    arrival_routes: Vec<PortVc>,
+    /// `(terminal, destination)` of the packets generated this cycle in
+    /// phase 1, in terminal order; consumed by phase 5.
+    staged_gen: Vec<(u32, u32)>,
+    /// Outgoing cross-shard flits, buffered per target shard and
+    /// flushed into the exchange once per cycle.
+    out_flits: Vec<Vec<(u32, u64, Flit)>>,
+    /// Outgoing cross-shard credit returns, same protocol.
+    out_credits: Vec<Vec<(u64, CreditTarget)>>,
+    flit_hops: u64,
+    cycle: u64,
+    /// Replicated global packet counter; every shard advances it by the
+    /// same published total each cycle.
+    next_packet: u64,
+    /// Cumulative labelled packets generated by this shard's terminals.
+    gen_labeled: u64,
+    /// Cumulative labelled packets ejected at this shard's routers.
+    eject_labeled: u64,
+    injected_in_window: u64,
+    ejected_in_window: u64,
+    sent_in_window: Vec<u64>,
+    latency: LatencySummary,
+    minimal_latency: LatencySummary,
+    non_minimal_latency: LatencySummary,
+    hops: LatencySummary,
+    histogram: Histogram,
+    minimal_histogram: Histogram,
+    telemetry: RouteTelemetry,
+    latency_log: LogHistogram,
+    scoreboard: EstimatorScoreboard,
+    sampler: Option<ChannelSampler>,
+    tracer: Option<FlitTracer>,
+    /// Per-phase compute time (excluding barrier waits).
+    phases: [Duration; 5],
+}
+
 /// A cycle-accurate simulation of one network under one routing algorithm
 /// and traffic pattern.
+///
+/// The engine shards routers across worker threads (see
+/// [`SimConfig::shards`]); results are bit-identical at every shard
+/// count, so the default of one shard is purely a performance choice.
 ///
 /// # Example
 ///
@@ -305,74 +699,15 @@ fn activate(list: &mut Vec<u32>, flags: &mut [bool], idx: usize) {
 /// # }
 /// ```
 pub struct Simulation<'a> {
-    spec: &'a NetworkSpec,
-    cfg: SimConfig,
-    routing: &'a dyn RoutingAlgorithm,
-    pattern: &'a dyn TrafficPattern,
-
-    routers: Vec<RouterCore>,
-    terminals: Vec<TerminalCore>,
-    /// In-flight flits per directed network channel, `[flat port]`.
-    pipes: Vec<VecDeque<(u64, Flit)>>,
-    /// Worklist of non-empty pipes (so phase 2 touches only channels
-    /// with flits in flight), plus membership flags.
-    active_pipes: Vec<u32>,
-    pipe_active: Vec<bool>,
-    /// Worklist of terminals with flits on their injection channel.
-    active_terms: Vec<u32>,
-    term_active: Vec<bool>,
-    /// Worklist of routers holding any flit (input stage or output
-    /// queues); phases 3–4 iterate this instead of every router.
-    active_routers: Vec<u32>,
-    router_active: Vec<bool>,
-    /// First flat-port index of each router.
-    port_base: Vec<u32>,
-    /// Destination `(router, port)` of each flat port's channel;
-    /// `u32::MAX` marks terminal ports.
-    pipe_dest: Vec<(u32, u32)>,
-    /// Zero-load credit round trip per flat port.
-    tcrt0: Vec<u64>,
-    /// Network (non-terminal) output ports per router.
-    net_ports: Vec<Vec<u16>>,
-    credit_ring: CreditRing,
-    /// Arrival staging scratch: `(router, in_slot, flit)`.
-    arrivals: Vec<(u32, u32, Flit)>,
-    /// Routes of the staged arrivals.
-    arrival_routes: Vec<PortVc>,
-    /// Network channel traversals executed (perf counter).
-    flit_hops: u64,
-
+    eng: EngineShared<'a>,
+    shards: Vec<ShardState>,
     cycle: u64,
-    next_packet: u64,
-    win_start: u64,
-    win_end: u64,
-    labeled_outstanding: u64,
-    injected_in_window: u64,
-    ejected_in_window: u64,
-    sent_in_window: Vec<u64>,
-    latency: LatencySummary,
-    minimal_latency: LatencySummary,
-    non_minimal_latency: LatencySummary,
-    hops: LatencySummary,
-    histogram: Histogram,
-    minimal_histogram: Histogram,
-    telemetry: RouteTelemetry,
-    /// Log-bucketed latency distribution (always on; one O(1) insert
-    /// per labelled ejected packet).
-    latency_log: LogHistogram,
-    /// Estimator-accuracy scoreboard (always on; one O(1) update per
-    /// labelled adaptive injection).
-    scoreboard: EstimatorScoreboard,
-    /// Channel time-series sampler; `None` unless
-    /// `cfg.telemetry.sample_every > 0`, so the per-flit hot path pays
-    /// one predictable branch when sampling is off.
-    sampler: Option<ChannelSampler>,
-    /// Sampling flit tracer; `None` unless `cfg.telemetry.trace_rate
-    /// > 0`, same single-branch disabled cost.
-    tracer: Option<FlitTracer>,
 }
 
-/// Working state of the per-channel time-series sampler.
+/// Working state of the per-channel time-series sampler (per shard:
+/// each shard samples only its own routers' channels, and the merged
+/// series concatenates the shard series in shard order — which is
+/// exactly global `(router, port)` order because shards are contiguous).
 struct ChannelSampler {
     /// Sampling cadence in cycles (> 0).
     every: u64,
@@ -380,7 +715,7 @@ struct ChannelSampler {
     /// `series.channels`.
     flats: Vec<u32>,
     /// Lifetime flits transmitted per flat port (only maintained while
-    /// the sampler exists).
+    /// the sampler exists; only this shard's ports are touched).
     sent_total: Vec<u64>,
     /// `sent_total` snapshot at the previous sample tick, per sampled
     /// channel.
@@ -388,418 +723,208 @@ struct ChannelSampler {
     /// The series under construction.
     series: TimeSeries,
 }
-
-impl<'a> Simulation<'a> {
-    /// Builds a simulation over `spec` driven by `routing` and `pattern`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError`] if the configuration is invalid or the
-    /// pattern's terminal count does not match the network's.
-    pub fn new(
-        spec: &'a NetworkSpec,
-        routing: &'a dyn RoutingAlgorithm,
-        pattern: &'a dyn TrafficPattern,
-        cfg: SimConfig,
-    ) -> Result<Self, SimError> {
-        cfg.validate()?;
-        if pattern.num_terminals() != spec.num_terminals() {
-            return Err(SimError::InvalidConfig(format!(
-                "pattern covers {} terminals but network has {}",
-                pattern.num_terminals(),
-                spec.num_terminals()
-            )));
-        }
-        let vcs = spec.vcs;
-        let mut routers = Vec::with_capacity(spec.num_routers());
-        let mut port_base = Vec::with_capacity(spec.num_routers());
-        let mut pipe_dest = Vec::new();
-        let mut tcrt0 = Vec::new();
-        let mut net_ports = Vec::with_capacity(spec.num_routers());
-        let mut flat = 0u32;
-        for router in &spec.routers {
-            let ports = router.ports.len();
-            port_base.push(flat);
-            flat += ports as u32;
-            routers.push(RouterCore {
-                inputs: vec![VecDeque::new(); ports * vcs],
-                in_count: 0,
-                in_port_count: vec![0; ports],
-                out_q: vec![VecDeque::new(); ports * vcs],
-                out_count: 0,
-                out_port_count: vec![0; ports],
-                credits: vec![cfg.buffer_depth as u32; ports * vcs],
-                outstanding: vec![0; ports],
-                rr: vec![0; ports],
-                ctq: vec![VecDeque::new(); ports],
-                td: vec![0; ports],
-                sent_seq: vec![0; ports],
-                credit_seq: vec![0; ports],
-            });
-            let mut nps = Vec::new();
-            for (p, port) in router.ports.iter().enumerate() {
-                tcrt0.push(2 * port.latency as u64);
-                match port.conn {
-                    Connection::Router {
-                        router: rr,
-                        port: rp,
-                    } => {
-                        pipe_dest.push((rr, rp));
-                        nps.push(p as u16);
-                    }
-                    Connection::Terminal { .. } => pipe_dest.push((u32::MAX, u32::MAX)),
-                }
-            }
-            net_ports.push(nps);
-        }
-        let terminals = (0..spec.num_terminals())
-            .map(|t| TerminalCore {
-                source: VecDeque::new(),
-                active_route: None,
-                credits: vec![cfg.buffer_depth as u32; vcs],
-                pipe: VecDeque::new(),
-                inj: Injector::new(cfg.injection),
-                rng: rng_for(cfg.seed, t as u64),
-            })
-            .collect();
-        let win_start = cfg.warmup;
-        let win_end = cfg.warmup + cfg.measure;
-        let horizon = tcrt0.iter().copied().max().unwrap_or(2) + 2;
-        let num_routers = spec.num_routers();
-        let sampler = (cfg.telemetry.sample_every > 0).then(|| {
-            let mut flats = Vec::new();
-            let mut channels = Vec::new();
-            for (r, p) in spec.network_channels() {
-                flats.push(port_base[r] + p as u32);
-                channels.push(ChannelSeries {
-                    router: r as u32,
-                    port: p as u16,
-                    class: spec.routers[r].ports[p].class,
-                    occupancy: Vec::new(),
-                    vc_occupancy: Vec::new(),
-                    credits: Vec::new(),
-                    sent: Vec::new(),
-                });
-            }
-            ChannelSampler {
-                every: cfg.telemetry.sample_every,
-                prev_sent: vec![0; flats.len()],
-                flats,
-                sent_total: vec![0; flat as usize],
-                series: TimeSeries {
-                    every: cfg.telemetry.sample_every,
-                    vcs: vcs as u8,
-                    ticks: Vec::new(),
-                    channels,
-                },
-            }
-        });
-        let tracer = (cfg.telemetry.trace_rate > 0.0)
-            .then(|| FlitTracer::new(cfg.telemetry.trace_rate, cfg.telemetry.trace_seed));
-        Ok(Simulation {
-            spec,
-            routing,
-            pattern,
-            routers,
-            terminals,
-            pipes: vec![VecDeque::new(); flat as usize],
-            active_pipes: Vec::with_capacity(flat as usize),
-            pipe_active: vec![false; flat as usize],
-            active_terms: Vec::with_capacity(spec.num_terminals()),
-            term_active: vec![false; spec.num_terminals()],
-            active_routers: Vec::with_capacity(num_routers),
-            router_active: vec![false; num_routers],
-            port_base,
-            pipe_dest,
-            tcrt0,
-            net_ports,
-            credit_ring: CreditRing::with_horizon(horizon),
-            arrivals: Vec::new(),
-            arrival_routes: Vec::new(),
-            flit_hops: 0,
-            cycle: 0,
-            next_packet: 0,
-            win_start,
-            win_end,
-            labeled_outstanding: 0,
-            injected_in_window: 0,
-            ejected_in_window: 0,
-            sent_in_window: vec![0; flat as usize],
-            latency: LatencySummary::default(),
-            minimal_latency: LatencySummary::default(),
-            non_minimal_latency: LatencySummary::default(),
-            hops: LatencySummary::default(),
-            histogram: Histogram::new(4096, 1),
-            minimal_histogram: Histogram::new(4096, 1),
-            telemetry: RouteTelemetry::default(),
-            latency_log: LogHistogram::new(),
-            scoreboard: EstimatorScoreboard::new(),
-            sampler,
-            tracer,
-            cfg,
-        })
-    }
-
-    /// The network being simulated.
-    pub fn spec(&self) -> &NetworkSpec {
-        self.spec
-    }
-
-    /// Current cycle.
-    pub fn cycle(&self) -> u64 {
-        self.cycle
-    }
-
-    /// Runs warm-up, measurement and drain, returning the statistics.
-    ///
-    /// The run ends when every labelled packet has been delivered, or
-    /// when the drain cap is exceeded (the network is saturated at this
-    /// load); [`RunStats::drained`] records which.
-    pub fn run(&mut self) -> RunStats {
-        self.drive();
-        self.collect()
-    }
-
-    /// Runs to completion like [`Simulation::run`], consuming the
-    /// simulation so the final histograms move into the returned stats
-    /// instead of being cloned.
-    pub fn finish(mut self) -> RunStats {
-        self.drive();
-        self.collect_owned()
-    }
-
-    /// Runs to completion, consuming the simulation, and additionally
-    /// reports wall-clock performance counters (per-phase wall time,
-    /// cycles/sec, flit-hops/sec).
-    pub fn run_instrumented(mut self) -> (RunStats, SimPerf) {
-        let mut perf = SimPerf::default();
-        let start = Instant::now();
-        let hard_cap = self.win_end + self.cfg.drain_cap;
-        while self.cycle < hard_cap {
-            self.step_timed(&mut perf.phases);
-            if self.cycle >= self.win_end && self.labeled_outstanding == 0 {
-                break;
-            }
-        }
-        perf.wall = start.elapsed();
-        perf.cycles = self.cycle;
-        perf.flit_hops = self.flit_hops;
-        (self.collect_owned(), perf)
-    }
-
-    /// The warm-up/measure/drain loop shared by the `run` variants.
-    fn drive(&mut self) {
-        let hard_cap = self.win_end + self.cfg.drain_cap;
-        while self.cycle < hard_cap {
-            self.step();
-            if self.cycle >= self.win_end && self.labeled_outstanding == 0 {
-                break;
-            }
-        }
-    }
-
-    /// Advances the simulation by one cycle, accumulating per-phase wall
-    /// time into `timers` (diagnostic).
-    #[doc(hidden)]
-    pub fn step_timed(&mut self, timers: &mut [Duration; 5]) {
-        let t = self.cycle;
-        let clock = Instant::now();
-        self.deliver_credits(t);
-        timers[0] += clock.elapsed();
-        let clock = Instant::now();
-        self.deliver_flits(t);
-        timers[1] += clock.elapsed();
-        let clock = Instant::now();
-        self.switch(t);
-        timers[2] += clock.elapsed();
-        let clock = Instant::now();
-        self.transmit(t);
-        timers[3] += clock.elapsed();
-        let clock = Instant::now();
-        self.inject(t);
-        timers[4] += clock.elapsed();
-        if self.sampler.is_some() {
-            self.sample_tick(t);
-        }
-        self.cycle = t + 1;
-    }
-
-    /// Advances the simulation by one cycle.
-    pub fn step(&mut self) {
-        let t = self.cycle;
-        self.deliver_credits(t);
-        self.deliver_flits(t);
-        self.switch(t);
-        self.transmit(t);
-        self.inject(t);
-        if self.sampler.is_some() {
-            self.sample_tick(t);
-        }
-        self.cycle = t + 1;
-    }
-
-    /// Appends one sample column to the channel time series if `t` is
-    /// on the sampling cadence. Reads the settled end-of-cycle state
-    /// (after transmission and injection).
-    fn sample_tick(&mut self, t: u64) {
-        let Some(s) = self.sampler.as_mut() else {
-            return;
-        };
-        if !t.is_multiple_of(s.every) {
-            return;
-        }
-        s.series.ticks.push(t);
-        let vcs = self.spec.vcs;
-        for (i, ch) in s.series.channels.iter_mut().enumerate() {
-            let core = &self.routers[ch.router as usize];
-            let p = ch.port as usize;
-            ch.occupancy.push(core.out_port_count[p]);
-            let mut credits = 0u32;
-            for vc in 0..vcs {
-                let slot = p * vcs + vc;
-                ch.vc_occupancy.push(core.out_q[slot].len() as u16);
-                credits += core.credits[slot];
-            }
-            ch.credits.push(credits as u16);
-            let sent = s.sent_total[s.flats[i] as usize];
-            ch.sent.push((sent - s.prev_sent[i]) as u32);
-            s.prev_sent[i] = sent;
-        }
-    }
-
+impl<'a> EngineShared<'a> {
     fn in_window(&self, t: u64) -> bool {
         t >= self.win_start && t < self.win_end
     }
 
-    /// Phase 1: apply credits whose return (plus any round-trip delay)
-    /// completes this cycle.
-    fn deliver_credits(&mut self, t: u64) {
-        if self.credit_ring.pending == 0 {
-            return;
-        }
-        let due = self.credit_ring.take_due(t);
-        for &target in &due {
-            match target {
-                CreditTarget::Router { router, port, vc } => {
-                    let core = &mut self.routers[router as usize];
-                    let slot = port as usize * self.spec.vcs + vc as usize;
-                    core.credits[slot] += 1;
-                    core.outstanding[port as usize] -= 1;
-                    debug_assert!(core.credits[slot] <= self.cfg.buffer_depth as u32);
-                    if let CreditMode::RoundTrip { sample, estimator } = self.cfg.credit_mode {
-                        let p = port as usize;
-                        if core.credit_seq[p].is_multiple_of(sample) {
-                            let ts = core.ctq[p]
-                                .pop_front()
-                                .expect("credit arrived with empty timestamp queue");
-                            let flat = self.port_base[router as usize] as usize + p;
-                            let sample_td = (t - ts).saturating_sub(self.tcrt0[flat]);
-                            core.td[p] = match estimator {
-                                TdEstimator::LastSample => sample_td,
-                                TdEstimator::Ewma { shift } => {
-                                    let old = core.td[p];
-                                    old - (old >> shift) + (sample_td >> shift)
-                                }
-                            };
-                        }
-                        core.credit_seq[p] = core.credit_seq[p].wrapping_add(1);
-                    }
+    /// Phase 1 — drain the cross-shard mailboxes (flits and credits
+    /// staged by other shards last cycle; their >= 1-cycle channel
+    /// latency guarantees nothing is late), deliver due credits, and
+    /// run the *generation* half of injection: the per-terminal RNG
+    /// draws that decide which terminals fire this cycle, published as
+    /// a per-shard count so phase 5 can assign globally ordered packet
+    /// ids. Per-terminal draw order (injection process, then
+    /// destination) matches the serial engine exactly.
+    #[allow(unsafe_code)]
+    fn seg_credits(&self, st: &mut ShardState, t: u64) {
+        let shards = self.exch.shards;
+        if shards > 1 {
+            for src in 0..shards {
+                let mut inbox = self.exch.flits[src * shards + st.id]
+                    .lock()
+                    .expect("flit mailbox poisoned");
+                for (df, arrival, flit) in inbox.drain(..) {
+                    let df = df as usize;
+                    st.pipes[df].push_back((arrival, flit));
+                    activate(&mut st.active_pipes, &mut st.pipe_active, df);
                 }
-                CreditTarget::Terminal { term, vc } => {
-                    let tc = &mut self.terminals[term as usize];
-                    tc.credits[vc as usize] += 1;
-                    debug_assert!(tc.credits[vc as usize] <= self.cfg.buffer_depth as u32);
+            }
+            for src in 0..shards {
+                let mut inbox = self.exch.credits[src * shards + st.id]
+                    .lock()
+                    .expect("credit mailbox poisoned");
+                for (time, target) in inbox.drain(..) {
+                    st.credit_ring.push(t, time, target);
                 }
             }
         }
-        self.credit_ring.restore(t, due);
+        if st.credit_ring.pending > 0 {
+            let vcs = self.spec.vcs;
+            let due = st.credit_ring.take_due(t);
+            for &target in &due {
+                match target {
+                    CreditTarget::Router { router, port, vc } => {
+                        let router = router as usize;
+                        debug_assert!((st.range.r0..st.range.r1).contains(&router));
+                        // SAFETY: phase 1 is shard-exclusive and foreign
+                        // credits are staged, so `router` is owned here.
+                        let core = unsafe { self.routers.get_mut(router) };
+                        let slot = port as usize * vcs + vc as usize;
+                        core.credits[slot] += 1;
+                        core.outstanding[port as usize] -= 1;
+                        debug_assert!(core.credits[slot] <= self.cfg.buffer_depth as u32);
+                        if let CreditMode::RoundTrip { sample, estimator } = self.cfg.credit_mode {
+                            let p = port as usize;
+                            if core.credit_seq[p].is_multiple_of(sample) {
+                                let ts = core.ctq[p]
+                                    .pop_front()
+                                    .expect("credit arrived with empty timestamp queue");
+                                let flat = self.port_base[router] as usize + p;
+                                let sample_td = (t - ts).saturating_sub(self.tcrt0[flat]);
+                                core.td[p] = match estimator {
+                                    TdEstimator::LastSample => sample_td,
+                                    TdEstimator::Ewma { shift } => {
+                                        let old = core.td[p];
+                                        old - (old >> shift) + (sample_td >> shift)
+                                    }
+                                };
+                            }
+                            core.credit_seq[p] = core.credit_seq[p].wrapping_add(1);
+                        }
+                    }
+                    CreditTarget::Terminal { term, vc } => {
+                        let tc = &mut st.terminals[term as usize - st.range.t0];
+                        tc.credits[vc as usize] += 1;
+                        debug_assert!(tc.credits[vc as usize] <= self.cfg.buffer_depth as u32);
+                    }
+                }
+            }
+            st.credit_ring.restore(t, due);
+        }
+        st.staged_gen.clear();
+        for term in st.range.t0..st.range.t1 {
+            let tc = &mut st.terminals[term - st.range.t0];
+            if tc.inj.inject(&mut tc.rng) {
+                let dest = self.pattern.destination(term, &mut tc.rng) as u32;
+                st.staged_gen.push((term as u32, dest));
+            }
+        }
+        self.exch.gen_counts[st.id].store(st.staged_gen.len() as u64, Ordering::Release);
     }
 
-    /// Phase 2: stage flits finishing their channel traversal, compute
-    /// their routes against the pre-arrival state, then buffer them in
-    /// the input stage.
-    fn deliver_flits(&mut self, t: u64) {
-        self.arrivals.clear();
+    /// Phase 2 — stage flits finishing their channel traversal, compute
+    /// their routes against the frozen pre-arrival state, then buffer
+    /// them in the input stage. Writes touch only input-side router
+    /// fields through field projections; concurrent shards read only
+    /// output-side fields through [`NetView`], so route decisions see
+    /// the same frozen state at every shard count.
+    #[allow(unsafe_code)]
+    fn seg_arrivals(&self, st: &mut ShardState, t: u64) {
+        let vcs = self.spec.vcs;
+        st.arrivals.clear();
         // Only channels with flits in flight are visited; a pipe leaves
         // the worklist the moment it empties. Worklist order does not
         // affect results: arrivals to the same input slot always come
         // from the same (FIFO) pipe, and route computation below is a
         // pure function of the frozen pre-arrival view.
         let mut i = 0;
-        while i < self.active_pipes.len() {
-            let fp = self.active_pipes[i] as usize;
-            while let Some(&(arrival, flit)) = self.pipes[fp].front() {
+        while i < st.active_pipes.len() {
+            let df = st.active_pipes[i] as usize;
+            while let Some(&(arrival, flit)) = st.pipes[df].front() {
                 if arrival > t {
                     break;
                 }
-                self.pipes[fp].pop_front();
-                let (dr, dp) = self.pipe_dest[fp];
-                let slot = dp * self.spec.vcs as u32 + flit.vc as u32;
-                self.arrivals.push((dr, slot, flit));
+                st.pipes[df].pop_front();
+                let dr = self.flat_router[df];
+                let dp = df as u32 - self.port_base[dr as usize];
+                let slot = dp * vcs as u32 + flit.vc as u32;
+                st.arrivals.push((dr, slot, flit));
             }
-            if self.pipes[fp].is_empty() {
-                self.pipe_active[fp] = false;
-                self.active_pipes.swap_remove(i);
+            if st.pipes[df].is_empty() {
+                st.pipe_active[df] = false;
+                st.active_pipes.swap_remove(i);
             } else {
                 i += 1;
             }
         }
         let mut i = 0;
-        while i < self.active_terms.len() {
-            let term = self.active_terms[i] as usize;
-            while let Some(&(arrival, flit)) = self.terminals[term].pipe.front() {
+        while i < st.active_terms.len() {
+            let term = st.active_terms[i] as usize;
+            let tl = term - st.range.t0;
+            while let Some(&(arrival, flit)) = st.terminals[tl].pipe.front() {
                 if arrival > t {
                     break;
                 }
-                self.terminals[term].pipe.pop_front();
+                st.terminals[tl].pipe.pop_front();
                 let (r, p) = self.spec.terminal_port(term);
-                let slot = (p * self.spec.vcs) as u32 + flit.vc as u32;
-                self.arrivals.push((r as u32, slot, flit));
+                let slot = (p * vcs) as u32 + flit.vc as u32;
+                st.arrivals.push((r as u32, slot, flit));
             }
-            if self.terminals[term].pipe.is_empty() {
-                self.term_active[term] = false;
-                self.active_terms.swap_remove(i);
+            if st.terminals[tl].pipe.is_empty() {
+                st.term_active[term] = false;
+                st.active_terms.swap_remove(i);
             } else {
                 i += 1;
             }
         }
-        self.arrival_routes.clear();
+        st.arrival_routes.clear();
         {
-            let view = NetView::new(self.spec, &self.routers, self.cfg.buffer_depth, t);
-            for &(r, _, ref flit) in &self.arrivals {
-                self.arrival_routes
+            // SAFETY: no shard mutates output-side router fields during
+            // phase 2, which is all the view reads.
+            let view = unsafe {
+                NetView::from_raw(
+                    self.spec,
+                    self.routers.base(),
+                    self.routers.len(),
+                    self.cfg.buffer_depth,
+                    t,
+                )
+            };
+            for &(r, _, ref flit) in &st.arrivals {
+                st.arrival_routes
                     .push(self.routing.route(&view, r as usize, flit));
             }
         }
-        for (&(r, slot, flit), &pv) in self.arrivals.iter().zip(&self.arrival_routes) {
-            let core = &mut self.routers[r as usize];
-            core.inputs[slot as usize].push_back((flit, pv));
-            core.in_count += 1;
-            core.in_port_count[slot as usize / self.spec.vcs] += 1;
-            debug_assert!(core.inputs[slot as usize].len() <= self.cfg.buffer_depth);
-            activate(
-                &mut self.active_routers,
-                &mut self.router_active,
-                r as usize,
-            );
+        for (&(r, slot, flit), &pv) in st.arrivals.iter().zip(&st.arrival_routes) {
+            let r = r as usize;
+            let slot = slot as usize;
+            debug_assert!((st.range.r0..st.range.r1).contains(&r));
+            // SAFETY: `r` is owned by this shard (pipes are indexed by
+            // destination) and only input-side fields are referenced —
+            // never the whole struct — so concurrent readers of
+            // output-side fields on other shards are not invalidated.
+            let core = self.routers.ptr(r);
+            unsafe {
+                let inputs = &mut (*core).inputs;
+                inputs[slot].push_back((flit, pv));
+                debug_assert!(inputs[slot].len() <= self.cfg.buffer_depth);
+                (*core).in_count += 1;
+                (&mut (*core).in_port_count)[slot / vcs] += 1;
+            }
+            activate(&mut st.active_routers, &mut st.router_active, r);
         }
     }
 
-    /// Phase 3: move flits from the input stage into their output queues
-    /// (unbounded internal speedup). The input slot index travels with
-    /// the flit; its credit is returned when the flit leaves the router,
-    /// so the credit round trip measures queueing *inside* this router —
-    /// exactly the congestion signal of the paper's Figure 15.
-    fn switch(&mut self, t: u64) {
+    /// Phase 3 — move flits from the input stage into their output
+    /// queues (unbounded internal speedup). The input slot index
+    /// travels with the flit; its credit is returned when the flit
+    /// leaves the router, so the credit round trip measures queueing
+    /// *inside* this router — exactly the congestion signal of the
+    /// paper's Figure 15.
+    #[allow(unsafe_code)]
+    fn seg_switch(&self, st: &mut ShardState, t: u64) {
         let vcs = self.spec.vcs;
         let depth = self.cfg.buffer_depth;
         // Per-router state is disjoint, so worklist order is irrelevant.
-        for idx in 0..self.active_routers.len() {
-            let r = self.active_routers[idx] as usize;
-            if self.routers[r].in_count == 0 {
+        for idx in 0..st.active_routers.len() {
+            let r = st.active_routers[idx] as usize;
+            // SAFETY: phase 3 is shard-exclusive over this shard's
+            // routers, and the worklist only ever holds own routers.
+            let core = unsafe { self.routers.get_mut(r) };
+            if core.in_count == 0 {
                 continue;
             }
-            let core = &mut self.routers[r];
             let ports = core.in_port_count.len();
             // Rotate the starting input each cycle for long-run fairness
             // when an output queue is nearly full.
@@ -828,25 +953,30 @@ impl<'a> Simulation<'a> {
         }
     }
 
-    /// Phase 4: every output port transmits one flit, round-robin over
+    /// Phase 4 — every output port transmits one flit, round-robin over
     /// its VC queues, subject to downstream credits; terminal outputs
-    /// eject.
-    fn transmit(&mut self, t: u64) {
+    /// eject. Flits and credits bound for another shard are staged into
+    /// the exchange and flushed once at the end of the phase.
+    #[allow(unsafe_code)]
+    fn seg_transmit(&self, st: &mut ShardState, t: u64) {
         let vcs = self.spec.vcs;
         let in_window = self.in_window(t);
         let round_trip = matches!(self.cfg.credit_mode, CreditMode::RoundTrip { .. });
         // Iterate the active worklist; routers that end the phase fully
         // idle (no buffered flits anywhere) retire from it. Cross-router
         // order is irrelevant: each iteration touches only its own
-        // router's state, its own outbound pipes, and commutative global
+        // router's state, its own outbound pipes, and commutative
         // accumulators, and every credit lands on a distinct target.
         let mut i = 0;
-        while i < self.active_routers.len() {
-            let r = self.active_routers[i] as usize;
-            if self.routers[r].out_count == 0 {
-                if self.routers[r].in_count == 0 {
-                    self.router_active[r] = false;
-                    self.active_routers.swap_remove(i);
+        while i < st.active_routers.len() {
+            let r = st.active_routers[i] as usize;
+            // SAFETY: phase 4 is shard-exclusive over this shard's
+            // routers.
+            let core = unsafe { self.routers.get_mut(r) };
+            if core.out_count == 0 {
+                if core.in_count == 0 {
+                    st.router_active[r] = false;
+                    st.active_routers.swap_remove(i);
                 } else {
                     i += 1;
                 }
@@ -856,7 +986,7 @@ impl<'a> Simulation<'a> {
             let min_td = if round_trip {
                 self.net_ports[r]
                     .iter()
-                    .map(|&p| self.routers[r].td[p as usize])
+                    .map(|&p| core.td[p as usize])
                     .min()
                     .unwrap_or(0)
             } else {
@@ -864,18 +994,17 @@ impl<'a> Simulation<'a> {
             };
             let ports = self.spec.routers[r].ports.len();
             for out in 0..ports {
-                if self.routers[r].out_port_count[out] == 0 {
+                if core.out_port_count[out] == 0 {
                     continue;
                 }
                 let out_spec = self.spec.routers[r].ports[out];
                 let is_terminal = matches!(out_spec.conn, Connection::Terminal { .. });
                 // Pick the first eligible VC at or after the round-robin
                 // pointer.
-                let core = &self.routers[r];
                 let rr = core.rr[out] as usize;
                 let mut chosen = None;
-                for i in 0..vcs {
-                    let vc = (rr + i) % vcs;
+                for k in 0..vcs {
+                    let vc = (rr + k) % vcs;
                     let oslot = out * vcs + vc;
                     if core.out_q[oslot].is_empty() {
                         continue;
@@ -888,7 +1017,6 @@ impl<'a> Simulation<'a> {
                 let Some(vc) = chosen else {
                     continue;
                 };
-                let core = &mut self.routers[r];
                 core.rr[out] = ((vc + 1) % vcs) as u8;
                 let oslot = out * vcs + vc;
                 let (mut flit, in_slot) = core.out_q[oslot].pop_front().unwrap();
@@ -897,32 +1025,46 @@ impl<'a> Simulation<'a> {
                 // Return the credit for the input slot the flit arrived
                 // through, now that the flit has left the router. The
                 // round-trip mechanism delays it by td(O) − min td(o)
-                // (never across global channels).
+                // (never across global channels). Credits for a foreign
+                // upstream router are staged; terminals always share
+                // their router's shard.
                 let in_port = in_slot as usize / vcs;
                 let in_vc = (in_slot as usize % vcs) as u8;
                 let in_spec = self.spec.routers[r].ports[in_port];
                 let delay = if round_trip && in_spec.class != ChannelClass::Global {
-                    self.routers[r].td[out].saturating_sub(min_td)
+                    core.td[out].saturating_sub(min_td)
                 } else {
                     0
                 };
                 let time = t + in_spec.latency as u64 + delay;
-                let target = match in_spec.conn {
-                    Connection::Terminal { terminal } => CreditTarget::Terminal {
-                        term: terminal,
-                        vc: in_vc,
-                    },
-                    Connection::Router { router, port } => CreditTarget::Router {
-                        router,
-                        port,
-                        vc: in_vc,
-                    },
-                };
-                self.credit_ring.push(t, time, target);
-                let core = &mut self.routers[r];
+                match in_spec.conn {
+                    Connection::Terminal { terminal } => {
+                        st.credit_ring.push(
+                            t,
+                            time,
+                            CreditTarget::Terminal {
+                                term: terminal,
+                                vc: in_vc,
+                            },
+                        );
+                    }
+                    Connection::Router { router, port } => {
+                        let target = CreditTarget::Router {
+                            router,
+                            port,
+                            vc: in_vc,
+                        };
+                        let owner = self.router_shard[router as usize] as usize;
+                        if owner == st.id {
+                            st.credit_ring.push(t, time, target);
+                        } else {
+                            st.out_credits[owner].push((time, target));
+                        }
+                    }
+                }
                 if is_terminal {
                     let arrival = t + out_spec.latency as u64;
-                    self.eject(flit, arrival);
+                    self.eject(st, flit, arrival);
                 } else {
                     flit.hops += 1;
                     flit.vc = vc as u8;
@@ -938,11 +1080,11 @@ impl<'a> Simulation<'a> {
                     }
                     // Telemetry hooks: both are `None` checks when
                     // telemetry is disabled, keeping the hot path flat.
-                    if let Some(s) = self.sampler.as_mut() {
+                    if let Some(s) = st.sampler.as_mut() {
                         s.sent_total[flat] += 1;
                     }
                     if flit.is_head && flit.labeled {
-                        if let Some(tr) = self.tracer.as_mut() {
+                        if let Some(tr) = st.tracer.as_mut() {
                             if tr.selected(flit.packet) {
                                 tr.push(
                                     t,
@@ -956,47 +1098,119 @@ impl<'a> Simulation<'a> {
                             }
                         }
                     }
-                    self.pipes[flat].push_back((t + out_spec.latency as u64, flit));
-                    activate(&mut self.active_pipes, &mut self.pipe_active, flat);
-                    self.flit_hops += 1;
+                    let df = self.dst_flat[flat] as usize;
+                    let arrival = t + out_spec.latency as u64;
+                    let owner = self.router_shard[self.flat_router[df] as usize] as usize;
+                    if owner == st.id {
+                        st.pipes[df].push_back((arrival, flit));
+                        activate(&mut st.active_pipes, &mut st.pipe_active, df);
+                    } else {
+                        st.out_flits[owner].push((df as u32, arrival, flit));
+                    }
+                    st.flit_hops += 1;
                     if in_window {
-                        self.sent_in_window[flat] += 1;
+                        st.sent_in_window[flat] += 1;
                     }
                 }
             }
-            if self.routers[r].in_count == 0 && self.routers[r].out_count == 0 {
-                self.router_active[r] = false;
-                self.active_routers.swap_remove(i);
+            if core.in_count == 0 && core.out_count == 0 {
+                st.router_active[r] = false;
+                st.active_routers.swap_remove(i);
             } else {
                 i += 1;
             }
         }
+        if self.exch.shards > 1 {
+            for dst in 0..self.exch.shards {
+                if dst == st.id {
+                    continue;
+                }
+                if !st.out_flits[dst].is_empty() {
+                    self.exch.flits[st.id * self.exch.shards + dst]
+                        .lock()
+                        .expect("flit mailbox poisoned")
+                        .append(&mut st.out_flits[dst]);
+                }
+                if !st.out_credits[dst].is_empty() {
+                    self.exch.credits[st.id * self.exch.shards + dst]
+                        .lock()
+                        .expect("credit mailbox poisoned")
+                        .append(&mut st.out_credits[dst]);
+                }
+            }
+        }
     }
 
-    /// Phase 5: packet generation and injection onto terminal channels.
-    ///
-    /// Every terminal's injection process is polled every cycle (even
-    /// idle ones) so the per-terminal RNG streams advance identically
-    /// regardless of network state.
-    fn inject(&mut self, t: u64) {
-        let routing = self.routing;
-        let pattern = self.pattern;
-        let spec = self.spec;
+    /// Records an ejected flit into the owning shard's statistics.
+    fn eject(&self, st: &mut ShardState, flit: Flit, arrival: u64) {
+        if arrival >= self.win_start && arrival < self.win_end {
+            st.ejected_in_window += 1;
+        }
+        if !(flit.is_tail && flit.labeled) {
+            return;
+        }
+        st.eject_labeled += 1;
+        let latency = arrival - flit.created;
+        st.latency.record(latency);
+        st.hops.record(flit.hops as u64);
+        st.histogram.record(latency);
+        st.latency_log.record(latency);
+        if let Some(tr) = st.tracer.as_mut() {
+            if tr.selected(flit.packet) {
+                tr.push(arrival, flit.packet, TraceEventKind::Eject { latency });
+            }
+        }
+        match flit.route.class {
+            RouteClass::Minimal => {
+                st.minimal_latency.record(latency);
+                st.minimal_histogram.record(latency);
+            }
+            RouteClass::NonMinimal => st.non_minimal_latency.record(latency),
+        }
+    }
+
+    /// Phase 5 — the injection half: derive this shard's packet-id base
+    /// from the published per-shard generation counts (shards hold
+    /// contiguous terminal ranges, so prefix sums reproduce the serial
+    /// engine's global packet order exactly), enqueue the flits staged
+    /// in phase 1, and inject head-of-queue flits against the frozen
+    /// router state.
+    #[allow(unsafe_code)]
+    fn seg_inject(&self, st: &mut ShardState, t: u64) {
         let packet_len = self.cfg.packet_len;
-        let depth = self.cfg.buffer_depth;
         let labeled = self.in_window(t);
+        let shards = self.exch.shards;
+        let mut base = st.next_packet;
+        let mut total = 0u64;
+        for s in 0..shards {
+            let count = self.exch.gen_counts[s].load(Ordering::Acquire);
+            if s < st.id {
+                base += count;
+            }
+            total += count;
+        }
         // Router state is frozen during this phase, so one view serves
-        // every adaptive decision this cycle; built lazily because most
-        // cycles at low load inject no head flit at all.
-        let routers = &self.routers;
-        let mut view: Option<NetView<'_>> = None;
-        for term in 0..self.terminals.len() {
-            // Packet generation.
-            let tc = &mut self.terminals[term];
-            if tc.inj.inject(&mut tc.rng) {
-                let dest = pattern.destination(term, &mut tc.rng) as u32;
-                let packet = self.next_packet;
-                self.next_packet += 1;
+        // every adaptive decision this cycle.
+        // SAFETY: no shard mutates router state during phase 5.
+        let view = unsafe {
+            NetView::from_raw(
+                self.spec,
+                self.routers.base(),
+                self.routers.len(),
+                self.cfg.buffer_depth,
+                t,
+            )
+        };
+        let mut staged = 0usize;
+        for term in st.range.t0..st.range.t1 {
+            let tl = term - st.range.t0;
+            // Enqueue the packet generated for this terminal in phase 1
+            // (if any) under its globally ordered id.
+            if staged < st.staged_gen.len() && st.staged_gen[staged].0 == term as u32 {
+                let dest = st.staged_gen[staged].1;
+                let packet = base + staged as u64;
+                staged += 1;
+                let tc = &mut st.terminals[tl];
                 for i in 0..packet_len {
                     tc.source.push_back(Flit {
                         packet,
@@ -1013,11 +1227,11 @@ impl<'a> Simulation<'a> {
                     });
                 }
                 if labeled {
-                    self.labeled_outstanding += 1;
+                    st.gen_labeled += 1;
                 }
             }
             // Injection of the head-of-queue flit (one per cycle).
-            let tc = &self.terminals[term];
+            let tc = &st.terminals[tl];
             let Some(front) = tc.source.front() else {
                 continue;
             };
@@ -1025,20 +1239,19 @@ impl<'a> Simulation<'a> {
                 // (Re-)evaluate the adaptive decision while the head flit
                 // waits at the source: the packet has not entered the
                 // network yet, so the freshest local state applies.
-                let view = view.get_or_insert_with(|| NetView::new(spec, routers, depth, t));
                 let dest = front.dest as usize;
-                let tc = &mut self.terminals[term];
-                let (route, decision) = routing.inject_traced(view, term, dest, &mut tc.rng);
+                let tc = &mut st.terminals[tl];
+                let (route, decision) = self.routing.inject_traced(&view, term, dest, &mut tc.rng);
                 tc.active_route = Some(route);
                 (route, decision)
             } else {
-                let route = self.terminals[term]
+                let route = st.terminals[tl]
                     .active_route
                     .expect("body flit with no active route");
                 (route, DecisionRecord::default())
             };
             let vc = route.injection_vc as usize;
-            let tc = &mut self.terminals[term];
+            let tc = &mut st.terminals[tl];
             if tc.credits[vc] == 0 {
                 continue;
             }
@@ -1047,8 +1260,8 @@ impl<'a> Simulation<'a> {
             flit.vc = vc as u8;
             flit.injected = t;
             tc.credits[vc] -= 1;
-            let (r, p) = spec.terminal_port(term);
-            let latency = spec.routers[r].ports[p].latency as u64;
+            let (r, p) = self.spec.terminal_port(term);
+            let latency = self.spec.routers[r].ports[p].latency as u64;
             tc.pipe.push_back((t + latency, flit));
             if flit.is_tail {
                 tc.active_route = None;
@@ -1058,17 +1271,17 @@ impl<'a> Simulation<'a> {
             // are provisional while the flit waits for a credit.
             if flit.is_head && flit.labeled {
                 match route.class {
-                    RouteClass::Minimal => self.telemetry.minimal_takes += 1,
-                    RouteClass::NonMinimal => self.telemetry.non_minimal_takes += 1,
+                    RouteClass::Minimal => st.telemetry.minimal_takes += 1,
+                    RouteClass::NonMinimal => st.telemetry.non_minimal_takes += 1,
                 }
                 if decision.adaptive {
-                    self.telemetry.adaptive_decisions += 1;
+                    st.telemetry.adaptive_decisions += 1;
                     if decision.estimator_disagreed {
-                        self.telemetry.estimator_disagreements += 1;
+                        st.telemetry.estimator_disagreements += 1;
                     }
                     // Estimator-accuracy scoreboard: the committed
                     // decision's estimator reading vs the oracle's.
-                    self.scoreboard.record(
+                    st.scoreboard.record(
                         decision.q_chosen,
                         decision.oracle_chosen,
                         decision.oracle_disagreed,
@@ -1076,11 +1289,11 @@ impl<'a> Simulation<'a> {
                     );
                 }
                 if decision.fault_avoided {
-                    self.telemetry.fault_avoided_decisions += 1;
+                    st.telemetry.fault_avoided_decisions += 1;
                 }
-                self.telemetry.dropped_candidates += decision.dropped_candidates as u64;
-                self.telemetry.oracle_probe_fallbacks += decision.probe_fallbacks as u64;
-                if let Some(tr) = self.tracer.as_mut() {
+                st.telemetry.dropped_candidates += decision.dropped_candidates as u64;
+                st.telemetry.oracle_probe_fallbacks += decision.probe_fallbacks as u64;
+                if let Some(tr) = st.tracer.as_mut() {
                     if tr.selected(flit.packet) {
                         tr.push(
                             t,
@@ -1096,63 +1309,518 @@ impl<'a> Simulation<'a> {
                     }
                 }
             }
-            activate(&mut self.active_terms, &mut self.term_active, term);
+            activate(&mut st.active_terms, &mut st.term_active, term);
             if labeled {
-                self.injected_in_window += 1;
+                st.injected_in_window += 1;
             }
+        }
+        debug_assert_eq!(staged, st.staged_gen.len());
+        st.next_packet += total;
+        self.sample_tick(st, t);
+        self.exch.gen_labeled[st.id].store(st.gen_labeled, Ordering::Release);
+        self.exch.eject_labeled[st.id].store(st.eject_labeled, Ordering::Release);
+    }
+
+    /// Appends one sample column to this shard's channel time series if
+    /// `t` is on the sampling cadence. Reads the settled end-of-cycle
+    /// state (after transmission and injection).
+    #[allow(unsafe_code)]
+    fn sample_tick(&self, st: &mut ShardState, t: u64) {
+        let Some(s) = st.sampler.as_mut() else {
+            return;
+        };
+        if !t.is_multiple_of(s.every) {
+            return;
+        }
+        s.series.ticks.push(t);
+        let vcs = self.spec.vcs;
+        for (i, ch) in s.series.channels.iter_mut().enumerate() {
+            // SAFETY: routers are read-only at this point of phase 5.
+            let core = unsafe { self.routers.get_ref(ch.router as usize) };
+            let p = ch.port as usize;
+            ch.occupancy.push(core.out_port_count[p]);
+            let mut credits = 0u32;
+            for vc in 0..vcs {
+                let slot = p * vcs + vc;
+                ch.vc_occupancy.push(core.out_q[slot].len() as u16);
+                credits += core.credits[slot];
+            }
+            ch.credits.push(credits as u16);
+            let sent = s.sent_total[s.flats[i] as usize];
+            ch.sent.push((sent - s.prev_sent[i]) as u32);
+            s.prev_sent[i] = sent;
         }
     }
 
-    /// Records an ejected flit.
-    fn eject(&mut self, flit: Flit, arrival: u64) {
-        if arrival >= self.win_start && arrival < self.win_end {
-            self.ejected_in_window += 1;
-        }
-        if !(flit.is_tail && flit.labeled) {
-            return;
-        }
-        self.labeled_outstanding -= 1;
-        let latency = arrival - flit.created;
-        self.latency.record(latency);
-        self.hops.record(flit.hops as u64);
-        self.histogram.record(latency);
-        self.latency_log.record(latency);
-        if let Some(tr) = self.tracer.as_mut() {
-            if tr.selected(flit.packet) {
-                tr.push(arrival, flit.packet, TraceEventKind::Eject { latency });
+    /// One shard worker's warm-up/measure/drain loop: five phase
+    /// segments per cycle, each ending at the barrier, then the
+    /// termination condition every shard evaluates identically from the
+    /// published counters.
+    fn worker_drive(&self, st: &mut ShardState, timed: bool) {
+        let hard_cap = self.win_end + self.cfg.drain_cap;
+        while st.cycle < hard_cap {
+            let t = st.cycle;
+            if timed {
+                let clock = Instant::now();
+                self.seg_credits(st, t);
+                st.phases[0] += clock.elapsed();
+                self.exch.barrier.wait();
+                let clock = Instant::now();
+                self.seg_arrivals(st, t);
+                st.phases[1] += clock.elapsed();
+                self.exch.barrier.wait();
+                let clock = Instant::now();
+                self.seg_switch(st, t);
+                st.phases[2] += clock.elapsed();
+                self.exch.barrier.wait();
+                let clock = Instant::now();
+                self.seg_transmit(st, t);
+                st.phases[3] += clock.elapsed();
+                self.exch.barrier.wait();
+                let clock = Instant::now();
+                self.seg_inject(st, t);
+                st.phases[4] += clock.elapsed();
+                self.exch.barrier.wait();
+            } else {
+                self.seg_credits(st, t);
+                self.exch.barrier.wait();
+                self.seg_arrivals(st, t);
+                self.exch.barrier.wait();
+                self.seg_switch(st, t);
+                self.exch.barrier.wait();
+                self.seg_transmit(st, t);
+                self.exch.barrier.wait();
+                self.seg_inject(st, t);
+                self.exch.barrier.wait();
+            }
+            st.cycle = t + 1;
+            if st.cycle >= self.win_end && self.exch.labeled_outstanding() == 0 {
+                break;
             }
         }
-        match flit.route.class {
-            RouteClass::Minimal => {
-                self.minimal_latency.record(latency);
-                self.minimal_histogram.record(latency);
-            }
-            RouteClass::NonMinimal => self.non_minimal_latency.record(latency),
+    }
+}
+impl<'a> Simulation<'a> {
+    /// Builds a simulation over `spec` driven by `routing` and `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the configuration is invalid or the
+    /// pattern's terminal count does not match the network's.
+    pub fn new(
+        spec: &'a NetworkSpec,
+        routing: &'a dyn RoutingAlgorithm,
+        pattern: &'a dyn TrafficPattern,
+        cfg: SimConfig,
+    ) -> Result<Self, SimError> {
+        cfg.validate()?;
+        if pattern.num_terminals() != spec.num_terminals() {
+            return Err(SimError::InvalidConfig(format!(
+                "pattern covers {} terminals but network has {}",
+                pattern.num_terminals(),
+                spec.num_terminals()
+            )));
         }
+        let vcs = spec.vcs;
+        let mut routers = Vec::with_capacity(spec.num_routers());
+        let mut port_base = Vec::with_capacity(spec.num_routers());
+        let mut pipe_dest = Vec::new();
+        let mut flat_router = Vec::new();
+        let mut tcrt0 = Vec::new();
+        let mut net_ports = Vec::with_capacity(spec.num_routers());
+        let mut flat = 0u32;
+        for (r, router) in spec.routers.iter().enumerate() {
+            let ports = router.ports.len();
+            port_base.push(flat);
+            flat += ports as u32;
+            routers.push(RouterCore {
+                inputs: vec![VecDeque::new(); ports * vcs],
+                in_count: 0,
+                in_port_count: vec![0; ports],
+                out_q: vec![VecDeque::new(); ports * vcs],
+                out_count: 0,
+                out_port_count: vec![0; ports],
+                credits: vec![cfg.buffer_depth as u32; ports * vcs],
+                outstanding: vec![0; ports],
+                rr: vec![0; ports],
+                ctq: vec![VecDeque::new(); ports],
+                td: vec![0; ports],
+                sent_seq: vec![0; ports],
+                credit_seq: vec![0; ports],
+            });
+            let mut nps = Vec::new();
+            for (p, port) in router.ports.iter().enumerate() {
+                flat_router.push(r as u32);
+                tcrt0.push(2 * port.latency as u64);
+                match port.conn {
+                    Connection::Router {
+                        router: rr,
+                        port: rp,
+                    } => {
+                        pipe_dest.push((rr, rp));
+                        nps.push(p as u16);
+                    }
+                    Connection::Terminal { .. } => pipe_dest.push((u32::MAX, u32::MAX)),
+                }
+            }
+            net_ports.push(nps);
+        }
+        let total_flats = flat as usize;
+        let dst_flat: Vec<u32> = pipe_dest
+            .iter()
+            .map(|&(r, p)| {
+                if r == u32::MAX {
+                    u32::MAX
+                } else {
+                    port_base[r as usize] + p
+                }
+            })
+            .collect();
+        let plan = plan_shards(
+            spec,
+            &port_base,
+            total_flats,
+            resolve_shards(&cfg, spec.num_routers()),
+        );
+        let shard_count = plan.len();
+        let mut router_shard = vec![0u32; spec.num_routers()];
+        for (s, range) in plan.iter().enumerate() {
+            for owned in router_shard.iter_mut().take(range.r1).skip(range.r0) {
+                *owned = s as u32;
+            }
+        }
+        let win_start = cfg.warmup;
+        let win_end = cfg.warmup + cfg.measure;
+        let horizon = tcrt0.iter().copied().max().unwrap_or(2) + 2;
+        let num_terminals = spec.num_terminals();
+        let num_routers = spec.num_routers();
+        let shards = plan
+            .iter()
+            .enumerate()
+            .map(|(id, &range)| {
+                let terminals = (range.t0..range.t1)
+                    .map(|t| TerminalCore {
+                        source: VecDeque::new(),
+                        active_route: None,
+                        credits: vec![cfg.buffer_depth as u32; vcs],
+                        pipe: VecDeque::new(),
+                        inj: Injector::new(cfg.injection),
+                        rng: rng_for(cfg.seed, t as u64),
+                    })
+                    .collect();
+                let sampler = (cfg.telemetry.sample_every > 0).then(|| {
+                    let mut flats = Vec::new();
+                    let mut channels = Vec::new();
+                    for (r, p) in spec.network_channels() {
+                        if r < range.r0 || r >= range.r1 {
+                            continue;
+                        }
+                        flats.push(port_base[r] + p as u32);
+                        channels.push(ChannelSeries {
+                            router: r as u32,
+                            port: p as u16,
+                            class: spec.routers[r].ports[p].class,
+                            occupancy: Vec::new(),
+                            vc_occupancy: Vec::new(),
+                            credits: Vec::new(),
+                            sent: Vec::new(),
+                        });
+                    }
+                    ChannelSampler {
+                        every: cfg.telemetry.sample_every,
+                        prev_sent: vec![0; flats.len()],
+                        flats,
+                        sent_total: vec![0; total_flats],
+                        series: TimeSeries {
+                            every: cfg.telemetry.sample_every,
+                            vcs: vcs as u8,
+                            ticks: Vec::new(),
+                            channels,
+                        },
+                    }
+                });
+                let tracer = (cfg.telemetry.trace_rate > 0.0)
+                    .then(|| FlitTracer::new(cfg.telemetry.trace_rate, cfg.telemetry.trace_seed));
+                ShardState {
+                    id,
+                    range,
+                    terminals,
+                    pipes: vec![VecDeque::new(); total_flats],
+                    active_pipes: Vec::new(),
+                    pipe_active: vec![false; total_flats],
+                    active_terms: Vec::new(),
+                    term_active: vec![false; num_terminals],
+                    active_routers: Vec::new(),
+                    router_active: vec![false; num_routers],
+                    credit_ring: CreditRing::with_horizon(horizon),
+                    arrivals: Vec::new(),
+                    arrival_routes: Vec::new(),
+                    staged_gen: Vec::new(),
+                    out_flits: vec![Vec::new(); shard_count],
+                    out_credits: vec![Vec::new(); shard_count],
+                    flit_hops: 0,
+                    cycle: 0,
+                    next_packet: 0,
+                    gen_labeled: 0,
+                    eject_labeled: 0,
+                    injected_in_window: 0,
+                    ejected_in_window: 0,
+                    sent_in_window: vec![0; total_flats],
+                    latency: LatencySummary::default(),
+                    minimal_latency: LatencySummary::default(),
+                    non_minimal_latency: LatencySummary::default(),
+                    hops: LatencySummary::default(),
+                    histogram: Histogram::new(4096, 1),
+                    minimal_histogram: Histogram::new(4096, 1),
+                    telemetry: RouteTelemetry::default(),
+                    latency_log: LogHistogram::new(),
+                    scoreboard: EstimatorScoreboard::new(),
+                    sampler,
+                    tracer,
+                    phases: [Duration::ZERO; 5],
+                }
+            })
+            .collect();
+        Ok(Simulation {
+            eng: EngineShared {
+                spec,
+                cfg,
+                routing,
+                pattern,
+                routers: ShardTable::new(routers),
+                port_base,
+                dst_flat,
+                flat_router,
+                router_shard,
+                tcrt0,
+                net_ports,
+                win_start,
+                win_end,
+                exch: Exchange::new(shard_count),
+            },
+            shards,
+            cycle: 0,
+        })
+    }
+
+    /// The network being simulated.
+    pub fn spec(&self) -> &'a NetworkSpec {
+        self.eng.spec
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of router shards the engine resolved to (after clamping
+    /// and the terminal-monotonicity fallback).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Runs warm-up, measurement and drain, returning the statistics.
+    ///
+    /// The run ends when every labelled packet has been delivered, or
+    /// when the drain cap is exceeded (the network is saturated at this
+    /// load); [`RunStats::drained`] records which.
+    pub fn run(&mut self) -> RunStats {
+        self.drive(false);
+        self.collect()
+    }
+
+    /// Runs to completion like [`Simulation::run`], consuming the
+    /// simulation so the final histograms move into the returned stats
+    /// instead of being cloned.
+    pub fn finish(mut self) -> RunStats {
+        self.drive(false);
+        self.collect_owned()
+    }
+
+    /// Runs to completion, consuming the simulation, and additionally
+    /// reports wall-clock performance counters (per-phase wall time,
+    /// cycles/sec, flit-hops/sec, shard count).
+    pub fn run_instrumented(mut self) -> (RunStats, SimPerf) {
+        let start = Instant::now();
+        self.drive(true);
+        let mut perf = SimPerf {
+            cycles: self.cycle,
+            wall: start.elapsed(),
+            shards: self.shards.len(),
+            ..SimPerf::default()
+        };
+        for st in &self.shards {
+            perf.flit_hops += st.flit_hops;
+            for (p, d) in st.phases.iter().enumerate() {
+                if *d > perf.phases[p] {
+                    perf.phases[p] = *d;
+                }
+            }
+        }
+        (self.collect_owned(), perf)
+    }
+
+    /// The warm-up/measure/drain loop shared by the `run` variants: one
+    /// worker per shard (shard 0 runs on the calling thread), or a
+    /// plain inline loop when there is a single shard.
+    fn drive(&mut self, timed: bool) {
+        let eng = &self.eng;
+        if self.shards.len() == 1 {
+            eng.worker_drive(&mut self.shards[0], timed);
+        } else {
+            std::thread::scope(|scope| {
+                let mut workers = self.shards.iter_mut();
+                let first = workers.next().expect("at least one shard");
+                for st in workers {
+                    scope.spawn(move || eng.worker_drive(st, timed));
+                }
+                eng.worker_drive(first, timed);
+            });
+        }
+        self.cycle = self.shards[0].cycle;
+    }
+
+    /// Advances the simulation by one cycle, accumulating per-phase wall
+    /// time into `timers` (diagnostic; summed across shards, since the
+    /// single-stepping path runs every shard's segment inline).
+    #[doc(hidden)]
+    pub fn step_timed(&mut self, timers: &mut [Duration; 5]) {
+        let t = self.cycle;
+        let clock = Instant::now();
+        for st in self.shards.iter_mut() {
+            self.eng.seg_credits(st, t);
+        }
+        timers[0] += clock.elapsed();
+        let clock = Instant::now();
+        for st in self.shards.iter_mut() {
+            self.eng.seg_arrivals(st, t);
+        }
+        timers[1] += clock.elapsed();
+        let clock = Instant::now();
+        for st in self.shards.iter_mut() {
+            self.eng.seg_switch(st, t);
+        }
+        timers[2] += clock.elapsed();
+        let clock = Instant::now();
+        for st in self.shards.iter_mut() {
+            self.eng.seg_transmit(st, t);
+        }
+        timers[3] += clock.elapsed();
+        let clock = Instant::now();
+        for st in self.shards.iter_mut() {
+            self.eng.seg_inject(st, t);
+        }
+        timers[4] += clock.elapsed();
+        for st in self.shards.iter_mut() {
+            st.cycle = t + 1;
+        }
+        self.cycle = t + 1;
+    }
+
+    /// Advances the simulation by one cycle. Shard segments run inline
+    /// in shard order — bit-identical to the threaded path, because
+    /// between two barriers the shards touch disjoint state.
+    pub fn step(&mut self) {
+        let t = self.cycle;
+        for st in self.shards.iter_mut() {
+            self.eng.seg_credits(st, t);
+        }
+        for st in self.shards.iter_mut() {
+            self.eng.seg_arrivals(st, t);
+        }
+        for st in self.shards.iter_mut() {
+            self.eng.seg_switch(st, t);
+        }
+        for st in self.shards.iter_mut() {
+            self.eng.seg_transmit(st, t);
+        }
+        for st in self.shards.iter_mut() {
+            self.eng.seg_inject(st, t);
+        }
+        for st in self.shards.iter_mut() {
+            st.cycle = t + 1;
+        }
+        self.cycle = t + 1;
+    }
+
+    /// Concatenates per-shard channel series in shard order (= global
+    /// `(router, port)` order, since shards are contiguous).
+    fn merge_series(mut parts: Vec<TimeSeries>) -> Option<TimeSeries> {
+        if parts.is_empty() {
+            return None;
+        }
+        let mut merged = parts.remove(0);
+        for part in parts {
+            debug_assert_eq!(merged.ticks, part.ticks);
+            merged.channels.extend(part.channels);
+        }
+        Some(merged)
+    }
+
+    /// Concatenates per-shard traces and normalises to the canonical
+    /// `(cycle, packet)` order — unique, because a packet has at most
+    /// one traced event per cycle.
+    fn merge_trace(parts: Vec<crate::telemetry::FlitTrace>) -> Option<crate::telemetry::FlitTrace> {
+        let mut parts = parts.into_iter();
+        let mut merged = parts.next()?;
+        for part in parts {
+            merged.events.extend(part.events);
+        }
+        merged.events.sort_unstable_by_key(|e| (e.cycle, e.packet));
+        Some(merged)
     }
 
     /// Builds the final statistics snapshot (cloning the histograms, so
     /// the simulation stays usable).
     fn collect(&self) -> RunStats {
-        self.stats_with(
-            self.histogram.clone(),
-            self.minimal_histogram.clone(),
-            self.latency_log.clone(),
-            self.sampler.as_ref().map(|s| s.series.clone()),
-            self.tracer.as_ref().map(FlitTracer::snapshot),
-        )
+        let mut histogram = self.shards[0].histogram.clone();
+        let mut minimal_histogram = self.shards[0].minimal_histogram.clone();
+        let mut latency_log = self.shards[0].latency_log.clone();
+        for st in &self.shards[1..] {
+            histogram.merge(&st.histogram);
+            minimal_histogram.merge(&st.minimal_histogram);
+            latency_log.merge(&st.latency_log);
+        }
+        let series = Self::merge_series(
+            self.shards
+                .iter()
+                .filter_map(|st| st.sampler.as_ref().map(|s| s.series.clone()))
+                .collect(),
+        );
+        let trace = Self::merge_trace(
+            self.shards
+                .iter()
+                .filter_map(|st| st.tracer.as_ref().map(FlitTracer::snapshot))
+                .collect(),
+        );
+        self.stats_with(histogram, minimal_histogram, latency_log, series, trace)
     }
 
     /// Builds the final statistics snapshot, consuming the simulation so
     /// the histograms (and telemetry buffers) move instead of being
     /// cloned.
     fn collect_owned(mut self) -> RunStats {
-        let histogram = std::mem::replace(&mut self.histogram, Histogram::new(1, 1));
-        let minimal_histogram =
-            std::mem::replace(&mut self.minimal_histogram, Histogram::new(1, 1));
-        let latency_log = std::mem::take(&mut self.latency_log);
-        let series = self.sampler.take().map(|s| s.series);
-        let trace = self.tracer.take().map(FlitTracer::finish);
+        let mut histogram = std::mem::replace(&mut self.shards[0].histogram, Histogram::new(1, 1));
+        let mut minimal_histogram =
+            std::mem::replace(&mut self.shards[0].minimal_histogram, Histogram::new(1, 1));
+        let mut latency_log = std::mem::take(&mut self.shards[0].latency_log);
+        for st in &self.shards[1..] {
+            histogram.merge(&st.histogram);
+            minimal_histogram.merge(&st.minimal_histogram);
+            latency_log.merge(&st.latency_log);
+        }
+        let series = Self::merge_series(
+            self.shards
+                .iter_mut()
+                .filter_map(|st| st.sampler.take().map(|s| s.series))
+                .collect(),
+        );
+        let trace = Self::merge_trace(
+            self.shards
+                .iter_mut()
+                .filter_map(|st| st.tracer.take().map(FlitTracer::finish))
+                .collect(),
+        );
         self.stats_with(histogram, minimal_histogram, latency_log, series, trace)
     }
 
@@ -1164,41 +1832,93 @@ impl<'a> Simulation<'a> {
         series: Option<TimeSeries>,
         trace: Option<crate::telemetry::FlitTrace>,
     ) -> RunStats {
-        let denom = (self.spec.num_terminals() as u64 * self.cfg.measure) as f64;
-        let channel_loads = self
-            .spec
+        let cfg = &self.eng.cfg;
+        let spec = self.eng.spec;
+        let denom = (spec.num_terminals() as u64 * cfg.measure) as f64;
+        let mut latency = LatencySummary::default();
+        let mut minimal_latency = LatencySummary::default();
+        let mut non_minimal_latency = LatencySummary::default();
+        let mut hops = LatencySummary::default();
+        let mut telemetry = RouteTelemetry::default();
+        let mut scoreboard = EstimatorScoreboard::new();
+        let mut injected = 0u64;
+        let mut ejected = 0u64;
+        let mut generated_labeled = 0u64;
+        let mut ejected_labeled = 0u64;
+        for st in &self.shards {
+            latency.merge(&st.latency);
+            minimal_latency.merge(&st.minimal_latency);
+            non_minimal_latency.merge(&st.non_minimal_latency);
+            hops.merge(&st.hops);
+            telemetry.minimal_takes += st.telemetry.minimal_takes;
+            telemetry.non_minimal_takes += st.telemetry.non_minimal_takes;
+            telemetry.adaptive_decisions += st.telemetry.adaptive_decisions;
+            telemetry.estimator_disagreements += st.telemetry.estimator_disagreements;
+            telemetry.fault_avoided_decisions += st.telemetry.fault_avoided_decisions;
+            telemetry.dropped_candidates += st.telemetry.dropped_candidates;
+            telemetry.oracle_probe_fallbacks += st.telemetry.oracle_probe_fallbacks;
+            scoreboard.merge(&st.scoreboard);
+            injected += st.injected_in_window;
+            ejected += st.ejected_in_window;
+            generated_labeled += st.gen_labeled;
+            ejected_labeled += st.eject_labeled;
+        }
+        let channel_loads = spec
             .network_channels()
             .map(|(r, p)| {
-                let flat = self.port_base[r] as usize + p;
-                let flits = self.sent_in_window[flat];
+                let flat = self.eng.port_base[r] as usize + p;
+                let flits: u64 = self.shards.iter().map(|st| st.sent_in_window[flat]).sum();
                 ChannelLoad {
                     router: r,
                     port: p,
-                    class: self.spec.routers[r].ports[p].class,
+                    class: spec.routers[r].ports[p].class,
                     flits,
-                    utilization: flits as f64 / self.cfg.measure as f64,
+                    utilization: flits as f64 / cfg.measure as f64,
                 }
             })
             .collect();
         RunStats {
             cycles: self.cycle,
-            offered_load: self.cfg.injection.rate() * self.cfg.packet_len as f64,
-            injected_rate: self.injected_in_window as f64 / denom,
-            accepted_rate: self.ejected_in_window as f64 / denom,
-            drained: self.labeled_outstanding == 0,
-            latency: self.latency,
-            minimal_latency: self.minimal_latency,
-            non_minimal_latency: self.non_minimal_latency,
-            hops: self.hops,
+            offered_load: cfg.injection.rate() * cfg.packet_len as f64,
+            injected_rate: injected as f64 / denom,
+            accepted_rate: ejected as f64 / denom,
+            drained: generated_labeled == ejected_labeled,
+            latency,
+            minimal_latency,
+            non_minimal_latency,
+            hops,
             histogram,
             minimal_histogram,
             channel_loads,
-            routing: self.telemetry,
+            routing: telemetry,
             latency_log,
-            scoreboard: self.scoreboard.clone(),
+            scoreboard,
             series,
             trace,
         }
+    }
+
+    /// Frozen read-only view over the router state (test hook).
+    #[cfg(test)]
+    #[allow(unsafe_code)]
+    fn view(&self) -> NetView<'_> {
+        // SAFETY: `&self` with no running workers means no concurrent
+        // mutation.
+        unsafe {
+            NetView::from_raw(
+                self.eng.spec,
+                self.eng.routers.base(),
+                self.eng.routers.len(),
+                self.eng.cfg.buffer_depth,
+                self.cycle,
+            )
+        }
+    }
+
+    /// Exclusive access to every router core (test hook).
+    #[cfg(test)]
+    fn router_cores(&mut self) -> &mut [RouterCore] {
+        self.eng.routers.slice_mut()
     }
 }
 
@@ -1250,6 +1970,68 @@ mod tests {
         Simulation::new(&spec, &routing, pattern, cfg)
             .unwrap()
             .run()
+    }
+
+    /// T0-R0 — R1-T1 — R2-T2 line with terminal ids monotone in router
+    /// order, so `plan_shards` can actually split it.
+    fn monotone_line_spec() -> NetworkSpec {
+        NetworkSpec::validated(
+            vec![
+                RouterSpec {
+                    ports: vec![term(0), link(1, 0)],
+                },
+                RouterSpec {
+                    ports: vec![link(0, 1), link(2, 0), term(1)],
+                },
+                RouterSpec {
+                    ports: vec![link(1, 1), term(2)],
+                },
+            ],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sharded_run_matches_single_shard() {
+        // Full telemetry on, so the comparison also covers per-shard
+        // series and trace merging.
+        let run = |shards: usize| {
+            let spec = monotone_line_spec();
+            let routing = ShortestPathRouting::new(&spec);
+            let pattern = UniformRandom::new(3);
+            let mut cfg = SimConfig::paper_default(0.3);
+            cfg.warmup = 200;
+            cfg.measure = 2_000;
+            cfg.seed = 9;
+            cfg.shards = shards;
+            cfg.telemetry = crate::config::TelemetryConfig {
+                sample_every: 8,
+                trace_rate: 1.0,
+                trace_seed: 5,
+            };
+            let sim = Simulation::new(&spec, &routing, &pattern, cfg).unwrap();
+            assert_eq!(sim.shard_count(), shards.min(3));
+            sim.finish()
+        };
+        let one = run(1);
+        assert!(one.drained);
+        for shards in [2, 3] {
+            assert_eq!(run(shards), one, "{shards}-shard run diverged");
+        }
+    }
+
+    #[test]
+    fn non_monotone_terminals_fall_back_to_one_shard() {
+        // `line_spec` numbers its terminals out of router order, which
+        // would break the global packet-id order if split; the planner
+        // must refuse and run single-sharded.
+        let spec = line_spec();
+        let routing = ShortestPathRouting::new(&spec);
+        let pattern = UniformRandom::new(3);
+        let cfg = SimConfig::paper_default(0.2).with_shards(3);
+        let sim = Simulation::new(&spec, &routing, &pattern, cfg).unwrap();
+        assert_eq!(sim.shard_count(), 1);
     }
 
     #[test]
@@ -1348,19 +2130,23 @@ mod tests {
         let pattern = UniformRandom::new(3);
         let mut sim = Simulation::new(&spec, &routing, &pattern, cfg).unwrap();
         sim.run();
-        for tc in &mut sim.terminals {
-            tc.inj = Injector::Bernoulli(Bernoulli::new(0.0));
+        for st in &mut sim.shards {
+            for tc in &mut st.terminals {
+                tc.inj = Injector::Bernoulli(Bernoulli::new(0.0));
+            }
         }
         for _ in 0..2_000 {
             sim.step();
         }
-        assert!(sim.active_pipes.is_empty());
-        assert!(sim.active_terms.is_empty());
-        assert!(sim.active_routers.is_empty());
-        assert_eq!(sim.credit_ring.pending, 0);
-        assert!(!sim.pipe_active.iter().any(|&b| b));
-        assert!(!sim.router_active.iter().any(|&b| b));
-        for core in &sim.routers {
+        for st in &sim.shards {
+            assert!(st.active_pipes.is_empty());
+            assert!(st.active_terms.is_empty());
+            assert!(st.active_routers.is_empty());
+            assert_eq!(st.credit_ring.pending, 0);
+            assert!(!st.pipe_active.iter().any(|&b| b));
+            assert!(!st.router_active.iter().any(|&b| b));
+        }
+        for core in sim.router_cores() {
             assert!(core.outstanding.iter().all(|&o| o == 0));
         }
     }
@@ -1386,29 +2172,32 @@ mod tests {
         let mut sim = Simulation::new(&spec, &routing, &pattern, cfg).unwrap();
         sim.run();
         // Stop injecting and run plenty of extra cycles.
-        for tc in &mut sim.terminals {
-            tc.inj = Injector::Bernoulli(Bernoulli::new(0.0));
+        for st in &mut sim.shards {
+            for tc in &mut st.terminals {
+                tc.inj = Injector::Bernoulli(Bernoulli::new(0.0));
+            }
         }
         for _ in 0..2_000 {
             sim.step();
         }
-        for (r, core) in sim.routers.iter().enumerate() {
+        let sp = sim.spec();
+        for (r, core) in sim.router_cores().iter().enumerate() {
             assert_eq!(core.in_count, 0, "router {r} input stage not empty");
             assert_eq!(core.out_count, 0, "router {r} output queues not empty");
             for (slot, &c) in core.credits.iter().enumerate() {
-                let port = slot / sim.spec.vcs;
-                if matches!(
-                    sim.spec.routers[r].ports[port].conn,
-                    Connection::Router { .. }
-                ) {
+                let port = slot / sp.vcs;
+                if matches!(sp.routers[r].ports[port].conn, Connection::Router { .. }) {
                     assert_eq!(c, 16, "router {r} slot {slot} credits {c}");
                 }
             }
         }
-        for (t, tc) in sim.terminals.iter().enumerate() {
-            assert!(tc.source.is_empty(), "terminal {t} source not empty");
-            for &c in &tc.credits {
-                assert_eq!(c, 16, "terminal {t} credits");
+        for st in &sim.shards {
+            for (tl, tc) in st.terminals.iter().enumerate() {
+                let t = st.range.t0 + tl;
+                assert!(tc.source.is_empty(), "terminal {t} source not empty");
+                for &c in &tc.credits {
+                    assert_eq!(c, 16, "terminal {t} credits");
+                }
             }
         }
     }
@@ -1523,7 +2312,7 @@ mod tests {
         for _ in 0..500 {
             sim.step();
         }
-        let view = NetView::new(sim.spec, &sim.routers, 16, sim.cycle);
+        let view = sim.view();
         // Router 0's output port 2 (the link) backs up with flits from
         // both terminals; only 1/cycle leaves.
         assert!(view.occupancy(0, 2) >= 8, "occ {}", view.occupancy(0, 2));
@@ -1542,10 +2331,11 @@ mod tests {
         cfg.credit_mode = CreditMode::round_trip();
         let mut sim = Simulation::new(&spec, &routing, &pattern, cfg).unwrap();
         sim.run();
-        for core in &sim.routers {
+        let vcs = sim.spec().vcs;
+        for core in sim.router_cores() {
             for (p, q) in core.ctq.iter().enumerate() {
                 assert!(
-                    q.len() <= 16 * sim.spec.vcs,
+                    q.len() <= 16 * vcs,
                     "ctq at port {p} grew past outstanding credits"
                 );
             }

@@ -129,6 +129,27 @@ impl Histogram {
             .collect()
     }
 
+    /// Adds another histogram's counts into this one. Both histograms
+    /// must have the same shape (bucket count and width); the sharded
+    /// engine merges per-shard histograms built from one config, so a
+    /// shape mismatch is a logic error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket counts or widths differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.width, other.width, "histogram width mismatch");
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "histogram bucket count mismatch"
+        );
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += *src;
+        }
+        self.overflow += other.overflow;
+    }
+
     /// The `p`-quantile (0.0–1.0) of the recorded samples, resolved to
     /// the upper edge of the bucket containing it. Returns `None` with
     /// no samples, or if the quantile falls in the overflow bucket.
@@ -453,5 +474,28 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn percentile_rejects_bad_quantile() {
         Histogram::new(4, 1).percentile(1.5);
+    }
+
+    #[test]
+    fn histogram_merge_matches_single_pass() {
+        let mut a = Histogram::new(4, 10);
+        let mut b = Histogram::new(4, 10);
+        let mut whole = Histogram::new(4, 10);
+        for (i, v) in [0u64, 9, 10, 39, 40, 1000].into_iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn histogram_merge_rejects_shape_mismatch() {
+        Histogram::new(4, 10).merge(&Histogram::new(4, 20));
     }
 }

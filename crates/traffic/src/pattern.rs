@@ -9,7 +9,11 @@ use rand::Rng;
 /// Implementations must return a destination in `0..num_terminals()`
 /// different from `source` (self-traffic never enters the network and
 /// would only distort offered-load accounting).
-pub trait TrafficPattern {
+///
+/// `Sync` is a supertrait: the sharded cycle engine shares one pattern
+/// reference across its worker threads, each calling `destination`
+/// with its own per-terminal RNG.
+pub trait TrafficPattern: Sync {
     /// Short name used in reports, e.g. `"uniform random"`.
     fn name(&self) -> &'static str;
 

@@ -227,3 +227,164 @@ fn check_sweep_matches_serial(
         }
     }
 }
+
+/// Runs one `(spec, routing, pattern, cfg)` point at several shard
+/// counts and asserts everything the engine emits is byte-identical to
+/// the 1-shard run: the full `RunStats`, the chrome-trace bytes, the
+/// channel-series JSON and the latency/scoreboard exports. Routing is
+/// rebuilt per run so stateful estimators start fresh each time.
+fn check_shard_counts_match(
+    name: &str,
+    spec: &dfly_netsim::NetworkSpec,
+    make_routing: &dyn Fn() -> Box<dyn dfly_netsim::RoutingAlgorithm + Send + Sync>,
+    pattern: &dyn dfly_traffic::TrafficPattern,
+    base: &SimConfig,
+) {
+    let run = |shards: usize| {
+        let routing = make_routing();
+        let mut cfg = base.clone();
+        cfg.shards = shards;
+        let sim = Simulation::new(spec, routing.as_ref(), pattern, cfg).unwrap();
+        let planned = sim.shard_count();
+        (planned, sim.finish())
+    };
+    let (_, one) = run(1);
+    assert!(one.drained, "{name}: 1-shard run did not drain");
+    assert!(
+        !one.trace.as_ref().unwrap().events.is_empty(),
+        "{name}: tracer sampled no packets"
+    );
+    assert!(
+        !one.series.as_ref().unwrap().ticks.is_empty(),
+        "{name}: sampler recorded no ticks"
+    );
+    for shards in [2, 4] {
+        let (planned, stats) = run(shards);
+        assert_eq!(planned, shards, "{name}: planner fell back at {shards}");
+        assert_eq!(stats, one, "{name}: {shards}-shard run diverged");
+        assert_eq!(
+            stats.trace.as_ref().unwrap().to_chrome_json(),
+            one.trace.as_ref().unwrap().to_chrome_json(),
+            "{name}: trace bytes diverged at {shards} shards"
+        );
+        assert_eq!(
+            stats.series.as_ref().unwrap().to_json(),
+            one.series.as_ref().unwrap().to_json(),
+            "{name}: series bytes diverged at {shards} shards"
+        );
+        assert_eq!(stats.latency_log.to_json(), one.latency_log.to_json());
+        assert_eq!(stats.scoreboard.to_json(), one.scoreboard.to_json());
+    }
+}
+
+/// The sharded cycle engine must be bit-identical at 1, 2 and 4 shards
+/// on all four topologies, with telemetry (series + trace) enabled.
+/// The dragonfly leg runs UGAL with the EWMA estimator — the one
+/// congestion estimator that keeps its own state — to pin its shard
+/// independence too.
+#[test]
+fn sharded_engine_bit_identical_on_every_topology() {
+    let df = dragonfly::Dragonfly::new(dragonfly::DragonflyParams::new(2, 4, 2).unwrap());
+    let df_spec = df.build_spec();
+    let df_arc = Arc::new(df);
+    let df_pattern = UniformRandom::new(df_spec.num_terminals());
+    check_shard_counts_match(
+        "dragonfly/ugal-ewma",
+        &df_spec,
+        &|| RoutingChoice::UgalLEwma.build(Arc::clone(&df_arc)),
+        &df_pattern,
+        &fast_cfg(31),
+    );
+
+    let fb = Arc::new(ButterflyNetwork::new(FlattenedButterfly::new(2, 4, 2)));
+    let fb_spec = fb.build_spec();
+    let fb_pattern = UniformRandom::new(fb_spec.num_terminals());
+    check_shard_counts_match(
+        "butterfly/ugal-l",
+        &fb_spec,
+        &|| Box::new(ButterflyRouting::ugal_local(Arc::clone(&fb))),
+        &fb_pattern,
+        &fast_cfg(32),
+    );
+
+    let clos = Arc::new(ClosNetwork::new(FoldedClos::new(3, 8)));
+    let clos_spec = clos.build_spec();
+    let clos_pattern = UniformRandom::new(clos_spec.num_terminals());
+    check_shard_counts_match(
+        "clos/adaptive",
+        &clos_spec,
+        &|| Box::new(ClosRouting::adaptive(Arc::clone(&clos), UgalVariant::Local)),
+        &clos_pattern,
+        &fast_cfg(33),
+    );
+
+    let torus = Arc::new(TorusNetwork::new(Torus::new(2, 4, 1)));
+    let torus_spec = torus.build_spec();
+    let torus_pattern = UniformRandom::new(torus_spec.num_terminals());
+    check_shard_counts_match(
+        "torus/adaptive",
+        &torus_spec,
+        &|| {
+            Box::new(TorusRouting::adaptive(
+                Arc::clone(&torus),
+                UgalVariant::Local,
+            ))
+        },
+        &torus_pattern,
+        &fast_cfg(34),
+    );
+}
+
+/// Sharding composes with link faults: a dragonfly with an eighth of
+/// its global cables failed must still be bit-identical across shard
+/// counts (fault-table views are read-only during a run).
+#[test]
+fn sharded_engine_bit_identical_with_faults() {
+    let params = dragonfly::DragonflyParams::new(2, 4, 2).unwrap();
+    let plan = dfly_netsim::FaultPlan::random_global(1.0 / 8.0, 17);
+    let run = |shards: usize| {
+        let sim = dragonfly::DragonflySim::with_faults(params, &plan).unwrap();
+        let mut cfg = fast_cfg(35);
+        cfg.shards = shards;
+        let (stats, perf) =
+            sim.run_instrumented(RoutingChoice::UgalLVcH, TrafficChoice::Uniform, cfg);
+        (perf.shards, stats)
+    };
+    let (_, one) = run(1);
+    assert!(one.drained, "faulted 1-shard run did not drain");
+    assert!(
+        one.routing.fault_avoided_decisions > 0,
+        "faults never steered a decision"
+    );
+    for shards in [2, 4] {
+        let (planned, stats) = run(shards);
+        assert_eq!(planned, shards, "faulted planner fell back at {shards}");
+        assert_eq!(stats, one, "faulted {shards}-shard run diverged");
+    }
+}
+
+/// The grid-level registry merge on top of sharded runs: the merged
+/// metrics registry must export byte-identical JSON whatever the shard
+/// count of the individual runs.
+#[test]
+fn sharded_runs_keep_registry_json_identical() {
+    let sim = dragonfly::DragonflySim::new(dragonfly::DragonflyParams::new(2, 4, 2).unwrap());
+    let reg_json = |shards: usize| {
+        let mut base = fast_cfg(36);
+        base.shards = shards;
+        let grid = RunGrid::cross(
+            &[RoutingChoice::UgalL],
+            &[TrafficChoice::Uniform],
+            &[0.1, 0.2],
+            &base,
+        );
+        let (stats, registry) = grid.execute_with_metrics_on(&sim, 2);
+        (stats, registry.to_json())
+    };
+    let (stats1, json1) = reg_json(1);
+    for shards in [2, 4] {
+        let (stats, json) = reg_json(shards);
+        assert_eq!(stats, stats1, "grid stats diverged at {shards} shards");
+        assert_eq!(json, json1, "registry JSON diverged at {shards} shards");
+    }
+}
