@@ -3,9 +3,11 @@
 //! identical, collects the engine's per-phase counters for one
 //! representative run, measures the telemetry layer (latency
 //! histograms, channel time series, flit tracing, estimator-accuracy
-//! scoreboard) and its overhead, and writes everything to
-//! `BENCH_parallel_sweep.json` plus a full telemetry artifact
-//! `BENCH_telemetry.json` (run from the repository root).
+//! scoreboard) and its overhead, measures the million-terminal scale
+//! mode (build time, peak RSS and cycle rate at ~262K and ~1.1M
+//! terminals), and writes everything to `BENCH_parallel_sweep.json`
+//! plus a full telemetry artifact `BENCH_telemetry.json` (run from
+//! the repository root).
 //!
 //! Knobs: `DFLY_THREADS` bounds the pool, `DFLY_QUICK=1` shortens the
 //! simulation windows.
@@ -27,6 +29,43 @@ use dragonfly::{
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
+
+/// Process peak resident set size (`VmHWM`) in MB; `None` off Linux.
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let kb: f64 = status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()?;
+    Some(kb / 1024.0)
+}
+
+/// One measured point of the scale-mode census.
+struct ScalePoint {
+    label: &'static str,
+    p: usize,
+    a: usize,
+    h: usize,
+    routers: usize,
+    terminals: usize,
+    build_secs: f64,
+    cycles: u64,
+    wall_secs: f64,
+    cycles_per_sec: f64,
+    accepted_rate: f64,
+    peak_rss_mb: Option<f64>,
+}
+
+/// Fixed short windows for the scale runs: the measurement target is
+/// memory and cycle rate, not statistics fidelity, so the windows do
+/// not scale with `DFLY_QUICK`.
+const SCALE_WARMUP: u64 = 60;
+const SCALE_MEASURE: u64 = 120;
+const SCALE_DRAIN_CAP: u64 = 3_000;
+const SCALE_LOAD: f64 = 0.2;
 
 fn fmt_opt(v: Option<f64>) -> String {
     v.map_or("null".to_string(), |x| format!("{x:.4}"))
@@ -217,6 +256,64 @@ fn main() {
             "perfstat: sharded single run x{sc}: {secs:.3}s ({:.0} cycles/s)",
             shard_cycles as f64 / secs.max(1e-12)
         );
+    }
+
+    // Million-terminal scale mode (the paper's Figure 4 regime):
+    // arithmetic routing plus the flit arena keep router memory
+    // O(radix), so these networks build and run in commodity RAM.
+    // Each point times the harness build (topology + spec wiring),
+    // runs a short MIN/uniform point with `SimConfig::scale_mode` on,
+    // and snapshots the process peak RSS afterwards. `VmHWM` is a
+    // process-wide monotone high-water mark, so the points run
+    // smallest-first and each snapshot covers everything up to it.
+    let scale_cases = [("262k", 16usize, 32usize, 16usize), ("1.1m", 23, 46, 23)];
+    let mut scale_rows: Vec<ScalePoint> = Vec::new();
+    for (label, p, a, h) in scale_cases {
+        let params = DragonflyParams::new(p, a, h).expect("valid scale params");
+        let t0 = Instant::now();
+        let scale_sim = DragonflySim::new(params);
+        let build_secs = t0.elapsed().as_secs_f64();
+        let mut cfg = win.config(SCALE_LOAD);
+        cfg.seed = 1;
+        cfg.warmup = SCALE_WARMUP;
+        cfg.measure = SCALE_MEASURE;
+        cfg.drain_cap = SCALE_DRAIN_CAP;
+        cfg.scale_mode = true;
+        let (sstats, sperf) =
+            scale_sim.run_instrumented(RoutingChoice::Min, TrafficChoice::Uniform, cfg);
+        assert!(
+            sstats.channel_loads.is_empty(),
+            "scale mode kept per-channel load counters"
+        );
+        assert!(
+            sstats.accepted_rate > 0.0,
+            "scale {label}: nothing delivered"
+        );
+        let rss = peak_rss_mb();
+        eprintln!(
+            "perfstat: scale {label}: p={p} a={a} h={h}, {} routers, {} terminals, \
+             build {build_secs:.3}s, {} cycles in {:.3}s ({:.0} cycles/s), peak RSS {}",
+            scale_sim.spec().num_routers(),
+            scale_sim.spec().num_terminals(),
+            sperf.cycles,
+            sperf.wall.as_secs_f64(),
+            sperf.cycles_per_sec(),
+            rss.map_or("n/a".to_string(), |m| format!("{m:.0} MB")),
+        );
+        scale_rows.push(ScalePoint {
+            label,
+            p,
+            a,
+            h,
+            routers: scale_sim.spec().num_routers(),
+            terminals: scale_sim.spec().num_terminals(),
+            build_secs,
+            cycles: sperf.cycles,
+            wall_secs: sperf.wall.as_secs_f64(),
+            cycles_per_sec: sperf.cycles_per_sec(),
+            accepted_rate: sstats.accepted_rate,
+            peak_rss_mb: rss,
+        });
     }
 
     eprintln!(
@@ -449,6 +546,52 @@ fn main() {
         );
     }
     json.push_str("]\n");
+    json.push_str("  },\n");
+
+    json.push_str("  \"scale_mode\": {\n");
+    let _ = writeln!(json, "    \"hardware_threads\": {hw},");
+    let _ = writeln!(json, "    \"shards\": 1,");
+    let _ = writeln!(
+        json,
+        "    \"routing\": \"{}\",",
+        json_escape(RoutingChoice::Min.label())
+    );
+    let _ = writeln!(json, "    \"traffic\": \"uniform\",");
+    let _ = writeln!(json, "    \"load\": {SCALE_LOAD},");
+    let _ = writeln!(
+        json,
+        "    \"windows\": {{\"warmup\": {SCALE_WARMUP}, \"measure\": {SCALE_MEASURE}, \
+         \"drain_cap\": {SCALE_DRAIN_CAP}}},"
+    );
+    json.push_str("    \"points\": [\n");
+    for (i, sp) in scale_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"label\": \"{}\", \"p\": {}, \"a\": {}, \"h\": {}, \
+             \"routers\": {}, \"terminals\": {}, \"build_secs\": {:.6}, \
+             \"cycles\": {}, \"wall_secs\": {:.6}, \"cycles_per_sec\": {:.1}, \
+             \"accepted_rate\": {:.6}, \"peak_rss_mb\": {}}}",
+            sp.label,
+            sp.p,
+            sp.a,
+            sp.h,
+            sp.routers,
+            sp.terminals,
+            sp.build_secs,
+            sp.cycles,
+            sp.wall_secs,
+            sp.cycles_per_sec,
+            sp.accepted_rate,
+            sp.peak_rss_mb
+                .map_or("null".to_string(), |m| format!("{m:.1}")),
+        );
+        json.push_str(if i + 1 < scale_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ]\n");
     json.push_str("  },\n");
 
     json.push_str("  \"telemetry\": {\n");

@@ -199,7 +199,7 @@ pub fn fig9(win: &Windows) {
         let mut mean = vec![0.0f64; ah];
         for group in 0..g {
             let target = (group + 1) % g;
-            let qmin = df.global_slots(group, target)[0] as usize;
+            let qmin = df.global_slot_at(group, target, 0);
             let min_router_base = (qmin / h) * h;
             // Rank ordering of this group's slots.
             let mut order = vec![qmin];

@@ -42,7 +42,7 @@ pub fn group_offset_bounds(df: &Dragonfly, offset: usize) -> ThroughputBounds {
     // Minimal: all of group i's traffic (ap·r flits/cycle) crosses the
     // direct channels to group i+offset.
     let thinnest = (0..g)
-        .map(|i| df.global_slots(i, (i + offset) % g).len())
+        .map(|i| df.global_slot_count(i, (i + offset) % g))
         .min()
         .unwrap_or(0) as f64;
     let minimal = thinnest / ap;

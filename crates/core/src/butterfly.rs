@@ -39,7 +39,7 @@ use std::sync::Arc;
 
 use dfly_netsim::{
     CandidatePath, CandidatePaths, ChannelClass, Connection, DecisionRecord, FaultPlan, FaultTable,
-    Flit, NetView, NetworkSpec, PortSpec, PortVc, RouteClass, RouteInfo, RouterSpec,
+    Flit, NetView, NetworkSpec, PortSpec, PortVc, RouteAlgebra, RouteClass, RouteInfo, RouterSpec,
     RoutingAlgorithm, SimError, UgalChooser,
 };
 use dfly_topo::{FlattenedButterfly, Topology};
@@ -287,6 +287,63 @@ impl ButterflyNetwork {
     }
 }
 
+/// Closed-form routing algebra for the flattened butterfly: pure
+/// coordinate arithmetic fault-free (dimension-order next hop, digit
+/// distance), the lazily-built BFS detour columns under a fault plan.
+/// The salt is unused — there is exactly one channel per
+/// (router, dimension, digit). The Valiant set is every third router.
+impl RouteAlgebra for ButterflyNetwork {
+    fn terminal_router(&self, terminal: usize) -> usize {
+        terminal / self.fb.concentration()
+    }
+
+    fn ejection_port(&self, terminal: usize) -> usize {
+        terminal % self.fb.concentration()
+    }
+
+    fn minimal_port(&self, router: usize, dest: usize, _salt: u32) -> PortVc {
+        let rd = dest / self.fb.concentration();
+        if router == rd {
+            return PortVc::new(dest % self.fb.concentration(), 0);
+        }
+        PortVc::new(self.next_toward(router, rd), 0)
+    }
+
+    fn minimal_hops(&self, router: usize, dest: usize, _salt: u32) -> u32 {
+        let rd = dest / self.fb.concentration();
+        if router == rd {
+            return 0;
+        }
+        self.hops_between(router, rd)
+    }
+
+    fn valiant_degree(&self, router: usize, dest: usize) -> usize {
+        let rd = dest / self.fb.concentration();
+        if router == rd {
+            return 0;
+        }
+        self.fb.num_routers() - 2
+    }
+
+    fn valiant_tag(&self, router: usize, dest: usize, i: usize) -> u32 {
+        let rd = dest / self.fb.concentration();
+        debug_assert_ne!(router, rd, "no detour within a router");
+        let (lo, hi) = (router.min(rd), router.max(rd));
+        let mut ri = i;
+        if ri >= lo {
+            ri += 1;
+        }
+        if ri >= hi {
+            ri += 1;
+        }
+        ri as u32
+    }
+
+    fn vc_count(&self) -> usize {
+        2
+    }
+}
+
 /// The flattened butterfly's UGAL candidates: the dimension-order
 /// minimal path and the two-phase Valiant path through intermediate
 /// router `intermediate`. The salt is unused — the butterfly has exactly
@@ -300,13 +357,18 @@ impl ButterflyNetwork {
 /// channel itself for single-hop paths), for the Valiant path the
 /// channel leaving the intermediate router toward the destination.
 impl CandidatePaths for ButterflyNetwork {
-    fn minimal_candidate(&self, router: usize, dest: usize, _salt: u32) -> CandidatePath {
+    fn minimal_candidate(&self, router: usize, dest: usize, salt: u32) -> CandidatePath {
         let rd = dest / self.fb.concentration();
         if router == rd {
             return CandidatePath::new(dest % self.fb.concentration(), 0, 0);
         }
-        let port = self.next_toward(router, rd);
-        let path = CandidatePath::new(port, 0, self.hops_between(router, rd));
+        let first = self.minimal_port(router, dest, salt);
+        let port = first.port as usize;
+        let path = CandidatePath::new(
+            port,
+            first.vc as usize,
+            self.minimal_hops(router, dest, salt),
+        );
         let mid = self.peer_of(router, port);
         if mid == rd {
             path.with_probe(router, port)
@@ -505,7 +567,7 @@ impl RoutingAlgorithm for ButterflyRouting {
         let (target, vc) = match flit.route.class {
             RouteClass::Minimal => (rd, 0),
             RouteClass::NonMinimal => {
-                let ri = flit.route.intermediate.expect("intermediate set") as usize;
+                let ri = flit.route.intermediate().expect("intermediate set") as usize;
                 if flit.vc == 1 || router == ri || ri == rd {
                     (rd, 1)
                 } else {

@@ -32,7 +32,7 @@ use std::sync::Arc;
 
 use dfly_netsim::{
     CandidatePath, CandidatePaths, ChannelClass, Connection, DecisionRecord, FaultPlan, FaultTable,
-    Flit, NetView, NetworkSpec, PortSpec, PortVc, RouteClass, RouteInfo, RouterSpec,
+    Flit, NetView, NetworkSpec, PortSpec, PortVc, RouteAlgebra, RouteClass, RouteInfo, RouterSpec,
     RoutingAlgorithm, SimError, UgalChooser,
 };
 use dfly_topo::{FoldedClos, Topology};
@@ -319,6 +319,101 @@ impl ClosNetwork {
 /// "non-minimal" one takes the alternative uplink `intermediate` — an
 /// adaptive spread over the full bisection driven by whichever
 /// congestion estimator the chooser carries.
+/// Closed-form routing algebra for the folded Clos: digit arithmetic
+/// fault-free (ascend on the salt-hashed uplink until above the
+/// destination leaf, then descend by digits), the lazily-built BFS
+/// columns under a fault plan. The Valiant tags enumerate the leaf
+/// uplinks — the Clos has no longer-than-minimal detours, only an
+/// adaptive spread over equal-length up/down paths.
+impl RouteAlgebra for ClosNetwork {
+    fn terminal_router(&self, terminal: usize) -> usize {
+        terminal / self.half()
+    }
+
+    fn ejection_port(&self, terminal: usize) -> usize {
+        terminal % self.half()
+    }
+
+    fn minimal_port(&self, router: usize, dest: usize, salt: u32) -> PortVc {
+        let half = self.half();
+        let leaf = dest / half;
+        if let Some(f) = &self.faults {
+            if router == leaf {
+                return PortVc::new(dest % half, 0);
+            }
+            let port = f
+                .table
+                .next_port(router, leaf)
+                .expect("validated fault plan keeps the network connected");
+            return PortVc::new(port, 0);
+        }
+        let (rank, s) = self.rank_of(router);
+        let levels = self.clos.levels();
+        if rank + 1 == levels {
+            let parity = if 2 * s + 1 < self.virtual_tops() {
+                self.pick_parity(salt)
+            } else {
+                0
+            };
+            return PortVc::new(parity * half + self.digit(leaf, levels - 2), 0);
+        }
+        if rank == 0 && s == leaf {
+            return PortVc::new(dest % half, 0);
+        }
+        if rank > 0 && self.above(s, rank, leaf) {
+            return PortVc::new(self.digit(leaf, rank - 1), 0);
+        }
+        PortVc::new(half + self.pick_up(salt, rank), 0)
+    }
+
+    fn minimal_hops(&self, router: usize, dest: usize, _salt: u32) -> u32 {
+        let half = self.half();
+        let leaf = dest / half;
+        if router == leaf {
+            return 0;
+        }
+        if let Some(f) = &self.faults {
+            return f
+                .table
+                .distance(router, leaf)
+                .expect("validated fault plan keeps the network connected");
+        }
+        let (rank, s) = self.rank_of(router);
+        let levels = self.clos.levels();
+        if rank + 1 == levels {
+            return (levels - 1) as u32;
+        }
+        if rank > 0 && self.above(s, rank, leaf) {
+            return rank as u32;
+        }
+        // Ascend to the lowest rank whose preserved digits sit above the
+        // destination leaf, then descend all the way back down.
+        for height in (rank + 1)..levels {
+            if (height..levels - 1).all(|d| self.digit(s, d) == self.digit(leaf, d)) {
+                return (2 * height - rank) as u32;
+            }
+        }
+        (2 * (levels - 1) - rank) as u32
+    }
+
+    fn valiant_degree(&self, router: usize, dest: usize) -> usize {
+        let leaf = dest / self.half();
+        // Tags are ignored under faults (routing rides the BFS columns).
+        if router == leaf || self.faults.is_some() {
+            return 0;
+        }
+        self.half()
+    }
+
+    fn valiant_tag(&self, _router: usize, _dest: usize, i: usize) -> u32 {
+        i as u32
+    }
+
+    fn vc_count(&self) -> usize {
+        1
+    }
+}
+
 impl CandidatePaths for ClosNetwork {
     fn minimal_candidate(&self, router: usize, dest: usize, salt: u32) -> CandidatePath {
         let half = self.half();
@@ -327,8 +422,12 @@ impl CandidatePaths for ClosNetwork {
         if router == leaf {
             return CandidatePath::new(dest % half, 0, 0);
         }
-        let u = self.pick_up(salt, 0);
-        CandidatePath::new(half + u, 0, self.min_hops_from_leaf(router, leaf))
+        let first = self.minimal_port(router, dest, salt);
+        CandidatePath::new(
+            first.port as usize,
+            first.vc as usize,
+            RouteAlgebra::minimal_hops(self, router, dest, salt),
+        )
     }
 
     fn non_minimal_candidate(
@@ -506,7 +605,7 @@ impl RoutingAlgorithm for ClosRouting {
         // else the uplink is salt-chosen (random-up).
         let u = match (rank, flit.route.class) {
             (0, RouteClass::NonMinimal) => {
-                flit.route.intermediate.expect("adaptive uplink set") as usize
+                flit.route.intermediate().expect("adaptive uplink set") as usize
             }
             _ => net.pick_up(flit.route.salt, rank),
         };

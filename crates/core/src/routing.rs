@@ -38,8 +38,8 @@ use std::sync::Arc;
 
 use dfly_netsim::{
     CandidatePath, CandidatePaths, CongestionEstimator, CreditCommitted, DecisionRecord,
-    EwmaOccupancy, Flit, GlobalOracle, NetView, PortVc, QueueOccupancy, RouteClass, RouteInfo,
-    RoutingAlgorithm, SimError, UgalChooser, VcHybrid, VcOccupancy,
+    EwmaOccupancy, Flit, GlobalOracle, NetView, PortVc, QueueOccupancy, RouteAlgebra, RouteClass,
+    RouteInfo, RoutingAlgorithm, SimError, UgalChooser, VcHybrid, VcOccupancy,
 };
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -73,7 +73,7 @@ fn route_flit(df: &Dragonfly, router: usize, flit: &Flit) -> PortVc {
         RouteClass::NonMinimal => {
             let gi = flit
                 .route
-                .intermediate
+                .intermediate()
                 .expect("non-minimal flit without intermediate") as usize;
             if gr == gi {
                 (gd, 1)
@@ -82,8 +82,9 @@ fn route_flit(df: &Dragonfly, router: usize, flit: &Flit) -> PortVc {
             }
         }
     };
-    let slots = df.global_slots(gr, target_group);
-    let q = slots[df.pick(slots.len(), salt, leg)] as usize;
+    let q = df
+        .pick_global_slot(gr, target_group, salt, leg)
+        .expect("routed group pair keeps an alive channel");
     let owner = df.slot_router(gr, q);
     // VC for this hop: minimal hops use VC1 until the destination group;
     // non-minimal hops use VC0 on the first leg and VC1 on the second.
@@ -98,6 +99,101 @@ fn route_flit(df: &Dragonfly, router: usize, flit: &Flit) -> PortVc {
     }
 }
 
+/// Closed-form routing algebra for the dragonfly: every answer falls
+/// out of the group/slot arithmetic (ring schedule, local next-hop
+/// coordinates), so no per-pair state is stored. Under a fault plan
+/// the salt-selected slot is drawn from the surviving channels and the
+/// Valiant set shrinks to the viable intermediates.
+impl RouteAlgebra for Dragonfly {
+    fn terminal_router(&self, terminal: usize) -> usize {
+        self.params().router_of_terminal(terminal)
+    }
+
+    fn ejection_port(&self, terminal: usize) -> usize {
+        self.eject_port(terminal)
+    }
+
+    fn minimal_port(&self, router: usize, dest: usize, salt: u32) -> PortVc {
+        let params = self.params();
+        let rd = params.router_of_terminal(dest);
+        if router == rd {
+            return PortVc::new(self.eject_port(dest), 0);
+        }
+        let gs = params.group_of_router(router);
+        let gd = params.group_of_router(rd);
+        if gs == gd {
+            return PortVc::new(self.local_next_hop(router, rd), 2);
+        }
+        let q = self
+            .pick_global_slot(gs, gd, salt, 0)
+            .expect("minimal route requested for a pair with an alive channel");
+        let owner = self.slot_router(gs, q);
+        let port = if router == owner {
+            self.slot_port(q)
+        } else {
+            self.local_next_hop(router, owner)
+        };
+        PortVc::new(port, 1)
+    }
+
+    fn minimal_hops(&self, router: usize, dest: usize, salt: u32) -> u32 {
+        let params = self.params();
+        let rd = params.router_of_terminal(dest);
+        if router == rd {
+            return 0;
+        }
+        let gs = params.group_of_router(router);
+        let gd = params.group_of_router(rd);
+        if gs == gd {
+            return self.local_hops(router, rd) as u32;
+        }
+        let q = self
+            .pick_global_slot(gs, gd, salt, 0)
+            .expect("minimal route requested for a pair with an alive channel");
+        let owner = self.slot_router(gs, q);
+        let (pg, pq) = self.global_slot_target(gs, q).expect("wired slot");
+        let entry = self.slot_router(pg, pq);
+        self.local_hops(router, owner) as u32 + 1 + self.local_hops(entry, rd) as u32
+    }
+
+    fn valiant_degree(&self, router: usize, dest: usize) -> usize {
+        let params = self.params();
+        let gs = params.group_of_router(router);
+        let gd = params.group_of_router(params.router_of_terminal(dest));
+        if gs == gd {
+            return 0;
+        }
+        match self.viable_intermediates(gs, gd) {
+            Some(viable) => viable.len(),
+            None => params.num_groups() - 2,
+        }
+    }
+
+    fn valiant_tag(&self, router: usize, dest: usize, i: usize) -> u32 {
+        let params = self.params();
+        let gs = params.group_of_router(router);
+        let gd = params.group_of_router(params.router_of_terminal(dest));
+        debug_assert_ne!(gs, gd, "no detour for intra-group traffic");
+        if let Some(viable) = self.viable_intermediates(gs, gd) {
+            return viable[i];
+        }
+        // Fault-free: the i-th group other than gs and gd.
+        let (lo, hi) = (gs.min(gd), gs.max(gd));
+        let mut gi = i;
+        if gi >= lo {
+            gi += 1;
+        }
+        if gi >= hi {
+            gi += 1;
+        }
+        gi as u32
+    }
+
+    fn vc_count(&self) -> usize {
+        3
+    }
+}
+
 /// The dragonfly's UGAL candidates: the minimal path (≤ 1 global
 /// channel) and the Valiant path through intermediate group
 /// `intermediate`, each summarised by its salt-selected first-hop port,
@@ -109,38 +205,25 @@ fn route_flit(df: &Dragonfly, router: usize, flit: &Flit) -> PortVc {
 /// channels only, and each candidate reports the removed channels along
 /// its legs as [`CandidatePath::dropped`]. Callers must not request a
 /// candidate whose group pair has lost every direct channel (injection
-/// logic checks [`Dragonfly::global_slots`] /
+/// logic checks [`Dragonfly::global_slot_count`] /
 /// [`Dragonfly::viable_intermediates`] first).
 impl CandidatePaths for Dragonfly {
     fn minimal_candidate(&self, router: usize, dest: usize, salt: u32) -> CandidatePath {
         let params = self.params();
-        let rs = router;
+        let first = self.minimal_port(router, dest, salt);
+        let hops = RouteAlgebra::minimal_hops(self, router, dest, salt);
+        let path = CandidatePath::new(first.port as usize, first.vc as usize, hops);
         let rd = params.router_of_terminal(dest);
-        if rs == rd {
-            return CandidatePath::new(self.eject_port(dest), 0, 0);
-        }
-        let gs = params.group_of_router(rs);
+        let gs = params.group_of_router(router);
         let gd = params.group_of_router(rd);
-        if gs == gd {
-            return CandidatePath::new(
-                self.local_next_hop(rs, rd),
-                2,
-                self.local_hops(rs, rd) as u32,
-            );
+        if router == rd || gs == gd {
+            return path;
         }
-        let slots = self.global_slots(gs, gd);
-        let q = slots[self.pick(slots.len(), salt, 0)] as usize;
-        let owner = self.slot_router(gs, q);
-        let (pg, pq) = self.global_slot_target(gs, q).expect("wired slot");
-        let entry = self.slot_router(pg, pq);
-        let hops = self.local_hops(rs, owner) as u32 + 1 + self.local_hops(entry, rd) as u32;
-        let port = if rs == owner {
-            self.slot_port(q)
-        } else {
-            self.local_next_hop(rs, owner)
-        };
-        CandidatePath::new(port, 1, hops)
-            .with_probe(owner, self.slot_port(q))
+        // The probe point is the salt-selected global channel itself.
+        let q = self
+            .pick_global_slot(gs, gd, salt, 0)
+            .expect("candidate requested for a pair with an alive channel");
+        path.with_probe(self.slot_router(gs, q), self.slot_port(q))
             .with_dropped(self.dead_global_slots(gs, gd))
     }
 
@@ -158,13 +241,15 @@ impl CandidatePaths for Dragonfly {
         let gs = params.group_of_router(rs);
         let gd = params.group_of_router(rd);
         debug_assert!(gi != gs && gi != gd, "intermediate must be a third group");
-        let slots1 = self.global_slots(gs, gi);
-        let q1 = slots1[self.pick(slots1.len(), salt, 0)] as usize;
+        let q1 = self
+            .pick_global_slot(gs, gi, salt, 0)
+            .expect("viable intermediate keeps its first leg alive");
         let owner1 = self.slot_router(gs, q1);
         let (pg1, pq1) = self.global_slot_target(gs, q1).expect("wired slot");
         let entry1 = self.slot_router(pg1, pq1);
-        let slots2 = self.global_slots(gi, gd);
-        let q2 = slots2[self.pick(slots2.len(), salt, 1)] as usize;
+        let q2 = self
+            .pick_global_slot(gi, gd, salt, 1)
+            .expect("viable intermediate keeps its second leg alive");
         let owner2 = self.slot_router(gi, q2);
         let (pg2, pq2) = self.global_slot_target(gi, q2).expect("wired slot");
         let entry2 = self.slot_router(pg2, pq2);
@@ -333,7 +418,7 @@ impl RoutingAlgorithm for MinimalRouting {
             let params = self.df.params();
             let gs = params.group_of_terminal(src);
             let gd = params.group_of_terminal(dest);
-            if gs != gd && self.df.global_slots(gs, gd).is_empty() {
+            if gs != gd && self.df.global_slot_count(gs, gd) == 0 {
                 // Every direct channel is dead: detour through a viable
                 // intermediate group (fault validation guarantees one).
                 let viable = self
@@ -563,7 +648,7 @@ impl RoutingAlgorithm for UgalRouting {
             let route = RouteInfo::minimal().with_salt(salt).with_injection_vc(1);
             return (route, DecisionRecord::default());
         }
-        let direct_alive = !df.has_faults() || !df.global_slots(gs, gd).is_empty();
+        let direct_alive = !df.has_faults() || df.global_slot_count(gs, gd) > 0;
         let gi = match pick_intermediate(df, gs, gd, rng) {
             Some(gi) => gi,
             None if direct_alive => {

@@ -88,17 +88,35 @@ pub struct Dragonfly {
     dim_base: Vec<usize>,
     /// Local ports per router: `Σ (dims[d] - 1)`.
     local_ports: usize,
-    /// `links[src_group * g + dst_group]` = global slots in `src_group`
-    /// whose channel leads to `dst_group`.
-    links: Vec<Vec<u16>>,
-    /// `slot_target[group * ah + q]` = `(peer_group, peer_slot)`, or
-    /// `(u32::MAX, 0)` for an unused slot.
-    slot_target: Vec<(u32, u16)>,
+    /// The offset rings the construction placed, in placement order
+    /// (bases ascending). Every group's slot layout is identical — each
+    /// ring advances every group's next free slot by exactly its cost —
+    /// so the whole `(group, slot) → (peer_group, peer_slot)` wiring is
+    /// arithmetic over this O(a·h)-entry schedule instead of the former
+    /// O(g²) slot tables.
+    rings: Vec<Ring>,
+    /// Ring positions (indices into `rings`) by offset `d`; an offset
+    /// appears more than once when the port budget repeats rings.
+    rings_by_d: Vec<Vec<u16>>,
     /// Global slots per group left unused (by the ring construction or
     /// bandwidth tapering).
     unused_slots_per_group: usize,
     /// Link-failure state, present after [`Dragonfly::with_fault_plan`].
     faults: Option<Box<DragonflyFaults>>,
+}
+
+/// One placed offset ring of the global-channel construction: every
+/// group spends `cost` consecutive slots starting at `base` on channels
+/// to its partner(s) at ring offset `d`.
+#[derive(Debug, Clone, Copy)]
+struct Ring {
+    /// Ring offset, in `1..=g/2`.
+    d: u16,
+    /// First slot index of this ring in every group's slot numbering.
+    base: u16,
+    /// Slots per group: 1 for the self-paired middle ring (`2d = g`),
+    /// otherwise 2 (one toward `+d`, one toward `-d`).
+    cost: u8,
 }
 
 /// Derived fault state: which channels survive and how to route around
@@ -199,7 +217,7 @@ impl Dragonfly {
         let g = params.num_groups();
         for i in 0..g {
             for j in 0..g {
-                if i != j && df.global_slots(i, j).is_empty() {
+                if i != j && df.global_slot_count(i, j) == 0 {
                     return Err(format!(
                         "taper {taper} leaves groups {i} and {j} unconnected"
                     ));
@@ -217,19 +235,29 @@ impl Dragonfly {
     ) -> Self {
         let g = params.num_groups();
         let ah = params.global_ports_per_group();
-        let mut links = vec![Vec::new(); g * g];
-        let mut slot_target = vec![(u32::MAX, 0u16); g * ah];
-        let mut next_slot = vec![0usize; g];
 
         // Ring construction: repeatedly sweep offsets d = 1 .. g/2,
         // adding one full ring of channels per offset while every group
         // still has ports for it (2 per ring, or 1 for the self-paired
         // ring d = g/2 when g is even). Tapering shrinks the budget.
+        //
+        // Only the *schedule* of placed rings is recorded: a ring
+        // advances every group's next free slot by exactly its cost, so
+        // all groups share one slot layout and every `(group, slot)`
+        // endpoint is recomputable from `(d, base, cost)` — see
+        // [`Dragonfly::slot_in_ring`] / [`Dragonfly::global_slot_target`].
         let mut budget = ((ah as f64) * taper).round() as usize;
         let unused = ah - budget;
         let half = g / 2;
+        let mut rings = Vec::new();
+        let mut rings_by_d = vec![Vec::new(); half + 1];
+        let mut base = 0usize;
         'outer: loop {
             let mut placed = false;
+            // `d` is the ring distance, not just an index into
+            // `rings_by_d` — the enumerate form clippy suggests obscures
+            // the cost arithmetic below.
+            #[allow(clippy::needless_range_loop)]
             for d in 1..=half {
                 let cost = if 2 * d == g { 1 } else { 2 };
                 if budget < cost {
@@ -237,21 +265,13 @@ impl Dragonfly {
                 }
                 budget -= cost;
                 placed = true;
-                let pairs: Vec<(usize, usize)> = if 2 * d == g {
-                    (0..half).map(|i| (i, i + d)).collect()
-                } else {
-                    (0..g).map(|i| (i, (i + d) % g)).collect()
-                };
-                for (i, j) in pairs {
-                    let qi = next_slot[i];
-                    next_slot[i] += 1;
-                    let qj = next_slot[j];
-                    next_slot[j] += 1;
-                    slot_target[i * ah + qi] = (j as u32, qj as u16);
-                    slot_target[j * ah + qj] = (i as u32, qi as u16);
-                    links[i * g + j].push(qi as u16);
-                    links[j * g + i].push(qj as u16);
-                }
+                rings_by_d[d].push(rings.len() as u16);
+                rings.push(Ring {
+                    d: d as u16,
+                    base: base as u16,
+                    cost: cost as u8,
+                });
+                base += cost;
                 if budget == 0 {
                     break 'outer;
                 }
@@ -276,8 +296,8 @@ impl Dragonfly {
             dims,
             dim_base,
             local_ports,
-            links,
-            slot_target,
+            rings,
+            rings_by_d,
             unused_slots_per_group: unused + budget,
             faults: None,
         }
@@ -330,12 +350,13 @@ impl Dragonfly {
         let mut alive_links = vec![Vec::new(); g * g];
         for i in 0..g {
             for j in 0..g {
-                alive_links[i * g + j] = self.links[i * g + j]
-                    .iter()
-                    .copied()
-                    .filter(|&q| {
-                        !spec.is_failed(self.slot_router(i, q as usize), self.slot_port(q as usize))
-                    })
+                if i == j {
+                    continue;
+                }
+                alive_links[i * g + j] = (0..self.clean_slot_count(i, j))
+                    .map(|k| self.clean_slot_at(i, j, k))
+                    .filter(|&q| !spec.is_failed(self.slot_router(i, q), self.slot_port(q)))
+                    .map(|q| q as u16)
                     .collect();
             }
         }
@@ -461,7 +482,7 @@ impl Dragonfly {
     pub(crate) fn dead_global_slots(&self, gs: usize, gd: usize) -> u32 {
         let g = self.params.num_groups();
         match &self.faults {
-            Some(f) => (self.links[gs * g + gd].len() - f.alive_links[gs * g + gd].len()) as u32,
+            Some(f) => (self.clean_slot_count(gs, gd) - f.alive_links[gs * g + gd].len()) as u32,
             None => 0,
         }
     }
@@ -518,21 +539,99 @@ impl Dragonfly {
         self.unused_slots_per_group
     }
 
-    /// The global slots of `src_group` whose channels lead to
-    /// `dst_group`. Under a fault plan only the surviving slots are
-    /// returned (possibly none), so routing picks stay consistent with
-    /// the channels packets actually use.
+    /// Global slots per group the ring construction actually wired.
+    fn used_slots(&self) -> usize {
+        self.params.global_ports_per_group() - self.unused_slots_per_group
+    }
+
+    /// Canonical ring offset between two distinct groups.
+    fn ring_offset(&self, x: usize, y: usize) -> usize {
+        let g = self.params.num_groups();
+        let diff = (y + g - x) % g;
+        diff.min(g - diff)
+    }
+
+    /// `x`'s slot within `ring` whose channel leads to `y` (one of `x`'s
+    /// partners at the ring's offset).
+    ///
+    /// Slot order within a cost-2 ring follows the construction's pair
+    /// sweep `i = 0..g` over `(i, (i+d) mod g)`: group `x` is visited as
+    /// the `+d` end at iteration `x` and as the `-d` end at iteration
+    /// `(x - d) mod g`, so for `x >= d` the `-d` slot comes first.
+    fn slot_in_ring(&self, ring: Ring, x: usize, y: usize) -> usize {
+        let (d, base) = (ring.d as usize, ring.base as usize);
+        if ring.cost == 1 {
+            return base;
+        }
+        let plus = (x + d) % self.params.num_groups() == y;
+        if (x >= d) == plus {
+            base + 1
+        } else {
+            base
+        }
+    }
+
+    /// Fault-free count of parallel `src → dst` global channels: the
+    /// number of placed rings at the pair's offset.
+    fn clean_slot_count(&self, src_group: usize, dst_group: usize) -> usize {
+        if src_group == dst_group {
+            return 0;
+        }
+        self.rings_by_d[self.ring_offset(src_group, dst_group)].len()
+    }
+
+    /// Fault-free `i`-th parallel `src → dst` slot, in ring-placement
+    /// order.
+    fn clean_slot_at(&self, src_group: usize, dst_group: usize, i: usize) -> usize {
+        let ring = self.rings[self.rings_by_d[self.ring_offset(src_group, dst_group)][i] as usize];
+        self.slot_in_ring(ring, src_group, dst_group)
+    }
+
+    /// How many parallel `src_group → dst_group` global channels exist
+    /// (0 for `src == dst`). Under a fault plan only surviving channels
+    /// are counted, so routing picks stay consistent with the channels
+    /// packets actually use.
     ///
     /// # Panics
     ///
     /// Panics if either group index is out of range.
-    pub fn global_slots(&self, src_group: usize, dst_group: usize) -> &[u16] {
+    pub fn global_slot_count(&self, src_group: usize, dst_group: usize) -> usize {
         let g = self.params.num_groups();
         assert!(src_group < g && dst_group < g, "group out of range");
         match &self.faults {
-            Some(f) => &f.alive_links[src_group * g + dst_group],
-            None => &self.links[src_group * g + dst_group],
+            Some(f) => f.alive_links[src_group * g + dst_group].len(),
+            None => self.clean_slot_count(src_group, dst_group),
         }
+    }
+
+    /// The `i`-th of the parallel `src_group → dst_group` global slots,
+    /// `i < global_slot_count(..)`. Computed arithmetically from the
+    /// ring schedule on a fault-free network; read from the surviving
+    /// slot lists under a fault plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a group index or `i` is out of range.
+    pub fn global_slot_at(&self, src_group: usize, dst_group: usize, i: usize) -> usize {
+        let g = self.params.num_groups();
+        assert!(src_group < g && dst_group < g, "group out of range");
+        match &self.faults {
+            Some(f) => f.alive_links[src_group * g + dst_group][i] as usize,
+            None => self.clean_slot_at(src_group, dst_group, i),
+        }
+    }
+
+    /// Salt-picks one of the parallel `src_group → dst_group` slots, or
+    /// `None` when the pair has no (surviving) direct channel.
+    pub fn pick_global_slot(
+        &self,
+        src_group: usize,
+        dst_group: usize,
+        salt: u32,
+        leg: u32,
+    ) -> Option<usize> {
+        let n = self.global_slot_count(src_group, dst_group);
+        (n > 0).then(|| self.global_slot_at(src_group, dst_group, self.pick(n, salt, leg)))
     }
 
     /// `(peer_group, peer_slot)` reached by global slot `q` of `group`,
@@ -542,10 +641,23 @@ impl Dragonfly {
     ///
     /// Panics if `group` or `q` is out of range.
     pub fn global_slot_target(&self, group: usize, q: usize) -> Option<(usize, usize)> {
+        let g = self.params.num_groups();
         let ah = self.params.global_ports_per_group();
-        assert!(group < self.params.num_groups() && q < ah, "out of range");
-        let (pg, pq) = self.slot_target[group * ah + q];
-        (pg != u32::MAX).then_some((pg as usize, pq as usize))
+        assert!(group < g && q < ah, "out of range");
+        if q >= self.used_slots() {
+            return None;
+        }
+        // Bases ascend in placement order; find the ring containing q.
+        let idx = self.rings.partition_point(|r| (r.base as usize) <= q) - 1;
+        let ring = self.rings[idx];
+        let (d, off) = (ring.d as usize, q - ring.base as usize);
+        let plus = ring.cost == 1 || ((group < d) == (off == 0));
+        let peer = if plus {
+            (group + d) % g
+        } else {
+            (group + g - d) % g
+        };
+        Some((peer, self.slot_in_ring(ring, peer, group)))
     }
 
     /// Router (global index) owning global slot `q` of `group`.
@@ -796,7 +908,7 @@ mod tests {
         let g = df.params().num_groups();
         for i in 0..g {
             for j in 0..g {
-                let n = df.global_slots(i, j).len();
+                let n = df.global_slot_count(i, j);
                 if i == j {
                     assert_eq!(n, 0, "self link {i}");
                 } else {
@@ -817,6 +929,105 @@ mod tests {
                 let (pg, pq) = df.global_slot_target(grp, q).expect("slot used");
                 assert_eq!(df.global_slot_target(pg, pq), Some((grp, q)));
                 assert_ne!(pg, grp);
+            }
+        }
+    }
+
+    /// The pre-arithmetic table construction, kept as the reference the
+    /// closed-form slot algebra is checked against: one full
+    /// `links`/`slot_target` build exactly as the old code wrote it.
+    fn reference_tables(
+        params: &DragonflyParams,
+        taper: f64,
+    ) -> (Vec<Vec<u16>>, Vec<(u32, u16)>, usize) {
+        let g = params.num_groups();
+        let ah = params.global_ports_per_group();
+        let mut links = vec![Vec::new(); g * g];
+        let mut slot_target = vec![(u32::MAX, 0u16); g * ah];
+        let mut next_slot = vec![0usize; g];
+        let mut budget = ((ah as f64) * taper).round() as usize;
+        let unused = ah - budget;
+        let half = g / 2;
+        'outer: loop {
+            let mut placed = false;
+            for d in 1..=half {
+                let cost = if 2 * d == g { 1 } else { 2 };
+                if budget < cost {
+                    continue;
+                }
+                budget -= cost;
+                placed = true;
+                let pairs: Vec<(usize, usize)> = if 2 * d == g {
+                    (0..half).map(|i| (i, i + d)).collect()
+                } else {
+                    (0..g).map(|i| (i, (i + d) % g)).collect()
+                };
+                for (i, j) in pairs {
+                    let qi = next_slot[i];
+                    next_slot[i] += 1;
+                    let qj = next_slot[j];
+                    next_slot[j] += 1;
+                    slot_target[i * ah + qi] = (j as u32, qj as u16);
+                    slot_target[j * ah + qj] = (i as u32, qi as u16);
+                    links[i * g + j].push(qi as u16);
+                    links[j * g + i].push(qj as u16);
+                }
+                if budget == 0 {
+                    break 'outer;
+                }
+            }
+            if !placed {
+                break;
+            }
+        }
+        (links, slot_target, unused + budget)
+    }
+
+    #[test]
+    fn arithmetic_slots_match_reference_table_sweep() {
+        // (p, a, h, g, taper): maximum-size, multi-pass parallel links,
+        // odd leftover port, even g with a self-paired middle ring (both
+        // single- and repeated-ring), and a tapered build.
+        let cases = [
+            (2, 4, 2, 9, 1.0),
+            (2, 4, 2, 5, 1.0),
+            (1, 3, 1, 3, 1.0),
+            (2, 2, 4, 8, 1.0),
+            (1, 2, 3, 6, 1.0),
+            (2, 4, 2, 5, 0.5),
+            (1, 2, 2, 4, 0.75),
+        ];
+        for (p, a, h, g, taper) in cases {
+            let params = DragonflyParams::with_groups(p, a, h, g).unwrap();
+            let df = if taper < 1.0 {
+                Dragonfly::with_taper(params, taper).unwrap()
+            } else {
+                Dragonfly::new(params)
+            };
+            let (links, slot_target, unused) = reference_tables(&params, taper);
+            let ah = params.global_ports_per_group();
+            assert_eq!(
+                df.unused_global_ports_per_group(),
+                unused,
+                "unused mismatch for {params:?}"
+            );
+            for i in 0..g {
+                for j in 0..g {
+                    let reference = &links[i * g + j];
+                    let computed: Vec<u16> = (0..df.global_slot_count(i, j))
+                        .map(|k| df.global_slot_at(i, j, k) as u16)
+                        .collect();
+                    assert_eq!(&computed, reference, "slots {i}->{j} for {params:?}");
+                }
+                for q in 0..ah {
+                    let (pg, pq) = slot_target[i * ah + q];
+                    let reference = (pg != u32::MAX).then_some((pg as usize, pq as usize));
+                    assert_eq!(
+                        df.global_slot_target(i, q),
+                        reference,
+                        "target of ({i}, {q}) for {params:?}"
+                    );
+                }
             }
         }
     }
@@ -861,7 +1072,7 @@ mod tests {
         for i in 0..5 {
             for j in 0..5 {
                 if i != j {
-                    assert_eq!(df.global_slots(i, j).len(), 2, "pair ({i},{j})");
+                    assert_eq!(df.global_slot_count(i, j), 2, "pair ({i},{j})");
                 }
             }
         }
@@ -1021,7 +1232,7 @@ mod tests {
         let tapered = Dragonfly::with_taper(params, 0.5).unwrap();
         let count = |df: &Dragonfly| {
             (0..5)
-                .map(|i| (0..5).map(|j| df.global_slots(i, j).len()).sum::<usize>())
+                .map(|i| (0..5).map(|j| df.global_slot_count(i, j)).sum::<usize>())
                 .sum::<usize>()
         };
         assert_eq!(count(&tapered) * 2, count(&full));
@@ -1070,9 +1281,9 @@ mod tests {
         assert_eq!(df.failed_links().len(), 1);
         // The dead cable vanishes from both directions' slot lists;
         // every other pair keeps its single cable.
-        assert!(df.global_slots(0, 1).is_empty());
-        assert!(df.global_slots(1, 0).is_empty());
-        assert_eq!(df.global_slots(0, 2).len(), 1);
+        assert_eq!(df.global_slot_count(0, 1), 0);
+        assert_eq!(df.global_slot_count(1, 0), 0);
+        assert_eq!(df.global_slot_count(0, 2), 1);
         assert_eq!(df.dead_global_slots(0, 1), 1);
         assert_eq!(df.dead_global_slots(0, 2), 0);
         let viable = df.viable_intermediates(0, 1).unwrap();
@@ -1152,8 +1363,8 @@ mod tests {
             .with_fault_plan(&FaultPlan::Explicit(vec![c23]))
             .unwrap();
         assert_eq!(df.failed_links().len(), 2);
-        assert!(df.global_slots(0, 1).is_empty());
-        assert!(df.global_slots(2, 3).is_empty());
+        assert_eq!(df.global_slot_count(0, 1), 0);
+        assert_eq!(df.global_slot_count(2, 3), 0);
         let df0 = n72()
             .with_fault_plan(&FaultPlan::random_global(0.0, 9))
             .unwrap();

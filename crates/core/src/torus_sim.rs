@@ -39,7 +39,7 @@ use std::sync::Arc;
 
 use dfly_netsim::{
     CandidatePath, CandidatePaths, ChannelClass, Connection, DecisionRecord, FaultPlan, FaultTable,
-    Flit, NetView, NetworkSpec, PortSpec, PortVc, RouteClass, RouteInfo, RouterSpec,
+    Flit, NetView, NetworkSpec, PortSpec, PortVc, RouteAlgebra, RouteClass, RouteInfo, RouterSpec,
     RoutingAlgorithm, SimError, UgalChooser,
 };
 use dfly_topo::{Topology, Torus};
@@ -264,22 +264,41 @@ impl TorusNetwork {
     }
 }
 
-impl CandidatePaths for TorusNetwork {
-    /// Minimal candidate: the short way around the first differing
-    /// dimension's ring, on its dateline VC; `hops` is the full
-    /// Manhattan distance. The salt is unused — a torus has exactly one
-    /// channel per (router, dimension, direction). The UGAL-G probe
-    /// point is the same-direction channel at the router midway along
-    /// the ring traversal — the bottleneck a ring path contends at.
-    fn minimal_candidate(&self, router: usize, dest: usize, _salt: u32) -> CandidatePath {
-        let c = self.torus.concentration();
+/// Closed-form routing algebra for the torus: coordinate arithmetic
+/// fault-free (shortest-way dimension order with dateline VCs), the
+/// lazily-built BFS columns under a fault plan. The salt is unused —
+/// there is exactly one channel per (router, dimension, direction).
+/// The single Valiant tag names the long way around the first
+/// differing dimension's ring.
+impl RouteAlgebra for TorusNetwork {
+    fn terminal_router(&self, terminal: usize) -> usize {
+        terminal / self.torus.concentration()
+    }
+
+    fn ejection_port(&self, terminal: usize) -> usize {
+        terminal % self.torus.concentration()
+    }
+
+    fn minimal_port(&self, router: usize, dest: usize, _salt: u32) -> PortVc {
+        let torus = &self.torus;
+        let c = torus.concentration();
         let rd = dest / c;
         if router == rd {
-            return CandidatePath::new(dest % c, 0, 0);
+            return PortVc::new(dest % c, 0);
         }
-        let k = self.torus.arity();
-        let ca = self.torus.coordinates(router);
-        let cb = self.torus.coordinates(rd);
+        let ca = torus.coordinates(router);
+        let cb = torus.coordinates(rd);
+        if let Some(f) = &self.faults {
+            let port = f
+                .table
+                .next_port(router, rd)
+                .expect("validated fault plan keeps the network connected");
+            let (dim, plus) = self.port_dir(port);
+            let (x, y) = (ca[dim], cb[dim]);
+            let will_wrap = x == y || if plus { x > y } else { x < y };
+            return PortVc::new(port, usize::from(!will_wrap));
+        }
+        let k = torus.arity();
         let dim = (0..ca.len())
             .find(|&d| ca[d] != cb[d])
             .expect("router != rd");
@@ -287,16 +306,86 @@ impl CandidatePaths for TorusNetwork {
         let forward = (y + k - x) % k;
         let plus = forward <= k - forward;
         let will_wrap = if plus { x > y } else { x < y };
-        let hops: u32 = (0..ca.len())
+        PortVc::new(self.dir_port(dim, plus), usize::from(!will_wrap))
+    }
+
+    fn minimal_hops(&self, router: usize, dest: usize, _salt: u32) -> u32 {
+        let rd = dest / self.torus.concentration();
+        if router == rd {
+            return 0;
+        }
+        if let Some(f) = &self.faults {
+            return f
+                .table
+                .distance(router, rd)
+                .expect("validated fault plan keeps the network connected");
+        }
+        let k = self.torus.arity();
+        let ca = self.torus.coordinates(router);
+        let cb = self.torus.coordinates(rd);
+        (0..ca.len())
             .map(|d| {
                 let f = (cb[d] + k - ca[d]) % k;
                 f.min(k - f) as u32
             })
-            .sum();
+            .sum()
+    }
+
+    fn valiant_degree(&self, router: usize, dest: usize) -> usize {
+        let rd = dest / self.torus.concentration();
+        // Arity ≤ 2 folds both directions onto one shared channel, and
+        // faulted networks ride the BFS columns — nothing to tag.
+        if router == rd || self.torus.arity() <= 2 || self.faults.is_some() {
+            0
+        } else {
+            1
+        }
+    }
+
+    fn valiant_tag(&self, router: usize, dest: usize, i: usize) -> u32 {
+        debug_assert_eq!(i, 0, "the torus has a single detour tag");
+        let k = self.torus.arity();
+        let ca = self.torus.coordinates(router);
+        let cb = self.torus.coordinates(dest / self.torus.concentration());
+        let dim = (0..ca.len())
+            .find(|&d| ca[d] != cb[d])
+            .expect("router != rd");
+        let forward = (cb[dim] + k - ca[dim]) % k;
+        let plus_long = forward > k - forward;
+        (dim * 2 + usize::from(plus_long)) as u32
+    }
+
+    fn vc_count(&self) -> usize {
+        2
+    }
+}
+
+impl CandidatePaths for TorusNetwork {
+    /// Minimal candidate: the short way around the first differing
+    /// dimension's ring, on its dateline VC; `hops` is the full
+    /// Manhattan distance. The salt is unused — a torus has exactly one
+    /// channel per (router, dimension, direction). The UGAL-G probe
+    /// point is the same-direction channel at the router midway along
+    /// the ring traversal — the bottleneck a ring path contends at.
+    fn minimal_candidate(&self, router: usize, dest: usize, salt: u32) -> CandidatePath {
+        let c = self.torus.concentration();
+        let rd = dest / c;
+        if router == rd {
+            return CandidatePath::new(dest % c, 0, 0);
+        }
+        let first = self.minimal_port(router, dest, salt);
+        let hops = RouteAlgebra::minimal_hops(self, router, dest, salt);
+        let k = self.torus.arity();
+        let ca = self.torus.coordinates(router);
+        let cb = self.torus.coordinates(rd);
+        let dim = (0..ca.len())
+            .find(|&d| ca[d] != cb[d])
+            .expect("router != rd");
+        let forward = (cb[dim] + k - ca[dim]) % k;
+        let plus = forward <= k - forward;
         let travel = forward.min(k - forward);
         let (mid, mid_port) = self.ring_midpoint(&ca, dim, plus, travel);
-        CandidatePath::new(self.dir_port(dim, plus), usize::from(!will_wrap), hops)
-            .with_probe(mid, mid_port)
+        CandidatePath::new(first.port as usize, first.vc as usize, hops).with_probe(mid, mid_port)
     }
 
     /// Non-minimal candidate: the long way around one ring.
@@ -499,7 +588,7 @@ impl RoutingAlgorithm for TorusRouting {
         // A non-minimal route rides its tagged direction until the detour
         // dimension resolves; everything else travels the short way
         // (ties travel +).
-        let plus = match (flit.route.class, flit.route.intermediate) {
+        let plus = match (flit.route.class, flit.route.intermediate()) {
             (RouteClass::NonMinimal, Some(tag)) if tag as usize / 2 == dim => tag % 2 == 1,
             _ => {
                 let forward = (y + k - x) % k;

@@ -1,0 +1,353 @@
+//! Slab arena pooling every in-flight flit of one shard.
+//!
+//! The engine's queues (router input stages, per-output queues, channel
+//! pipelines, terminal source/injection queues) used to be `VecDeque`s
+//! of `Flit` values; every flit paid allocation and copying on each of
+//! its hops. The arena replaces all of them with `u32` handles into one
+//! per-shard slab: a flit is allocated once at packet generation,
+//! relinked (three `u32` writes) per hop, and freed at ejection or when
+//! it crosses a shard boundary by value. Freed slots feed an intrusive
+//! free list, so steady-state simulation performs zero per-flit heap
+//! allocation.
+//!
+//! The slab is laid out struct-of-arrays with the route-hot fields
+//! (destination, route, hop/VC state — what route computation and
+//! switching touch every cycle) split from the cold timestamps
+//! (packet id, creation/injection cycles — touched once at ejection),
+//! so the hot path streams 24-byte entries instead of whole flits.
+
+use crate::flit::{Flit, RouteInfo};
+
+/// Sentinel handle: no entry / end of list.
+pub(crate) const NIL: u32 = u32::MAX;
+
+const HEAD: u8 = 1;
+const TAIL: u8 = 2;
+const LABELED: u8 = 4;
+
+/// Fields read on every hop: route computation, VC selection, switching.
+#[derive(Debug, Clone, Copy)]
+struct FlitHot {
+    dest: u32,
+    src: u32,
+    route: RouteInfo,
+    hops: u16,
+    vc: u8,
+    flags: u8,
+}
+
+/// Fields read once, at ejection (or when tracing).
+#[derive(Debug, Clone, Copy)]
+struct FlitCold {
+    packet: u64,
+    created: u64,
+    injected: u64,
+}
+
+/// One shard's flit slab. All vectors are parallel, indexed by handle.
+#[derive(Debug, Default)]
+pub(crate) struct FlitArena {
+    hot: Vec<FlitHot>,
+    cold: Vec<FlitCold>,
+    /// Intrusive successor link of whatever [`FlitQueue`] (or the free
+    /// list) the slot is currently on.
+    next: Vec<u32>,
+    /// Queue-specific payload: the packed [`crate::PortVc`] of the
+    /// computed route for input-stage entries, the origin input slot
+    /// for output-queue entries.
+    aux: Vec<u32>,
+    /// Channel arrival cycle for pipeline entries.
+    due: Vec<u64>,
+    /// Head of the free list.
+    free: u32,
+}
+
+impl FlitArena {
+    pub fn new() -> Self {
+        FlitArena {
+            hot: Vec::new(),
+            cold: Vec::new(),
+            next: Vec::new(),
+            aux: Vec::new(),
+            due: Vec::new(),
+            free: NIL,
+        }
+    }
+
+    /// Total slots ever allocated. Test hook.
+    #[cfg(test)]
+    pub fn capacity(&self) -> usize {
+        self.hot.len()
+    }
+
+    /// Length of the free list; equals [`FlitArena::capacity`] exactly
+    /// when no flit is live. Test hook.
+    #[cfg(test)]
+    pub fn free_count(&self) -> usize {
+        let mut n = 0;
+        let mut h = self.free;
+        while h != NIL {
+            n += 1;
+            h = self.next[h as usize];
+        }
+        n
+    }
+
+    /// Copies `flit` into a slot (recycling a freed one when available)
+    /// and returns its handle.
+    pub fn alloc(&mut self, flit: &Flit) -> u32 {
+        let hot = FlitHot {
+            dest: flit.dest,
+            src: flit.src,
+            route: flit.route,
+            hops: flit.hops,
+            vc: flit.vc,
+            flags: (u8::from(flit.is_head) * HEAD)
+                | (u8::from(flit.is_tail) * TAIL)
+                | (u8::from(flit.labeled) * LABELED),
+        };
+        let cold = FlitCold {
+            packet: flit.packet,
+            created: flit.created,
+            injected: flit.injected,
+        };
+        if self.free != NIL {
+            let h = self.free;
+            self.free = self.next[h as usize];
+            self.hot[h as usize] = hot;
+            self.cold[h as usize] = cold;
+            self.aux[h as usize] = 0;
+            self.due[h as usize] = 0;
+            h
+        } else {
+            let h = self.hot.len() as u32;
+            assert!(h < NIL, "flit arena exhausted the u32 handle space");
+            self.hot.push(hot);
+            self.cold.push(cold);
+            self.next.push(NIL);
+            self.aux.push(0);
+            self.due.push(0);
+            h
+        }
+    }
+
+    /// Returns `h`'s slot to the free list. The handle must be off
+    /// every queue.
+    pub fn dealloc(&mut self, h: u32) {
+        self.next[h as usize] = self.free;
+        self.free = h;
+    }
+
+    /// Reassembles the full flit value (for ejection, tracing, or
+    /// crossing a shard boundary by value).
+    pub fn get(&self, h: u32) -> Flit {
+        let hot = self.hot[h as usize];
+        let cold = self.cold[h as usize];
+        Flit {
+            dest: hot.dest,
+            src: hot.src,
+            route: hot.route,
+            hops: hot.hops,
+            vc: hot.vc,
+            is_head: hot.flags & HEAD != 0,
+            is_tail: hot.flags & TAIL != 0,
+            labeled: hot.flags & LABELED != 0,
+            packet: cold.packet,
+            created: cold.created,
+            injected: cold.injected,
+        }
+    }
+
+    pub fn dest(&self, h: u32) -> u32 {
+        self.hot[h as usize].dest
+    }
+
+    pub fn src(&self, h: u32) -> u32 {
+        self.hot[h as usize].src
+    }
+
+    pub fn vc(&self, h: u32) -> u8 {
+        self.hot[h as usize].vc
+    }
+
+    pub fn set_vc(&mut self, h: u32, vc: u8) {
+        self.hot[h as usize].vc = vc;
+    }
+
+    pub fn bump_hops(&mut self, h: u32) {
+        self.hot[h as usize].hops += 1;
+    }
+
+    pub fn set_route(&mut self, h: u32, route: RouteInfo) {
+        self.hot[h as usize].route = route;
+    }
+
+    pub fn is_head(&self, h: u32) -> bool {
+        self.hot[h as usize].flags & HEAD != 0
+    }
+
+    pub fn is_tail(&self, h: u32) -> bool {
+        self.hot[h as usize].flags & TAIL != 0
+    }
+
+    pub fn labeled(&self, h: u32) -> bool {
+        self.hot[h as usize].flags & LABELED != 0
+    }
+
+    pub fn packet(&self, h: u32) -> u64 {
+        self.cold[h as usize].packet
+    }
+
+    pub fn set_injected(&mut self, h: u32, t: u64) {
+        self.cold[h as usize].injected = t;
+    }
+
+    pub fn due(&self, h: u32) -> u64 {
+        self.due[h as usize]
+    }
+
+    pub fn set_due(&mut self, h: u32, due: u64) {
+        self.due[h as usize] = due;
+    }
+
+    pub fn aux(&self, h: u32) -> u32 {
+        self.aux[h as usize]
+    }
+
+    pub fn set_aux(&mut self, h: u32, aux: u32) {
+        self.aux[h as usize] = aux;
+    }
+}
+
+/// An intrusive FIFO of arena flits: 12 bytes regardless of occupancy,
+/// which is what lets every router size its per-(port, VC) queues by
+/// radix alone. Links live in the arena's `next` array; the queue only
+/// stores its endpoints.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FlitQueue {
+    head: u32,
+    tail: u32,
+    /// Entry count. Read (as a plain load) by [`crate::NetView`] while
+    /// other shards route against frozen queue state — the same
+    /// protocol the former `VecDeque::len` relied on.
+    pub(crate) len: u32,
+}
+
+impl Default for FlitQueue {
+    fn default() -> Self {
+        FlitQueue {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+}
+
+impl FlitQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Handle of the oldest entry, if any.
+    pub fn front(&self) -> Option<u32> {
+        (self.head != NIL).then_some(self.head)
+    }
+
+    pub fn push_back(&mut self, arena: &mut FlitArena, h: u32) {
+        arena.next[h as usize] = NIL;
+        if self.tail == NIL {
+            self.head = h;
+        } else {
+            arena.next[self.tail as usize] = h;
+        }
+        self.tail = h;
+        self.len += 1;
+    }
+
+    /// Unlinks and returns the oldest entry. The caller owns the
+    /// handle: re-queue it or [`FlitArena::dealloc`] it.
+    pub fn pop_front(&mut self, arena: &FlitArena) -> Option<u32> {
+        if self.head == NIL {
+            return None;
+        }
+        let h = self.head;
+        self.head = arena.next[h as usize];
+        if self.head == NIL {
+            self.tail = NIL;
+        }
+        self.len -= 1;
+        Some(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flit(packet: u64) -> Flit {
+        Flit {
+            dest: 7,
+            src: 3,
+            route: RouteInfo::minimal(),
+            hops: 0,
+            vc: 0,
+            is_head: true,
+            is_tail: false,
+            labeled: true,
+            packet,
+            created: 11,
+            injected: 0,
+        }
+    }
+
+    #[test]
+    fn round_trips_flits_and_recycles_slots() {
+        let mut arena = FlitArena::new();
+        let a = arena.alloc(&flit(1));
+        let b = arena.alloc(&flit(2));
+        assert_eq!(arena.get(a).packet, 1);
+        assert_eq!(arena.get(b).packet, 2);
+        assert_eq!(arena.get(a), flit(1));
+        arena.dealloc(a);
+        let c = arena.alloc(&flit(3));
+        assert_eq!(c, a, "freed slot is recycled");
+        assert_eq!(arena.capacity(), 2, "no growth while the free list feeds");
+        arena.bump_hops(c);
+        arena.set_vc(c, 2);
+        let out = arena.get(c);
+        assert_eq!((out.hops, out.vc, out.packet), (1, 2, 3));
+    }
+
+    #[test]
+    fn queue_is_fifo_across_relinks() {
+        let mut arena = FlitArena::new();
+        let mut q = FlitQueue::new();
+        let hs: Vec<u32> = (0..5).map(|i| arena.alloc(&flit(i))).collect();
+        for &h in &hs {
+            q.push_back(&mut arena, h);
+        }
+        assert_eq!(q.len, 5);
+        // Move the middle of the queue onto another queue and back.
+        let mut q2 = FlitQueue::new();
+        assert_eq!(q.pop_front(&arena), Some(hs[0]));
+        q2.push_back(&mut arena, hs[0]);
+        assert_eq!(q2.front(), Some(hs[0]));
+        for expect in 1..5 {
+            let h = q.pop_front(&arena).unwrap();
+            assert_eq!(arena.get(h).packet, expect);
+            q2.push_back(&mut arena, h);
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.pop_front(&arena), None);
+        for expect in 0..5 {
+            let h = q2.pop_front(&arena).unwrap();
+            assert_eq!(arena.get(h).packet, expect);
+            arena.dealloc(h);
+        }
+        assert!(q2.is_empty());
+    }
+}

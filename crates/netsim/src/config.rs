@@ -164,6 +164,13 @@ pub struct SimConfig {
     /// at every shard count; counts beyond the router count are clamped.
     #[cfg_attr(feature = "serde", serde(default = "default_shards"))]
     pub shards: usize,
+    /// Million-terminal scale mode: drops the per-network-channel load
+    /// counters (the one remaining O(channels) statistics structure), so
+    /// [`crate::RunStats::channel_loads`] comes back empty. Everything
+    /// else — latencies, throughput, histograms — is unaffected, and
+    /// results stay bit-identical to a run with it off.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub scale_mode: bool,
 }
 
 #[cfg(feature = "serde")]
@@ -187,6 +194,7 @@ impl SimConfig {
             credit_mode: CreditMode::Conventional,
             telemetry: TelemetryConfig::default(),
             shards: 1,
+            scale_mode: false,
         }
     }
 
@@ -217,6 +225,12 @@ impl SimConfig {
     /// Sets the shard count (builder style); 0 = auto.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Enables or disables scale mode (builder style).
+    pub fn with_scale_mode(mut self, on: bool) -> Self {
+        self.scale_mode = on;
         self
     }
 

@@ -203,6 +203,19 @@ fn splitmix(seed: u64, v: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// One destination's reverse-BFS column: next-hop port and alive
+/// distance for every router, built lazily on first use.
+#[derive(Debug, Clone)]
+struct FaultCol {
+    /// `next[router]` = output port toward the destination; `u16::MAX`
+    /// when `router` is the destination or the destination is
+    /// unreachable.
+    next: Vec<u16>,
+    /// `dist[router]` = alive hops to the destination; `u16::MAX` when
+    /// unreachable.
+    dist: Vec<u16>,
+}
+
 /// Per-destination BFS next-hop tables over the alive links of a
 /// (possibly faulted) [`NetworkSpec`].
 ///
@@ -210,33 +223,79 @@ fn splitmix(seed: u64, v: u64) -> u64 {
 /// `next_port` strictly decreases the alive-graph distance every hop, so
 /// a detoured packet can neither loop nor livelock, and its hop count is
 /// bounded by the alive diameter.
-#[derive(Debug, Clone)]
+///
+/// Columns are materialised per destination on first touch, so memory is
+/// `O(routers × destinations actually routed to)` instead of
+/// `O(routers²)`: a fault confined to one region only ever builds the
+/// columns for destinations whose traffic crosses it. Distances are
+/// stored as `u16` — a network whose alive diameter exceeds 65534 hops
+/// is far outside anything the spec layer can build.
+#[derive(Debug)]
 pub struct FaultTable {
-    /// `next[dest][router]` = output port toward `dest`; `u16::MAX` when
-    /// `router == dest` or `dest` is unreachable.
-    next: Vec<Vec<u16>>,
-    /// `dist[dest][router]` = alive hops to `dest`; `u32::MAX` when
-    /// unreachable.
-    dist: Vec<Vec<u32>>,
+    spec: NetworkSpec,
+    cols: Vec<std::sync::OnceLock<Box<FaultCol>>>,
     diameter: u32,
 }
 
+impl Clone for FaultTable {
+    fn clone(&self) -> Self {
+        FaultTable {
+            spec: self.spec.clone(),
+            cols: self.cols.clone(),
+            diameter: self.diameter,
+        }
+    }
+}
+
+/// Builds one destination's reverse-BFS column over the alive links. All
+/// links are symmetric pairs, so out-ports double as in-links.
+fn build_col(spec: &NetworkSpec, dest: usize) -> FaultCol {
+    let n = spec.num_routers();
+    let mut next = vec![u16::MAX; n];
+    let mut dist = vec![u16::MAX; n];
+    dist[dest] = 0;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(dest);
+    while let Some(r) = queue.pop_front() {
+        for port in spec.routers[r].ports.iter() {
+            let Connection::Router {
+                router: peer,
+                port: peer_port,
+            } = port.conn
+            else {
+                continue;
+            };
+            let (peer, peer_port) = (peer as usize, peer_port as usize);
+            if spec.is_failed(peer, peer_port) || dist[peer] != u16::MAX {
+                continue;
+            }
+            dist[peer] = dist[r] + 1;
+            next[peer] = peer_port as u16;
+            queue.push_back(peer);
+        }
+    }
+    FaultCol { next, dist }
+}
+
 impl FaultTable {
-    /// Builds next-hop tables for every destination router of `spec`,
-    /// skipping failed links.
+    /// Prepares lazy next-hop tables over the alive links of `spec`.
+    ///
+    /// Construction computes only the alive diameter (with `O(routers)`
+    /// scratch); per-destination columns are built on first
+    /// [`next_port`](Self::next_port) / [`distance`](Self::distance)
+    /// touch.
     pub fn new(spec: &NetworkSpec) -> Self {
         let n = spec.num_routers();
-        let mut next = vec![vec![u16::MAX; n]; n];
-        let mut dist = vec![vec![u32::MAX; n]; n];
-        let mut diameter = 0;
+        // Alive diameter by reverse BFS from every destination, reusing
+        // one scratch column; O(routers × links) time, O(routers) space.
+        let mut diameter = 0u32;
+        let mut dist = vec![u16::MAX; n];
         let mut queue = std::collections::VecDeque::new();
         for dest in 0..n {
-            let (next_d, dist_d) = (&mut next[dest], &mut dist[dest]);
-            dist_d[dest] = 0;
+            dist.fill(u16::MAX);
+            dist[dest] = 0;
             queue.clear();
             queue.push_back(dest);
-            // Reverse BFS: relax each in-neighbour of the frontier. All
-            // links are symmetric pairs, so out-ports double as in-links.
             while let Some(r) = queue.pop_front() {
                 for port in spec.routers[r].ports.iter() {
                     let Connection::Router {
@@ -247,39 +306,50 @@ impl FaultTable {
                         continue;
                     };
                     let (peer, peer_port) = (peer as usize, peer_port as usize);
-                    if spec.is_failed(peer, peer_port) || dist_d[peer] != u32::MAX {
+                    if spec.is_failed(peer, peer_port) || dist[peer] != u16::MAX {
                         continue;
                     }
-                    dist_d[peer] = dist_d[r] + 1;
-                    next_d[peer] = peer_port as u16;
-                    diameter = diameter.max(dist_d[peer]);
+                    dist[peer] = dist[r] + 1;
+                    diameter = diameter.max(dist[peer] as u32);
                     queue.push_back(peer);
                 }
             }
         }
+        let mut cols = Vec::new();
+        cols.resize_with(n, std::sync::OnceLock::new);
         FaultTable {
-            next,
-            dist,
+            spec: spec.clone(),
+            cols,
             diameter,
         }
+    }
+
+    fn col(&self, dest: usize) -> &FaultCol {
+        self.cols[dest].get_or_init(|| Box::new(build_col(&self.spec, dest)))
     }
 
     /// The output port at `router` of a shortest alive path to `dest`,
     /// or `None` if `router == dest` or `dest` is unreachable.
     pub fn next_port(&self, router: usize, dest: usize) -> Option<usize> {
-        let p = self.next[dest][router];
+        let p = self.col(dest).next[router];
         (p != u16::MAX).then_some(p as usize)
     }
 
     /// Alive-graph hop distance, or `None` if unreachable.
     pub fn distance(&self, router: usize, dest: usize) -> Option<u32> {
-        let d = self.dist[dest][router];
-        (d != u32::MAX).then_some(d)
+        let d = self.col(dest).dist[router];
+        (d != u16::MAX).then_some(d as u32)
     }
 
     /// The largest finite router-to-router distance over alive links.
     pub fn diameter(&self) -> u32 {
         self.diameter
+    }
+
+    /// How many destination columns have been materialised so far —
+    /// observability for the laziness contract (and its tests).
+    pub fn built_columns(&self) -> usize {
+        self.cols.iter().filter(|c| c.get().is_some()).count()
     }
 }
 
@@ -353,6 +423,23 @@ mod tests {
             small,
             FaultPlan::random_any(0.25, 43).resolve(&spec).unwrap()
         );
+    }
+
+    #[test]
+    fn fault_table_columns_build_lazily() {
+        let spec = NetworkSpec::validated(ring_spec(6), 2).unwrap();
+        let spec = spec
+            .with_faults(&FaultPlan::Explicit(vec![(0, 1)]))
+            .unwrap();
+        let table = FaultTable::new(&spec);
+        assert_eq!(table.built_columns(), 0, "construction builds no columns");
+        assert!(table.diameter() > 0, "diameter is still eager");
+        table.next_port(0, 3);
+        assert_eq!(table.built_columns(), 1);
+        table.distance(5, 3);
+        assert_eq!(table.built_columns(), 1, "same destination, same column");
+        table.distance(5, 2);
+        assert_eq!(table.built_columns(), 2);
     }
 
     #[test]

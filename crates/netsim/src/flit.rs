@@ -15,21 +15,26 @@ pub enum RouteClass {
 }
 
 /// Per-packet routing state fixed at injection time.
+///
+/// Packed to 12 bytes: the intermediate tag is stored inline with a
+/// `u32::MAX` sentinel instead of an `Option<u32>` (which would cost a
+/// separate discriminant word), read back through
+/// [`RouteInfo::intermediate`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RouteInfo {
-    /// Minimal or non-minimal.
-    pub class: RouteClass,
-    /// Topology-interpreted intermediate tag for non-minimal routes
-    /// (the intermediate *group* for a dragonfly).
-    pub intermediate: Option<u32>,
-    /// Virtual channel the packet occupies on its injection (terminal)
-    /// channel.
-    pub injection_vc: u8,
     /// Per-packet salt chosen at injection; routing algorithms use it to
     /// pick deterministically among parallel channels so that the queue
     /// inspected by an adaptive decision is the queue the packet will
     /// actually use.
     pub salt: u32,
+    /// Topology-interpreted intermediate tag for non-minimal routes;
+    /// `u32::MAX` means none.
+    intermediate: u32,
+    /// Minimal or non-minimal.
+    pub class: RouteClass,
+    /// Virtual channel the packet occupies on its injection (terminal)
+    /// channel.
+    pub injection_vc: u8,
 }
 
 impl RouteInfo {
@@ -37,7 +42,7 @@ impl RouteInfo {
     pub fn minimal() -> Self {
         RouteInfo {
             class: RouteClass::Minimal,
-            intermediate: None,
+            intermediate: u32::MAX,
             injection_vc: 0,
             salt: 0,
         }
@@ -45,13 +50,25 @@ impl RouteInfo {
 
     /// A non-minimal route through `intermediate`, using injection VC 0
     /// and salt 0.
+    ///
+    /// # Panics
+    ///
+    /// `u32::MAX` is reserved as the "no intermediate" sentinel; no
+    /// topology indexes that many groups/routers/dimensions.
     pub fn non_minimal(intermediate: u32) -> Self {
+        assert_ne!(intermediate, u32::MAX, "u32::MAX is the none sentinel");
         RouteInfo {
             class: RouteClass::NonMinimal,
-            intermediate: Some(intermediate),
+            intermediate,
             injection_vc: 0,
             salt: 0,
         }
+    }
+
+    /// The intermediate tag for non-minimal routes (the intermediate
+    /// *group* for a dragonfly), or `None` for minimal routes.
+    pub fn intermediate(&self) -> Option<u32> {
+        (self.intermediate != u32::MAX).then_some(self.intermediate)
     }
 
     /// The same route with a different injection VC.
@@ -73,20 +90,21 @@ impl RouteInfo {
 /// flow control); multi-flit packets are supported, in which case every
 /// flit of a packet carries the same identifiers and route and the
 /// head/tail flags delimit it.
+///
+/// Field order is hot-first: everything a per-hop route computation or a
+/// switch-allocation pass reads (destination, route descriptor, hop/VC
+/// state, flags) sits in the first 32 bytes, ahead of the cold
+/// accounting fields (packet id, source, timestamps) that only ejection
+/// touches. A regression test pins `size_of::<Flit>() <= 64` so the
+/// struct never outgrows a cache line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Flit {
-    /// Unique packet id (flits of one packet share it).
-    pub packet: u64,
-    /// Source terminal.
-    pub src: u32,
     /// Destination terminal.
     pub dest: u32,
+    /// Source terminal.
+    pub src: u32,
     /// Routing state decided at injection.
     pub route: RouteInfo,
-    /// Cycle the packet entered its source queue.
-    pub created: u64,
-    /// Cycle the flit left the terminal onto the injection channel.
-    pub injected: u64,
     /// Network hops (router-to-router channels) traversed so far.
     pub hops: u16,
     /// Virtual channel the flit occupies on the channel it last
@@ -98,6 +116,12 @@ pub struct Flit {
     pub is_tail: bool,
     /// Whether the packet belongs to the measurement sample.
     pub labeled: bool,
+    /// Unique packet id (flits of one packet share it).
+    pub packet: u64,
+    /// Cycle the packet entered its source queue.
+    pub created: u64,
+    /// Cycle the flit left the terminal onto the injection channel.
+    pub injected: u64,
 }
 
 impl Flit {
@@ -115,10 +139,10 @@ mod tests {
     fn route_info_constructors() {
         let m = RouteInfo::minimal();
         assert_eq!(m.class, RouteClass::Minimal);
-        assert_eq!(m.intermediate, None);
+        assert_eq!(m.intermediate(), None);
         let nm = RouteInfo::non_minimal(7).with_injection_vc(2);
         assert_eq!(nm.class, RouteClass::NonMinimal);
-        assert_eq!(nm.intermediate, Some(7));
+        assert_eq!(nm.intermediate(), Some(7));
         assert_eq!(nm.injection_vc, 2);
     }
 
@@ -138,5 +162,14 @@ mod tests {
             labeled: false,
         };
         assert_eq!(f.latency_at(25), 15);
+    }
+
+    #[test]
+    fn flit_stays_within_a_cache_line() {
+        // The slab arena and every queue in the cycle engine store flits
+        // by value; regressions here multiply across millions of
+        // in-flight flits at scale.
+        assert_eq!(std::mem::size_of::<RouteInfo>(), 12);
+        assert!(std::mem::size_of::<Flit>() <= 64);
     }
 }

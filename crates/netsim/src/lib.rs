@@ -36,6 +36,8 @@
 #![warn(missing_docs)]
 
 mod adaptive;
+mod algebra;
+mod arena;
 mod config;
 mod error;
 mod fault;
@@ -50,6 +52,7 @@ pub use adaptive::{
     CandidatePath, CandidatePaths, CongestionEstimator, CreditCommitted, EwmaOccupancy,
     GlobalOracle, QueueOccupancy, UgalChooser, UgalDecision, VcHybrid, VcOccupancy,
 };
+pub use algebra::RouteAlgebra;
 pub use config::{CreditMode, InjectionKind, SimConfig, TdEstimator, TelemetryConfig};
 pub use error::SimError;
 pub use fault::{FaultClass, FaultPlan, FaultTable};

@@ -130,8 +130,9 @@ impl<'a> NetView<'a> {
         let core = self.core(router);
         // SAFETY: shared read of an output-side field, permitted by the
         // constructor contract. `&(*core).out_q` projects only that
-        // field, never the whole struct.
-        unsafe { (&(*core).out_q)[port * self.spec.vcs + vc].len() }
+        // field, never the whole struct. Only the queue's plain `len`
+        // counter is read — never the arena the handles point into.
+        unsafe { (&(*core).out_q)[port * self.spec.vcs + vc].len as usize }
     }
 
     /// Flits buffered in `router` whose next hop is output `port`,
@@ -176,7 +177,7 @@ impl<'a> NetView<'a> {
                 Connection::Terminal { .. } => 0,
                 Connection::Router { .. } => self.buffer_depth - (&(*core).credits)[slot] as usize,
             };
-            (&(*core).out_q)[slot].len() + outstanding
+            (&(*core).out_q)[slot].len as usize + outstanding
         }
     }
 

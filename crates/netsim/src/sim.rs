@@ -40,6 +40,7 @@ use std::time::{Duration, Instant};
 use dfly_traffic::{rng_for, Bernoulli, InjectionProcess, OnOff, TrafficPattern};
 use rand::rngs::SmallRng;
 
+use crate::arena::{FlitArena, FlitQueue};
 use crate::config::{CreditMode, InjectionKind, SimConfig, TdEstimator};
 use crate::error::SimError;
 use crate::flit::{Flit, RouteClass, RouteInfo};
@@ -52,21 +53,29 @@ use crate::telemetry::{
 
 /// Live state of one router (visible crate-wide so [`NetView`] can read
 /// the output-queue depths).
+///
+/// Every structure here is sized by the router's radix (ports × VCs),
+/// never by the node count: the queues are 12-byte intrusive handle
+/// lists into the owning shard's [`FlitArena`], so a million-terminal
+/// network costs O(routers × radix) memory regardless of how many flits
+/// are in flight.
 #[derive(Debug)]
 pub(crate) struct RouterCore {
-    /// Input stage: arriving flits with their precomputed route,
-    /// flattened `[in_port * vcs + vc]`, capacity `buffer_depth` each
-    /// (enforced by upstream credits).
-    inputs: Vec<VecDeque<(Flit, PortVc)>>,
+    /// Input stage: arriving flits, flattened `[in_port * vcs + vc]`,
+    /// capacity `buffer_depth` each (enforced by upstream credits).
+    /// Each entry's arena `aux` word packs the [`PortVc`] its route
+    /// computation produced.
+    inputs: Vec<FlitQueue>,
     /// Total flits in the input stage (fast idle check).
     in_count: u32,
     /// Flits in the input stage per input port (fast scan).
     in_port_count: Vec<u16>,
     /// Per-output queues, flattened `[out_port * vcs + out_vc]`, capacity
     /// `buffer_depth` each — the `q` values of the paper's Figure 13.
-    /// Entries carry the input slot the flit arrived through, whose
-    /// credit is returned when the flit is transmitted.
-    pub(crate) out_q: Vec<VecDeque<(Flit, u16)>>,
+    /// Each entry's arena `aux` word holds the input slot the flit
+    /// arrived through, whose credit is returned when the flit is
+    /// transmitted.
+    pub(crate) out_q: Vec<FlitQueue>,
     /// Total flits in output queues (fast idle check).
     out_count: u32,
     /// Flits in the output queues per output port (fast scan; also the
@@ -82,7 +91,9 @@ pub(crate) struct RouterCore {
     pub(crate) outstanding: Vec<u32>,
     /// Per-output round-robin pointer over VC queues.
     rr: Vec<u8>,
-    /// Per-output credit timestamp queue (round-trip mode).
+    /// Per-output credit timestamp queue. This and the three fields
+    /// below exist only in round-trip credit mode; conventional runs
+    /// leave them empty.
     ctq: Vec<VecDeque<u64>>,
     /// Per-output credit round-trip excess `td = tcrt − tcrt0`.
     td: Vec<u64>,
@@ -94,14 +105,15 @@ pub(crate) struct RouterCore {
 
 /// Live state of one terminal.
 struct TerminalCore {
-    /// Unbounded source queue of generated flits.
-    source: VecDeque<Flit>,
+    /// Unbounded source queue of generated flits (arena handles).
+    source: FlitQueue,
     /// Route of the packet currently leaving the source queue.
     active_route: Option<RouteInfo>,
     /// Credits toward the router's injection input buffer, per VC.
     credits: Vec<u32>,
-    /// Flits in flight on the injection channel: `(arrival, flit)`.
-    pipe: VecDeque<(u64, Flit)>,
+    /// Flits in flight on the injection channel; each entry's arena
+    /// `due` word holds its arrival cycle.
+    pipe: FlitQueue,
     /// Injection process.
     inj: Injector,
     /// Per-terminal RNG stream.
@@ -199,15 +211,23 @@ impl CreditRing {
         while time - now > new_len - 1 {
             new_len <<= 1;
         }
-        let mut buckets: Vec<Vec<CreditTarget>> = (0..new_len).map(|_| Vec::new()).collect();
-        for (b, v) in self.buckets.drain(..).enumerate() {
-            if v.is_empty() {
+        // Extend in place, keeping every existing bucket allocation.
+        // `new_len` is a multiple of `old_len`, so bucket `b`'s new
+        // index is congruent to `b` mod `old_len`: either `b` itself or
+        // a slot at or past `old_len`, which started empty — each move
+        // is a plain swap that cannot displace another occupied bucket,
+        // and per-bucket FIFO order is untouched.
+        self.buckets.resize_with(new_len as usize, Vec::new);
+        for b in 0..old_len as usize {
+            if self.buckets[b].is_empty() {
                 continue;
             }
             let t = now + ((b as u64).wrapping_sub(now) & (old_len - 1));
-            buckets[(t & (new_len - 1)) as usize] = v;
+            let ni = (t & (new_len - 1)) as usize;
+            if ni != b {
+                self.buckets.swap(b, ni);
+            }
         }
-        self.buckets = buckets;
         self.mask = new_len - 1;
     }
 
@@ -262,13 +282,30 @@ impl SimPerf {
     }
 }
 
-/// Appends `idx` to an active worklist unless its membership flag is
-/// already set.
+/// Appends the global index `idx` to an active worklist unless its
+/// membership flag is already set. Flag arrays are sized to the shard's
+/// own range and indexed relative to `base` (the range's first global
+/// index), so their memory is O(shard) rather than O(network).
 #[inline]
-fn activate(list: &mut Vec<u32>, flags: &mut [bool], idx: usize) {
-    if !flags[idx] {
-        flags[idx] = true;
+fn activate(list: &mut Vec<u32>, flags: &mut [bool], idx: usize, base: usize) {
+    if !flags[idx - base] {
+        flags[idx - base] = true;
         list.push(idx as u32);
+    }
+}
+
+/// Packs a computed route into a flit's arena `aux` word while it waits
+/// in the input stage.
+#[inline]
+fn pack_pv(pv: PortVc) -> u32 {
+    (u32::from(pv.port) << 8) | u32::from(pv.vc)
+}
+
+#[inline]
+fn unpack_pv(aux: u32) -> PortVc {
+    PortVc {
+        port: (aux >> 8) as u16,
+        vc: (aux & 0xff) as u8,
     }
 }
 
@@ -599,15 +636,27 @@ struct EngineShared<'a> {
 }
 
 /// Mutable state owned by one shard worker.
+///
+/// Every per-channel / per-terminal / per-router vector here covers only
+/// this shard's own contiguous range (offset by `flat0`, `range.t0` or
+/// `range.r0` respectively); the worklists keep global indices. Total
+/// engine memory is therefore O(network) once, not O(network × shards).
 struct ShardState {
     id: usize,
     range: ShardRange,
+    /// Slab holding every flit currently inside this shard; all queues
+    /// below (and in this shard's `RouterCore`s) store handles into it.
+    arena: FlitArena,
+    /// First flat port owned by this shard (`port_base[range.r0]`);
+    /// index offset for `pipes`, `pipe_active` and `sent_in_window`.
+    flat0: usize,
     /// Terminals `range.t0..range.t1` (index offset by `range.t0`).
     terminals: Vec<TerminalCore>,
-    /// In-flight flits per directed network channel, indexed by the
-    /// channel's *destination* flat port; only this shard's range is
-    /// populated.
-    pipes: Vec<VecDeque<(u64, Flit)>>,
+    /// In-flight flits per directed network channel owned by this shard,
+    /// indexed by the channel's *destination* flat port minus `flat0`
+    /// (channels are owned by their destination router's shard). Each
+    /// entry's arena `due` word holds its arrival cycle.
+    pipes: Vec<FlitQueue>,
     active_pipes: Vec<u32>,
     pipe_active: Vec<bool>,
     active_terms: Vec<u32>,
@@ -615,7 +664,8 @@ struct ShardState {
     active_routers: Vec<u32>,
     router_active: Vec<bool>,
     credit_ring: CreditRing,
-    arrivals: Vec<(u32, u32, Flit)>,
+    /// `(router, input slot, flit handle)` staged by phase 2.
+    arrivals: Vec<(u32, u32, u32)>,
     arrival_routes: Vec<PortVc>,
     /// `(terminal, destination)` of the packets generated this cycle in
     /// phase 1, in terminal order; consumed by phase 5.
@@ -636,6 +686,9 @@ struct ShardState {
     eject_labeled: u64,
     injected_in_window: u64,
     ejected_in_window: u64,
+    /// Flits sent per owned flat port during the measurement window
+    /// (index offset by `flat0`); empty in scale mode, which drops the
+    /// per-channel load report.
     sent_in_window: Vec<u64>,
     latency: LatencySummary,
     minimal_latency: LatencySummary,
@@ -714,8 +767,8 @@ struct ChannelSampler {
     /// Flat port index of each sampled channel, parallel to
     /// `series.channels`.
     flats: Vec<u32>,
-    /// Lifetime flits transmitted per flat port (only maintained while
-    /// the sampler exists; only this shard's ports are touched).
+    /// Lifetime flits transmitted per owned flat port (only maintained
+    /// while the sampler exists; index offset by the shard's `flat0`).
     sent_total: Vec<u64>,
     /// `sent_total` snapshot at the previous sample tick, per sampled
     /// channel.
@@ -746,8 +799,10 @@ impl<'a> EngineShared<'a> {
                     .expect("flit mailbox poisoned");
                 for (df, arrival, flit) in inbox.drain(..) {
                     let df = df as usize;
-                    st.pipes[df].push_back((arrival, flit));
-                    activate(&mut st.active_pipes, &mut st.pipe_active, df);
+                    let h = st.arena.alloc(&flit);
+                    st.arena.set_due(h, arrival);
+                    st.pipes[df - st.flat0].push_back(&mut st.arena, h);
+                    activate(&mut st.active_pipes, &mut st.pipe_active, df, st.flat0);
                 }
             }
             for src in 0..shards {
@@ -831,18 +886,19 @@ impl<'a> EngineShared<'a> {
         let mut i = 0;
         while i < st.active_pipes.len() {
             let df = st.active_pipes[i] as usize;
-            while let Some(&(arrival, flit)) = st.pipes[df].front() {
-                if arrival > t {
+            let pl = df - st.flat0;
+            while let Some(h) = st.pipes[pl].front() {
+                if st.arena.due(h) > t {
                     break;
                 }
-                st.pipes[df].pop_front();
+                st.pipes[pl].pop_front(&st.arena);
                 let dr = self.flat_router[df];
                 let dp = df as u32 - self.port_base[dr as usize];
-                let slot = dp * vcs as u32 + flit.vc as u32;
-                st.arrivals.push((dr, slot, flit));
+                let slot = dp * vcs as u32 + st.arena.vc(h) as u32;
+                st.arrivals.push((dr, slot, h));
             }
-            if st.pipes[df].is_empty() {
-                st.pipe_active[df] = false;
+            if st.pipes[pl].is_empty() {
+                st.pipe_active[pl] = false;
                 st.active_pipes.swap_remove(i);
             } else {
                 i += 1;
@@ -852,17 +908,17 @@ impl<'a> EngineShared<'a> {
         while i < st.active_terms.len() {
             let term = st.active_terms[i] as usize;
             let tl = term - st.range.t0;
-            while let Some(&(arrival, flit)) = st.terminals[tl].pipe.front() {
-                if arrival > t {
+            while let Some(h) = st.terminals[tl].pipe.front() {
+                if st.arena.due(h) > t {
                     break;
                 }
-                st.terminals[tl].pipe.pop_front();
+                st.terminals[tl].pipe.pop_front(&st.arena);
                 let (r, p) = self.spec.terminal_port(term);
-                let slot = (p * vcs) as u32 + flit.vc as u32;
-                st.arrivals.push((r as u32, slot, flit));
+                let slot = (p * vcs) as u32 + st.arena.vc(h) as u32;
+                st.arrivals.push((r as u32, slot, h));
             }
             if st.terminals[tl].pipe.is_empty() {
-                st.term_active[term] = false;
+                st.term_active[tl] = false;
                 st.active_terms.swap_remove(i);
             } else {
                 i += 1;
@@ -881,15 +937,17 @@ impl<'a> EngineShared<'a> {
                     t,
                 )
             };
-            for &(r, _, ref flit) in &st.arrivals {
+            for &(r, _, h) in &st.arrivals {
+                let flit = st.arena.get(h);
                 st.arrival_routes
-                    .push(self.routing.route(&view, r as usize, flit));
+                    .push(self.routing.route(&view, r as usize, &flit));
             }
         }
-        for (&(r, slot, flit), &pv) in st.arrivals.iter().zip(&st.arrival_routes) {
+        for (&(r, slot, h), &pv) in st.arrivals.iter().zip(&st.arrival_routes) {
             let r = r as usize;
             let slot = slot as usize;
             debug_assert!((st.range.r0..st.range.r1).contains(&r));
+            st.arena.set_aux(h, pack_pv(pv));
             // SAFETY: `r` is owned by this shard (pipes are indexed by
             // destination) and only input-side fields are referenced —
             // never the whole struct — so concurrent readers of
@@ -897,12 +955,17 @@ impl<'a> EngineShared<'a> {
             let core = self.routers.ptr(r);
             unsafe {
                 let inputs = &mut (*core).inputs;
-                inputs[slot].push_back((flit, pv));
-                debug_assert!(inputs[slot].len() <= self.cfg.buffer_depth);
+                inputs[slot].push_back(&mut st.arena, h);
+                debug_assert!(inputs[slot].len as usize <= self.cfg.buffer_depth);
                 (*core).in_count += 1;
                 (&mut (*core).in_port_count)[slot / vcs] += 1;
             }
-            activate(&mut st.active_routers, &mut st.router_active, r);
+            activate(
+                &mut st.active_routers,
+                &mut st.router_active,
+                r,
+                st.range.r0,
+            );
         }
     }
 
@@ -936,15 +999,19 @@ impl<'a> EngineShared<'a> {
                 }
                 for vc in 0..vcs {
                     let slot = port * vcs + vc;
-                    while let Some(&(_, pv)) = core.inputs[slot].front() {
+                    while let Some(h) = core.inputs[slot].front() {
+                        let pv = unpack_pv(st.arena.aux(h));
                         let oslot = pv.port as usize * vcs + pv.vc as usize;
-                        if core.out_q[oslot].len() >= depth {
+                        if core.out_q[oslot].len as usize >= depth {
                             break; // output queue full: input backs up
                         }
-                        let (flit, _) = core.inputs[slot].pop_front().unwrap();
+                        core.inputs[slot].pop_front(&st.arena);
                         core.in_count -= 1;
                         core.in_port_count[port] -= 1;
-                        core.out_q[oslot].push_back((flit, slot as u16));
+                        // The aux word switches meaning here: route in,
+                        // origin input slot out (for the credit return).
+                        st.arena.set_aux(h, slot as u32);
+                        core.out_q[oslot].push_back(&mut st.arena, h);
                         core.out_count += 1;
                         core.out_port_count[pv.port as usize] += 1;
                     }
@@ -975,7 +1042,7 @@ impl<'a> EngineShared<'a> {
             let core = unsafe { self.routers.get_mut(r) };
             if core.out_count == 0 {
                 if core.in_count == 0 {
-                    st.router_active[r] = false;
+                    st.router_active[r - st.range.r0] = false;
                     st.active_routers.swap_remove(i);
                 } else {
                     i += 1;
@@ -1019,7 +1086,8 @@ impl<'a> EngineShared<'a> {
                 };
                 core.rr[out] = ((vc + 1) % vcs) as u8;
                 let oslot = out * vcs + vc;
-                let (mut flit, in_slot) = core.out_q[oslot].pop_front().unwrap();
+                let h = core.out_q[oslot].pop_front(&st.arena).unwrap();
+                let in_slot = st.arena.aux(h);
                 core.out_count -= 1;
                 core.out_port_count[out] -= 1;
                 // Return the credit for the input slot the flit arrived
@@ -1064,10 +1132,12 @@ impl<'a> EngineShared<'a> {
                 }
                 if is_terminal {
                     let arrival = t + out_spec.latency as u64;
+                    let flit = st.arena.get(h);
+                    st.arena.dealloc(h);
                     self.eject(st, flit, arrival);
                 } else {
-                    flit.hops += 1;
-                    flit.vc = vc as u8;
+                    st.arena.bump_hops(h);
+                    st.arena.set_vc(h, vc as u8);
                     debug_assert!(core.credits[oslot] > 0);
                     core.credits[oslot] -= 1;
                     core.outstanding[out] += 1;
@@ -1080,15 +1150,17 @@ impl<'a> EngineShared<'a> {
                     }
                     // Telemetry hooks: both are `None` checks when
                     // telemetry is disabled, keeping the hot path flat.
+                    let flat0 = st.flat0;
                     if let Some(s) = st.sampler.as_mut() {
-                        s.sent_total[flat] += 1;
+                        s.sent_total[flat - flat0] += 1;
                     }
-                    if flit.is_head && flit.labeled {
+                    if st.arena.is_head(h) && st.arena.labeled(h) {
+                        let packet = st.arena.packet(h);
                         if let Some(tr) = st.tracer.as_mut() {
-                            if tr.selected(flit.packet) {
+                            if tr.selected(packet) {
                                 tr.push(
                                     t,
-                                    flit.packet,
+                                    packet,
                                     TraceEventKind::Hop {
                                         router: r as u32,
                                         port: out as u16,
@@ -1102,19 +1174,24 @@ impl<'a> EngineShared<'a> {
                     let arrival = t + out_spec.latency as u64;
                     let owner = self.router_shard[self.flat_router[df] as usize] as usize;
                     if owner == st.id {
-                        st.pipes[df].push_back((arrival, flit));
-                        activate(&mut st.active_pipes, &mut st.pipe_active, df);
+                        st.arena.set_due(h, arrival);
+                        st.pipes[df - flat0].push_back(&mut st.arena, h);
+                        activate(&mut st.active_pipes, &mut st.pipe_active, df, flat0);
                     } else {
-                        st.out_flits[owner].push((df as u32, arrival, flit));
+                        // Cross-shard hop: materialise the flit for the
+                        // mailbox and recycle this shard's slot — the
+                        // owning shard re-allocates in its own arena.
+                        st.out_flits[owner].push((df as u32, arrival, st.arena.get(h)));
+                        st.arena.dealloc(h);
                     }
                     st.flit_hops += 1;
-                    if in_window {
-                        st.sent_in_window[flat] += 1;
+                    if in_window && !st.sent_in_window.is_empty() {
+                        st.sent_in_window[flat - flat0] += 1;
                     }
                 }
             }
             if core.in_count == 0 && core.out_count == 0 {
-                st.router_active[r] = false;
+                st.router_active[r - st.range.r0] = false;
                 st.active_routers.swap_remove(i);
             } else {
                 i += 1;
@@ -1210,9 +1287,8 @@ impl<'a> EngineShared<'a> {
                 let dest = st.staged_gen[staged].1;
                 let packet = base + staged as u64;
                 staged += 1;
-                let tc = &mut st.terminals[tl];
                 for i in 0..packet_len {
-                    tc.source.push_back(Flit {
+                    let h = st.arena.alloc(&Flit {
                         packet,
                         src: term as u32,
                         dest,
@@ -1225,21 +1301,21 @@ impl<'a> EngineShared<'a> {
                         is_tail: i + 1 == packet_len,
                         labeled,
                     });
+                    st.terminals[tl].source.push_back(&mut st.arena, h);
                 }
                 if labeled {
                     st.gen_labeled += 1;
                 }
             }
             // Injection of the head-of-queue flit (one per cycle).
-            let tc = &st.terminals[tl];
-            let Some(front) = tc.source.front() else {
+            let Some(h) = st.terminals[tl].source.front() else {
                 continue;
             };
-            let (route, decision) = if front.is_head {
+            let (route, decision) = if st.arena.is_head(h) {
                 // (Re-)evaluate the adaptive decision while the head flit
                 // waits at the source: the packet has not entered the
                 // network yet, so the freshest local state applies.
-                let dest = front.dest as usize;
+                let dest = st.arena.dest(h) as usize;
                 let tc = &mut st.terminals[tl];
                 let (route, decision) = self.routing.inject_traced(&view, term, dest, &mut tc.rng);
                 tc.active_route = Some(route);
@@ -1251,25 +1327,25 @@ impl<'a> EngineShared<'a> {
                 (route, DecisionRecord::default())
             };
             let vc = route.injection_vc as usize;
-            let tc = &mut st.terminals[tl];
-            if tc.credits[vc] == 0 {
+            if st.terminals[tl].credits[vc] == 0 {
                 continue;
             }
-            let mut flit = tc.source.pop_front().unwrap();
-            flit.route = route;
-            flit.vc = vc as u8;
-            flit.injected = t;
-            tc.credits[vc] -= 1;
+            let h = st.terminals[tl].source.pop_front(&st.arena).unwrap();
+            st.arena.set_route(h, route);
+            st.arena.set_vc(h, vc as u8);
+            st.arena.set_injected(h, t);
+            st.terminals[tl].credits[vc] -= 1;
             let (r, p) = self.spec.terminal_port(term);
             let latency = self.spec.routers[r].ports[p].latency as u64;
-            tc.pipe.push_back((t + latency, flit));
-            if flit.is_tail {
-                tc.active_route = None;
+            st.arena.set_due(h, t + latency);
+            st.terminals[tl].pipe.push_back(&mut st.arena, h);
+            if st.arena.is_tail(h) {
+                st.terminals[tl].active_route = None;
             }
             // Telemetry commits only when the head flit actually enters
             // the injection channel: the per-cycle re-evaluations above
             // are provisional while the flit waits for a credit.
-            if flit.is_head && flit.labeled {
+            if st.arena.is_head(h) && st.arena.labeled(h) {
                 match route.class {
                     RouteClass::Minimal => st.telemetry.minimal_takes += 1,
                     RouteClass::NonMinimal => st.telemetry.non_minimal_takes += 1,
@@ -1293,14 +1369,16 @@ impl<'a> EngineShared<'a> {
                 }
                 st.telemetry.dropped_candidates += decision.dropped_candidates as u64;
                 st.telemetry.oracle_probe_fallbacks += decision.probe_fallbacks as u64;
+                let packet = st.arena.packet(h);
+                let (src, dest) = (st.arena.src(h), st.arena.dest(h));
                 if let Some(tr) = st.tracer.as_mut() {
-                    if tr.selected(flit.packet) {
+                    if tr.selected(packet) {
                         tr.push(
                             t,
-                            flit.packet,
+                            packet,
                             TraceEventKind::Inject {
-                                src: flit.src,
-                                dest: flit.dest,
+                                src,
+                                dest,
                                 minimal: route.class == RouteClass::Minimal,
                                 q_chosen: decision.q_chosen,
                                 oracle: decision.oracle_chosen,
@@ -1309,7 +1387,7 @@ impl<'a> EngineShared<'a> {
                     }
                 }
             }
-            activate(&mut st.active_terms, &mut st.term_active, term);
+            activate(&mut st.active_terms, &mut st.term_active, term, st.range.t0);
             if labeled {
                 st.injected_in_window += 1;
             }
@@ -1326,6 +1404,7 @@ impl<'a> EngineShared<'a> {
     /// state (after transmission and injection).
     #[allow(unsafe_code)]
     fn sample_tick(&self, st: &mut ShardState, t: u64) {
+        let flat0 = st.flat0;
         let Some(s) = st.sampler.as_mut() else {
             return;
         };
@@ -1342,11 +1421,11 @@ impl<'a> EngineShared<'a> {
             let mut credits = 0u32;
             for vc in 0..vcs {
                 let slot = p * vcs + vc;
-                ch.vc_occupancy.push(core.out_q[slot].len() as u16);
+                ch.vc_occupancy.push(core.out_q[slot].len as u16);
                 credits += core.credits[slot];
             }
             ch.credits.push(credits as u16);
-            let sent = s.sent_total[s.flats[i] as usize];
+            let sent = s.sent_total[s.flats[i] as usize - flat0];
             ch.sent.push((sent - s.prev_sent[i]) as u32);
             s.prev_sent[i] = sent;
         }
@@ -1422,6 +1501,7 @@ impl<'a> Simulation<'a> {
             )));
         }
         let vcs = spec.vcs;
+        let round_trip = matches!(cfg.credit_mode, CreditMode::RoundTrip { .. });
         let mut routers = Vec::with_capacity(spec.num_routers());
         let mut port_base = Vec::with_capacity(spec.num_routers());
         let mut pipe_dest = Vec::new();
@@ -1434,19 +1514,35 @@ impl<'a> Simulation<'a> {
             port_base.push(flat);
             flat += ports as u32;
             routers.push(RouterCore {
-                inputs: vec![VecDeque::new(); ports * vcs],
+                inputs: vec![FlitQueue::new(); ports * vcs],
                 in_count: 0,
                 in_port_count: vec![0; ports],
-                out_q: vec![VecDeque::new(); ports * vcs],
+                out_q: vec![FlitQueue::new(); ports * vcs],
                 out_count: 0,
                 out_port_count: vec![0; ports],
                 credits: vec![cfg.buffer_depth as u32; ports * vcs],
                 outstanding: vec![0; ports],
                 rr: vec![0; ports],
-                ctq: vec![VecDeque::new(); ports],
-                td: vec![0; ports],
-                sent_seq: vec![0; ports],
-                credit_seq: vec![0; ports],
+                ctq: if round_trip {
+                    vec![VecDeque::new(); ports]
+                } else {
+                    Vec::new()
+                },
+                td: if round_trip {
+                    vec![0; ports]
+                } else {
+                    Vec::new()
+                },
+                sent_seq: if round_trip {
+                    vec![0; ports]
+                } else {
+                    Vec::new()
+                },
+                credit_seq: if round_trip {
+                    vec![0; ports]
+                } else {
+                    Vec::new()
+                },
             });
             let mut nps = Vec::new();
             for (p, port) in router.ports.iter().enumerate() {
@@ -1492,18 +1588,23 @@ impl<'a> Simulation<'a> {
         let win_start = cfg.warmup;
         let win_end = cfg.warmup + cfg.measure;
         let horizon = tcrt0.iter().copied().max().unwrap_or(2) + 2;
-        let num_terminals = spec.num_terminals();
         let num_routers = spec.num_routers();
         let shards = plan
             .iter()
             .enumerate()
             .map(|(id, &range)| {
+                let flat0 = port_base[range.r0] as usize;
+                let flat1 = if range.r1 == num_routers {
+                    total_flats
+                } else {
+                    port_base[range.r1] as usize
+                };
                 let terminals = (range.t0..range.t1)
                     .map(|t| TerminalCore {
-                        source: VecDeque::new(),
+                        source: FlitQueue::new(),
                         active_route: None,
                         credits: vec![cfg.buffer_depth as u32; vcs],
-                        pipe: VecDeque::new(),
+                        pipe: FlitQueue::new(),
                         inj: Injector::new(cfg.injection),
                         rng: rng_for(cfg.seed, t as u64),
                     })
@@ -1530,7 +1631,7 @@ impl<'a> Simulation<'a> {
                         every: cfg.telemetry.sample_every,
                         prev_sent: vec![0; flats.len()],
                         flats,
-                        sent_total: vec![0; total_flats],
+                        sent_total: vec![0; flat1 - flat0],
                         series: TimeSeries {
                             every: cfg.telemetry.sample_every,
                             vcs: vcs as u8,
@@ -1544,14 +1645,16 @@ impl<'a> Simulation<'a> {
                 ShardState {
                     id,
                     range,
+                    arena: FlitArena::new(),
+                    flat0,
                     terminals,
-                    pipes: vec![VecDeque::new(); total_flats],
+                    pipes: vec![FlitQueue::new(); flat1 - flat0],
                     active_pipes: Vec::new(),
-                    pipe_active: vec![false; total_flats],
+                    pipe_active: vec![false; flat1 - flat0],
                     active_terms: Vec::new(),
-                    term_active: vec![false; num_terminals],
+                    term_active: vec![false; range.t1 - range.t0],
                     active_routers: Vec::new(),
-                    router_active: vec![false; num_routers],
+                    router_active: vec![false; range.r1 - range.r0],
                     credit_ring: CreditRing::with_horizon(horizon),
                     arrivals: Vec::new(),
                     arrival_routes: Vec::new(),
@@ -1565,7 +1668,11 @@ impl<'a> Simulation<'a> {
                     eject_labeled: 0,
                     injected_in_window: 0,
                     ejected_in_window: 0,
-                    sent_in_window: vec![0; total_flats],
+                    sent_in_window: if cfg.scale_mode {
+                        Vec::new()
+                    } else {
+                        vec![0; flat1 - flat0]
+                    },
                     latency: LatencySummary::default(),
                     minimal_latency: LatencySummary::default(),
                     non_minimal_latency: LatencySummary::default(),
@@ -1863,20 +1970,27 @@ impl<'a> Simulation<'a> {
             generated_labeled += st.gen_labeled;
             ejected_labeled += st.eject_labeled;
         }
-        let channel_loads = spec
-            .network_channels()
-            .map(|(r, p)| {
-                let flat = self.eng.port_base[r] as usize + p;
-                let flits: u64 = self.shards.iter().map(|st| st.sent_in_window[flat]).sum();
-                ChannelLoad {
-                    router: r,
-                    port: p,
-                    class: spec.routers[r].ports[p].class,
-                    flits,
-                    utilization: flits as f64 / cfg.measure as f64,
-                }
-            })
-            .collect();
+        // Each channel is counted only by its source router's owning
+        // shard, so a single read there replaces the former all-shards
+        // sum. Scale mode drops the report entirely.
+        let channel_loads = if cfg.scale_mode {
+            Vec::new()
+        } else {
+            spec.network_channels()
+                .map(|(r, p)| {
+                    let flat = self.eng.port_base[r] as usize + p;
+                    let st = &self.shards[self.eng.router_shard[r] as usize];
+                    let flits = st.sent_in_window[flat - st.flat0];
+                    ChannelLoad {
+                        router: r,
+                        port: p,
+                        class: spec.routers[r].ports[p].class,
+                        flits,
+                        utilization: flits as f64 / cfg.measure as f64,
+                    }
+                })
+                .collect()
+        };
         RunStats {
             cycles: self.cycle,
             offered_load: cfg.injection.rate() * cfg.packet_len as f64,
@@ -2145,6 +2259,9 @@ mod tests {
             assert_eq!(st.credit_ring.pending, 0);
             assert!(!st.pipe_active.iter().any(|&b| b));
             assert!(!st.router_active.iter().any(|&b| b));
+            // Every arena slot returned to the free list: no handle
+            // leaked off the queues.
+            assert_eq!(st.arena.free_count(), st.arena.capacity());
         }
         for core in sim.router_cores() {
             assert!(core.outstanding.iter().all(|&o| o == 0));
@@ -2184,6 +2301,7 @@ mod tests {
         for (r, core) in sim.router_cores().iter().enumerate() {
             assert_eq!(core.in_count, 0, "router {r} input stage not empty");
             assert_eq!(core.out_count, 0, "router {r} output queues not empty");
+            assert!(core.ctq.is_empty(), "conventional mode allocated a CTQ");
             for (slot, &c) in core.credits.iter().enumerate() {
                 let port = slot / sp.vcs;
                 if matches!(sp.routers[r].ports[port].conn, Connection::Router { .. }) {
@@ -2356,6 +2474,23 @@ mod tests {
         assert!(stats.accepted_rate > 0.15);
         // A 4-flit packet takes at least 3 extra cycles of serialisation.
         assert!(stats.latency.min >= 6);
+    }
+
+    #[test]
+    fn scale_mode_only_drops_channel_loads() {
+        let pattern = UniformRandom::new(3);
+        let base = run_line(SimConfig::paper_default(0.3).with_seed(5), &pattern);
+        let scaled = run_line(
+            SimConfig::paper_default(0.3)
+                .with_seed(5)
+                .with_scale_mode(true),
+            &pattern,
+        );
+        assert!(!base.channel_loads.is_empty());
+        assert!(scaled.channel_loads.is_empty());
+        let mut base = base;
+        base.channel_loads.clear();
+        assert_eq!(base, scaled, "scale mode changed more than channel loads");
     }
 
     #[test]

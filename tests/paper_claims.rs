@@ -188,7 +188,7 @@ fn ugal_l_starves_same_router_channels() {
         // Mean utilisation of (same-router non-minimal) and (rest).
         let (mut same, mut rest, mut nsame, mut nrest) = (0.0, 0.0, 0, 0);
         for group in 0..g {
-            let qmin = df.global_slots(group, (group + 1) % g)[0] as usize;
+            let qmin = df.global_slot_at(group, (group + 1) % g, 0);
             let base = (qmin / h) * h;
             for q in 0..params.global_ports_per_group() {
                 if q == qmin {
