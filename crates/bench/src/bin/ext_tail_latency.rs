@@ -1,0 +1,9 @@
+//! Extension figure: p50/p99 packet latency vs load per routing
+//! scheme, from the log-bucketed latency histograms.
+use dfly_bench::{figures, Windows};
+
+fn main() {
+    let win = Windows::from_env();
+    println!("# Tail latency vs load (1K nodes)");
+    figures::ext_tail_latency(&win);
+}

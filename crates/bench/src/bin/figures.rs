@@ -16,6 +16,7 @@ fn main() {
     figures::fig12(&win);
     figures::fig14(&win);
     figures::fig16(&win);
+    figures::ext_tail_latency(&win);
     figures::tab2();
     figures::fig19();
 }

@@ -16,14 +16,16 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
+use dfly_bench::heatmap::Heatmap;
 use dfly_bench::{TopoCurve, Windows};
-use dfly_netsim::{CreditMode, InjectionKind, Simulation, TelemetryConfig};
+use dfly_netsim::{CreditMode, InjectionKind, SimConfig, Simulation, TelemetryConfig};
 use dfly_topo::FlattenedButterfly;
 use dfly_traffic::UniformRandom;
 use dragonfly::butterfly::{ButterflyNetwork, ButterflyRouting};
 use dragonfly::parallel::{configured_threads, parallel_map};
 use dragonfly::{
-    DragonflyParams, DragonflySim, FaultSweep, RoutingChoice, RunGrid, TrafficChoice, UgalVariant,
+    DragonflyParams, DragonflySim, FaultSweep, JobSpec, RoutingChoice, RunGrid, TrafficChoice,
+    UgalVariant, WorkloadSweep,
 };
 
 fn json_escape(s: &str) -> String {
@@ -149,6 +151,14 @@ fn main() {
     let fault_fractions = [0.0, 1.0 / 16.0, 1.0 / 8.0];
     let mut fault_cfg = win.config(1.0);
     fault_cfg.seed = 1;
+    // Channel occupancy sampling on every fault point: the heaviest
+    // point's series becomes the channel x time heatmap artifact below.
+    let fault_sample_every = 64u64;
+    fault_cfg.telemetry = TelemetryConfig {
+        sample_every: fault_sample_every,
+        trace_rate: 0.0,
+        trace_seed: 0,
+    };
     let fault_sweep = FaultSweep::new(
         dfly_bench::paper_params(),
         RoutingChoice::UgalLVcH,
@@ -174,6 +184,91 @@ fn main() {
             .iter()
             .map(|pt| (pt.throughput() * 1e4).round() / 1e4)
             .collect::<Vec<_>>()
+    );
+
+    // Channel x time occupancy heatmap of the heaviest-fault point:
+    // where the saturation load pools once 1/8 of the global cables are
+    // gone. Trimmed to the 64 hottest channels (the exporter records
+    // the drop count); JSON + a gnuplot `matrix with image` data file.
+    let hot = fault_points.last().expect("fault sweep has points");
+    let hot_series = hot
+        .stats
+        .series
+        .as_ref()
+        .expect("fault sweep sampling was enabled");
+    let fault_heatmap = Heatmap::from_series(hot_series).top(64);
+    eprintln!(
+        "perfstat: fault heatmap at fraction {:.4}: {} x {} of {} channels ({} dropped)",
+        hot.fraction,
+        fault_heatmap.rows.len(),
+        fault_heatmap.ticks.len(),
+        hot_series.channels.len(),
+        fault_heatmap.dropped,
+    );
+    std::fs::write("BENCH_fault_heatmap.json", fault_heatmap.to_json())
+        .expect("write heatmap JSON");
+    std::fs::write("BENCH_fault_heatmap.dat", fault_heatmap.to_gnuplot())
+        .expect("write heatmap gnuplot data");
+    eprintln!("perfstat: wrote BENCH_fault_heatmap.json / BENCH_fault_heatmap.dat");
+
+    // Closed-loop workload mix: two 8-rank all-to-all tenants on the
+    // 72-terminal network, group-disjoint vs interfering placement,
+    // with and without untracked background load. Work-complete runs;
+    // per-job completion time and the co-location slowdown come from
+    // the job books.
+    let mut wl_cfg = SimConfig::paper_default(0.0);
+    wl_cfg.warmup = 0;
+    wl_cfg.measure = 30_000;
+    wl_cfg.drain_cap = 30_000;
+    let wl_loads = [0.0, 0.3];
+    let wl_sweep = WorkloadSweep::new(
+        DragonflyParams::new(2, 4, 2).expect("valid params"),
+        RoutingChoice::Min,
+        vec![
+            JobSpec::all_to_all("alpha", 8),
+            JobSpec::all_to_all("beta", 8),
+        ],
+        &wl_cfg,
+        &wl_loads,
+    );
+    let t0 = Instant::now();
+    let (wl_points, wl_registry) = wl_sweep
+        .execute_with_metrics()
+        .expect("workload mix must place");
+    let wl_secs = t0.elapsed().as_secs_f64();
+    let wl_serial = wl_sweep.execute_serial().expect("workload mix must place");
+    let wl_identical = wl_points == wl_serial;
+    assert!(wl_identical, "parallel workload sweep diverged from serial");
+    for pt in &wl_points {
+        assert!(
+            pt.stats.completion.is_some(),
+            "workload point {:?}@{} hit the cycle cap",
+            pt.placement,
+            pt.background_load
+        );
+    }
+    let wl_slowdowns = wl_sweep.slowdowns(&wl_points);
+    for s in &wl_slowdowns {
+        eprintln!(
+            "perfstat: workload {} @ bg {:.1}: disjoint {} vs interfering {} cycles (x{:.2})",
+            s.job,
+            s.background_load,
+            s.disjoint,
+            s.interfering,
+            s.ratio()
+        );
+        if s.background_load > 0.0 {
+            assert!(
+                s.ratio() > 1.0,
+                "{} must slow down under interfering placement at bg {}",
+                s.job,
+                s.background_load
+            );
+        }
+    }
+    eprintln!(
+        "perfstat: workload sweep {wl_secs:.3}s over {} runs (bit-identical: {wl_identical})",
+        wl_points.len()
     );
 
     // Single-run hot-path counters at a representative operating
@@ -725,7 +820,101 @@ fn main() {
             pt.throughput()
         );
     }
-    json.push_str("]\n");
+    json.push_str("],\n");
+    let _ = writeln!(
+        json,
+        "    \"heatmap\": {{\"fraction\": {:.6}, \"sample_every\": {fault_sample_every}, \
+         \"rows\": {}, \"ticks\": {}, \"dropped_channels\": {}, \
+         \"file_json\": \"BENCH_fault_heatmap.json\", \"file_gnuplot\": \"BENCH_fault_heatmap.dat\"}}",
+        hot.fraction,
+        fault_heatmap.rows.len(),
+        fault_heatmap.ticks.len(),
+        fault_heatmap.dropped,
+    );
+    json.push_str("  },\n");
+
+    json.push_str("  \"workloads\": {\n");
+    let _ = writeln!(json, "    \"hardware_threads\": {hw},");
+    let _ = writeln!(
+        json,
+        "    \"network\": \"dragonfly p=2 a=4 h=2 (72 terminals)\","
+    );
+    let _ = writeln!(
+        json,
+        "    \"routing\": \"{}\",",
+        json_escape(RoutingChoice::Min.label())
+    );
+    json.push_str("    \"jobs\": [");
+    for (i, job) in wl_sweep.jobs.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        let _ = write!(
+            json,
+            "{{\"name\": \"{}\", \"size\": {}}}",
+            json_escape(&job.name),
+            job.size
+        );
+    }
+    json.push_str("],\n");
+    json.push_str("    \"background_loads\": [");
+    for (i, l) in wl_loads.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        let _ = write!(json, "{l}");
+    }
+    json.push_str("],\n");
+    let _ = writeln!(json, "    \"secs\": {wl_secs:.6},");
+    let _ = writeln!(json, "    \"bit_identical\": {wl_identical},");
+    json.push_str("    \"points\": [\n");
+    for (i, pt) in wl_points.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"placement\": \"{}\", \"background_load\": {}, \"completion\": {}, \
+             \"drained\": {}, \"jobs\": [",
+            pt.placement.label(),
+            pt.background_load,
+            fmt_opt_u64(pt.stats.completion),
+            pt.stats.drained,
+        );
+        for (j, (spec, book)) in wl_sweep.jobs.iter().zip(&pt.books).enumerate() {
+            if j > 0 {
+                json.push_str(", ");
+            }
+            let _ = write!(
+                json,
+                "{{\"name\": \"{}\", \"delivered\": {}, \"completion\": {}, \
+                 \"p50_latency\": {}, \"p99_latency\": {}}}",
+                json_escape(&spec.name),
+                book.delivered,
+                book.completion,
+                fmt_opt_u64(book.latency.percentile(0.5)),
+                fmt_opt_u64(book.latency.percentile(0.99)),
+            );
+        }
+        json.push_str("]}");
+        json.push_str(if i + 1 < wl_points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("    ],\n");
+    json.push_str("    \"slowdowns\": [");
+    for (i, s) in wl_slowdowns.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        let _ = write!(
+            json,
+            "{{\"job\": \"{}\", \"background_load\": {}, \"disjoint\": {}, \
+             \"interfering\": {}, \"ratio\": {:.4}}}",
+            json_escape(&s.job),
+            s.background_load,
+            s.disjoint,
+            s.interfering,
+            s.ratio(),
+        );
+    }
+    json.push_str("],\n");
+    let _ = writeln!(json, "    \"registry\": {}", wl_registry.to_json());
     json.push_str("  }\n");
     json.push_str("}\n");
 

@@ -366,6 +366,68 @@ pub fn fig16(win: &Windows) {
     }
 }
 
+/// Extension figure: p50/p99 packet latency vs load per routing
+/// scheme, read from the log-bucketed latency histogram every run
+/// records. The paper's mean-latency curves (Figure 8) hide tail
+/// inflation — a scheme can hold its mean while its p99 degrades well
+/// before saturation — so this table reports both percentiles side by
+/// side for each routing family.
+pub fn ext_tail_latency(win: &Windows) {
+    let sim = paper_network();
+    let algos = [
+        RoutingChoice::Min,
+        RoutingChoice::Valiant,
+        RoutingChoice::UgalL,
+        RoutingChoice::UgalG,
+    ];
+    let curves: Vec<CurveSpec> = algos.iter().map(|&a| CurveSpec::algo(a, 16)).collect();
+    for (traffic, loads) in [
+        (TrafficChoice::Uniform, &UR_LOADS[..]),
+        (TrafficChoice::WorstCase, &WC_LOADS[..]),
+    ] {
+        let loads = win.thin(loads);
+        let (series, _) = sweep_curves(&sim, &curves, traffic, &loads, win, false);
+        println!(
+            "\n### Tail latency — p50/p99 vs load, {} traffic",
+            traffic.label()
+        );
+        print!("| load |");
+        for (name, _) in &series {
+            print!(" {name} p50/p99 |");
+        }
+        println!();
+        print!("|---|");
+        for _ in &series {
+            print!("---|");
+        }
+        println!();
+        for &load in &loads {
+            let mut row = format!("| {load:.2} |");
+            let mut any = false;
+            for (_, points) in &series {
+                let cell = match points.iter().find(|p| (p.load - load).abs() < 1e-9) {
+                    Some(p) if p.stats.drained => {
+                        any = true;
+                        match (p.stats.p50_latency(), p.stats.p99_latency()) {
+                            (Some(p50), Some(p99)) => format!("{p50}/{p99}"),
+                            _ => "-".into(),
+                        }
+                    }
+                    Some(_) => {
+                        any = true;
+                        "sat".into()
+                    }
+                    None => "-".into(),
+                };
+                row.push_str(&format!(" {cell} |"));
+            }
+            if any {
+                println!("{row}");
+            }
+        }
+    }
+}
+
 /// Table 2 and Figure 18: structural comparison against the flattened
 /// butterfly.
 pub fn tab2() {

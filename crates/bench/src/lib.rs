@@ -17,6 +17,7 @@ use dragonfly::parallel::parallel_map;
 use dragonfly::{DragonflyParams, DragonflySim, RoutingChoice, RunGrid, RunPlan, TrafficChoice};
 
 pub mod figures;
+pub mod heatmap;
 
 /// Simulation window sizes used by the figure harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

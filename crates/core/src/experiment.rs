@@ -7,7 +7,7 @@ use dfly_netsim::{
     CreditMode, FaultPlan, NetworkSpec, RoutingAlgorithm, RunStats, SimConfig, SimError, SimPerf,
     Simulation,
 };
-use dfly_traffic::{GroupAdversarial, Permutation, TrafficPattern, UniformRandom};
+use dfly_traffic::{GroupAdversarial, Permutation, TrafficPattern, UniformRandom, Workload};
 
 use crate::routing::{MinimalRouting, UgalRouting, UgalVariant, ValiantRouting};
 use crate::topology::Dragonfly;
@@ -244,6 +244,35 @@ impl DragonflySim {
         Simulation::new(&self.spec, algo.as_ref(), pattern.as_ref(), cfg)
             .expect("harness-built simulation must be valid")
             .finish()
+    }
+
+    /// Runs one simulation driven by a closed-loop workload instead of
+    /// an open-loop traffic pattern (see `dfly_traffic::Workload`).
+    ///
+    /// `factory` builds one workload instance per engine shard, handed
+    /// that shard's terminal range — the contract of
+    /// [`Simulation::with_workload`]. Pair it with
+    /// [`Termination::WorkComplete`](dfly_netsim::Termination) to end
+    /// the run when the workload finishes; [`RunStats::completion`]
+    /// then reports the completion cycle.
+    ///
+    /// As with [`DragonflySim::run`], [`RoutingChoice::UgalLCr`] turns
+    /// on credit round-trip automatically.
+    pub fn run_workload(
+        &self,
+        choice: RoutingChoice,
+        mut cfg: SimConfig,
+        factory: &(dyn Fn(std::ops::Range<usize>) -> Box<dyn Workload + Send> + Sync),
+    ) -> RunStats {
+        if choice.needs_round_trip_credits() && cfg.credit_mode == CreditMode::Conventional {
+            cfg.credit_mode = CreditMode::round_trip();
+        }
+        let algo = choice.build(self.df.clone());
+        let stats =
+            Simulation::with_workload(&self.spec, algo.as_ref(), cfg, |range| factory(range))
+                .expect("harness-built simulation must be valid")
+                .finish();
+        stats
     }
 
     /// Like [`DragonflySim::run`], but also returns the engine's

@@ -48,6 +48,7 @@ pub mod analysis;
 pub mod butterfly;
 pub mod clos_sim;
 mod experiment;
+pub mod jobs;
 pub mod parallel;
 mod params;
 mod routing;
@@ -56,7 +57,12 @@ pub mod torus_sim;
 
 pub use dfly_netsim::{FaultClass, FaultPlan, SimError};
 pub use experiment::{DragonflySim, LoadPoint, RoutingChoice, TrafficChoice};
-pub use parallel::{FaultPoint, FaultSweep, RunGrid, RunPlan};
+pub use jobs::{
+    JobAssignment, JobBook, JobKind, JobLedger, JobMix, JobSpec, MixWorkload, Placement,
+};
+pub use parallel::{
+    FaultPoint, FaultSweep, RunGrid, RunPlan, SlowdownPoint, WorkloadPoint, WorkloadSweep,
+};
 pub use params::DragonflyParams;
 pub use routing::{
     trace_route, MinimalRouting, TraceHop, UgalRouting, UgalVariant, ValiantRouting,

@@ -23,12 +23,13 @@
 
 use dfly_netsim::{
     FaultClass, FaultPlan, InjectionKind, MetricsRegistry, NetworkSpec, RoutingAlgorithm, RunStats,
-    SimConfig, SimError, Simulation,
+    SimConfig, SimError, Simulation, Termination,
 };
 use dfly_traffic::TrafficPattern;
 use rayon::prelude::*;
 
 use crate::experiment::{DragonflySim, LoadPoint, RoutingChoice, TrafficChoice};
+use crate::jobs::{JobBook, JobMix, JobSpec, Placement};
 use crate::DragonflyParams;
 
 /// Thread budget for parallel execution: `DFLY_THREADS` when set to a
@@ -472,6 +473,242 @@ impl FaultSweep {
     }
 }
 
+/// One point of a [`WorkloadSweep`]: a job mix run to completion under
+/// one `(placement, background load)` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadPoint {
+    /// Placement policy of this run.
+    pub placement: Placement,
+    /// Untracked background load offered by non-job terminals.
+    pub background_load: f64,
+    /// Full engine statistics ([`RunStats::completion`] is the cycle
+    /// the whole mix finished, `None` if it hit the cycle cap).
+    pub stats: RunStats,
+    /// Per-job accounting, in job order.
+    pub books: Vec<JobBook>,
+}
+
+impl WorkloadPoint {
+    /// Completion cycle of job `job` (its last delivery).
+    pub fn job_completion(&self, job: usize) -> u64 {
+        self.books[job].completion
+    }
+}
+
+/// Interference measurement for one job at one background load: its
+/// completion time under group-disjoint vs interfering placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowdownPoint {
+    /// Job name from the mix's [`JobSpec`].
+    pub job: String,
+    /// Background load both runs shared.
+    pub background_load: f64,
+    /// Completion cycle under [`Placement::GroupDisjoint`].
+    pub disjoint: u64,
+    /// Completion cycle under [`Placement::Interfering`].
+    pub interfering: u64,
+}
+
+impl SlowdownPoint {
+    /// `interfering / disjoint` completion-time ratio; > 1 means
+    /// co-location slowed the job down.
+    pub fn ratio(&self) -> f64 {
+        if self.disjoint == 0 {
+            return f64::NAN;
+        }
+        self.interfering as f64 / self.disjoint as f64
+    }
+}
+
+/// A closed-loop workload sweep: a fixed job mix run to completion at
+/// every `(placement, background load)` point, measuring per-job
+/// completion time and the interference slowdown of co-location.
+///
+/// Every point is an independent work-complete run (the engine stops
+/// when all tracked job packets are delivered, see
+/// [`Termination::WorkComplete`]); points fan out across the worker
+/// pool and [`WorkloadSweep::execute`] is bit-identical to
+/// [`WorkloadSweep::execute_serial`]. The per-job books are built from
+/// commutative updates only, so they are also identical at any engine
+/// shard count.
+///
+/// # Example
+///
+/// ```no_run
+/// use dragonfly::{DragonflyParams, JobSpec, RoutingChoice, WorkloadSweep};
+/// use dfly_netsim::SimConfig;
+///
+/// let sweep = WorkloadSweep::new(
+///     DragonflyParams::new(2, 4, 2).unwrap(),
+///     RoutingChoice::UgalLVcH,
+///     vec![JobSpec::barrier("alpha", 8, 4), JobSpec::all_to_all("beta", 8)],
+///     &SimConfig::paper_default(0.0),
+///     &[0.0, 0.2],
+/// );
+/// let points = sweep.execute().unwrap();
+/// for s in sweep.slowdowns(&points) {
+///     println!("{} @ {}: x{:.2}", s.job, s.background_load, s.ratio());
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadSweep {
+    /// Dragonfly configuration each point rebuilds.
+    pub params: DragonflyParams,
+    /// Routing algorithm under test.
+    pub routing: RoutingChoice,
+    /// The tenant jobs every point places and runs.
+    pub jobs: Vec<JobSpec>,
+    /// Base configuration. Each point forces
+    /// [`Termination::WorkComplete`]; `warmup + measure + drain_cap`
+    /// remains the hard cycle cap, so it must be generous enough for
+    /// the jobs to finish.
+    pub cfg: SimConfig,
+    /// Background loads, one pair of runs (disjoint + interfering) per
+    /// entry.
+    pub background_loads: Vec<f64>,
+    /// Placement policies to compare (both, by default).
+    pub placements: Vec<Placement>,
+}
+
+impl WorkloadSweep {
+    /// A sweep comparing group-disjoint against interfering placement
+    /// of `jobs` at each of `background_loads`.
+    pub fn new(
+        params: DragonflyParams,
+        routing: RoutingChoice,
+        jobs: Vec<JobSpec>,
+        base: &SimConfig,
+        background_loads: &[f64],
+    ) -> Self {
+        WorkloadSweep {
+            params,
+            routing,
+            jobs,
+            cfg: base.clone(),
+            background_loads: background_loads.to_vec(),
+            placements: vec![Placement::GroupDisjoint, Placement::Interfering],
+        }
+    }
+
+    fn run_point(&self, placement: Placement, load: f64) -> Result<WorkloadPoint, String> {
+        let sim = DragonflySim::new(self.params);
+        let mix = JobMix::new(self.jobs.clone(), placement).with_background(load);
+        let assignment = mix.assign(&self.params)?;
+        let ledger = mix.ledger();
+        let mut cfg = self.cfg.clone();
+        cfg.termination = Termination::WorkComplete;
+        let stats = sim.run_workload(self.routing, cfg, &|range| {
+            Box::new(mix.workload(&assignment, range, &ledger))
+        });
+        Ok(WorkloadPoint {
+            placement,
+            background_load: load,
+            stats,
+            books: ledger.snapshot(),
+        })
+    }
+
+    /// The planned `(placement, background load)` points, loads
+    /// innermost — the order results come back in.
+    pub fn points(&self) -> Vec<(Placement, f64)> {
+        let mut pts = Vec::with_capacity(self.placements.len() * self.background_loads.len());
+        for &p in &self.placements {
+            for &l in &self.background_loads {
+                pts.push((p, l));
+            }
+        }
+        pts
+    }
+
+    /// Runs every point across the configured thread pool, leaving room
+    /// for each run's engine shards (see [`configured_threads_for`]).
+    /// Results are in [`WorkloadSweep::points`] order and bit-identical
+    /// to [`WorkloadSweep::execute_serial`].
+    ///
+    /// # Errors
+    ///
+    /// The first invalid job spec or failed placement, if any.
+    pub fn execute(&self) -> Result<Vec<WorkloadPoint>, String> {
+        self.execute_on(configured_threads_for(self.cfg.shards))
+    }
+
+    /// [`WorkloadSweep::execute`] with an explicit thread bound.
+    pub fn execute_on(&self, threads: usize) -> Result<Vec<WorkloadPoint>, String> {
+        parallel_map_on(&self.points(), threads, |&(placement, load)| {
+            self.run_point(placement, load)
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Runs every point on the calling thread, in order.
+    pub fn execute_serial(&self) -> Result<Vec<WorkloadPoint>, String> {
+        self.execute_on(1)
+    }
+
+    /// Like [`WorkloadSweep::execute`], but also folds every point into
+    /// a [`MetricsRegistry`] under per-job scopes:
+    /// `jobs/{name}/{placement}/delivered`,
+    /// `jobs/{name}/{placement}/completion_cycles` and the
+    /// `jobs/{name}/{placement}/latency` histogram, plus the sweep-wide
+    /// `workload_runs` / `workload_completed_runs` counters. Absorption
+    /// happens in point order, so the registry (and its JSON) is
+    /// bit-identical across thread counts.
+    pub fn execute_with_metrics(&self) -> Result<(Vec<WorkloadPoint>, MetricsRegistry), String> {
+        let points = self.execute()?;
+        let mut registry = MetricsRegistry::new();
+        for point in &points {
+            self.absorb_point(&mut registry, point);
+        }
+        Ok((points, registry))
+    }
+
+    fn absorb_point(&self, registry: &mut MetricsRegistry, point: &WorkloadPoint) {
+        registry.inc("workload_runs", 1);
+        registry.inc(
+            "workload_completed_runs",
+            u64::from(point.stats.completion.is_some()),
+        );
+        for (spec, book) in self.jobs.iter().zip(&point.books) {
+            let scope = format!("jobs/{}/{}", spec.name, point.placement.label());
+            registry.inc(&format!("{scope}/delivered"), book.delivered);
+            registry.inc(&format!("{scope}/completion_cycles"), book.completion);
+            registry
+                .histogram_mut(&format!("{scope}/latency"))
+                .merge(&book.latency);
+        }
+    }
+
+    /// Pairs each job's completion time under the two placements at
+    /// matching background loads, jobs innermost. Points missing either
+    /// placement are skipped.
+    pub fn slowdowns(&self, points: &[WorkloadPoint]) -> Vec<SlowdownPoint> {
+        let find = |placement: Placement, load: f64| {
+            points
+                .iter()
+                .find(|p| p.placement == placement && p.background_load == load)
+        };
+        let mut out = Vec::new();
+        for &load in &self.background_loads {
+            let (Some(dis), Some(int)) = (
+                find(Placement::GroupDisjoint, load),
+                find(Placement::Interfering, load),
+            ) else {
+                continue;
+            };
+            for (j, spec) in self.jobs.iter().enumerate() {
+                out.push(SlowdownPoint {
+                    job: spec.name.clone(),
+                    background_load: load,
+                    disjoint: dis.job_completion(j),
+                    interfering: int.job_completion(j),
+                });
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -638,6 +875,89 @@ mod tests {
         assert_eq!(parallel[1].failed_links, 5);
         assert!(parallel[0].throughput() > 0.0);
         assert!(parallel[1].throughput() > 0.0);
+    }
+
+    fn tiny_workload_sweep(loads: &[f64]) -> WorkloadSweep {
+        let mut cfg = SimConfig::paper_default(0.0);
+        cfg.warmup = 0;
+        cfg.measure = 30_000;
+        cfg.drain_cap = 30_000;
+        WorkloadSweep::new(
+            DragonflyParams::new(2, 4, 2).unwrap(),
+            RoutingChoice::Min,
+            vec![
+                JobSpec::all_to_all("alpha", 8),
+                JobSpec::all_to_all("beta", 8),
+            ],
+            &cfg,
+            loads,
+        )
+    }
+
+    #[test]
+    fn workload_sweep_is_deterministic_across_thread_counts() {
+        let sweep = tiny_workload_sweep(&[0.0, 0.1]);
+        let serial = sweep.execute_serial().unwrap();
+        let parallel = sweep.execute_on(4).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), 4);
+        for point in &serial {
+            assert!(point.stats.drained, "{:?} did not drain", point.placement);
+            assert!(point.stats.completion.is_some());
+            for book in &point.books {
+                // All-to-all over 8 members: 8*7 packets each.
+                assert_eq!(book.delivered, 56);
+                assert!(book.completion > 0);
+                assert_eq!(book.latency.count, 56);
+            }
+        }
+    }
+
+    #[test]
+    fn interfering_placement_slows_jobs_measurably() {
+        let sweep = tiny_workload_sweep(&[0.3]);
+        let points = sweep.execute().unwrap();
+        let slowdowns = sweep.slowdowns(&points);
+        assert_eq!(slowdowns.len(), 2);
+        for s in &slowdowns {
+            assert!(s.disjoint > 0 && s.interfering > 0);
+            assert!(
+                s.ratio() > 1.0,
+                "job {} should finish later when interfering: disjoint {} vs interfering {}",
+                s.job,
+                s.disjoint,
+                s.interfering
+            );
+        }
+        // And the measurement is reproducible bit for bit.
+        let again = sweep.execute().unwrap();
+        assert_eq!(points, again);
+    }
+
+    #[test]
+    fn workload_metrics_use_per_job_scopes() {
+        let sweep = tiny_workload_sweep(&[0.0]);
+        let (points, registry) = sweep.execute_with_metrics().unwrap();
+        assert_eq!(registry.counters["workload_runs"], points.len() as u64);
+        assert_eq!(
+            registry.counters["workload_completed_runs"],
+            points.len() as u64
+        );
+        for job in ["alpha", "beta"] {
+            for placement in ["disjoint", "interfering"] {
+                let scope = format!("jobs/{job}/{placement}");
+                assert_eq!(registry.counters[&format!("{scope}/delivered")], 56);
+                assert!(registry.counters[&format!("{scope}/completion_cycles")] > 0);
+                assert_eq!(registry.histograms[&format!("{scope}/latency")].count, 56);
+            }
+        }
+    }
+
+    #[test]
+    fn workload_sweep_surfaces_placement_errors() {
+        let mut sweep = tiny_workload_sweep(&[0.0]);
+        sweep.jobs = vec![JobSpec::barrier("huge", 80, 1)];
+        assert!(sweep.execute().is_err());
     }
 
     #[test]

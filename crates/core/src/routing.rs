@@ -317,6 +317,7 @@ pub fn trace_route(
         is_head: true,
         is_tail: true,
         labeled: false,
+        tag: 0,
     };
     let mut router = params.router_of_terminal(src);
     let mut hops = Vec::new();

@@ -740,6 +740,7 @@ mod tests {
                     is_head: true,
                     is_tail: true,
                     labeled: false,
+                    tag: 0,
                 };
                 let mut at = src;
                 let mut prev_vc = 0u8;

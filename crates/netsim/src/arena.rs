@@ -42,6 +42,7 @@ struct FlitCold {
     packet: u64,
     created: u64,
     injected: u64,
+    tag: u32,
 }
 
 /// One shard's flit slab. All vectors are parallel, indexed by handle.
@@ -110,6 +111,7 @@ impl FlitArena {
             packet: flit.packet,
             created: flit.created,
             injected: flit.injected,
+            tag: flit.tag,
         };
         if self.free != NIL {
             let h = self.free;
@@ -155,6 +157,7 @@ impl FlitArena {
             packet: cold.packet,
             created: cold.created,
             injected: cold.injected,
+            tag: cold.tag,
         }
     }
 
@@ -298,6 +301,7 @@ mod tests {
             is_head: true,
             is_tail: false,
             labeled: true,
+            tag: 5,
             packet,
             created: 11,
             injected: 0,

@@ -83,6 +83,23 @@ impl TelemetryConfig {
     }
 }
 
+/// When a run ends.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Termination {
+    /// Classic fixed-window run: warm up, measure a cycle window,
+    /// drain the labelled packets. Every pre-workload sweep uses this.
+    #[default]
+    FixedWindow,
+    /// Fixed-work run: end when every closed-loop workload reports all
+    /// of its tasks finished and all tracked packets have been
+    /// delivered, reporting the completion cycle in
+    /// [`crate::RunStats::completion`]. `warmup`/`measure` do not gate
+    /// the run; `warmup + measure + drain_cap` still caps it, and a run
+    /// that hits the cap is reported undrained with no completion.
+    WorkComplete,
+}
+
 /// How the value of `td` (measured credit round-trip excess) is smoothed.
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,6 +188,10 @@ pub struct SimConfig {
     /// results stay bit-identical to a run with it off.
     #[cfg_attr(feature = "serde", serde(default))]
     pub scale_mode: bool,
+    /// When the run ends: after the classic fixed measurement window
+    /// (default), or when all closed-loop work completes.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub termination: Termination,
 }
 
 #[cfg(feature = "serde")]
@@ -195,6 +216,7 @@ impl SimConfig {
             telemetry: TelemetryConfig::default(),
             shards: 1,
             scale_mode: false,
+            termination: Termination::FixedWindow,
         }
     }
 
@@ -234,6 +256,12 @@ impl SimConfig {
         self
     }
 
+    /// Sets the termination mode (builder style).
+    pub fn with_termination(mut self, termination: Termination) -> Self {
+        self.termination = termination;
+        self
+    }
+
     /// Validates parameter ranges.
     ///
     /// # Errors
@@ -267,6 +295,17 @@ impl SimConfig {
             if rate > duty {
                 return invalid(format!(
                     "rate {rate} exceeds duty {duty}: in-burst rate would exceed 1"
+                ));
+            }
+            // Mirror `OnOff::with_rate_and_duty`'s feasibility check —
+            // the identical floating-point expression — so the engine
+            // can construct the process infallibly after validation:
+            // the on-transition probability must not exceed 1.
+            if duty < 1.0 && (1.0 / burst_len) * duty / (1.0 - duty) > 1.0 {
+                return invalid(format!(
+                    "duty {duty} unrealisable at burst length {burst_len}: \
+                     needs a mean burst of at least {} cycles",
+                    duty / (1.0 - duty)
                 ));
             }
         }
@@ -351,6 +390,18 @@ mod tests {
         assert!(markov(0.2, 8.0, 0.0).is_err(), "zero duty");
         assert!(markov(0.2, 8.0, 1.5).is_err(), "duty above 1");
         assert!(markov(0.6, 8.0, 0.5).is_err(), "rate above duty");
+        assert!(markov(0.45, 2.0, 0.9).is_err(), "unrealisable duty");
+        assert!(markov(0.45, 16.0, 0.9).is_ok(), "long bursts realise it");
+        assert!(markov(0.3, 8.0, 1.0).is_ok(), "full duty is degenerate-ok");
+    }
+
+    #[test]
+    fn termination_defaults_to_fixed_window() {
+        let c = SimConfig::paper_default(0.1);
+        assert_eq!(c.termination, Termination::FixedWindow);
+        let c = c.with_termination(Termination::WorkComplete);
+        assert_eq!(c.termination, Termination::WorkComplete);
+        assert!(c.validate().is_ok());
     }
 
     #[test]
@@ -408,6 +459,7 @@ mod serde_tests {
         assert_serde::<TelemetryConfig>();
         assert_serde::<CreditMode>();
         assert_serde::<TdEstimator>();
+        assert_serde::<Termination>();
         assert_serde::<RunStats>();
         assert_serde::<ChannelLoad>();
         assert_serde::<PortSpec>();

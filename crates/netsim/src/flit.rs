@@ -116,6 +116,10 @@ pub struct Flit {
     pub is_tail: bool,
     /// Whether the packet belongs to the measurement sample.
     pub labeled: bool,
+    /// Application tag from the workload's `MessageIntent`, handed back
+    /// in the delivery notification at ejection. Open-loop traffic
+    /// carries 0.
+    pub tag: u32,
     /// Unique packet id (flits of one packet share it).
     pub packet: u64,
     /// Cycle the packet entered its source queue.
@@ -160,6 +164,7 @@ mod tests {
             is_head: true,
             is_tail: true,
             labeled: false,
+            tag: 0,
         };
         assert_eq!(f.latency_at(25), 15);
     }

@@ -53,7 +53,7 @@ pub use adaptive::{
     GlobalOracle, QueueOccupancy, UgalChooser, UgalDecision, VcHybrid, VcOccupancy,
 };
 pub use algebra::RouteAlgebra;
-pub use config::{CreditMode, InjectionKind, SimConfig, TdEstimator, TelemetryConfig};
+pub use config::{CreditMode, InjectionKind, SimConfig, TdEstimator, TelemetryConfig, Termination};
 pub use error::SimError;
 pub use fault::{FaultClass, FaultPlan, FaultTable};
 pub use flit::{Flit, RouteClass, RouteInfo};

@@ -329,6 +329,7 @@ pub fn trace_path(
         is_head: true,
         is_tail: true,
         labeled: false,
+        tag: 0,
     };
     let mut router = spec.terminal_router(src);
     let mut hops = Vec::new();
@@ -597,6 +598,7 @@ mod tests {
             is_head: true,
             is_tail: true,
             labeled: false,
+            tag: 0,
         };
         // Terminal 2 lives on router 1 port 2.
         let pv = r.route(&view, 1, &flit);

@@ -37,11 +37,11 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use dfly_traffic::{rng_for, Bernoulli, InjectionProcess, OnOff, TrafficPattern};
+use dfly_traffic::{rng_for, Bernoulli, Delivery, OnOff, OpenLoop, TrafficPattern, Workload};
 use rand::rngs::SmallRng;
 
 use crate::arena::{FlitArena, FlitQueue};
-use crate::config::{CreditMode, InjectionKind, SimConfig, TdEstimator};
+use crate::config::{CreditMode, InjectionKind, SimConfig, TdEstimator, Termination};
 use crate::error::SimError;
 use crate::flit::{Flit, RouteClass, RouteInfo};
 use crate::routing::{DecisionRecord, NetView, PortVc, RoutingAlgorithm};
@@ -114,39 +114,53 @@ struct TerminalCore {
     /// Flits in flight on the injection channel; each entry's arena
     /// `due` word holds its arrival cycle.
     pipe: FlitQueue,
-    /// Injection process.
-    inj: Injector,
     /// Per-terminal RNG stream.
     rng: SmallRng,
 }
 
-#[derive(Debug, Clone)]
-enum Injector {
-    Bernoulli(Bernoulli),
-    OnOff(OnOff),
+/// Builds the open-loop workload the classic constructor drives a shard
+/// with: the configured injection process cloned per terminal plus the
+/// traffic pattern, draw-order-identical to the pre-workload engine.
+fn open_loop_workload<'a>(
+    kind: InjectionKind,
+    range: std::ops::Range<usize>,
+    pattern: &'a dyn TrafficPattern,
+) -> Box<dyn Workload + Send + 'a> {
+    match kind {
+        InjectionKind::Bernoulli { rate } => {
+            Box::new(OpenLoop::new(&Bernoulli::new(rate), range, pattern))
+        }
+        InjectionKind::OnOff { rate, burst_len } => Box::new(OpenLoop::new(
+            &OnOff::with_rate(rate, burst_len),
+            range,
+            pattern,
+        )),
+        InjectionKind::MarkovOnOff {
+            rate,
+            burst_len,
+            duty,
+        } => Box::new(OpenLoop::new(
+            &OnOff::with_rate_and_duty(rate, burst_len, duty)
+                .expect("feasibility is checked by SimConfig::validate"),
+            range,
+            pattern,
+        )),
+    }
 }
 
-impl Injector {
-    fn new(kind: InjectionKind) -> Self {
-        match kind {
-            InjectionKind::Bernoulli { rate } => Injector::Bernoulli(Bernoulli::new(rate)),
-            InjectionKind::OnOff { rate, burst_len } => {
-                Injector::OnOff(OnOff::with_rate(rate, burst_len))
-            }
-            InjectionKind::MarkovOnOff {
-                rate,
-                burst_len,
-                duty,
-            } => Injector::OnOff(OnOff::with_rate_and_duty(rate, burst_len, duty)),
-        }
-    }
-
-    fn inject(&mut self, rng: &mut SmallRng) -> bool {
-        match self {
-            Injector::Bernoulli(p) => p.inject(rng),
-            Injector::OnOff(p) => p.inject(rng),
-        }
-    }
+/// One packet generated in phase 1 (a workload [`MessageIntent`]
+/// anchored to its source terminal), consumed by phase 5 under its
+/// globally ordered packet id.
+///
+/// [`MessageIntent`]: dfly_traffic::MessageIntent
+#[derive(Debug, Clone, Copy)]
+struct StagedGen {
+    term: u32,
+    dest: u32,
+    tag: u32,
+    /// Whether work-complete termination waits on this packet (and hence
+    /// whether it is labelled under that mode).
+    tracked: bool,
 }
 
 /// Where a pending credit return lands.
@@ -468,6 +482,12 @@ struct Exchange {
     flits: Vec<Mutex<Vec<(u32, u64, Flit)>>>,
     /// Staged cross-shard credit returns: `(delivery time, target)`.
     credits: Vec<Mutex<Vec<(u64, CreditTarget)>>>,
+    /// Staged cross-shard delivery notifications bound for a foreign
+    /// terminal's workload: `(arrival, terminal, delivery)`. Follows the
+    /// flit/credit mailbox protocol exactly (staged in phase 4, drained
+    /// in fixed source order in phase 1), which is what keeps closed-loop
+    /// runs bit-identical at any shard count.
+    notes: Vec<Mutex<Vec<(u64, u32, Delivery)>>>,
     /// Packets generated by each shard this cycle; published in phase 1,
     /// read in phase 5 to derive the packet-id prefix sums (three
     /// barriers apart, so the plain store/load pair is race-free).
@@ -478,6 +498,11 @@ struct Exchange {
     gen_labeled: Vec<AtomicU64>,
     /// Cumulative labelled packets ejected per shard (same protocol).
     eject_labeled: Vec<AtomicU64>,
+    /// Whether each shard's workload reports [`Workload::all_done`]
+    /// (published at the end of phase 5, like the labelled counters, so
+    /// every shard evaluates the identical work-complete termination
+    /// condition).
+    work_done: Vec<AtomicU64>,
     barrier: SpinBarrier,
 }
 
@@ -491,9 +516,13 @@ impl Exchange {
             credits: (0..shards * shards)
                 .map(|_| Mutex::new(Vec::new()))
                 .collect(),
+            notes: (0..shards * shards)
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
             gen_counts: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             gen_labeled: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             eject_labeled: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            work_done: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             barrier: SpinBarrier::new(shards),
         }
     }
@@ -513,6 +542,14 @@ impl Exchange {
             .map(|c| c.load(Ordering::Acquire))
             .sum();
         generated - ejected
+    }
+
+    /// Whether every shard's workload has reported completion (identical
+    /// on all shards after the phase-5 barrier).
+    fn all_work_done(&self) -> bool {
+        self.work_done
+            .iter()
+            .all(|c| c.load(Ordering::Acquire) != 0)
     }
 }
 
@@ -613,7 +650,6 @@ struct EngineShared<'a> {
     spec: &'a NetworkSpec,
     cfg: SimConfig,
     routing: &'a dyn RoutingAlgorithm,
-    pattern: &'a dyn TrafficPattern,
     routers: ShardTable<RouterCore>,
     /// First flat-port index of each router.
     port_base: Vec<u32>,
@@ -626,6 +662,14 @@ struct EngineShared<'a> {
     flat_router: Vec<u32>,
     /// Shard owning each router.
     router_shard: Vec<u32>,
+    /// Shard owning each terminal (delivery notes for a foreign source
+    /// terminal route through its owner's mailbox).
+    term_shard: Vec<u32>,
+    /// Whether the workload asked for delivery notifications
+    /// ([`Workload::wants_delivery`], uniform across shards). `false`
+    /// skips every note-plumbing branch, keeping the open-loop hot path
+    /// untouched.
+    wants_delivery: bool,
     /// Zero-load credit round trip per flat port.
     tcrt0: Vec<u64>,
     /// Network (non-terminal) output ports per router.
@@ -641,9 +685,14 @@ struct EngineShared<'a> {
 /// this shard's own contiguous range (offset by `flat0`, `range.t0` or
 /// `range.r0` respectively); the worklists keep global indices. Total
 /// engine memory is therefore O(network) once, not O(network × shards).
-struct ShardState {
+struct ShardState<'a> {
     id: usize,
     range: ShardRange,
+    /// This shard's slice of the workload: offered in phase 1 for every
+    /// owned terminal, notified of deliveries, and polled for completion
+    /// under work-complete termination. Shard instances coordinate only
+    /// through simulated messages.
+    workload: Box<dyn Workload + Send + 'a>,
     /// Slab holding every flit currently inside this shard; all queues
     /// below (and in this shard's `RouterCore`s) store handles into it.
     arena: FlitArena,
@@ -667,14 +716,25 @@ struct ShardState {
     /// `(router, input slot, flit handle)` staged by phase 2.
     arrivals: Vec<(u32, u32, u32)>,
     arrival_routes: Vec<PortVc>,
-    /// `(terminal, destination)` of the packets generated this cycle in
-    /// phase 1, in terminal order; consumed by phase 5.
-    staged_gen: Vec<(u32, u32)>,
+    /// The packets generated this cycle in phase 1, in terminal order;
+    /// consumed by phase 5.
+    staged_gen: Vec<StagedGen>,
     /// Outgoing cross-shard flits, buffered per target shard and
     /// flushed into the exchange once per cycle.
     out_flits: Vec<Vec<(u32, u64, Flit)>>,
     /// Outgoing cross-shard credit returns, same protocol.
     out_credits: Vec<Vec<(u64, CreditTarget)>>,
+    /// Delivery notifications awaiting their arrival cycle, for
+    /// terminals owned by this shard: `(arrival, terminal, delivery)`.
+    /// Unsorted; due entries are extracted and canonically ordered each
+    /// cycle in phase 1.
+    pending_notes: Vec<(u64, u32, Delivery)>,
+    /// Scratch buffer for the due notes of the current cycle.
+    note_scratch: Vec<(u64, u32, Delivery)>,
+    /// Outgoing cross-shard delivery notifications, per target shard.
+    out_notes: Vec<Vec<(u64, u32, Delivery)>>,
+    /// Cycle the workload completed at, under work-complete termination.
+    completion: Option<u64>,
     flit_hops: u64,
     cycle: u64,
     /// Replicated global packet counter; every shard advances it by the
@@ -753,7 +813,7 @@ struct ShardState {
 /// ```
 pub struct Simulation<'a> {
     eng: EngineShared<'a>,
-    shards: Vec<ShardState>,
+    shards: Vec<ShardState<'a>>,
     cycle: u64,
 }
 
@@ -790,7 +850,7 @@ impl<'a> EngineShared<'a> {
     /// ids. Per-terminal draw order (injection process, then
     /// destination) matches the serial engine exactly.
     #[allow(unsafe_code)]
-    fn seg_credits(&self, st: &mut ShardState, t: u64) {
+    fn seg_credits(&self, st: &mut ShardState<'a>, t: u64) {
         let shards = self.exch.shards;
         if shards > 1 {
             for src in 0..shards {
@@ -857,12 +917,48 @@ impl<'a> EngineShared<'a> {
             }
             st.credit_ring.restore(t, due);
         }
+        // Apply delivery notifications due this cycle before any offer,
+        // so a message ejected with arrival `t` can unblock its
+        // recipient's (or sender's) next send at `t`. Cross-shard notes
+        // are drained in fixed source order, and the due set is sorted
+        // by the canonical `(packet, terminal)` key, so the workload
+        // observes the identical call sequence at any shard count.
+        if self.wants_delivery {
+            if shards > 1 {
+                for src in 0..shards {
+                    let mut inbox = self.exch.notes[src * shards + st.id]
+                        .lock()
+                        .expect("note mailbox poisoned");
+                    st.pending_notes.append(&mut inbox);
+                }
+            }
+            if !st.pending_notes.is_empty() {
+                let mut i = 0;
+                while i < st.pending_notes.len() {
+                    if st.pending_notes[i].0 <= t {
+                        st.note_scratch.push(st.pending_notes.swap_remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+                st.note_scratch.sort_unstable_by_key(|e| (e.2.packet, e.1));
+                for idx in 0..st.note_scratch.len() {
+                    let (_, term, d) = st.note_scratch[idx];
+                    st.workload.delivered(term as usize, &d, t);
+                }
+                st.note_scratch.clear();
+            }
+        }
         st.staged_gen.clear();
         for term in st.range.t0..st.range.t1 {
-            let tc = &mut st.terminals[term - st.range.t0];
-            if tc.inj.inject(&mut tc.rng) {
-                let dest = self.pattern.destination(term, &mut tc.rng) as u32;
-                st.staged_gen.push((term as u32, dest));
+            let tl = term - st.range.t0;
+            if let Some(intent) = st.workload.offer(term, t, &mut st.terminals[tl].rng) {
+                st.staged_gen.push(StagedGen {
+                    term: term as u32,
+                    dest: intent.dest as u32,
+                    tag: intent.tag,
+                    tracked: intent.tracked,
+                });
             }
         }
         self.exch.gen_counts[st.id].store(st.staged_gen.len() as u64, Ordering::Release);
@@ -875,7 +971,7 @@ impl<'a> EngineShared<'a> {
     /// output-side fields through [`NetView`], so route decisions see
     /// the same frozen state at every shard count.
     #[allow(unsafe_code)]
-    fn seg_arrivals(&self, st: &mut ShardState, t: u64) {
+    fn seg_arrivals(&self, st: &mut ShardState<'a>, t: u64) {
         let vcs = self.spec.vcs;
         st.arrivals.clear();
         // Only channels with flits in flight are visited; a pipe leaves
@@ -976,7 +1072,7 @@ impl<'a> EngineShared<'a> {
     /// *inside* this router — exactly the congestion signal of the
     /// paper's Figure 15.
     #[allow(unsafe_code)]
-    fn seg_switch(&self, st: &mut ShardState, t: u64) {
+    fn seg_switch(&self, st: &mut ShardState<'a>, t: u64) {
         let vcs = self.spec.vcs;
         let depth = self.cfg.buffer_depth;
         // Per-router state is disjoint, so worklist order is irrelevant.
@@ -1025,7 +1121,7 @@ impl<'a> EngineShared<'a> {
     /// eject. Flits and credits bound for another shard are staged into
     /// the exchange and flushed once at the end of the phase.
     #[allow(unsafe_code)]
-    fn seg_transmit(&self, st: &mut ShardState, t: u64) {
+    fn seg_transmit(&self, st: &mut ShardState<'a>, t: u64) {
         let vcs = self.spec.vcs;
         let in_window = self.in_window(t);
         let round_trip = matches!(self.cfg.credit_mode, CreditMode::RoundTrip { .. });
@@ -1214,14 +1310,43 @@ impl<'a> EngineShared<'a> {
                         .expect("credit mailbox poisoned")
                         .append(&mut st.out_credits[dst]);
                 }
+                if !st.out_notes[dst].is_empty() {
+                    self.exch.notes[st.id * self.exch.shards + dst]
+                        .lock()
+                        .expect("note mailbox poisoned")
+                        .append(&mut st.out_notes[dst]);
+                }
             }
         }
     }
 
-    /// Records an ejected flit into the owning shard's statistics.
-    fn eject(&self, st: &mut ShardState, flit: Flit, arrival: u64) {
+    /// Records an ejected flit into the owning shard's statistics and,
+    /// when the workload listens, stages its delivery notifications.
+    fn eject(&self, st: &mut ShardState<'a>, flit: Flit, arrival: u64) {
         if arrival >= self.win_start && arrival < self.win_end {
             st.ejected_in_window += 1;
+        }
+        // A message is delivered when its tail flit ejects: notify the
+        // destination terminal (always local — ejection happens at its
+        // own router's shard) and the source terminal (via the exchange
+        // when foreign), both effective at the ejection channel's
+        // arrival cycle.
+        if self.wants_delivery && flit.is_tail {
+            let d = Delivery {
+                src: flit.src as usize,
+                dest: flit.dest as usize,
+                tag: flit.tag,
+                packet: flit.packet,
+                created: flit.created,
+            };
+            debug_assert_eq!(self.term_shard[flit.dest as usize] as usize, st.id);
+            st.pending_notes.push((arrival, flit.dest, d));
+            let src_owner = self.term_shard[flit.src as usize] as usize;
+            if src_owner == st.id {
+                st.pending_notes.push((arrival, flit.src, d));
+            } else {
+                st.out_notes[src_owner].push((arrival, flit.src, d));
+            }
         }
         if !(flit.is_tail && flit.labeled) {
             return;
@@ -1253,9 +1378,14 @@ impl<'a> EngineShared<'a> {
     /// in phase 1, and inject head-of-queue flits against the frozen
     /// router state.
     #[allow(unsafe_code)]
-    fn seg_inject(&self, st: &mut ShardState, t: u64) {
+    fn seg_inject(&self, st: &mut ShardState<'a>, t: u64) {
         let packet_len = self.cfg.packet_len;
-        let labeled = self.in_window(t);
+        let in_win = self.in_window(t);
+        // Fixed-window runs label the packets created inside the
+        // measurement window (the classic methodology); work-complete
+        // runs label every tracked packet, so termination waits on
+        // exactly the packets the workload cares about.
+        let fixed_window = matches!(self.cfg.termination, Termination::FixedWindow);
         let shards = self.exch.shards;
         let mut base = st.next_packet;
         let mut total = 0u64;
@@ -1283,15 +1413,20 @@ impl<'a> EngineShared<'a> {
             let tl = term - st.range.t0;
             // Enqueue the packet generated for this terminal in phase 1
             // (if any) under its globally ordered id.
-            if staged < st.staged_gen.len() && st.staged_gen[staged].0 == term as u32 {
-                let dest = st.staged_gen[staged].1;
+            if staged < st.staged_gen.len() && st.staged_gen[staged].term == term as u32 {
+                let item = st.staged_gen[staged];
                 let packet = base + staged as u64;
                 staged += 1;
+                let labeled = if fixed_window {
+                    in_win && item.tracked
+                } else {
+                    item.tracked
+                };
                 for i in 0..packet_len {
                     let h = st.arena.alloc(&Flit {
                         packet,
                         src: term as u32,
-                        dest,
+                        dest: item.dest,
                         route: RouteInfo::minimal(),
                         created: t,
                         injected: 0,
@@ -1300,6 +1435,7 @@ impl<'a> EngineShared<'a> {
                         is_head: i == 0,
                         is_tail: i + 1 == packet_len,
                         labeled,
+                        tag: item.tag,
                     });
                     st.terminals[tl].source.push_back(&mut st.arena, h);
                 }
@@ -1388,13 +1524,16 @@ impl<'a> EngineShared<'a> {
                 }
             }
             activate(&mut st.active_terms, &mut st.term_active, term, st.range.t0);
-            if labeled {
+            if in_win {
                 st.injected_in_window += 1;
             }
         }
         debug_assert_eq!(staged, st.staged_gen.len());
         st.next_packet += total;
         self.sample_tick(st, t);
+        if !fixed_window {
+            self.exch.work_done[st.id].store(u64::from(st.workload.all_done()), Ordering::Release);
+        }
         self.exch.gen_labeled[st.id].store(st.gen_labeled, Ordering::Release);
         self.exch.eject_labeled[st.id].store(st.eject_labeled, Ordering::Release);
     }
@@ -1403,7 +1542,7 @@ impl<'a> EngineShared<'a> {
     /// `t` is on the sampling cadence. Reads the settled end-of-cycle
     /// state (after transmission and injection).
     #[allow(unsafe_code)]
-    fn sample_tick(&self, st: &mut ShardState, t: u64) {
+    fn sample_tick(&self, st: &mut ShardState<'a>, t: u64) {
         let flat0 = st.flat0;
         let Some(s) = st.sampler.as_mut() else {
             return;
@@ -1435,7 +1574,7 @@ impl<'a> EngineShared<'a> {
     /// segments per cycle, each ending at the barrier, then the
     /// termination condition every shard evaluates identically from the
     /// published counters.
-    fn worker_drive(&self, st: &mut ShardState, timed: bool) {
+    fn worker_drive(&self, st: &mut ShardState<'a>, timed: bool) {
         let hard_cap = self.win_end + self.cfg.drain_cap;
         while st.cycle < hard_cap {
             let t = st.cycle;
@@ -1473,8 +1612,20 @@ impl<'a> EngineShared<'a> {
                 self.exch.barrier.wait();
             }
             st.cycle = t + 1;
-            if st.cycle >= self.win_end && self.exch.labeled_outstanding() == 0 {
-                break;
+            match self.cfg.termination {
+                Termination::FixedWindow => {
+                    if st.cycle >= self.win_end && self.exch.labeled_outstanding() == 0 {
+                        break;
+                    }
+                }
+                Termination::WorkComplete => {
+                    // Every shard reads the same published flags after the
+                    // phase-5 barrier, so they all break at the same cycle.
+                    if self.exch.all_work_done() && self.exch.labeled_outstanding() == 0 {
+                        st.completion = Some(st.cycle);
+                        break;
+                    }
+                }
             }
         }
     }
@@ -1492,7 +1643,6 @@ impl<'a> Simulation<'a> {
         pattern: &'a dyn TrafficPattern,
         cfg: SimConfig,
     ) -> Result<Self, SimError> {
-        cfg.validate()?;
         if pattern.num_terminals() != spec.num_terminals() {
             return Err(SimError::InvalidConfig(format!(
                 "pattern covers {} terminals but network has {}",
@@ -1500,6 +1650,43 @@ impl<'a> Simulation<'a> {
                 spec.num_terminals()
             )));
         }
+        let kind = cfg.injection;
+        Self::with_workload(spec, routing, cfg, move |range| {
+            open_loop_workload(kind, range, pattern)
+        })
+    }
+
+    /// Builds a simulation whose traffic is driven by a [`Workload`]
+    /// instead of the configured open-loop injection process.
+    ///
+    /// `factory` is called once per shard with that shard's contiguous
+    /// terminal range and must return the workload slice responsible for
+    /// those terminals. Slices coordinate only through simulated
+    /// messages (delivery notifications), so the factory must hand each
+    /// shard the same deterministic state regardless of how the network
+    /// is sharded — every provided [`Workload`] implementor keeps its
+    /// per-member state keyed by terminal, which satisfies this
+    /// automatically. [`Workload::wants_delivery`] must agree across
+    /// shards (it is sampled from the first slice).
+    ///
+    /// Combine with [`Termination::WorkComplete`] (see
+    /// [`SimConfig::with_termination`]) to end the run when every slice
+    /// reports [`Workload::all_done`] and the tracked packets have
+    /// drained; [`RunStats::completion`] then reports the cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the configuration is invalid.
+    pub fn with_workload<F>(
+        spec: &'a NetworkSpec,
+        routing: &'a dyn RoutingAlgorithm,
+        cfg: SimConfig,
+        factory: F,
+    ) -> Result<Self, SimError>
+    where
+        F: Fn(std::ops::Range<usize>) -> Box<dyn Workload + Send + 'a>,
+    {
+        cfg.validate()?;
         let vcs = spec.vcs;
         let round_trip = matches!(cfg.credit_mode, CreditMode::RoundTrip { .. });
         let mut routers = Vec::with_capacity(spec.num_routers());
@@ -1585,6 +1772,12 @@ impl<'a> Simulation<'a> {
                 *owned = s as u32;
             }
         }
+        let mut term_shard = vec![0u32; spec.num_terminals()];
+        for (s, range) in plan.iter().enumerate() {
+            for owner in term_shard.iter_mut().take(range.t1).skip(range.t0) {
+                *owner = s as u32;
+            }
+        }
         let win_start = cfg.warmup;
         let win_end = cfg.warmup + cfg.measure;
         let horizon = tcrt0.iter().copied().max().unwrap_or(2) + 2;
@@ -1605,7 +1798,6 @@ impl<'a> Simulation<'a> {
                         active_route: None,
                         credits: vec![cfg.buffer_depth as u32; vcs],
                         pipe: FlitQueue::new(),
-                        inj: Injector::new(cfg.injection),
                         rng: rng_for(cfg.seed, t as u64),
                     })
                     .collect();
@@ -1645,6 +1837,7 @@ impl<'a> Simulation<'a> {
                 ShardState {
                     id,
                     range,
+                    workload: factory(range.t0..range.t1),
                     arena: FlitArena::new(),
                     flat0,
                     terminals,
@@ -1661,6 +1854,10 @@ impl<'a> Simulation<'a> {
                     staged_gen: Vec::new(),
                     out_flits: vec![Vec::new(); shard_count],
                     out_credits: vec![Vec::new(); shard_count],
+                    pending_notes: Vec::new(),
+                    note_scratch: Vec::new(),
+                    out_notes: vec![Vec::new(); shard_count],
+                    completion: None,
                     flit_hops: 0,
                     cycle: 0,
                     next_packet: 0,
@@ -1687,18 +1884,20 @@ impl<'a> Simulation<'a> {
                     phases: [Duration::ZERO; 5],
                 }
             })
-            .collect();
+            .collect::<Vec<_>>();
+        let wants_delivery = shards[0].workload.wants_delivery();
         Ok(Simulation {
             eng: EngineShared {
                 spec,
                 cfg,
                 routing,
-                pattern,
                 routers: ShardTable::new(routers),
                 port_base,
                 dst_flat,
                 flat_router,
                 router_shard,
+                term_shard,
+                wants_delivery,
                 tcrt0,
                 net_ports,
                 win_start,
@@ -2009,6 +2208,7 @@ impl<'a> Simulation<'a> {
             scoreboard,
             series,
             trace,
+            completion: self.shards[0].completion,
         }
     }
 
@@ -2081,9 +2281,10 @@ mod tests {
     fn run_line(cfg: SimConfig, pattern: &dyn TrafficPattern) -> RunStats {
         let spec = line_spec();
         let routing = ShortestPathRouting::new(&spec);
-        Simulation::new(&spec, &routing, pattern, cfg)
+        let stats = Simulation::new(&spec, &routing, pattern, cfg)
             .unwrap()
-            .run()
+            .run();
+        stats
     }
 
     /// T0-R0 — R1-T1 — R2-T2 line with terminal ids monotone in router
@@ -2245,9 +2446,7 @@ mod tests {
         let mut sim = Simulation::new(&spec, &routing, &pattern, cfg).unwrap();
         sim.run();
         for st in &mut sim.shards {
-            for tc in &mut st.terminals {
-                tc.inj = Injector::Bernoulli(Bernoulli::new(0.0));
-            }
+            st.workload = Box::new(dfly_traffic::Idle);
         }
         for _ in 0..2_000 {
             sim.step();
@@ -2290,9 +2489,7 @@ mod tests {
         sim.run();
         // Stop injecting and run plenty of extra cycles.
         for st in &mut sim.shards {
-            for tc in &mut st.terminals {
-                tc.inj = Injector::Bernoulli(Bernoulli::new(0.0));
-            }
+            st.workload = Box::new(dfly_traffic::Idle);
         }
         for _ in 0..2_000 {
             sim.step();
@@ -2491,6 +2688,41 @@ mod tests {
         let mut base = base;
         base.channel_loads.clear();
         assert_eq!(base, scaled, "scale mode changed more than channel loads");
+    }
+
+    #[test]
+    fn barrier_workload_completes_identically_at_any_shard_count() {
+        use dfly_traffic::Barrier;
+        let run = |shards: usize| {
+            let spec = monotone_line_spec();
+            let routing = ShortestPathRouting::new(&spec);
+            let cfg = SimConfig::paper_default(0.0)
+                .with_seed(13)
+                .with_shards(shards)
+                .with_termination(Termination::WorkComplete);
+            let stats = Simulation::with_workload(&spec, &routing, cfg, |_range| {
+                Box::new(Barrier::new(vec![0, 1, 2], 3))
+            })
+            .unwrap()
+            .run();
+            stats
+        };
+        let one = run(1);
+        assert!(one.drained, "barrier run must drain");
+        let done = one.completion.expect("work-complete run reports its cycle");
+        assert!(done > 0 && done < one.cycles + 1);
+        // 3 iterations x (2 arrives + 2 releases) payload packets.
+        assert_eq!(one.latency.count, 12);
+        for shards in [2, 3] {
+            assert_eq!(run(shards), one, "{shards}-shard closed loop diverged");
+        }
+    }
+
+    #[test]
+    fn fixed_window_runs_report_no_completion() {
+        let pattern = UniformRandom::new(3);
+        let stats = run_line(SimConfig::paper_default(0.2).with_seed(3), &pattern);
+        assert_eq!(stats.completion, None);
     }
 
     #[test]

@@ -292,6 +292,12 @@ pub struct RunStats {
     /// Sampled flit trace, present when
     /// [`crate::TelemetryConfig::trace_rate`] was non-zero.
     pub trace: Option<FlitTrace>,
+    /// Cycle at which all closed-loop work finished, for
+    /// [`crate::Termination::WorkComplete`] runs that completed within
+    /// the cap. `None` on fixed-window runs and on runs that hit the
+    /// cap with work outstanding.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub completion: Option<u64>,
 }
 
 impl RunStats {

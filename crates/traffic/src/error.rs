@@ -1,0 +1,76 @@
+//! Typed configuration errors for traffic processes and workloads.
+
+use std::fmt;
+
+/// A traffic-process parameterisation that cannot be realised.
+///
+/// Returned instead of silently adjusting parameters: the caller asked
+/// for a specific stochastic process, and handing back a different one
+/// (longer bursts, clamped probabilities) corrupts experiments without
+/// any signal. Maps onto `SimError::InvalidConfig` at the simulator
+/// boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// Mean burst length below one cycle.
+    BurstTooShort {
+        /// The requested mean burst length in cycles.
+        burst_len: f64,
+    },
+    /// Duty cycle outside `(0, 1]`.
+    DutyOutOfRange {
+        /// The requested stationary on-fraction.
+        duty: f64,
+    },
+    /// Average rate above the duty cycle: the in-burst rate would have
+    /// to exceed one packet/cycle.
+    RateExceedsDuty {
+        /// The requested average injection rate.
+        rate: f64,
+        /// The requested stationary on-fraction.
+        duty: f64,
+    },
+    /// The duty cycle cannot be realised at this burst length: the
+    /// on-transition probability would exceed 1. The shortest feasible
+    /// mean burst is `duty / (1 - duty)` cycles.
+    UnrealisableDuty {
+        /// The requested mean burst length in cycles.
+        burst_len: f64,
+        /// The requested stationary on-fraction.
+        duty: f64,
+        /// The minimum mean burst length that realises `duty`.
+        min_burst_len: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BurstTooShort { burst_len } => {
+                write!(f, "mean burst length {burst_len} is below one cycle")
+            }
+            ConfigError::DutyOutOfRange { duty } => {
+                write!(f, "duty cycle {duty} outside (0, 1]")
+            }
+            ConfigError::RateExceedsDuty { rate, duty } => {
+                write!(
+                    f,
+                    "rate {rate} > duty {duty}: in-burst rate would exceed 1 packet/cycle"
+                )
+            }
+            ConfigError::UnrealisableDuty {
+                burst_len,
+                duty,
+                min_burst_len,
+            } => {
+                write!(
+                    f,
+                    "duty {duty} is unrealisable at mean burst length {burst_len}: \
+                     the on-transition probability would exceed 1 \
+                     (shortest feasible mean burst is {min_burst_len} cycles)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}

@@ -3,6 +3,8 @@
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use crate::error::ConfigError;
+
 /// Decides, cycle by cycle, whether a terminal injects a packet.
 ///
 /// One process instance is held per terminal so that stateful processes
@@ -122,40 +124,52 @@ impl OnOff {
     /// the same offered load into sharper transients; `duty = 0.5`
     /// reproduces [`OnOff::with_rate`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `burst_len < 1.0`, `duty` is outside `(0, 1]`, or
-    /// `rate > duty` (the in-burst rate would exceed 1 packet/cycle).
-    pub fn with_rate_and_duty(rate: f64, burst_len: f64, duty: f64) -> Self {
-        assert!(burst_len >= 1.0, "burst length {burst_len} < 1");
-        assert!(duty > 0.0 && duty <= 1.0, "duty {duty} outside (0, 1]");
-        assert!(
-            rate <= duty,
-            "rate {rate} > duty {duty}: in-burst rate would exceed 1"
-        );
-        let mut p_off = 1.0 / burst_len;
+    /// Returns a typed [`ConfigError`] if `burst_len < 1.0`, `duty` is
+    /// outside `(0, 1]`, `rate > duty` (the in-burst rate would exceed
+    /// 1 packet/cycle), or the duty cannot be realised at this burst
+    /// length (the on-transition probability would exceed 1; the
+    /// shortest feasible mean burst is `duty / (1 - duty)` cycles).
+    /// Earlier revisions silently lengthened the bursts in that last
+    /// case, handing back a different process than the one requested.
+    pub fn with_rate_and_duty(rate: f64, burst_len: f64, duty: f64) -> Result<Self, ConfigError> {
+        if burst_len.is_nan() || burst_len < 1.0 {
+            return Err(ConfigError::BurstTooShort { burst_len });
+        }
+        if !(duty > 0.0 && duty <= 1.0) {
+            return Err(ConfigError::DutyOutOfRange { duty });
+        }
+        if rate.is_nan() || rate > duty {
+            return Err(ConfigError::RateExceedsDuty { rate, duty });
+        }
         if duty >= 1.0 {
             // Degenerate always-on case: never leave the on state.
             // A mean off-gap of zero cycles is not expressible with a
             // geometric transition, so model it as plain Bernoulli-like
             // behaviour with p_on = 1 and an unreachable p_off path.
-            return OnOff {
+            return Ok(OnOff {
                 burst_rate: rate,
                 p_on: 1.0,
                 p_off: f64::MIN_POSITIVE,
                 on: true,
-            };
+            });
         }
         // Stationary duty = p_on / (p_on + p_off); solve for p_on. If
         // the requested burst length is too short to realise the duty
-        // (p_on would exceed 1), keep the duty — and therefore the
-        // average rate — and let the bursts lengthen instead.
-        let mut p_on = p_off * duty / (1.0 - duty);
+        // (p_on would exceed 1), reject: the only fix that keeps the
+        // rate is lengthening the bursts, and that is the caller's
+        // decision to make, not a silent substitution.
+        let p_off = 1.0 / burst_len;
+        let p_on = p_off * duty / (1.0 - duty);
         if p_on > 1.0 {
-            p_on = 1.0;
-            p_off = (1.0 - duty) / duty;
+            return Err(ConfigError::UnrealisableDuty {
+                burst_len,
+                duty,
+                min_burst_len: duty / (1.0 - duty),
+            });
         }
-        OnOff::new(rate / duty, p_on, p_off)
+        Ok(OnOff::new(rate / duty, p_on, p_off))
     }
 }
 
@@ -224,7 +238,7 @@ mod tests {
     #[test]
     fn markov_on_off_duty_preserves_rate() {
         for duty in [0.125, 0.25, 0.5, 0.75] {
-            let mut p = OnOff::with_rate_and_duty(0.1, 16.0, duty);
+            let mut p = OnOff::with_rate_and_duty(0.1, 16.0, duty).unwrap();
             assert!(
                 (p.rate() - 0.1).abs() < 1e-9,
                 "duty {duty}: rate {}",
@@ -244,17 +258,41 @@ mod tests {
     #[test]
     fn markov_on_off_half_duty_matches_with_rate() {
         assert_eq!(
-            OnOff::with_rate_and_duty(0.2, 16.0, 0.5),
+            OnOff::with_rate_and_duty(0.2, 16.0, 0.5).unwrap(),
             OnOff::with_rate(0.2, 16.0)
         );
     }
 
     #[test]
-    fn markov_on_off_short_bursts_keep_duty_when_clamped() {
+    fn markov_on_off_short_bursts_rejected_with_typed_error() {
         // duty 0.9 with burst length 2 is unrealisable (p_on would be
-        // 4.5); the constructor must preserve the rate, not the burst
-        // length.
-        let mut p = OnOff::with_rate_and_duty(0.45, 2.0, 0.9);
+        // 4.5); earlier revisions silently lengthened the bursts, now
+        // the constructor reports exactly what was infeasible and the
+        // shortest burst that would work.
+        let err = OnOff::with_rate_and_duty(0.45, 2.0, 0.9).unwrap_err();
+        match err {
+            ConfigError::UnrealisableDuty {
+                burst_len,
+                duty,
+                min_burst_len,
+            } => {
+                assert_eq!(burst_len, 2.0);
+                assert_eq!(duty, 0.9);
+                assert!((min_burst_len - 9.0).abs() < 1e-9, "min {min_burst_len}");
+            }
+            other => panic!("wrong error variant: {other:?}"),
+        }
+        assert!(err.to_string().contains("unrealisable"), "{err}");
+        // Just above the reported minimum the construction succeeds.
+        let p = OnOff::with_rate_and_duty(0.45, 10.0, 0.9).unwrap();
+        assert!((p.rate() - 0.45).abs() < 1e-9, "rate {}", p.rate());
+    }
+
+    #[test]
+    fn markov_on_off_feasible_duty_accepted() {
+        // Ok path for the former clamping branch: long enough bursts
+        // realise the duty exactly, with the requested rate.
+        let mut p = OnOff::with_rate_and_duty(0.45, 16.0, 0.9).unwrap();
         assert!((p.rate() - 0.45).abs() < 1e-9, "rate {}", p.rate());
         let mut rng = rng_for(23, 0);
         let n = 400_000;
@@ -265,7 +303,7 @@ mod tests {
 
     #[test]
     fn markov_on_off_full_duty_is_steady() {
-        let mut p = OnOff::with_rate_and_duty(0.3, 8.0, 1.0);
+        let mut p = OnOff::with_rate_and_duty(0.3, 8.0, 1.0).unwrap();
         assert!((p.rate() - 0.3).abs() < 1e-9);
         let mut rng = rng_for(29, 0);
         let n = 200_000;
@@ -275,9 +313,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "in-burst rate would exceed 1")]
     fn markov_on_off_rejects_rate_above_duty() {
-        OnOff::with_rate_and_duty(0.5, 8.0, 0.25);
+        assert_eq!(
+            OnOff::with_rate_and_duty(0.5, 8.0, 0.25).unwrap_err(),
+            ConfigError::RateExceedsDuty {
+                rate: 0.5,
+                duty: 0.25
+            }
+        );
+        assert_eq!(
+            OnOff::with_rate_and_duty(0.2, 0.5, 0.5).unwrap_err(),
+            ConfigError::BurstTooShort { burst_len: 0.5 }
+        );
+        assert_eq!(
+            OnOff::with_rate_and_duty(0.2, 8.0, 1.5).unwrap_err(),
+            ConfigError::DutyOutOfRange { duty: 1.5 }
+        );
     }
 
     #[test]

@@ -24,13 +24,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod injection;
 mod pattern;
+mod workload;
 
+pub use error::ConfigError;
 pub use injection::{Bernoulli, InjectionProcess, OnOff};
 pub use pattern::{
     BitComplement, GroupAdversarial, Permutation, Shift, Tornado, TrafficPattern, Transpose,
     UniformRandom,
+};
+pub use workload::{
+    AllReduce, AllReduceAlgo, AllToAll, Barrier, Delivery, Idle, MessageIntent, OpenLoop,
+    RequestReply, Workload,
 };
 
 use rand::rngs::SmallRng;

@@ -1,0 +1,92 @@
+//! Golden-baseline guard for the open-loop adapter path.
+//!
+//! The workload refactor rewired packet generation from
+//! `InjectionProcess` oracles to `Workload::offer`, with the legacy
+//! Bernoulli / Markov on/off processes wrapped as open-loop adapters.
+//! These fingerprints were captured from the engine *before* that
+//! refactor; the adapter path must keep every one of them bit-identical
+//! so all historical BENCH numbers remain comparable.
+
+use dfly_netsim::{InjectionKind, TelemetryConfig};
+use dragonfly::{DragonflyParams, DragonflySim, RoutingChoice, TrafficChoice};
+
+/// FNV-1a over the full debug rendering plus the exported JSON bytes —
+/// any change to RunStats content, ordering or formatting shifts it.
+/// Fields the workload layer added after the capture are normalised out
+/// while unset (`completion` is always `None` on fixed-window runs), so
+/// the hash keeps covering exactly what the pre-refactor engine emitted
+/// — and still trips if a closed-loop field ever leaks a value into an
+/// open-loop run.
+fn fingerprint(stats: &dfly_netsim::RunStats) -> u64 {
+    let debug = format!("{stats:?}").replace(", completion: None", "");
+    let mut bytes = debug.into_bytes();
+    bytes.extend_from_slice(stats.latency_log.to_json().as_bytes());
+    if let Some(trace) = &stats.trace {
+        bytes.extend_from_slice(trace.to_chrome_json().as_bytes());
+    }
+    if let Some(series) = &stats.series {
+        bytes.extend_from_slice(series.to_json().as_bytes());
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn golden_run(choice: RoutingChoice, injection: InjectionKind, seed: u64) -> u64 {
+    let sim = DragonflySim::new(DragonflyParams::new(2, 4, 2).unwrap());
+    let mut cfg = sim.config(injection.rate());
+    cfg.injection = injection;
+    cfg.warmup = 150;
+    cfg.measure = 300;
+    cfg.drain_cap = 5_000;
+    cfg.seed = seed;
+    cfg.telemetry = TelemetryConfig {
+        sample_every: 16,
+        trace_rate: 0.25,
+        trace_seed: 9,
+    };
+    let stats = sim.run(choice, TrafficChoice::Uniform, cfg);
+    assert!(stats.drained, "golden run did not drain");
+    fingerprint(&stats)
+}
+
+#[test]
+fn open_loop_adapter_matches_pre_refactor_baselines() {
+    let cases: [(RoutingChoice, InjectionKind, u64, u64); 3] = [
+        (
+            RoutingChoice::Min,
+            InjectionKind::Bernoulli { rate: 0.1 },
+            42,
+            0xe50a_a897_a165_f551,
+        ),
+        (
+            RoutingChoice::UgalLVcH,
+            InjectionKind::Bernoulli { rate: 0.2 },
+            7,
+            0x07d9_f0a8_b839_949b,
+        ),
+        (
+            RoutingChoice::UgalL,
+            InjectionKind::MarkovOnOff {
+                rate: 0.15,
+                burst_len: 8.0,
+                duty: 0.5,
+            },
+            23,
+            0x2a2c_ce80_e36d_5cd6,
+        ),
+    ];
+    let mut drift = String::new();
+    for (choice, injection, seed, want) in cases {
+        let got = golden_run(choice, injection, seed);
+        if got != want {
+            drift.push_str(&format!(
+                "open-loop fingerprint drifted: {choice:?} / {injection:?} / seed {seed} -> {got:#018x}\n"
+            ));
+        }
+    }
+    assert!(drift.is_empty(), "{drift}");
+}

@@ -7,9 +7,9 @@
 
 use std::sync::Arc;
 
-use dfly_netsim::{CreditMode, SimConfig, Simulation, TelemetryConfig};
+use dfly_netsim::{CreditMode, SimConfig, Simulation, TelemetryConfig, Termination};
 use dfly_topo::{FlattenedButterfly, FoldedClos, Torus};
-use dfly_traffic::UniformRandom;
+use dfly_traffic::{AllReduce, Barrier, UniformRandom, Workload};
 
 use dragonfly::butterfly::{ButterflyNetwork, ButterflyRouting};
 use dragonfly::clos_sim::{ClosNetwork, ClosRouting};
@@ -386,5 +386,113 @@ fn sharded_runs_keep_registry_json_identical() {
         let (stats, json) = reg_json(shards);
         assert_eq!(stats, stats1, "grid stats diverged at {shards} shards");
         assert_eq!(json, json1, "registry JSON diverged at {shards} shards");
+    }
+}
+
+/// Runs one closed-loop workload to completion at 1, 2 and 4 shards
+/// and asserts the full `RunStats` — including the completion cycle —
+/// is bit-identical. The factory hands every shard a fresh workload
+/// instance; the instances coordinate only through simulated delivery
+/// notes, so the shard count must not be observable in the results.
+fn check_workload_shard_counts(
+    name: &str,
+    factory: &(dyn Fn(std::ops::Range<usize>) -> Box<dyn Workload + Send> + Sync),
+) {
+    let sim = dragonfly::DragonflySim::new(dragonfly::DragonflyParams::new(2, 4, 2).unwrap());
+    let run = |shards: usize| {
+        let mut cfg = SimConfig::paper_default(0.0);
+        cfg.warmup = 0;
+        cfg.measure = 30_000;
+        cfg.drain_cap = 30_000;
+        cfg.seed = 41;
+        cfg.termination = Termination::WorkComplete;
+        cfg.shards = shards;
+        sim.run_workload(RoutingChoice::Min, cfg, factory)
+    };
+    let one = run(1);
+    assert!(one.drained, "{name}: 1-shard run did not drain");
+    assert!(one.completion.is_some(), "{name}: workload never completed");
+    for shards in [2, 4] {
+        assert_eq!(run(shards), one, "{name}: {shards}-shard run diverged");
+    }
+}
+
+/// Closed-loop collectives through the sharded engine: a barrier, a
+/// ring all-reduce and a recursive-doubling all-reduce — each spanning
+/// members in every group — must complete bit-identically at 1, 2 and
+/// 4 shards.
+#[test]
+fn closed_loop_collectives_bit_identical_across_shard_counts() {
+    // 24 members spread over all 9 groups of the 72-terminal network,
+    // so every collective crosses shard boundaries at 2 and 4 shards.
+    let spread: Vec<usize> = (0..72).step_by(3).collect();
+    check_workload_shard_counts("barrier", &|_range| {
+        Box::new(Barrier::new(spread.clone(), 3))
+    });
+    check_workload_shard_counts("all-reduce/ring", &|_range| {
+        Box::new(AllReduce::ring(spread.clone()))
+    });
+    let pow2: Vec<usize> = (0..64).step_by(4).collect();
+    check_workload_shard_counts("all-reduce/recursive-doubling", &|_range| {
+        Box::new(AllReduce::recursive_doubling(pow2.clone()))
+    });
+}
+
+/// The multi-tenant workload sweep must produce bit-identical results
+/// — `RunStats` and the per-job ledger books alike — whatever the
+/// sweep-level thread count and whatever the engine-level shard count
+/// of the individual runs.
+#[test]
+fn workload_sweep_books_identical_across_threads_and_shards() {
+    let params = dragonfly::DragonflyParams::new(2, 4, 2).unwrap();
+    let jobs = vec![
+        dragonfly::JobSpec::all_to_all("alpha", 8),
+        dragonfly::JobSpec::all_to_all("beta", 8),
+    ];
+    let run = |shards: usize, threads: usize| {
+        let mut cfg = SimConfig::paper_default(0.0);
+        cfg.warmup = 0;
+        cfg.measure = 30_000;
+        cfg.drain_cap = 30_000;
+        cfg.seed = 13;
+        cfg.shards = shards;
+        let sweep = dragonfly::WorkloadSweep::new(
+            params,
+            RoutingChoice::Min,
+            jobs.clone(),
+            &cfg,
+            &[0.0, 0.3],
+        );
+        sweep.execute_on(threads).expect("sweep must run")
+    };
+    let baseline = run(1, 1);
+    for point in &baseline {
+        assert!(
+            point.stats.completion.is_some(),
+            "{:?} @ bg {} never completed",
+            point.placement,
+            point.background_load
+        );
+        for book in &point.books {
+            assert_eq!(book.delivered, 56, "all-to-all of 8 sends 56 packets");
+        }
+    }
+    for (shards, threads) in [(1, 4), (2, 1), (2, 4), (4, 2)] {
+        let other = run(shards, threads);
+        assert_eq!(
+            baseline.len(),
+            other.len(),
+            "point count changed at {shards} shards / {threads} threads"
+        );
+        for (b, o) in baseline.iter().zip(&other) {
+            assert_eq!(
+                b.stats, o.stats,
+                "sweep stats diverged at {shards} shards / {threads} threads"
+            );
+            assert_eq!(
+                b.books, o.books,
+                "job books diverged at {shards} shards / {threads} threads"
+            );
+        }
     }
 }
