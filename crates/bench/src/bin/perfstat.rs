@@ -9,8 +9,14 @@
 //! plus a full telemetry artifact `BENCH_telemetry.json` (run from
 //! the repository root).
 //!
+//! Every sweep also runs a second leg through the on-disk campaign
+//! store (`DFLY_CAMPAIGN_DIR`, default `target/campaign`): the first
+//! run populates the journal, repeat runs are pure cache hits, and the
+//! cached results are asserted bit-identical to the fresh ones. The
+//! hit/miss counts land in the `"campaign"` section of the BENCH JSON.
+//!
 //! Knobs: `DFLY_THREADS` bounds the pool, `DFLY_QUICK=1` shortens the
-//! simulation windows.
+//! simulation windows, `DFLY_CAMPAIGN_DIR` relocates the result store.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -24,8 +30,8 @@ use dfly_traffic::UniformRandom;
 use dragonfly::butterfly::{ButterflyNetwork, ButterflyRouting};
 use dragonfly::parallel::{configured_threads, parallel_map};
 use dragonfly::{
-    DragonflyParams, DragonflySim, FaultSweep, JobSpec, RoutingChoice, RunGrid, TrafficChoice,
-    UgalVariant, WorkloadSweep,
+    atomic_write, CampaignStore, DragonflyParams, DragonflySim, FaultSweep, JobSpec, RoutingChoice,
+    RunGrid, TrafficChoice, UgalVariant, WorkloadSweep,
 };
 
 fn json_escape(s: &str) -> String {
@@ -107,6 +113,20 @@ fn main() {
     let win = Windows::from_env();
     let sim = dfly_bench::paper_network();
 
+    // The on-disk campaign store: every sweep below runs fresh first
+    // (the timed legs), then again through the store. First invocation
+    // populates the journal; repeat invocations with an unchanged tree
+    // are 100% cache hits and byte-identical.
+    let campaign_dir =
+        std::env::var("DFLY_CAMPAIGN_DIR").unwrap_or_else(|_| "target/campaign".to_string());
+    let store = CampaignStore::open(&campaign_dir).expect("campaign store must open");
+    eprintln!(
+        "perfstat: campaign store at {} (revision {}, {} entries)",
+        store.dir().display(),
+        store.revision(),
+        store.len()
+    );
+
     // The Figure 8 experiment: the four routing families of the paper
     // swept over uniform-random load on the 1K-node network.
     let choices = [
@@ -146,6 +166,24 @@ fn main() {
     let speedup = serial_secs / parallel_secs.max(1e-12);
     eprintln!("perfstat: speedup {speedup:.2}x (bit-identical: {bit_identical})");
 
+    // Campaign leg: the same grid through the store. Misses simulate
+    // and journal; hits decode from disk. Either way the results must
+    // be bit-identical to the fresh sweep above.
+    let t0 = Instant::now();
+    let (grid_cached, grid_report) = grid
+        .execute_cached(&sim, &store)
+        .expect("campaign grid leg must run");
+    let grid_cached_secs = t0.elapsed().as_secs_f64();
+    let grid_cached_identical = grid_cached == serial;
+    assert!(
+        grid_cached_identical,
+        "cached sweep diverged from fresh sweep"
+    );
+    eprintln!(
+        "perfstat: campaign grid leg {grid_cached_secs:.3}s ({} hits, {} misses)",
+        grid_report.hits, grid_report.misses
+    );
+
     // A small deterministic fault-degradation curve: saturation
     // throughput with 0, 1/16 and 1/8 of the global cables failed.
     let fault_fractions = [0.0, 1.0 / 16.0, 1.0 / 8.0];
@@ -175,6 +213,18 @@ fn main() {
         .expect("fault plans must apply");
     let fault_identical = fault_points == fault_serial;
     assert!(fault_identical, "parallel fault sweep diverged from serial");
+    let (fault_cached, fault_report) = fault_sweep
+        .execute_cached(&store)
+        .expect("campaign fault leg must run");
+    let fault_cached_identical = fault_cached == fault_points;
+    assert!(
+        fault_cached_identical,
+        "cached fault sweep diverged from fresh sweep"
+    );
+    eprintln!(
+        "perfstat: campaign fault leg {} hits, {} misses",
+        fault_report.hits, fault_report.misses
+    );
     let fault_monotone = fault_points
         .windows(2)
         .all(|pair| pair[1].throughput() <= pair[0].throughput() + 1e-9);
@@ -205,10 +255,16 @@ fn main() {
         hot_series.channels.len(),
         fault_heatmap.dropped,
     );
-    std::fs::write("BENCH_fault_heatmap.json", fault_heatmap.to_json())
-        .expect("write heatmap JSON");
-    std::fs::write("BENCH_fault_heatmap.dat", fault_heatmap.to_gnuplot())
-        .expect("write heatmap gnuplot data");
+    atomic_write(
+        "BENCH_fault_heatmap.json",
+        fault_heatmap.to_json().as_bytes(),
+    )
+    .expect("write heatmap JSON");
+    atomic_write(
+        "BENCH_fault_heatmap.dat",
+        fault_heatmap.to_gnuplot().as_bytes(),
+    )
+    .expect("write heatmap gnuplot data");
     eprintln!("perfstat: wrote BENCH_fault_heatmap.json / BENCH_fault_heatmap.dat");
 
     // Closed-loop workload mix: two 8-rank all-to-all tenants on the
@@ -239,6 +295,18 @@ fn main() {
     let wl_serial = wl_sweep.execute_serial().expect("workload mix must place");
     let wl_identical = wl_points == wl_serial;
     assert!(wl_identical, "parallel workload sweep diverged from serial");
+    let (wl_cached, wl_report) = wl_sweep
+        .execute_cached(&store)
+        .expect("campaign workload leg must run");
+    let wl_cached_identical = wl_cached == wl_points;
+    assert!(
+        wl_cached_identical,
+        "cached workload sweep diverged from fresh sweep"
+    );
+    eprintln!(
+        "perfstat: campaign workload leg {} hits, {} misses",
+        wl_report.hits, wl_report.misses
+    );
     for pt in &wl_points {
         assert!(
             pt.stats.completion.is_some(),
@@ -915,11 +983,48 @@ fn main() {
     }
     json.push_str("],\n");
     let _ = writeln!(json, "    \"registry\": {}", wl_registry.to_json());
+    json.push_str("  },\n");
+
+    let campaign_hits = grid_report.hits + fault_report.hits + wl_report.hits;
+    let campaign_misses = grid_report.misses + fault_report.misses + wl_report.misses;
+    let cached_matches_fresh =
+        grid_cached_identical && fault_cached_identical && wl_cached_identical;
+    json.push_str("  \"campaign\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"dir\": \"{}\",",
+        json_escape(&store.dir().display().to_string())
+    );
+    let _ = writeln!(
+        json,
+        "    \"revision\": \"{}\",",
+        json_escape(store.revision())
+    );
+    let _ = writeln!(
+        json,
+        "    \"grid\": {{\"hits\": {}, \"misses\": {}}},",
+        grid_report.hits, grid_report.misses
+    );
+    let _ = writeln!(
+        json,
+        "    \"fault\": {{\"hits\": {}, \"misses\": {}}},",
+        fault_report.hits, fault_report.misses
+    );
+    let _ = writeln!(
+        json,
+        "    \"workload\": {{\"hits\": {}, \"misses\": {}}},",
+        wl_report.hits, wl_report.misses
+    );
+    let _ = writeln!(json, "    \"hits\": {campaign_hits},");
+    let _ = writeln!(json, "    \"misses\": {campaign_misses},");
+    let _ = writeln!(json, "    \"entries\": {},", store.len());
+    let _ = writeln!(json, "    \"grid_cached_secs\": {grid_cached_secs:.6},");
+    let _ = writeln!(json, "    \"cached_matches_fresh\": {cached_matches_fresh}");
     json.push_str("  }\n");
     json.push_str("}\n");
 
     let path = "BENCH_parallel_sweep.json";
-    std::fs::write(path, &json).expect("write baseline JSON");
+    atomic_write(path, json.as_bytes()).expect("write baseline JSON");
     eprintln!("perfstat: wrote {path}");
 
     // The full telemetry artifact: complete latency histogram, every
@@ -974,7 +1079,7 @@ fn main() {
     tj.push_str("  ]\n");
     tj.push_str("}\n");
     let tpath = "BENCH_telemetry.json";
-    std::fs::write(tpath, &tj).expect("write telemetry JSON");
+    atomic_write(tpath, tj.as_bytes()).expect("write telemetry JSON");
     eprintln!("perfstat: wrote {tpath}");
 
     print!("{json}");

@@ -14,7 +14,9 @@ use dfly_netsim::{
 };
 use dfly_traffic::TrafficPattern;
 use dragonfly::parallel::parallel_map;
-use dragonfly::{DragonflyParams, DragonflySim, RoutingChoice, RunGrid, RunPlan, TrafficChoice};
+use dragonfly::{
+    CampaignStore, DragonflyParams, DragonflySim, RoutingChoice, RunGrid, RunPlan, TrafficChoice,
+};
 
 pub mod figures;
 pub mod heatmap;
@@ -94,6 +96,26 @@ pub fn paper_network() -> DragonflySim {
 /// Parameters of the paper's evaluation network.
 pub fn paper_params() -> DragonflyParams {
     DragonflyParams::new(4, 8, 4).expect("paper parameters are valid")
+}
+
+/// The campaign store selected by `DFLY_CAMPAIGN_DIR`, if any: point
+/// the variable at a directory to make the figure/bench sweeps
+/// incremental (already-computed cells are answered from the on-disk
+/// journal; see `dragonfly::campaign`). Unset, empty, `0`, or `off`
+/// disables caching; an unopenable store falls back to uncached
+/// execution with a note on stderr rather than failing the sweep.
+pub fn campaign_store() -> Option<Arc<CampaignStore>> {
+    let dir = std::env::var("DFLY_CAMPAIGN_DIR").ok()?;
+    if dir.is_empty() || dir == "0" || dir == "off" {
+        return None;
+    }
+    match CampaignStore::open(&dir) {
+        Ok(store) => Some(Arc::new(store)),
+        Err(e) => {
+            eprintln!("campaign store at {dir} unavailable ({e}); running uncached");
+            None
+        }
+    }
 }
 
 /// One measured sweep point.
@@ -199,7 +221,25 @@ pub fn sweep_curves(
             grid.push(RunPlan::new(curve.choice, traffic, cfg));
         }
     }
-    let mut results = grid.execute(sim).into_iter();
+    let results = match campaign_store() {
+        Some(store) => match grid.execute_cached(sim, &store) {
+            Ok((stats, report)) => {
+                eprintln!(
+                    "campaign: {} hits, {} misses ({})",
+                    report.hits,
+                    report.misses,
+                    store.dir().display()
+                );
+                stats
+            }
+            Err(e) => {
+                eprintln!("campaign store failed ({e}); running uncached");
+                grid.execute(sim)
+            }
+        },
+        None => grid.execute(sim),
+    };
+    let mut results = results.into_iter();
     let mut series = Vec::with_capacity(curves.len());
     let mut caps = Vec::new();
     for curve in curves {

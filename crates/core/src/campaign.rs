@@ -1,0 +1,1286 @@
+//! Content-addressed campaign store: cached, resumable, streaming
+//! sweeps.
+//!
+//! A *campaign* is a grid of independent simulation runs — the load ×
+//! routing × traffic sweeps behind every figure, plus fault and
+//! workload sweeps. Each cell is keyed by a [`CampaignKey`]: an FNV-1a
+//! hash over a canonical description of **everything** the result
+//! depends on (topology parameters, channel latencies, failed links,
+//! routing choice, traffic choice, the full `SimConfig` including seed
+//! and windows, the fault plan, and the code revision). Because every
+//! run of the engine is a pure function of that description, a key that
+//! matches means the stored result is bit-identical to what a fresh
+//! simulation would produce.
+//!
+//! Results persist in an append-only JSON-lines journal
+//! (`journal.jsonl`) plus a small `index.json` sidecar, both inside the
+//! store directory. Completed cells stream to the journal the moment
+//! they finish — a campaign killed mid-grid keeps everything it
+//! already computed. Crash safety:
+//!
+//! * the journal is append-only and each entry is one line; a torn
+//!   tail line (the process died mid-`write`) is detected on open and
+//!   truncated away, sacrificing at most the one in-flight result;
+//! * the sidecar is rewritten through [`atomic_write`] (temp file +
+//!   `rename`), so readers never observe a half-written index;
+//! * the journal is authoritative — `index.json` is advisory and
+//!   rebuilt from a full journal scan on every open.
+//!
+//! Collision safety does not rest on the 64-bit hash alone: the full
+//! canonical string is stored with every entry and compared on lookup,
+//! so two configurations that collide in the hash can never satisfy
+//! each other's lookups.
+//!
+//! Results are encoded with a hand-rolled, dependency-free token codec
+//! ([`RunStats`] and friends have no serde here); `f64` fields are
+//! stored as the 16-hex-digit image of [`f64::to_bits`], so decoded
+//! results are bit-identical to the originals — which the determinism
+//! tests assert at every shard count.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use dfly_netsim::{
+    ChannelClass, ChannelLoad, ChannelSeries, EstimatorScoreboard, FaultPlan, FlitTrace, Histogram,
+    InjectionKind, LatencySummary, LogHistogram, RouteTelemetry, RunStats, SimError, Termination,
+    TimeSeries, TraceEvent, TraceEventKind,
+};
+
+use crate::experiment::DragonflySim;
+use crate::jobs::{JobBook, JobError, Placement};
+use crate::parallel::{FaultPoint, FaultSweep, RunPlan, WorkloadPoint, WorkloadSweep};
+
+/// Version tag prefixed to every canonical key string and recorded in
+/// the index. Bump it whenever the canonical encoding or the result
+/// codec changes shape: old journal entries then simply never match.
+const FORMAT_VERSION: &str = "dfly-campaign-v1";
+
+/// Journal file name inside the store directory.
+const JOURNAL_FILE: &str = "journal.jsonl";
+
+/// Advisory index file name inside the store directory.
+const INDEX_FILE: &str = "index.json";
+
+/// 64-bit FNV-1a over `bytes` — small, dependency-free, and stable
+/// across platforms and releases.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Content-address of one campaign cell: the FNV-1a hash of its
+/// canonical description plus the description itself. Lookups match on
+/// **both**, so a hash collision between different configurations can
+/// never produce a wrong cache hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignKey {
+    /// FNV-1a hash of `canon` — the journal's index key.
+    pub hash: u64,
+    /// The full canonical description the hash was computed from.
+    pub canon: String,
+}
+
+impl CampaignKey {
+    /// Keys the given canonical description.
+    pub fn from_canon(canon: String) -> Self {
+        CampaignKey {
+            hash: fnv1a(canon.as_bytes()),
+            canon,
+        }
+    }
+}
+
+/// Why a campaign operation failed.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The store directory or journal could not be read or written.
+    Io(io::Error),
+    /// The journal held an entry that parsed as JSON but not as a
+    /// result payload.
+    Corrupt(String),
+    /// A cache miss re-simulated and the simulation rejected its
+    /// configuration.
+    Sim(SimError),
+    /// A cache miss re-ran a workload point and the job mix could not
+    /// be validated or placed.
+    Job(JobError),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Io(e) => write!(f, "campaign store I/O error: {e}"),
+            CampaignError::Corrupt(msg) => write!(f, "campaign journal corrupt: {msg}"),
+            CampaignError::Sim(e) => write!(f, "campaign simulation error: {e}"),
+            CampaignError::Job(e) => write!(f, "campaign workload error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Io(e) => Some(e),
+            CampaignError::Sim(e) => Some(e),
+            CampaignError::Job(e) => Some(e),
+            CampaignError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for CampaignError {
+    fn from(e: io::Error) -> Self {
+        CampaignError::Io(e)
+    }
+}
+
+impl From<SimError> for CampaignError {
+    fn from(e: SimError) -> Self {
+        CampaignError::Sim(e)
+    }
+}
+
+impl From<JobError> for CampaignError {
+    fn from(e: JobError) -> Self {
+        CampaignError::Job(e)
+    }
+}
+
+/// Hit/miss tally of one cached sweep execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// Cells answered from the store without simulating.
+    pub hits: usize,
+    /// Cells simulated (and streamed to the journal).
+    pub misses: usize,
+}
+
+impl CampaignReport {
+    /// Total cells the sweep covered.
+    pub fn total(&self) -> usize {
+        self.hits + self.misses
+    }
+}
+
+/// Writes `contents` to `path` atomically: the bytes land in a sibling
+/// temp file first and replace `path` with a single `rename`, so a
+/// crash mid-write can never leave a torn file under the final name.
+pub fn atomic_write(path: impl AsRef<Path>, contents: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp{}", std::process::id()));
+    let tmp = PathBuf::from(tmp);
+    let mut file = File::create(&tmp)?;
+    file.write_all(contents)?;
+    file.sync_all()?;
+    drop(file);
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// One decoded journal entry: a result of some `kind` under its full
+/// canonical key.
+struct JournalEntry {
+    kind: String,
+    canon: String,
+    payload: String,
+}
+
+struct StoreInner {
+    /// Hash → entries (usually one; more only under a hash collision).
+    map: HashMap<u64, Vec<JournalEntry>>,
+    /// Append handle on the journal.
+    journal: File,
+    /// Total entries held (across all hashes).
+    entries: usize,
+}
+
+/// The on-disk campaign store: an append-only journal of completed
+/// results plus an in-memory index keyed by [`CampaignKey`].
+///
+/// One store serves a whole process: lookups and inserts are
+/// internally locked, so sweep workers on any number of threads can
+/// stream results concurrently. Two *processes* should not append to
+/// the same journal at once; the intended topology is one store
+/// directory per campaign host (the default `target/campaign`).
+pub struct CampaignStore {
+    dir: PathBuf,
+    revision: String,
+    inner: Mutex<StoreInner>,
+}
+
+impl CampaignStore {
+    /// Opens (creating if absent) the store in `dir`, recovering the
+    /// journal: a torn tail line — from a crash mid-append — is
+    /// truncated away, and undecodable interior lines are skipped.
+    ///
+    /// The code revision folded into every key is `DFLY_CODE_REV` when
+    /// set, else this crate's version — so rebuilding after a version
+    /// bump re-simulates instead of serving stale results.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, CampaignError> {
+        let revision = std::env::var("DFLY_CODE_REV")
+            .ok()
+            .filter(|v| !v.is_empty())
+            .unwrap_or_else(|| format!("v{}", env!("CARGO_PKG_VERSION")));
+        Self::open_with_revision(dir, &revision)
+    }
+
+    /// [`CampaignStore::open`] with an explicit code revision.
+    pub fn open_with_revision(
+        dir: impl AsRef<Path>,
+        revision: &str,
+    ) -> Result<Self, CampaignError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(JOURNAL_FILE);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        // A crash mid-append leaves a line without its trailing
+        // newline: cut the journal back to the last complete line.
+        let mut valid_len = bytes.len();
+        if valid_len > 0 && bytes[valid_len - 1] != b'\n' {
+            valid_len = bytes[..valid_len]
+                .iter()
+                .rposition(|&b| b == b'\n')
+                .map(|p| p + 1)
+                .unwrap_or(0);
+        }
+        let text = String::from_utf8_lossy(&bytes[..valid_len]);
+        let mut map: HashMap<u64, Vec<JournalEntry>> = HashMap::new();
+        let mut entries = 0usize;
+        let mut offset = 0usize;
+        let mut keep_len = valid_len;
+        for line in text.split_inclusive('\n') {
+            match parse_journal_line(line.trim_end_matches('\n')) {
+                Some(entry) => {
+                    let hash = fnv1a(entry.canon.as_bytes());
+                    map.entry(hash).or_default().push(entry);
+                    entries += 1;
+                }
+                None => {
+                    // A complete but undecodable *tail* line is the
+                    // other torn-write shape (the newline made it, the
+                    // body did not): truncate it away. Bad interior
+                    // lines are skipped but preserved on disk.
+                    if offset + line.len() == valid_len {
+                        keep_len = offset;
+                    }
+                }
+            }
+            offset += line.len();
+        }
+        if keep_len < bytes.len() {
+            let f = OpenOptions::new().write(true).open(&path)?;
+            f.set_len(keep_len as u64)?;
+            f.sync_all()?;
+        }
+        let journal = OpenOptions::new().create(true).append(true).open(&path)?;
+        let store = CampaignStore {
+            dir,
+            revision: revision.to_string(),
+            inner: Mutex::new(StoreInner {
+                map,
+                journal,
+                entries,
+            }),
+        };
+        store.write_index(entries)?;
+        Ok(store)
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The code revision folded into every key.
+    pub fn revision(&self) -> &str {
+        &self.revision
+    }
+
+    /// Number of stored results.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("campaign store poisoned").entries
+    }
+
+    /// Whether the store holds no results.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn write_index(&self, entries: usize) -> Result<(), CampaignError> {
+        let body = format!(
+            "{{\"format\": \"{}\", \"revision\": \"{}\", \"entries\": {}}}\n",
+            dfly_netsim::telemetry::json_escape(FORMAT_VERSION),
+            dfly_netsim::telemetry::json_escape(&self.revision),
+            entries
+        );
+        atomic_write(self.dir.join(INDEX_FILE), body.as_bytes())?;
+        Ok(())
+    }
+
+    /// The stored payload for `key` under `kind`, if any. Matches on
+    /// the full canonical string, not just the hash.
+    fn lookup_payload(&self, kind: &str, key: &CampaignKey) -> Option<String> {
+        let inner = self.inner.lock().expect("campaign store poisoned");
+        inner.map.get(&key.hash).and_then(|entries| {
+            entries
+                .iter()
+                .find(|e| e.kind == kind && e.canon == key.canon)
+                .map(|e| e.payload.clone())
+        })
+    }
+
+    /// Appends one result to the journal (idempotent: re-inserting an
+    /// already-stored key is a no-op) and refreshes the index sidecar.
+    fn insert_payload(
+        &self,
+        kind: &str,
+        key: &CampaignKey,
+        payload: String,
+    ) -> Result<(), CampaignError> {
+        let mut inner = self.inner.lock().expect("campaign store poisoned");
+        if let Some(entries) = inner.map.get(&key.hash) {
+            if entries
+                .iter()
+                .any(|e| e.kind == kind && e.canon == key.canon)
+            {
+                return Ok(());
+            }
+        }
+        let line = format!(
+            "{{\"kind\":\"{}\",\"key\":\"{:016x}\",\"canon\":\"{}\",\"payload\":\"{}\"}}\n",
+            dfly_netsim::telemetry::json_escape(kind),
+            key.hash,
+            dfly_netsim::telemetry::json_escape(&key.canon),
+            dfly_netsim::telemetry::json_escape(&payload)
+        );
+        inner.journal.write_all(line.as_bytes())?;
+        inner.journal.flush()?;
+        inner.map.entry(key.hash).or_default().push(JournalEntry {
+            kind: kind.to_string(),
+            canon: key.canon.clone(),
+            payload,
+        });
+        inner.entries += 1;
+        let entries = inner.entries;
+        drop(inner);
+        self.write_index(entries)
+    }
+
+    /// The stored [`RunStats`] for `key`, if present and decodable.
+    pub fn lookup_run(&self, key: &CampaignKey) -> Option<RunStats> {
+        self.lookup_payload("run", key)
+            .and_then(|p| decode_with(&p, decode_run_stats))
+    }
+
+    /// Stores one run result under `key`.
+    pub fn insert_run(&self, key: &CampaignKey, stats: &RunStats) -> Result<(), CampaignError> {
+        let mut enc = Enc::new();
+        encode_run_stats(&mut enc, stats);
+        self.insert_payload("run", key, enc.finish())
+    }
+
+    /// The stored [`FaultPoint`] for `key`, if present and decodable.
+    pub fn lookup_fault(&self, key: &CampaignKey) -> Option<FaultPoint> {
+        self.lookup_payload("fault", key)
+            .and_then(|p| decode_with(&p, decode_fault_point))
+    }
+
+    /// Stores one fault-sweep point under `key`.
+    pub fn insert_fault(&self, key: &CampaignKey, point: &FaultPoint) -> Result<(), CampaignError> {
+        let mut enc = Enc::new();
+        encode_fault_point(&mut enc, point);
+        self.insert_payload("fault", key, enc.finish())
+    }
+
+    /// The stored [`WorkloadPoint`] for `key`, if present and decodable.
+    pub fn lookup_workload(&self, key: &CampaignKey) -> Option<WorkloadPoint> {
+        self.lookup_payload("workload", key)
+            .and_then(|p| decode_with(&p, decode_workload_point))
+    }
+
+    /// Stores one workload-sweep point under `key`.
+    pub fn insert_workload(
+        &self,
+        key: &CampaignKey,
+        point: &WorkloadPoint,
+    ) -> Result<(), CampaignError> {
+        let mut enc = Enc::new();
+        encode_workload_point(&mut enc, point);
+        self.insert_payload("workload", key, enc.finish())
+    }
+
+    /// The key of one [`RunPlan`] against `sim`'s exact network —
+    /// topology parameters, channel latencies and failed links included,
+    /// so a faulted network never shares keys with a healthy one.
+    pub fn run_key(&self, sim: &DragonflySim, plan: &RunPlan) -> CampaignKey {
+        let df = sim.dragonfly();
+        CampaignKey::from_canon(format!(
+            "{FORMAT_VERSION} kind=run rev={} params={:?} latencies={:?} failed={:?} \
+             routing={:?} traffic={:?} cfg={:?}",
+            self.revision,
+            df.params(),
+            df.latencies(),
+            df.failed_links(),
+            plan.routing,
+            plan.traffic,
+            plan.cfg
+        ))
+    }
+
+    /// The key of one [`FaultSweep`] fraction. Mirrors the sweep's own
+    /// per-point setup (offered load forced to 1.0, no drain) so the
+    /// key covers exactly the configuration that runs.
+    pub fn fault_key(&self, sweep: &FaultSweep, fraction: f64) -> CampaignKey {
+        let mut cfg = sweep.cfg.clone();
+        cfg.injection = InjectionKind::Bernoulli { rate: 1.0 };
+        cfg.drain_cap = 0;
+        let plan = FaultPlan::Random {
+            fraction,
+            seed: sweep.seed,
+            class: sweep.class,
+        };
+        CampaignKey::from_canon(format!(
+            "{FORMAT_VERSION} kind=fault rev={} params={:?} routing={:?} traffic={:?} \
+             cfg={:?} plan={:?}",
+            self.revision, sweep.params, sweep.routing, sweep.traffic, cfg, plan
+        ))
+    }
+
+    /// The key of one [`WorkloadSweep`] point. Mirrors the sweep's own
+    /// per-point setup (work-complete termination) and covers the full
+    /// job mix, placement and background load.
+    pub fn workload_key(
+        &self,
+        sweep: &WorkloadSweep,
+        placement: Placement,
+        load: f64,
+    ) -> CampaignKey {
+        let mut cfg = sweep.cfg.clone();
+        cfg.termination = Termination::WorkComplete;
+        CampaignKey::from_canon(format!(
+            "{FORMAT_VERSION} kind=workload rev={} params={:?} routing={:?} jobs={:?} \
+             cfg={:?} placement={:?} background={:?}",
+            self.revision, sweep.params, sweep.routing, sweep.jobs, cfg, placement, load
+        ))
+    }
+}
+
+/// Parses one journal line of the exact shape
+/// `{"kind":"…","key":"…","canon":"…","payload":"…"}`.
+fn parse_journal_line(line: &str) -> Option<JournalEntry> {
+    let rest = line.strip_prefix("{\"kind\":\"")?;
+    let (kind, rest) = scan_json_string(rest)?;
+    let rest = rest.strip_prefix(",\"key\":\"")?;
+    let (key_hex, rest) = scan_json_string(rest)?;
+    u64::from_str_radix(&key_hex, 16).ok()?;
+    let rest = rest.strip_prefix(",\"canon\":\"")?;
+    let (canon, rest) = scan_json_string(rest)?;
+    let rest = rest.strip_prefix(",\"payload\":\"")?;
+    let (payload, rest) = scan_json_string(rest)?;
+    if rest != "}" {
+        return None;
+    }
+    Some(JournalEntry {
+        kind,
+        canon,
+        payload,
+    })
+}
+
+/// Unescapes a JSON string starting right after its opening quote;
+/// returns the content and the remainder after the closing quote.
+fn scan_json_string(s: &str) -> Option<(String, &str)> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, &s[i + 1..])),
+            '\\' => match chars.next()?.1 {
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                'n' => out.push('\n'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.1.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Result codec: space-separated tokens, `f64` as the hex image of its
+// bits. Encoding and decoding are exact inverses, so a journal round
+// trip is bit-identical.
+// ---------------------------------------------------------------------
+
+/// Token encoder.
+struct Enc {
+    out: String,
+}
+
+impl Enc {
+    fn new() -> Self {
+        Enc { out: String::new() }
+    }
+
+    fn u64(&mut self, v: u64) {
+        if !self.out.is_empty() {
+            self.out.push(' ');
+        }
+        let _ = write!(self.out, "{v}");
+    }
+
+    fn u128(&mut self, v: u128) {
+        if !self.out.is_empty() {
+            self.out.push(' ');
+        }
+        let _ = write!(self.out, "{v}");
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn f64(&mut self, v: f64) {
+        if !self.out.is_empty() {
+            self.out.push(' ');
+        }
+        let _ = write!(self.out, "{:016x}", v.to_bits());
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.u64(u64::from(v));
+    }
+
+    fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Token decoder over a payload string.
+struct Dec<'a> {
+    toks: std::str::SplitAsciiWhitespace<'a>,
+}
+
+impl<'a> Dec<'a> {
+    fn new(payload: &'a str) -> Self {
+        Dec {
+            toks: payload.split_ascii_whitespace(),
+        }
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.toks.next()?.parse().ok()
+    }
+
+    fn u128(&mut self) -> Option<u128> {
+        self.toks.next()?.parse().ok()
+    }
+
+    fn usize(&mut self) -> Option<usize> {
+        self.u64()?.try_into().ok()
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.u64()?.try_into().ok()
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.u64()?.try_into().ok()
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.u64()?.try_into().ok()
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        let tok = self.toks.next()?;
+        if tok.len() != 16 {
+            return None;
+        }
+        Some(f64::from_bits(u64::from_str_radix(tok, 16).ok()?))
+    }
+
+    fn bool(&mut self) -> Option<bool> {
+        match self.u64()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Whether every token was consumed — a decode is valid only if it
+    /// used the payload exactly.
+    fn end(mut self) -> bool {
+        self.toks.next().is_none()
+    }
+}
+
+/// Runs `f` over a fresh decoder and demands exact consumption.
+fn decode_with<T>(payload: &str, f: impl Fn(&mut Dec<'_>) -> Option<T>) -> Option<T> {
+    let mut dec = Dec::new(payload);
+    let value = f(&mut dec)?;
+    dec.end().then_some(value)
+}
+
+fn encode_vec_u64(enc: &mut Enc, v: &[u64]) {
+    enc.usize(v.len());
+    for &x in v {
+        enc.u64(x);
+    }
+}
+
+fn decode_vec_u64(dec: &mut Dec<'_>) -> Option<Vec<u64>> {
+    let len = dec.usize()?;
+    let mut out = Vec::with_capacity(len.min(1 << 20));
+    for _ in 0..len {
+        out.push(dec.u64()?);
+    }
+    Some(out)
+}
+
+fn encode_class(enc: &mut Enc, class: ChannelClass) {
+    enc.u64(match class {
+        ChannelClass::Terminal => 0,
+        ChannelClass::Local => 1,
+        ChannelClass::Global => 2,
+    });
+}
+
+fn decode_class(dec: &mut Dec<'_>) -> Option<ChannelClass> {
+    match dec.u64()? {
+        0 => Some(ChannelClass::Terminal),
+        1 => Some(ChannelClass::Local),
+        2 => Some(ChannelClass::Global),
+        _ => None,
+    }
+}
+
+fn encode_summary(enc: &mut Enc, s: &LatencySummary) {
+    enc.u64(s.count);
+    enc.u64(s.sum);
+    enc.u128(s.sum_sq);
+    enc.u64(s.max);
+    enc.u64(s.min);
+}
+
+fn decode_summary(dec: &mut Dec<'_>) -> Option<LatencySummary> {
+    Some(LatencySummary {
+        count: dec.u64()?,
+        sum: dec.u64()?,
+        sum_sq: dec.u128()?,
+        max: dec.u64()?,
+        min: dec.u64()?,
+    })
+}
+
+fn encode_histogram(enc: &mut Enc, h: &Histogram) {
+    enc.u64(h.bucket_width());
+    enc.u64(h.overflow());
+    encode_vec_u64(enc, h.buckets());
+}
+
+fn decode_histogram(dec: &mut Dec<'_>) -> Option<Histogram> {
+    let width = dec.u64()?;
+    let overflow = dec.u64()?;
+    let buckets = decode_vec_u64(dec)?;
+    if width == 0 || buckets.is_empty() {
+        return None;
+    }
+    Some(Histogram::from_parts(buckets, width, overflow))
+}
+
+fn encode_log_histogram(enc: &mut Enc, h: &LogHistogram) {
+    enc.u64(h.count);
+    enc.u64(h.sum);
+    enc.u64(h.min);
+    enc.u64(h.max);
+    encode_vec_u64(enc, &h.buckets);
+}
+
+fn decode_log_histogram(dec: &mut Dec<'_>) -> Option<LogHistogram> {
+    Some(LogHistogram {
+        count: dec.u64()?,
+        sum: dec.u64()?,
+        min: dec.u64()?,
+        max: dec.u64()?,
+        buckets: decode_vec_u64(dec)?,
+    })
+}
+
+fn encode_telemetry(enc: &mut Enc, t: &RouteTelemetry) {
+    enc.u64(t.minimal_takes);
+    enc.u64(t.non_minimal_takes);
+    enc.u64(t.adaptive_decisions);
+    enc.u64(t.estimator_disagreements);
+    enc.u64(t.fault_avoided_decisions);
+    enc.u64(t.dropped_candidates);
+    enc.u64(t.oracle_probe_fallbacks);
+}
+
+fn decode_telemetry(dec: &mut Dec<'_>) -> Option<RouteTelemetry> {
+    Some(RouteTelemetry {
+        minimal_takes: dec.u64()?,
+        non_minimal_takes: dec.u64()?,
+        adaptive_decisions: dec.u64()?,
+        estimator_disagreements: dec.u64()?,
+        fault_avoided_decisions: dec.u64()?,
+        dropped_candidates: dec.u64()?,
+        oracle_probe_fallbacks: dec.u64()?,
+    })
+}
+
+fn encode_scoreboard(enc: &mut Enc, s: &EstimatorScoreboard) {
+    enc.u64(s.decisions);
+    enc.u64(s.scored);
+    enc.u64(s.oracle_disagreements);
+    enc.u64(s.sum_estimate);
+    enc.u64(s.sum_oracle);
+    encode_log_histogram(enc, &s.abs_error);
+}
+
+fn decode_scoreboard(dec: &mut Dec<'_>) -> Option<EstimatorScoreboard> {
+    Some(EstimatorScoreboard {
+        decisions: dec.u64()?,
+        scored: dec.u64()?,
+        oracle_disagreements: dec.u64()?,
+        sum_estimate: dec.u64()?,
+        sum_oracle: dec.u64()?,
+        abs_error: decode_log_histogram(dec)?,
+    })
+}
+
+fn encode_channel_load(enc: &mut Enc, c: &ChannelLoad) {
+    enc.usize(c.router);
+    enc.usize(c.port);
+    encode_class(enc, c.class);
+    enc.u64(c.flits);
+    enc.f64(c.utilization);
+}
+
+fn decode_channel_load(dec: &mut Dec<'_>) -> Option<ChannelLoad> {
+    Some(ChannelLoad {
+        router: dec.usize()?,
+        port: dec.usize()?,
+        class: decode_class(dec)?,
+        flits: dec.u64()?,
+        utilization: dec.f64()?,
+    })
+}
+
+fn encode_series(enc: &mut Enc, s: &TimeSeries) {
+    enc.u64(s.every);
+    enc.u64(u64::from(s.vcs));
+    encode_vec_u64(enc, &s.ticks);
+    enc.usize(s.channels.len());
+    for ch in &s.channels {
+        enc.u64(u64::from(ch.router));
+        enc.u64(u64::from(ch.port));
+        encode_class(enc, ch.class);
+        for col in [&ch.occupancy, &ch.vc_occupancy, &ch.credits] {
+            enc.usize(col.len());
+            for &v in col.iter() {
+                enc.u64(u64::from(v));
+            }
+        }
+        enc.usize(ch.sent.len());
+        for &v in &ch.sent {
+            enc.u64(u64::from(v));
+        }
+    }
+}
+
+fn decode_series(dec: &mut Dec<'_>) -> Option<TimeSeries> {
+    let every = dec.u64()?;
+    let vcs = dec.u8()?;
+    let ticks = decode_vec_u64(dec)?;
+    let nch = dec.usize()?;
+    let mut channels = Vec::with_capacity(nch.min(1 << 20));
+    for _ in 0..nch {
+        let router = dec.u32()?;
+        let port = dec.u16()?;
+        let class = decode_class(dec)?;
+        let mut cols: [Vec<u16>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for col in cols.iter_mut() {
+            let len = dec.usize()?;
+            col.reserve(len.min(1 << 20));
+            for _ in 0..len {
+                col.push(dec.u16()?);
+            }
+        }
+        let [occupancy, vc_occupancy, credits] = cols;
+        let len = dec.usize()?;
+        let mut sent = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            sent.push(dec.u32()?);
+        }
+        channels.push(ChannelSeries {
+            router,
+            port,
+            class,
+            occupancy,
+            vc_occupancy,
+            credits,
+            sent,
+        });
+    }
+    Some(TimeSeries {
+        every,
+        vcs,
+        ticks,
+        channels,
+    })
+}
+
+fn encode_trace(enc: &mut Enc, t: &FlitTrace) {
+    enc.f64(t.rate);
+    enc.u64(t.seed);
+    enc.usize(t.events.len());
+    for ev in &t.events {
+        enc.u64(ev.cycle);
+        enc.u64(ev.packet);
+        match &ev.kind {
+            TraceEventKind::Inject {
+                src,
+                dest,
+                minimal,
+                q_chosen,
+                oracle,
+            } => {
+                enc.u64(0);
+                enc.u64(u64::from(*src));
+                enc.u64(u64::from(*dest));
+                enc.bool(*minimal);
+                enc.u64(*q_chosen);
+                enc.u64(*oracle);
+            }
+            TraceEventKind::Hop { router, port, vc } => {
+                enc.u64(1);
+                enc.u64(u64::from(*router));
+                enc.u64(u64::from(*port));
+                enc.u64(u64::from(*vc));
+            }
+            TraceEventKind::Eject { latency } => {
+                enc.u64(2);
+                enc.u64(*latency);
+            }
+        }
+    }
+}
+
+fn decode_trace(dec: &mut Dec<'_>) -> Option<FlitTrace> {
+    let rate = dec.f64()?;
+    let seed = dec.u64()?;
+    let n = dec.usize()?;
+    let mut events = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let cycle = dec.u64()?;
+        let packet = dec.u64()?;
+        let kind = match dec.u64()? {
+            0 => TraceEventKind::Inject {
+                src: dec.u32()?,
+                dest: dec.u32()?,
+                minimal: dec.bool()?,
+                q_chosen: dec.u64()?,
+                oracle: dec.u64()?,
+            },
+            1 => TraceEventKind::Hop {
+                router: dec.u32()?,
+                port: dec.u16()?,
+                vc: dec.u8()?,
+            },
+            2 => TraceEventKind::Eject {
+                latency: dec.u64()?,
+            },
+            _ => return None,
+        };
+        events.push(TraceEvent {
+            cycle,
+            packet,
+            kind,
+        });
+    }
+    Some(FlitTrace { rate, seed, events })
+}
+
+fn encode_run_stats(enc: &mut Enc, s: &RunStats) {
+    enc.u64(s.cycles);
+    enc.f64(s.offered_load);
+    enc.f64(s.injected_rate);
+    enc.f64(s.accepted_rate);
+    enc.bool(s.drained);
+    encode_summary(enc, &s.latency);
+    encode_summary(enc, &s.minimal_latency);
+    encode_summary(enc, &s.non_minimal_latency);
+    encode_summary(enc, &s.hops);
+    encode_histogram(enc, &s.histogram);
+    encode_histogram(enc, &s.minimal_histogram);
+    enc.usize(s.channel_loads.len());
+    for c in &s.channel_loads {
+        encode_channel_load(enc, c);
+    }
+    encode_telemetry(enc, &s.routing);
+    encode_log_histogram(enc, &s.latency_log);
+    encode_scoreboard(enc, &s.scoreboard);
+    match &s.series {
+        None => enc.u64(0),
+        Some(series) => {
+            enc.u64(1);
+            encode_series(enc, series);
+        }
+    }
+    match &s.trace {
+        None => enc.u64(0),
+        Some(trace) => {
+            enc.u64(1);
+            encode_trace(enc, trace);
+        }
+    }
+    match s.completion {
+        None => enc.u64(0),
+        Some(cycle) => {
+            enc.u64(1);
+            enc.u64(cycle);
+        }
+    }
+}
+
+fn decode_run_stats(dec: &mut Dec<'_>) -> Option<RunStats> {
+    let cycles = dec.u64()?;
+    let offered_load = dec.f64()?;
+    let injected_rate = dec.f64()?;
+    let accepted_rate = dec.f64()?;
+    let drained = dec.bool()?;
+    let latency = decode_summary(dec)?;
+    let minimal_latency = decode_summary(dec)?;
+    let non_minimal_latency = decode_summary(dec)?;
+    let hops = decode_summary(dec)?;
+    let histogram = decode_histogram(dec)?;
+    let minimal_histogram = decode_histogram(dec)?;
+    let n = dec.usize()?;
+    let mut channel_loads = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        channel_loads.push(decode_channel_load(dec)?);
+    }
+    let routing = decode_telemetry(dec)?;
+    let latency_log = decode_log_histogram(dec)?;
+    let scoreboard = decode_scoreboard(dec)?;
+    let series = match dec.u64()? {
+        0 => None,
+        1 => Some(decode_series(dec)?),
+        _ => return None,
+    };
+    let trace = match dec.u64()? {
+        0 => None,
+        1 => Some(decode_trace(dec)?),
+        _ => return None,
+    };
+    let completion = match dec.u64()? {
+        0 => None,
+        1 => Some(dec.u64()?),
+        _ => return None,
+    };
+    Some(RunStats {
+        cycles,
+        offered_load,
+        injected_rate,
+        accepted_rate,
+        drained,
+        latency,
+        minimal_latency,
+        non_minimal_latency,
+        hops,
+        histogram,
+        minimal_histogram,
+        channel_loads,
+        routing,
+        latency_log,
+        scoreboard,
+        series,
+        trace,
+        completion,
+    })
+}
+
+fn encode_fault_point(enc: &mut Enc, p: &FaultPoint) {
+    enc.f64(p.fraction);
+    enc.usize(p.failed_links);
+    encode_run_stats(enc, &p.stats);
+}
+
+fn decode_fault_point(dec: &mut Dec<'_>) -> Option<FaultPoint> {
+    Some(FaultPoint {
+        fraction: dec.f64()?,
+        failed_links: dec.usize()?,
+        stats: decode_run_stats(dec)?,
+    })
+}
+
+fn encode_workload_point(enc: &mut Enc, p: &WorkloadPoint) {
+    enc.u64(match p.placement {
+        Placement::GroupDisjoint => 0,
+        Placement::Interfering => 1,
+    });
+    enc.f64(p.background_load);
+    encode_run_stats(enc, &p.stats);
+    enc.usize(p.books.len());
+    for book in &p.books {
+        enc.u64(book.delivered);
+        encode_log_histogram(enc, &book.latency);
+        enc.u64(book.completion);
+    }
+}
+
+fn decode_workload_point(dec: &mut Dec<'_>) -> Option<WorkloadPoint> {
+    let placement = match dec.u64()? {
+        0 => Placement::GroupDisjoint,
+        1 => Placement::Interfering,
+        _ => return None,
+    };
+    let background_load = dec.f64()?;
+    let stats = decode_run_stats(dec)?;
+    let n = dec.usize()?;
+    let mut books = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        books.push(JobBook {
+            delivered: dec.u64()?,
+            latency: decode_log_histogram(dec)?,
+            completion: dec.u64()?,
+        });
+    }
+    Some(WorkloadPoint {
+        placement,
+        background_load,
+        stats,
+        books,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dfly-campaign-unit-{}-{}",
+            std::process::id(),
+            name
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_stats() -> RunStats {
+        let mut histogram = Histogram::new(4, 8);
+        histogram.record(3);
+        histogram.record(100);
+        let mut latency_log = LogHistogram::new();
+        latency_log.record(17);
+        let mut latency = LatencySummary::default();
+        latency.record(17);
+        RunStats {
+            cycles: 1234,
+            offered_load: 0.35,
+            injected_rate: 0.349,
+            accepted_rate: 0.348,
+            drained: true,
+            latency,
+            minimal_latency: latency,
+            non_minimal_latency: LatencySummary::default(),
+            hops: latency,
+            histogram: histogram.clone(),
+            minimal_histogram: histogram,
+            channel_loads: vec![ChannelLoad {
+                router: 3,
+                port: 1,
+                class: ChannelClass::Global,
+                flits: 99,
+                utilization: 0.123456789,
+            }],
+            routing: RouteTelemetry {
+                minimal_takes: 10,
+                non_minimal_takes: 2,
+                ..RouteTelemetry::default()
+            },
+            latency_log,
+            scoreboard: EstimatorScoreboard::default(),
+            series: Some(TimeSeries {
+                every: 64,
+                vcs: 2,
+                ticks: vec![64, 128],
+                channels: vec![ChannelSeries {
+                    router: 1,
+                    port: 2,
+                    class: ChannelClass::Local,
+                    occupancy: vec![0, 3],
+                    vc_occupancy: vec![0, 0, 1, 2],
+                    credits: vec![16, 13],
+                    sent: vec![5, 9],
+                }],
+            }),
+            trace: Some(FlitTrace {
+                rate: 0.25,
+                seed: 7,
+                events: vec![
+                    TraceEvent {
+                        cycle: 5,
+                        packet: 42,
+                        kind: TraceEventKind::Inject {
+                            src: 1,
+                            dest: 2,
+                            minimal: true,
+                            q_chosen: 3,
+                            oracle: 4,
+                        },
+                    },
+                    TraceEvent {
+                        cycle: 6,
+                        packet: 42,
+                        kind: TraceEventKind::Hop {
+                            router: 9,
+                            port: 3,
+                            vc: 1,
+                        },
+                    },
+                    TraceEvent {
+                        cycle: 12,
+                        packet: 42,
+                        kind: TraceEventKind::Eject { latency: 7 },
+                    },
+                ],
+            }),
+            completion: Some(999),
+        }
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn run_stats_round_trip_is_bit_identical() {
+        let stats = sample_stats();
+        let mut enc = Enc::new();
+        encode_run_stats(&mut enc, &stats);
+        let payload = enc.finish();
+        let back = decode_with(&payload, decode_run_stats).expect("round trip");
+        assert_eq!(back, stats);
+        assert_eq!(format!("{back:?}"), format!("{stats:?}"));
+        // A truncated payload must fail to decode, not mis-decode.
+        let cut = &payload[..payload.len() / 2];
+        assert!(decode_with(cut, decode_run_stats).is_none());
+        // Trailing garbage must also fail (exact-consumption rule).
+        let extended = format!("{payload} 7");
+        assert!(decode_with(&extended, decode_run_stats).is_none());
+    }
+
+    #[test]
+    fn store_round_trips_and_recovers_torn_tail() {
+        let dir = temp_dir("torn");
+        let key = CampaignKey::from_canon("unit test canon".to_string());
+        let stats = sample_stats();
+        {
+            let store = CampaignStore::open_with_revision(&dir, "r1").unwrap();
+            assert!(store.is_empty());
+            assert!(store.lookup_run(&key).is_none());
+            store.insert_run(&key, &stats).unwrap();
+            assert_eq!(store.len(), 1);
+            assert_eq!(store.lookup_run(&key).unwrap(), stats);
+            // Idempotent re-insert.
+            store.insert_run(&key, &stats).unwrap();
+            assert_eq!(store.len(), 1);
+        }
+        // Simulate a crash mid-append: torn, newline-less tail bytes.
+        let journal = dir.join(JOURNAL_FILE);
+        let mut f = OpenOptions::new().append(true).open(&journal).unwrap();
+        f.write_all(b"{\"kind\":\"run\",\"key\":\"dead").unwrap();
+        drop(f);
+        let store = CampaignStore::open_with_revision(&dir, "r1").unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.lookup_run(&key).unwrap(), stats);
+        // The torn bytes are gone from disk.
+        let bytes = fs::read(&journal).unwrap();
+        assert_eq!(bytes.last(), Some(&b'\n'));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn forged_hash_collision_misses() {
+        let dir = temp_dir("collision");
+        let store = CampaignStore::open_with_revision(&dir, "r1").unwrap();
+        let key = CampaignKey::from_canon("the real configuration".to_string());
+        store.insert_run(&key, &sample_stats()).unwrap();
+        // Same hash, different canon: must miss, never wrongly hit.
+        let forged = CampaignKey {
+            hash: key.hash,
+            canon: "a different configuration".to_string(),
+        };
+        assert!(store.lookup_run(&forged).is_none());
+        assert!(store.lookup_run(&key).is_some());
+        // Same canon under another kind also misses.
+        assert!(store.lookup_fault(&key).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_files() {
+        let dir = temp_dir("atomic");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.json");
+        atomic_write(&path, b"{\"v\": 1}").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"{\"v\": 1}");
+        atomic_write(&path, b"{\"v\": 2}").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"{\"v\": 2}");
+        // No temp droppings left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_line_parser_round_trips_escapes() {
+        let entry = parse_journal_line(
+            "{\"kind\":\"run\",\"key\":\"00000000deadbeef\",\
+             \"canon\":\"a\\\"b\\\\c\\nd\\u0001\",\"payload\":\"1 2 3\"}",
+        )
+        .expect("line must parse");
+        assert_eq!(entry.kind, "run");
+        assert_eq!(entry.canon, "a\"b\\c\nd\u{1}");
+        assert_eq!(entry.payload, "1 2 3");
+        assert!(parse_journal_line("{\"kind\":\"run\"").is_none());
+        assert!(parse_journal_line("").is_none());
+    }
+}

@@ -301,13 +301,17 @@ impl ClosNetwork {
     /// Load sweep under `routing` and `pattern`: one independent run
     /// per load, fanned out across the worker pool (results in load
     /// order, bit-identical to a serial sweep).
+    ///
+    /// # Errors
+    ///
+    /// The first configuration rejection, if `base` is invalid.
     pub fn sweep(
         &self,
         routing: &ClosRouting,
         pattern: &(dyn dfly_traffic::TrafficPattern + Sync),
         loads: &[f64],
         base: &dfly_netsim::SimConfig,
-    ) -> Vec<crate::LoadPoint> {
+    ) -> Result<Vec<crate::LoadPoint>, dfly_netsim::SimError> {
         crate::parallel::sweep_network(&self.build_spec(), routing, pattern, loads, base)
     }
 }

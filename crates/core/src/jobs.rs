@@ -37,6 +37,28 @@ use rand::rngs::SmallRng;
 
 use crate::DragonflyParams;
 
+/// Why a [`JobMix`] could not be validated or placed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// A job spec's parameters are inconsistent (zero size,
+    /// non-power-of-two recursive doubling, bad client count).
+    InvalidSpec(String),
+    /// The machine cannot hold the mix under the requested
+    /// [`Placement`].
+    Placement(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::InvalidSpec(msg) => write!(f, "invalid job spec: {msg}"),
+            JobError::Placement(msg) => write!(f, "placement failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
 /// The collective a job runs, with its per-kind parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobKind {
@@ -132,20 +154,25 @@ impl JobSpec {
     }
 
     /// Per-kind parameter validation, before placement.
-    fn validate(&self) -> Result<(), String> {
+    fn validate(&self) -> Result<(), JobError> {
         if self.size == 0 {
-            return Err(format!("job '{}' has zero size", self.name));
+            return Err(JobError::InvalidSpec(format!(
+                "job '{}' has zero size",
+                self.name
+            )));
         }
         match self.kind {
-            JobKind::AllReduceRecursiveDoubling if !self.size.is_power_of_two() => Err(format!(
-                "job '{}': recursive doubling needs a power-of-two size, got {}",
-                self.name, self.size
-            )),
+            JobKind::AllReduceRecursiveDoubling if !self.size.is_power_of_two() => {
+                Err(JobError::InvalidSpec(format!(
+                    "job '{}': recursive doubling needs a power-of-two size, got {}",
+                    self.name, self.size
+                )))
+            }
             JobKind::RequestReply { clients, .. } if clients == 0 || clients >= self.size => {
-                Err(format!(
+                Err(JobError::InvalidSpec(format!(
                     "job '{}': need 1..size clients, got {clients} of {}",
                     self.name, self.size
-                ))
+                )))
             }
             _ => Ok(()),
         }
@@ -211,7 +238,7 @@ impl JobMix {
     /// If a job spec is invalid, the machine has too few groups
     /// ([`Placement::GroupDisjoint`]) or too few terminals to hold the
     /// mix.
-    pub fn assign(&self, params: &DragonflyParams) -> Result<JobAssignment, String> {
+    pub fn assign(&self, params: &DragonflyParams) -> Result<JobAssignment, JobError> {
         for job in &self.jobs {
             job.validate()?;
         }
@@ -225,11 +252,11 @@ impl JobMix {
                 for job in &self.jobs {
                     let need = job.size.div_ceil(tpg);
                     if next_group + need > groups {
-                        return Err(format!(
+                        return Err(JobError::Placement(format!(
                             "job '{}' needs {need} more group(s) but only {} of {groups} remain",
                             job.name,
                             groups - next_group
-                        ));
+                        )));
                     }
                     let first = next_group * tpg;
                     members.push((first..first + job.size).collect());
@@ -243,11 +270,11 @@ impl JobMix {
                 let mut k = 0usize;
                 for job in &self.jobs {
                     if k + job.size > total {
-                        return Err(format!(
+                        return Err(JobError::Placement(format!(
                             "job '{}' overflows the machine: {} terminals, {total} available",
                             job.name,
                             k + job.size
-                        ));
+                        )));
                     }
                     members.push(
                         (k..k + job.size)

@@ -25,7 +25,11 @@
 //! * link-failure injection — apply a [`FaultPlan`] with
 //!   [`Dragonfly::with_fault_plan`] / [`DragonflySim::with_faults`] and
 //!   every routing algorithm steers around the dead links; [`FaultSweep`]
-//!   measures throughput degradation over failed-link fractions.
+//!   measures throughput degradation over failed-link fractions;
+//! * [`campaign`] — a content-addressed on-disk result store: sweeps
+//!   executed through [`CampaignStore`] serve previously-completed
+//!   cells bit-identically from a crash-safe journal and simulate only
+//!   what is missing.
 //!
 //! # Quickstart
 //!
@@ -46,6 +50,7 @@
 
 pub mod analysis;
 pub mod butterfly;
+pub mod campaign;
 pub mod clos_sim;
 mod experiment;
 pub mod jobs;
@@ -55,10 +60,11 @@ mod routing;
 mod topology;
 pub mod torus_sim;
 
+pub use campaign::{atomic_write, CampaignError, CampaignKey, CampaignReport, CampaignStore};
 pub use dfly_netsim::{FaultClass, FaultPlan, SimError};
 pub use experiment::{DragonflySim, LoadPoint, RoutingChoice, TrafficChoice};
 pub use jobs::{
-    JobAssignment, JobBook, JobKind, JobLedger, JobMix, JobSpec, MixWorkload, Placement,
+    JobAssignment, JobBook, JobError, JobKind, JobLedger, JobMix, JobSpec, MixWorkload, Placement,
 };
 pub use parallel::{
     FaultPoint, FaultSweep, RunGrid, RunPlan, SlowdownPoint, WorkloadPoint, WorkloadSweep,

@@ -28,8 +28,9 @@ use dfly_netsim::{
 use dfly_traffic::TrafficPattern;
 use rayon::prelude::*;
 
+use crate::campaign::{CampaignError, CampaignReport, CampaignStore};
 use crate::experiment::{DragonflySim, LoadPoint, RoutingChoice, TrafficChoice};
-use crate::jobs::{JobBook, JobMix, JobSpec, Placement};
+use crate::jobs::{JobBook, JobError, JobMix, JobSpec, Placement};
 use crate::DragonflyParams;
 
 /// Thread budget for parallel execution: `DFLY_THREADS` when set to a
@@ -92,25 +93,30 @@ where
 /// Sweeps a generic network over `loads`, one independent run per load,
 /// fanned out across the worker pool. Results come back in load order
 /// and match a serial sweep bit for bit.
+///
+/// # Errors
+///
+/// The first configuration rejection, if `base` (or the spec it runs
+/// against) is invalid at any load.
 pub fn sweep_network(
     spec: &NetworkSpec,
     routing: &(dyn RoutingAlgorithm + Sync),
     pattern: &(dyn TrafficPattern + Sync),
     loads: &[f64],
     base: &SimConfig,
-) -> Vec<LoadPoint> {
+) -> Result<Vec<LoadPoint>, SimError> {
     let stats = parallel_map(loads, |&load| {
         let mut cfg = base.clone();
         cfg.injection = InjectionKind::Bernoulli { rate: load };
-        Simulation::new(spec, routing, pattern, cfg)
-            .expect("sweep configuration must be valid")
-            .finish()
-    });
-    loads
+        Ok(Simulation::new(spec, routing, pattern, cfg)?.finish())
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, SimError>>()?;
+    Ok(loads
         .iter()
         .zip(stats)
         .map(|(&load, stats)| LoadPoint { load, stats })
-        .collect()
+        .collect())
 }
 
 /// One planned simulation run: a routing choice, a traffic pattern and
@@ -255,6 +261,86 @@ impl RunGrid {
     /// Executes every plan on the calling thread, in order.
     pub fn execute_serial(&self, sim: &DragonflySim) -> Vec<RunStats> {
         self.execute_on(sim, 1)
+    }
+
+    /// [`RunGrid::execute`] through a [`CampaignStore`]: plans whose
+    /// key is already stored return the persisted result without
+    /// simulating; misses simulate and stream to the journal the
+    /// moment they complete. Results are in plan order and
+    /// bit-identical to an uncached [`RunGrid::execute`] — on hits
+    /// because the store round trip is exact, on misses trivially.
+    ///
+    /// # Errors
+    ///
+    /// The first journal write failure, if any.
+    pub fn execute_cached(
+        &self,
+        sim: &DragonflySim,
+        store: &CampaignStore,
+    ) -> Result<(Vec<RunStats>, CampaignReport), CampaignError> {
+        self.execute_cached_streaming_on(
+            sim,
+            store,
+            configured_threads_for(self.shard_demand()),
+            &|_, _, _| {},
+        )
+    }
+
+    /// [`RunGrid::execute_cached`] with a streaming callback: every
+    /// completed cell is reported as `(plan index, stats, was_hit)` the
+    /// moment it resolves, in completion (not plan) order. The callback
+    /// runs on worker threads and must be `Sync`.
+    pub fn execute_cached_streaming(
+        &self,
+        sim: &DragonflySim,
+        store: &CampaignStore,
+        on_result: &(dyn Fn(usize, &RunStats, bool) + Sync),
+    ) -> Result<(Vec<RunStats>, CampaignReport), CampaignError> {
+        self.execute_cached_streaming_on(
+            sim,
+            store,
+            configured_threads_for(self.shard_demand()),
+            on_result,
+        )
+    }
+
+    /// [`RunGrid::execute_cached_streaming`] with an explicit thread
+    /// bound (`1` makes the callback order deterministic: plan order).
+    pub fn execute_cached_streaming_on(
+        &self,
+        sim: &DragonflySim,
+        store: &CampaignStore,
+        threads: usize,
+        on_result: &(dyn Fn(usize, &RunStats, bool) + Sync),
+    ) -> Result<(Vec<RunStats>, CampaignReport), CampaignError> {
+        let indexed: Vec<(usize, &RunPlan)> = self.plans.iter().enumerate().collect();
+        let results = parallel_map_on(
+            &indexed,
+            threads,
+            |&(i, plan)| -> Result<(RunStats, bool), CampaignError> {
+                let key = store.run_key(sim, plan);
+                if let Some(stats) = store.lookup_run(&key) {
+                    on_result(i, &stats, true);
+                    return Ok((stats, true));
+                }
+                let stats = sim.run(plan.routing, plan.traffic, plan.cfg.clone());
+                store.insert_run(&key, &stats)?;
+                on_result(i, &stats, false);
+                Ok((stats, false))
+            },
+        );
+        let mut all = Vec::with_capacity(results.len());
+        let mut report = CampaignReport::default();
+        for result in results {
+            let (stats, hit) = result?;
+            if hit {
+                report.hits += 1;
+            } else {
+                report.misses += 1;
+            }
+            all.push(stats);
+        }
+        Ok((all, report))
     }
 
     /// Like [`RunGrid::execute`], but additionally builds a merged
@@ -471,6 +557,44 @@ impl FaultSweep {
     pub fn execute_serial(&self) -> Result<Vec<FaultPoint>, SimError> {
         self.execute_on(1)
     }
+
+    /// [`FaultSweep::execute`] through a [`CampaignStore`]: fractions
+    /// already stored are answered from the journal, misses simulate
+    /// and stream to it. Bit-identical to the uncached execute.
+    ///
+    /// # Errors
+    ///
+    /// The first fault-plan rejection or journal write failure.
+    pub fn execute_cached(
+        &self,
+        store: &CampaignStore,
+    ) -> Result<(Vec<FaultPoint>, CampaignReport), CampaignError> {
+        let results = parallel_map_on(
+            &self.fractions,
+            configured_threads(),
+            |&fraction| -> Result<(FaultPoint, bool), CampaignError> {
+                let key = store.fault_key(self, fraction);
+                if let Some(point) = store.lookup_fault(&key) {
+                    return Ok((point, true));
+                }
+                let point = self.run_point(fraction)?;
+                store.insert_fault(&key, &point)?;
+                Ok((point, false))
+            },
+        );
+        let mut all = Vec::with_capacity(results.len());
+        let mut report = CampaignReport::default();
+        for result in results {
+            let (point, hit) = result?;
+            if hit {
+                report.hits += 1;
+            } else {
+                report.misses += 1;
+            }
+            all.push(point);
+        }
+        Ok((all, report))
+    }
 }
 
 /// One point of a [`WorkloadSweep`]: a job mix run to completion under
@@ -590,7 +714,7 @@ impl WorkloadSweep {
         }
     }
 
-    fn run_point(&self, placement: Placement, load: f64) -> Result<WorkloadPoint, String> {
+    fn run_point(&self, placement: Placement, load: f64) -> Result<WorkloadPoint, JobError> {
         let sim = DragonflySim::new(self.params);
         let mix = JobMix::new(self.jobs.clone(), placement).with_background(load);
         let assignment = mix.assign(&self.params)?;
@@ -628,12 +752,12 @@ impl WorkloadSweep {
     /// # Errors
     ///
     /// The first invalid job spec or failed placement, if any.
-    pub fn execute(&self) -> Result<Vec<WorkloadPoint>, String> {
+    pub fn execute(&self) -> Result<Vec<WorkloadPoint>, JobError> {
         self.execute_on(configured_threads_for(self.cfg.shards))
     }
 
     /// [`WorkloadSweep::execute`] with an explicit thread bound.
-    pub fn execute_on(&self, threads: usize) -> Result<Vec<WorkloadPoint>, String> {
+    pub fn execute_on(&self, threads: usize) -> Result<Vec<WorkloadPoint>, JobError> {
         parallel_map_on(&self.points(), threads, |&(placement, load)| {
             self.run_point(placement, load)
         })
@@ -642,8 +766,49 @@ impl WorkloadSweep {
     }
 
     /// Runs every point on the calling thread, in order.
-    pub fn execute_serial(&self) -> Result<Vec<WorkloadPoint>, String> {
+    pub fn execute_serial(&self) -> Result<Vec<WorkloadPoint>, JobError> {
         self.execute_on(1)
+    }
+
+    /// [`WorkloadSweep::execute`] through a [`CampaignStore`]: points
+    /// already stored are answered from the journal, misses run to
+    /// completion and stream to it. Bit-identical to the uncached
+    /// execute, per-job books included.
+    ///
+    /// # Errors
+    ///
+    /// The first invalid job spec, failed placement, or journal write
+    /// failure.
+    pub fn execute_cached(
+        &self,
+        store: &CampaignStore,
+    ) -> Result<(Vec<WorkloadPoint>, CampaignReport), CampaignError> {
+        let threads = configured_threads_for(self.cfg.shards);
+        let results = parallel_map_on(
+            &self.points(),
+            threads,
+            |&(placement, load)| -> Result<(WorkloadPoint, bool), CampaignError> {
+                let key = store.workload_key(self, placement, load);
+                if let Some(point) = store.lookup_workload(&key) {
+                    return Ok((point, true));
+                }
+                let point = self.run_point(placement, load)?;
+                store.insert_workload(&key, &point)?;
+                Ok((point, false))
+            },
+        );
+        let mut all = Vec::with_capacity(results.len());
+        let mut report = CampaignReport::default();
+        for result in results {
+            let (point, hit) = result?;
+            if hit {
+                report.hits += 1;
+            } else {
+                report.misses += 1;
+            }
+            all.push(point);
+        }
+        Ok((all, report))
     }
 
     /// Like [`WorkloadSweep::execute`], but also folds every point into
@@ -654,7 +819,7 @@ impl WorkloadSweep {
     /// `workload_runs` / `workload_completed_runs` counters. Absorption
     /// happens in point order, so the registry (and its JSON) is
     /// bit-identical across thread counts.
-    pub fn execute_with_metrics(&self) -> Result<(Vec<WorkloadPoint>, MetricsRegistry), String> {
+    pub fn execute_with_metrics(&self) -> Result<(Vec<WorkloadPoint>, MetricsRegistry), JobError> {
         let points = self.execute()?;
         let mut registry = MetricsRegistry::new();
         for point in &points {
@@ -845,12 +1010,27 @@ mod tests {
         ));
         let routing = crate::routing::MinimalRouting::new(algo_df);
         let pattern = dfly_traffic::UniformRandom::new(sim.spec().num_terminals());
-        let generic = sweep_network(sim.spec(), &routing, &pattern, &loads, &base);
+        let generic = sweep_network(sim.spec(), &routing, &pattern, &loads, &base)
+            .expect("valid sweep configuration");
         assert_eq!(by_grid.len(), generic.len());
         for (a, b) in by_grid.iter().zip(&generic) {
             assert_eq!(a.load, b.load);
             assert_eq!(a.stats, b.stats);
         }
+    }
+
+    #[test]
+    fn sweep_network_surfaces_invalid_configs() {
+        let sim = tiny();
+        let mut base = fast_cfg(&sim, 0.0);
+        base.measure = 0; // rejected by SimConfig::validate
+        let algo_df = std::sync::Arc::new(crate::topology::Dragonfly::new(
+            DragonflyParams::new(2, 4, 2).unwrap(),
+        ));
+        let routing = crate::routing::MinimalRouting::new(algo_df);
+        let pattern = dfly_traffic::UniformRandom::new(sim.spec().num_terminals());
+        let result = sweep_network(sim.spec(), &routing, &pattern, &[0.1], &base);
+        assert!(matches!(result, Err(SimError::InvalidConfig(_))));
     }
 
     #[test]

@@ -88,6 +88,24 @@ impl Histogram {
         }
     }
 
+    /// Reassembles a histogram from previously exported parts (see
+    /// [`Histogram::buckets`], [`Histogram::bucket_width`] and
+    /// [`Histogram::overflow`]) — the decode half of a persisted run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `buckets` is empty, like
+    /// [`Histogram::new`].
+    pub fn from_parts(buckets: Vec<u64>, width: u64, overflow: u64) -> Self {
+        assert!(width > 0, "bucket width must be >= 1");
+        assert!(!buckets.is_empty(), "bucket count must be >= 1");
+        Histogram {
+            buckets,
+            width,
+            overflow,
+        }
+    }
+
     /// Records a sample.
     pub fn record(&mut self, sample: u64) {
         let idx = (sample / self.width) as usize;

@@ -200,7 +200,8 @@ fn check_sweep_matches_serial(
     loads: &[f64],
     base: &SimConfig,
 ) {
-    let parallel = dragonfly::parallel::sweep_network(spec, routing, pattern, loads, base);
+    let parallel = dragonfly::parallel::sweep_network(spec, routing, pattern, loads, base)
+        .expect("sweep configuration must be valid");
     assert_eq!(parallel.len(), loads.len());
     for point in &parallel {
         let mut cfg = base.clone();
