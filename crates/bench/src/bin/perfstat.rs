@@ -5,9 +5,14 @@
 //! histograms, channel time series, flit tracing, estimator-accuracy
 //! scoreboard) and its overhead, measures the million-terminal scale
 //! mode (build time, peak RSS and cycle rate at ~262K and ~1.1M
-//! terminals), and writes everything to `BENCH_parallel_sweep.json`
-//! plus a full telemetry artifact `BENCH_telemetry.json` (run from
-//! the repository root).
+//! terminals), measures the stall watchdog (armed every 512 cycles it
+//! must neither trip nor perturb a healthy run), and writes everything
+//! to `BENCH_parallel_sweep.json` — including a `health` section with
+//! the watchdog verdicts, warmup-convergence diagnostics and the
+//! canonical wall-clock field list — plus a full telemetry artifact
+//! `BENCH_telemetry.json` and a chrome://tracing span tree
+//! `BENCH_span_trace.json` of the 4-shard run (run from the
+//! repository root).
 //!
 //! Every sweep also runs a second leg through the on-disk campaign
 //! store (`DFLY_CAMPAIGN_DIR`, default `target/campaign`): the first
@@ -23,8 +28,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dfly_bench::heatmap::Heatmap;
-use dfly_bench::{TopoCurve, Windows};
-use dfly_netsim::{CreditMode, InjectionKind, SimConfig, Simulation, TelemetryConfig};
+use dfly_bench::{TopoCurve, Windows, WALLCLOCK_EXACT_KEYS, WALLCLOCK_FIELDS};
+use dfly_netsim::{CreditMode, InjectionKind, SimConfig, Simulation, SpanTree, TelemetryConfig};
 use dfly_topo::FlattenedButterfly;
 use dfly_traffic::UniformRandom;
 use dragonfly::butterfly::{ButterflyNetwork, ButterflyRouting};
@@ -342,15 +347,20 @@ fn main() {
     // Single-run hot-path counters at a representative operating
     // point, interleaved with the telemetry overhead measurement: each
     // round runs the instrumented engine (the reference), the plain
-    // engine with telemetry left disabled (the default), and the plain
-    // engine with sampling + tracing switched on. Interleaving keeps
-    // the three medians comparable under machine noise; excess of the
-    // disabled median over the reference means telemetry work leaking
-    // into the disabled hot path.
+    // engine with telemetry left disabled (the default), the plain
+    // engine with sampling + tracing switched on, and the plain engine
+    // with the stall watchdog armed. Interleaving keeps the medians
+    // comparable under machine noise; excess of the disabled median
+    // over the reference means telemetry work leaking into the
+    // disabled hot path.
     let mut single = None;
+    let mut disabled_stats = None;
+    let mut watchdog_stats = None;
+    let mut stalls = 0usize;
     let mut reference_wall = [0.0; 3];
     let mut disabled_wall = [0.0; 3];
     let mut enabled_wall = [0.0; 3];
+    let mut watchdog_wall = [0.0; 3];
     for round in 0..3 {
         let mut cfg = win.config(0.3);
         cfg.seed = 1;
@@ -363,8 +373,11 @@ fn main() {
         let mut cfg = win.config(0.3);
         cfg.seed = 1;
         let t0 = Instant::now();
-        let _ = sim.run(RoutingChoice::UgalL, TrafficChoice::Uniform, cfg);
+        let dstats = sim.run(RoutingChoice::UgalL, TrafficChoice::Uniform, cfg);
         disabled_wall[round] = t0.elapsed().as_secs_f64();
+        if disabled_stats.is_none() {
+            disabled_stats = Some(dstats);
+        }
 
         let mut cfg = win.config(0.3);
         cfg.seed = 1;
@@ -376,8 +389,41 @@ fn main() {
         let t0 = Instant::now();
         let _ = sim.run(RoutingChoice::UgalL, TrafficChoice::Uniform, cfg);
         enabled_wall[round] = t0.elapsed().as_secs_f64();
+
+        // Watchdog leg: the same healthy run with in-band stall checks
+        // every 512 cycles. It must neither trip nor perturb the stats.
+        let mut cfg = win.config(0.3);
+        cfg.seed = 1;
+        cfg.watchdog_every = 512;
+        let t0 = Instant::now();
+        match sim.try_run(RoutingChoice::UgalL, TrafficChoice::Uniform, cfg) {
+            Ok(wstats) => {
+                if watchdog_stats.is_none() {
+                    watchdog_stats = Some(wstats);
+                }
+            }
+            Err(e) => {
+                stalls += 1;
+                eprintln!("perfstat: watchdog leg failed: {e}");
+            }
+        }
+        watchdog_wall[round] = t0.elapsed().as_secs_f64();
     }
     let (stats, perf) = single.expect("three rounds ran");
+    assert_eq!(
+        stalls, 0,
+        "healthy perfstat runs tripped the stall watchdog"
+    );
+    let watchdog_transparent = watchdog_stats.as_ref() == disabled_stats.as_ref();
+    assert!(
+        watchdog_transparent,
+        "the armed watchdog perturbed the run statistics"
+    );
+    assert!(
+        stats.converged,
+        "reference run warmup did not converge: throughput drift {:?}, latency drift {:?}",
+        stats.warmup_throughput_drift, stats.warmup_latency_drift
+    );
 
     // Sharded single-run scaling: the same operating point on 1, 2 and
     // 4 router shards. The stats must be bit identical across shard
@@ -387,6 +433,7 @@ fn main() {
     let shard_counts = [1usize, 2, 4];
     let mut shard_walls = vec![Vec::with_capacity(3); shard_counts.len()];
     let mut shard_stats = Vec::new();
+    let mut span_perf = None;
     for round in 0..3 {
         for (i, &sc) in shard_counts.iter().enumerate() {
             let mut cfg = win.config(0.3);
@@ -400,6 +447,9 @@ fn main() {
             );
             shard_walls[i].push(sperf.wall.as_secs_f64());
             if round == 0 {
+                if sc == 4 {
+                    span_perf = Some(sperf.clone());
+                }
                 shard_stats.push((sstats, sperf.cycles));
             }
         }
@@ -420,6 +470,22 @@ fn main() {
             shard_cycles as f64 / secs.max(1e-12)
         );
     }
+
+    // Engine -> phase -> shard span tree of the 4-shard run, exported
+    // as a chrome://tracing artifact (load it via about:tracing or
+    // ui.perfetto.dev).
+    let span_perf = span_perf.expect("4-shard run recorded its counters");
+    let span_tree = SpanTree::from_perf(&span_perf);
+    atomic_write(
+        "BENCH_span_trace.json",
+        span_tree.to_chrome_json().as_bytes(),
+    )
+    .expect("write span trace JSON");
+    eprintln!(
+        "perfstat: wrote BENCH_span_trace.json ({} spans over {} shards)",
+        span_tree.len(),
+        span_perf.shards
+    );
 
     // Million-terminal scale mode (the paper's Figure 4 regime):
     // arithmetic routing plus the flit arena keep router memory
@@ -494,6 +560,13 @@ fn main() {
     eprintln!(
         "perfstat: telemetry off {disabled_secs:.3}s ({disabled_over_reference:.3}x reference \
          {reference_secs:.3}s), on {enabled_secs:.3}s ({enabled_over_disabled:.3}x off)"
+    );
+    let watchdog_secs = median3(watchdog_wall);
+    let watchdog_over_disabled = watchdog_secs / disabled_secs.max(1e-12);
+    eprintln!(
+        "perfstat: watchdog armed {watchdog_secs:.3}s ({watchdog_over_disabled:.3}x off, \
+         transparent: {watchdog_transparent}, converged: {})",
+        stats.converged
     );
 
     // A fully instrumented small run: channel time series sampled every
@@ -860,6 +933,53 @@ fn main() {
         json,
         "    \"enabled_over_disabled\": {enabled_over_disabled:.4}"
     );
+    json.push_str("  },\n");
+
+    json.push_str("  \"health\": {\n");
+    let _ = writeln!(json, "    \"watchdog_every\": 512,");
+    let _ = writeln!(json, "    \"stalls\": {stalls},");
+    let _ = writeln!(
+        json,
+        "    \"watchdog_transparent\": {watchdog_transparent},"
+    );
+    let _ = writeln!(json, "    \"converged\": {},", stats.converged);
+    let _ = writeln!(
+        json,
+        "    \"warmup_throughput_drift\": {},",
+        fmt_opt(stats.warmup_throughput_drift)
+    );
+    let _ = writeln!(
+        json,
+        "    \"warmup_latency_drift\": {},",
+        fmt_opt(stats.warmup_latency_drift)
+    );
+    let _ = writeln!(json, "    \"watchdog_secs\": {watchdog_secs:.6},");
+    let _ = writeln!(
+        json,
+        "    \"watchdog_over_disabled\": {watchdog_over_disabled:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"span_trace\": {{\"file\": \"BENCH_span_trace.json\", \"spans\": {}, \"shards\": {}}},",
+        span_tree.len(),
+        span_perf.shards
+    );
+    json.push_str("    \"wallclock_fields\": [");
+    for (i, f) in WALLCLOCK_FIELDS.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        let _ = write!(json, "\"{}\"", json_escape(f));
+    }
+    json.push_str("],\n");
+    json.push_str("    \"wallclock_exact\": [");
+    for (i, f) in WALLCLOCK_EXACT_KEYS.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        let _ = write!(json, "\"{}\"", json_escape(f));
+    }
+    json.push_str("]\n");
     json.push_str("  },\n");
 
     json.push_str("  \"fault_sweep\": {\n");

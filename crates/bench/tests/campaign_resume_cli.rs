@@ -1,0 +1,70 @@
+//! End-to-end exercises of the `campaign_resume` binary's recovery
+//! branches that the CI crash/resume job does not reach: a campaign
+//! directory with no journal at all, and a store whose advisory
+//! `index.json` sidecar has been corrupted. Both must complete with
+//! exit code 0 — the journal is the only authority, the index is
+//! rebuilt on every open and never read back.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dfly-resume-cli-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs the binary against `dir` and returns (exit code, stdout).
+fn run_resume(dir: &Path) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_campaign_resume"))
+        .env("DFLY_CAMPAIGN_DIR", dir)
+        .env_remove("DFLY_CAMPAIGN_KILL")
+        .output()
+        .expect("campaign_resume must spawn");
+    (
+        out.status.code().expect("campaign_resume must exit"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn missing_journal_runs_the_whole_grid_fresh() {
+    let dir = temp_dir("missing-journal");
+    // The directory exists but holds no journal: the store must start
+    // empty and simulate every cell, not fail the open.
+    std::fs::create_dir_all(&dir).unwrap();
+    let (code, stdout) = run_resume(&dir);
+    assert_eq!(code, 0, "fresh store must succeed: {stdout}");
+    assert_eq!(
+        stdout.trim(),
+        "{\"total\":8,\"hits\":0,\"misses\":8,\"identical\":true,\"entries\":8}"
+    );
+    assert!(dir.join("journal.jsonl").is_file());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_index_sidecar_is_rebuilt_not_fatal() {
+    let dir = temp_dir("corrupt-index");
+    let (code, stdout) = run_resume(&dir);
+    assert_eq!(code, 0, "populating run must succeed: {stdout}");
+
+    // The index is advisory: garbage there must not fail the rerun or
+    // shadow the journal's contents.
+    let index = dir.join("index.json");
+    assert!(index.is_file(), "open must have written the index sidecar");
+    std::fs::write(&index, b"{not json at all").unwrap();
+
+    let (code, stdout) = run_resume(&dir);
+    assert_eq!(code, 0, "corrupt index must be advisory: {stdout}");
+    assert_eq!(
+        stdout.trim(),
+        "{\"total\":8,\"hits\":8,\"misses\":0,\"identical\":true,\"entries\":8}"
+    );
+    let rebuilt = std::fs::read_to_string(&index).unwrap();
+    assert!(
+        rebuilt.starts_with("{\"format\": "),
+        "index must be rebuilt from the journal: {rebuilt}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -57,13 +57,18 @@ use crate::parallel::{FaultPoint, FaultSweep, RunPlan, WorkloadPoint, WorkloadSw
 /// Version tag prefixed to every canonical key string and recorded in
 /// the index. Bump it whenever the canonical encoding or the result
 /// codec changes shape: old journal entries then simply never match.
-const FORMAT_VERSION: &str = "dfly-campaign-v1";
+const FORMAT_VERSION: &str = "dfly-campaign-v2";
 
 /// Journal file name inside the store directory.
 const JOURNAL_FILE: &str = "journal.jsonl";
 
 /// Advisory index file name inside the store directory.
 const INDEX_FILE: &str = "index.json";
+
+/// Advisory per-cell timing sidecar inside the store directory. Wall
+/// clock is non-deterministic, so timings never enter the journal:
+/// they only seed progress ETAs and the doctor's overhead view.
+const TIMINGS_FILE: &str = "timings.jsonl";
 
 /// 64-bit FNV-1a over `bytes` — small, dependency-free, and stable
 /// across platforms and releases.
@@ -427,6 +432,55 @@ impl CampaignStore {
         self.insert_payload("workload", key, enc.finish())
     }
 
+    /// Appends one cell's wall time to the advisory timing sidecar
+    /// (`timings.jsonl`). Best-effort: timing loss never fails a sweep,
+    /// so write errors are swallowed.
+    pub fn record_timing(&self, kind: &str, secs: f64) {
+        let line = format!(
+            "{{\"kind\":\"{}\",\"secs\":{:.6}}}\n",
+            dfly_netsim::telemetry::json_escape(kind),
+            secs
+        );
+        if let Ok(mut f) = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.dir.join(TIMINGS_FILE))
+        {
+            let _ = f.write_all(line.as_bytes());
+        }
+    }
+
+    /// All journaled cell timings for `kind`, in append order. Missing
+    /// or unparsable sidecar lines simply contribute nothing.
+    pub fn timings(&self, kind: &str) -> Vec<f64> {
+        let Ok(text) = fs::read_to_string(self.dir.join(TIMINGS_FILE)) else {
+            return Vec::new();
+        };
+        let prefix = format!(
+            "{{\"kind\":\"{}\",\"secs\":",
+            dfly_netsim::telemetry::json_escape(kind)
+        );
+        text.lines()
+            .filter_map(|line| {
+                line.strip_prefix(prefix.as_str())?
+                    .strip_suffix('}')?
+                    .parse::<f64>()
+                    .ok()
+            })
+            .collect()
+    }
+
+    /// Median journaled cell time for `kind`, if any — the prior that
+    /// seeds a resumed sweep's ETA.
+    pub fn median_timing(&self, kind: &str) -> Option<f64> {
+        let mut secs = self.timings(kind);
+        if secs.is_empty() {
+            return None;
+        }
+        secs.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        Some(secs[secs.len() / 2])
+    }
+
     /// The key of one [`RunPlan`] against `sim`'s exact network —
     /// topology parameters, channel latencies and failed links included,
     /// so a faulted network never shares keys with a healthy one.
@@ -480,6 +534,72 @@ impl CampaignStore {
              cfg={:?} placement={:?} background={:?}",
             self.revision, sweep.params, sweep.routing, sweep.jobs, cfg, placement, load
         ))
+    }
+
+    /// Journal entries written by a superseded codec generation: their
+    /// canon embeds the format version that produced them, so they can
+    /// never match a current-format key and are permanent cache misses.
+    /// The doctor subtracts them before judging decode coverage — an
+    /// upgraded journal is healthy, a torn current-format payload is
+    /// not.
+    pub fn stale_len(&self) -> usize {
+        let inner = self.inner.lock().expect("campaign store poisoned");
+        inner
+            .map
+            .values()
+            .flatten()
+            .filter(|e| !e.canon.starts_with(FORMAT_VERSION))
+            .count()
+    }
+
+    /// Decodes every journaled result for health inspection (see the
+    /// `doctor` binary in the bench crate), in no particular order.
+    /// Undecodable payloads are skipped, exactly as the lookup path
+    /// treats them; entries from superseded codec generations (see
+    /// [`CampaignStore::stale_len`]) are among the skipped.
+    pub fn records(&self) -> Vec<JournalRecord> {
+        let inner = self.inner.lock().expect("campaign store poisoned");
+        let mut out = Vec::with_capacity(inner.entries);
+        for entries in inner.map.values() {
+            for e in entries {
+                let stats = match e.kind.as_str() {
+                    "run" => decode_with(&e.payload, decode_run_stats),
+                    "fault" => decode_with(&e.payload, decode_fault_point).map(|p| p.stats),
+                    "workload" => decode_with(&e.payload, decode_workload_point).map(|p| p.stats),
+                    _ => None,
+                };
+                if let Some(stats) = stats {
+                    out.push(JournalRecord {
+                        kind: e.kind.clone(),
+                        canon: e.canon.clone(),
+                        stats,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One journaled result decoded for health inspection: the entry kind,
+/// the canonical key it is stored under (which embeds the full
+/// `SimConfig` debug form), and the embedded run statistics.
+#[derive(Debug, Clone)]
+pub struct JournalRecord {
+    /// Entry kind: `"run"`, `"fault"` or `"workload"`.
+    pub kind: String,
+    /// Canonical key string the result is stored under.
+    pub canon: String,
+    /// The run statistics inside the entry.
+    pub stats: RunStats,
+}
+
+impl JournalRecord {
+    /// Whether the cell was configured to drain at all: saturation
+    /// probes run with `drain_cap: 0` and are exempt from drain
+    /// verdicts.
+    pub fn drain_expected(&self) -> bool {
+        !self.canon.contains("drain_cap: 0")
     }
 }
 
@@ -968,6 +1088,24 @@ fn encode_run_stats(enc: &mut Enc, s: &RunStats) {
             enc.u64(cycle);
         }
     }
+    enc.bool(s.converged);
+    for drift in [s.warmup_throughput_drift, s.warmup_latency_drift] {
+        match drift {
+            None => enc.u64(0),
+            Some(v) => {
+                enc.u64(1);
+                enc.f64(v);
+            }
+        }
+    }
+}
+
+fn decode_opt_f64(dec: &mut Dec<'_>) -> Option<Option<f64>> {
+    match dec.u64()? {
+        0 => Some(None),
+        1 => Some(Some(dec.f64()?)),
+        _ => None,
+    }
 }
 
 fn decode_run_stats(dec: &mut Dec<'_>) -> Option<RunStats> {
@@ -1005,6 +1143,9 @@ fn decode_run_stats(dec: &mut Dec<'_>) -> Option<RunStats> {
         1 => Some(dec.u64()?),
         _ => return None,
     };
+    let converged = dec.bool()?;
+    let warmup_throughput_drift = decode_opt_f64(dec)?;
+    let warmup_latency_drift = decode_opt_f64(dec)?;
     Some(RunStats {
         cycles,
         offered_load,
@@ -1024,6 +1165,9 @@ fn decode_run_stats(dec: &mut Dec<'_>) -> Option<RunStats> {
         series,
         trace,
         completion,
+        converged,
+        warmup_throughput_drift,
+        warmup_latency_drift,
     })
 }
 
@@ -1175,6 +1319,9 @@ mod tests {
                 ],
             }),
             completion: Some(999),
+            converged: true,
+            warmup_throughput_drift: Some(0.01),
+            warmup_latency_drift: None,
         }
     }
 
@@ -1248,6 +1395,111 @@ mod tests {
         assert!(store.lookup_run(&key).is_some());
         // Same canon under another kind also misses.
         assert!(store.lookup_fault(&key).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn records_expose_every_kind_for_the_doctor() {
+        let dir = temp_dir("records");
+        let store = CampaignStore::open_with_revision(&dir, "r1").unwrap();
+        let mut stats = sample_stats();
+        store
+            .insert_run(
+                &CampaignKey::from_canon("kind=run cfg={drain_cap: 15000}".into()),
+                &stats,
+            )
+            .unwrap();
+        stats.drained = false;
+        store
+            .insert_fault(
+                &CampaignKey::from_canon("kind=fault cfg={drain_cap: 0, shards: 1}".into()),
+                &FaultPoint {
+                    fraction: 0.125,
+                    failed_links: 4,
+                    stats: stats.clone(),
+                },
+            )
+            .unwrap();
+        store
+            .insert_workload(
+                &CampaignKey::from_canon("kind=workload cfg={drain_cap: 30000}".into()),
+                &WorkloadPoint {
+                    placement: Placement::GroupDisjoint,
+                    background_load: 0.3,
+                    stats,
+                    books: Vec::new(),
+                },
+            )
+            .unwrap();
+        let mut records = store.records();
+        records.sort_by(|a, b| a.kind.cmp(&b.kind));
+        assert_eq!(
+            records.iter().map(|r| r.kind.as_str()).collect::<Vec<_>>(),
+            ["fault", "run", "workload"]
+        );
+        // The saturation probe (drain_cap: 0) is exempt from drain
+        // verdicts; the others are not.
+        assert!(!records[0].drain_expected());
+        assert!(!records[0].stats.drained);
+        assert!(records[1].drain_expected());
+        assert!(records[2].drain_expected());
+        assert_eq!(records[1].stats, sample_stats());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn superseded_format_entries_are_stale_not_corrupt() {
+        let dir = temp_dir("stale-format");
+        fs::create_dir_all(&dir).unwrap();
+        // A well-formed journal line from an earlier codec generation:
+        // the envelope parses, but the canon pins the old format so the
+        // payload is never decoded and the entry can never hit.
+        fs::write(
+            dir.join(JOURNAL_FILE),
+            b"{\"kind\":\"run\",\"key\":\"00000000deadbeef\",\
+              \"canon\":\"dfly-campaign-v1 kind=run rev=r1 cfg=old\",\
+              \"payload\":\"\"}\n",
+        )
+        .unwrap();
+        let store = CampaignStore::open_with_revision(&dir, "r1").unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.stale_len(), 1);
+        assert!(store.records().is_empty());
+        // Fresh current-format inserts coexist with the relic.
+        store
+            .insert_run(
+                &CampaignKey::from_canon(format!("{FORMAT_VERSION} kind=run cfg=new")),
+                &sample_stats(),
+            )
+            .unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stale_len(), 1);
+        assert_eq!(store.records().len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn timing_sidecar_is_advisory_and_keyed_by_kind() {
+        let dir = temp_dir("timings");
+        let store = CampaignStore::open_with_revision(&dir, "r1").unwrap();
+        assert_eq!(store.median_timing("run"), None);
+        store.record_timing("run", 2.0);
+        store.record_timing("run", 0.5);
+        store.record_timing("run", 1.0);
+        store.record_timing("fault", 9.0);
+        assert_eq!(store.timings("run"), vec![2.0, 0.5, 1.0]);
+        assert_eq!(store.median_timing("run"), Some(1.0));
+        assert_eq!(store.median_timing("fault"), Some(9.0));
+        assert_eq!(store.median_timing("workload"), None);
+        // The sidecar never contaminates the journal.
+        assert!(store.is_empty());
+        // Corrupt sidecar lines contribute nothing and never fail.
+        fs::write(
+            dir.join(TIMINGS_FILE),
+            b"not json\n{\"kind\":\"run\",\"secs\":oops}\n",
+        )
+        .unwrap();
+        assert_eq!(store.median_timing("run"), None);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -246,6 +246,26 @@ impl DragonflySim {
             .finish()
     }
 
+    /// Like [`DragonflySim::run`], but surfaces a stall watchdog trip
+    /// (see [`SimConfig::watchdog_every`](dfly_netsim::SimConfig)) as
+    /// [`SimError::Stalled`] instead of silently returning the stats of
+    /// a wedged run.
+    pub fn try_run(
+        &self,
+        choice: RoutingChoice,
+        traffic: TrafficChoice,
+        mut cfg: SimConfig,
+    ) -> Result<RunStats, SimError> {
+        if choice.needs_round_trip_credits() && cfg.credit_mode == CreditMode::Conventional {
+            cfg.credit_mode = CreditMode::round_trip();
+        }
+        let algo = choice.build(self.df.clone());
+        let pattern = traffic.build(self.df.params());
+        Simulation::new(&self.spec, algo.as_ref(), pattern.as_ref(), cfg)
+            .expect("harness-built simulation must be valid")
+            .try_finish()
+    }
+
     /// Runs one simulation driven by a closed-loop workload instead of
     /// an open-loop traffic pattern (see `dfly_traffic::Workload`).
     ///

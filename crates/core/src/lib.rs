@@ -56,11 +56,14 @@ mod experiment;
 pub mod jobs;
 pub mod parallel;
 mod params;
+pub mod progress;
 mod routing;
 mod topology;
 pub mod torus_sim;
 
-pub use campaign::{atomic_write, CampaignError, CampaignKey, CampaignReport, CampaignStore};
+pub use campaign::{
+    atomic_write, CampaignError, CampaignKey, CampaignReport, CampaignStore, JournalRecord,
+};
 pub use dfly_netsim::{FaultClass, FaultPlan, SimError};
 pub use experiment::{DragonflySim, LoadPoint, RoutingChoice, TrafficChoice};
 pub use jobs::{
@@ -70,6 +73,7 @@ pub use parallel::{
     FaultPoint, FaultSweep, RunGrid, RunPlan, SlowdownPoint, WorkloadPoint, WorkloadSweep,
 };
 pub use params::DragonflyParams;
+pub use progress::{ProgressSink, SweepProgress};
 pub use routing::{
     trace_route, MinimalRouting, TraceHop, UgalRouting, UgalVariant, ValiantRouting,
 };

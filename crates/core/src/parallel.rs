@@ -31,6 +31,7 @@ use rayon::prelude::*;
 use crate::campaign::{CampaignError, CampaignReport, CampaignStore};
 use crate::experiment::{DragonflySim, LoadPoint, RoutingChoice, TrafficChoice};
 use crate::jobs::{JobBook, JobError, JobMix, JobSpec, Placement};
+use crate::progress::{ProgressSink, SweepProgress};
 use crate::DragonflyParams;
 
 /// Thread budget for parallel execution: `DFLY_THREADS` when set to a
@@ -314,6 +315,9 @@ impl RunGrid {
         on_result: &(dyn Fn(usize, &RunStats, bool) + Sync),
     ) -> Result<(Vec<RunStats>, CampaignReport), CampaignError> {
         let indexed: Vec<(usize, &RunPlan)> = self.plans.iter().enumerate().collect();
+        let sink = ProgressSink::from_env();
+        let progress =
+            SweepProgress::begin(&sink, "grid", self.plans.len(), store.median_timing("run"));
         let results = parallel_map_on(
             &indexed,
             threads,
@@ -321,11 +325,16 @@ impl RunGrid {
                 let key = store.run_key(sim, plan);
                 if let Some(stats) = store.lookup_run(&key) {
                     on_result(i, &stats, true);
+                    progress.cell(i, true, 0.0);
                     return Ok((stats, true));
                 }
+                let clock = std::time::Instant::now();
                 let stats = sim.run(plan.routing, plan.traffic, plan.cfg.clone());
+                let secs = clock.elapsed().as_secs_f64();
                 store.insert_run(&key, &stats)?;
+                store.record_timing("run", secs);
                 on_result(i, &stats, false);
+                progress.cell(i, false, secs);
                 Ok((stats, false))
             },
         );
@@ -340,6 +349,7 @@ impl RunGrid {
             }
             all.push(stats);
         }
+        progress.finish();
         Ok((all, report))
     }
 
@@ -569,16 +579,29 @@ impl FaultSweep {
         &self,
         store: &CampaignStore,
     ) -> Result<(Vec<FaultPoint>, CampaignReport), CampaignError> {
+        let indexed: Vec<(usize, f64)> = self.fractions.iter().copied().enumerate().collect();
+        let sink = ProgressSink::from_env();
+        let progress = SweepProgress::begin(
+            &sink,
+            "fault",
+            self.fractions.len(),
+            store.median_timing("fault"),
+        );
         let results = parallel_map_on(
-            &self.fractions,
+            &indexed,
             configured_threads(),
-            |&fraction| -> Result<(FaultPoint, bool), CampaignError> {
+            |&(i, fraction)| -> Result<(FaultPoint, bool), CampaignError> {
                 let key = store.fault_key(self, fraction);
                 if let Some(point) = store.lookup_fault(&key) {
+                    progress.cell(i, true, 0.0);
                     return Ok((point, true));
                 }
+                let clock = std::time::Instant::now();
                 let point = self.run_point(fraction)?;
+                let secs = clock.elapsed().as_secs_f64();
                 store.insert_fault(&key, &point)?;
+                store.record_timing("fault", secs);
+                progress.cell(i, false, secs);
                 Ok((point, false))
             },
         );
@@ -593,6 +616,7 @@ impl FaultSweep {
             }
             all.push(point);
         }
+        progress.finish();
         Ok((all, report))
     }
 }
@@ -784,16 +808,30 @@ impl WorkloadSweep {
         store: &CampaignStore,
     ) -> Result<(Vec<WorkloadPoint>, CampaignReport), CampaignError> {
         let threads = configured_threads_for(self.cfg.shards);
+        let points = self.points();
+        let indexed: Vec<(usize, (Placement, f64))> = points.into_iter().enumerate().collect();
+        let sink = ProgressSink::from_env();
+        let progress = SweepProgress::begin(
+            &sink,
+            "workload",
+            indexed.len(),
+            store.median_timing("workload"),
+        );
         let results = parallel_map_on(
-            &self.points(),
+            &indexed,
             threads,
-            |&(placement, load)| -> Result<(WorkloadPoint, bool), CampaignError> {
+            |&(i, (placement, load))| -> Result<(WorkloadPoint, bool), CampaignError> {
                 let key = store.workload_key(self, placement, load);
                 if let Some(point) = store.lookup_workload(&key) {
+                    progress.cell(i, true, 0.0);
                     return Ok((point, true));
                 }
+                let clock = std::time::Instant::now();
                 let point = self.run_point(placement, load)?;
+                let secs = clock.elapsed().as_secs_f64();
                 store.insert_workload(&key, &point)?;
+                store.record_timing("workload", secs);
+                progress.cell(i, false, secs);
                 Ok((point, false))
             },
         );
@@ -808,6 +846,7 @@ impl WorkloadSweep {
             }
             all.push(point);
         }
+        progress.finish();
         Ok((all, report))
     }
 

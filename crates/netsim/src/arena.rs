@@ -201,6 +201,11 @@ impl FlitArena {
         self.cold[h as usize].packet
     }
 
+    /// Creation cycle of `h` (the stall watchdog's age source).
+    pub fn created(&self, h: u32) -> u64 {
+        self.cold[h as usize].created
+    }
+
     pub fn set_injected(&mut self, h: u32, t: u64) {
         self.cold[h as usize].injected = t;
     }
@@ -284,6 +289,20 @@ impl FlitQueue {
         }
         self.len -= 1;
         Some(h)
+    }
+
+    /// Walks the queue front to back without unlinking (diagnostic
+    /// scans; the queue must not be mutated while iterating).
+    pub fn iter<'q>(&self, arena: &'q FlitArena) -> impl Iterator<Item = u32> + 'q {
+        let mut h = self.head;
+        std::iter::from_fn(move || {
+            if h == NIL {
+                return None;
+            }
+            let out = h;
+            h = arena.next[h as usize];
+            Some(out)
+        })
     }
 }
 

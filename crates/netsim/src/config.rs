@@ -192,6 +192,16 @@ pub struct SimConfig {
     /// (default), or when all closed-loop work completes.
     #[cfg_attr(feature = "serde", serde(default))]
     pub termination: Termination,
+    /// Stall-watchdog cadence in cycles; 0 disables the watchdog. When
+    /// enabled, every `watchdog_every` cycles the engine checks that the
+    /// network made progress (a flit moved or a packet ejected) since
+    /// the previous checkpoint; a zero-progress window with packets
+    /// still in flight ends the run with
+    /// [`SimError::Stalled`](crate::SimError::Stalled) instead of
+    /// spinning until the drain cap. The check runs in-band on cycle
+    /// boundaries, so reports are bit-identical at any shard count.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub watchdog_every: u64,
 }
 
 #[cfg(feature = "serde")]
@@ -217,6 +227,7 @@ impl SimConfig {
             shards: 1,
             scale_mode: false,
             termination: Termination::FixedWindow,
+            watchdog_every: 0,
         }
     }
 
@@ -259,6 +270,12 @@ impl SimConfig {
     /// Sets the termination mode (builder style).
     pub fn with_termination(mut self, termination: Termination) -> Self {
         self.termination = termination;
+        self
+    }
+
+    /// Sets the stall-watchdog cadence (builder style); 0 disables it.
+    pub fn with_watchdog(mut self, every: u64) -> Self {
+        self.watchdog_every = every;
         self
     }
 
@@ -401,6 +418,15 @@ mod tests {
         assert_eq!(c.termination, Termination::FixedWindow);
         let c = c.with_termination(Termination::WorkComplete);
         assert_eq!(c.termination, Termination::WorkComplete);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn watchdog_defaults_off() {
+        let c = SimConfig::paper_default(0.1);
+        assert_eq!(c.watchdog_every, 0);
+        let c = c.with_watchdog(512);
+        assert_eq!(c.watchdog_every, 512);
         assert!(c.validate().is_ok());
     }
 

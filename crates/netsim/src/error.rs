@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::health::StallReport;
+
 /// An error raised while constructing or driving a simulation.
 ///
 /// Every fallible entry point of the engine — [`crate::NetworkSpec::validated`],
@@ -41,6 +43,12 @@ pub enum SimError {
         /// A terminal it can no longer reach.
         dest: usize,
     },
+    /// The stall watchdog observed a zero-progress window with packets
+    /// still in flight: no flit advanced and no packet ejected for
+    /// [`crate::SimConfig::watchdog_every`] cycles. The report names
+    /// the hottest blocked resources; it is bit-identical at any shard
+    /// count.
+    Stalled(StallReport),
 }
 
 impl fmt::Display for SimError {
@@ -58,6 +66,7 @@ impl fmt::Display for SimError {
                 f,
                 "fault plan disconnects the network: terminal {src} cannot reach terminal {dest}"
             ),
+            SimError::Stalled(report) => write!(f, "simulation stalled: {report}"),
         }
     }
 }

@@ -42,6 +42,7 @@ mod config;
 mod error;
 mod fault;
 mod flit;
+mod health;
 mod routing;
 mod sim;
 mod spec;
@@ -57,6 +58,7 @@ pub use config::{CreditMode, InjectionKind, SimConfig, TdEstimator, TelemetryCon
 pub use error::SimError;
 pub use fault::{FaultClass, FaultPlan, FaultTable};
 pub use flit::{Flit, RouteClass, RouteInfo};
+pub use health::{warmup_convergence, Span, SpanTree, StallReport, WARMUP_DRIFT_LIMIT};
 pub use routing::{
     trace_path, DecisionRecord, NetView, PortVc, RoutingAlgorithm, ShortestPathRouting, TraceHop,
 };

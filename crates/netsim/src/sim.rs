@@ -44,6 +44,7 @@ use crate::arena::{FlitArena, FlitQueue};
 use crate::config::{CreditMode, InjectionKind, SimConfig, TdEstimator, Termination};
 use crate::error::SimError;
 use crate::flit::{Flit, RouteClass, RouteInfo};
+use crate::health::{warmup_convergence, StallReport};
 use crate::routing::{DecisionRecord, NetView, PortVc, RoutingAlgorithm};
 use crate::spec::{ChannelClass, Connection, NetworkSpec};
 use crate::stats::{ChannelLoad, Histogram, LatencySummary, RouteTelemetry, RunStats};
@@ -278,6 +279,11 @@ pub struct SimPerf {
     pub flit_hops: u64,
     /// Number of router shards (worker threads) the run executed on.
     pub shards: usize,
+    /// Per-shard compute time per phase, indexed `[shard][phase]` in
+    /// [`SimPerf::PHASE_NAMES`] order — the raw table behind the
+    /// engine → phase → shard span tree ([`crate::SpanTree`]).
+    /// `phases` is the column-wise maximum of this table.
+    pub shard_phases: Vec<[Duration; 5]>,
 }
 
 impl SimPerf {
@@ -503,7 +509,38 @@ struct Exchange {
     /// every shard evaluates the identical work-complete termination
     /// condition).
     work_done: Vec<AtomicU64>,
+    /// Cumulative network flit-hops per shard, published at the end of
+    /// phase 5 on watchdog checkpoint cycles only (zero cost when the
+    /// watchdog is off). Read by every shard after the phase-5 barrier,
+    /// like the labelled counters.
+    wd_hops: Vec<AtomicU64>,
+    /// Cumulative ejected packets (tail flits, labelled or not) per
+    /// shard, same protocol as `wd_hops`.
+    wd_ejects: Vec<AtomicU64>,
+    /// Stall-attribution slots, one per shard. Written only on the
+    /// stall path: every shard detects the stall on the same checkpoint
+    /// cycle (the inputs are the replicated counters above), scans its
+    /// own routers, writes its slot, rendezvouses at the barrier, then
+    /// merges every slot in shard order — so the final report is
+    /// bit-identical at any shard count.
+    stall_slots: Mutex<Vec<Option<StallScan>>>,
     barrier: SpinBarrier,
+}
+
+/// One shard's local stall attribution, merged across shards in shard
+/// order with fixed tie-breaks (largest count/depth wins, ties go to
+/// the lowest router then port).
+#[derive(Debug, Clone, Copy, Default)]
+struct StallScan {
+    /// `(blocked output ports, router)` of this shard's hottest router.
+    /// A port is blocked when it has queued flits and no VC that is both
+    /// non-empty and credited.
+    blocked: Option<(usize, usize)>,
+    /// `(queued flits, router, port)` of this shard's most backed-up
+    /// blocked channel.
+    starved: Option<(u64, usize, usize)>,
+    /// Earliest creation cycle among this shard's in-flight flits.
+    oldest_created: Option<u64>,
 }
 
 impl Exchange {
@@ -523,6 +560,9 @@ impl Exchange {
             gen_labeled: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             eject_labeled: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             work_done: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            wd_hops: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            wd_ejects: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            stall_slots: Mutex::new(vec![None; shards]),
             barrier: SpinBarrier::new(shards),
         }
     }
@@ -744,6 +784,25 @@ struct ShardState<'a> {
     gen_labeled: u64,
     /// Cumulative labelled packets ejected at this shard's routers.
     eject_labeled: u64,
+    /// Cumulative packets (tail flits, labelled or not) ejected at this
+    /// shard's routers — the watchdog's progress/population counter.
+    eject_total: u64,
+    /// Global hop total at the previous watchdog checkpoint.
+    wd_prev_hops: u64,
+    /// Global ejected-packet total at the previous watchdog checkpoint.
+    wd_prev_ejects: u64,
+    /// Global in-flight packet count at the previous watchdog
+    /// checkpoint (replicated — every shard computes the same value
+    /// from the published counters).
+    wd_prev_in_flight: u64,
+    /// The stall report that ended this shard's run, if any (identical
+    /// on every shard).
+    stalled: Option<StallReport>,
+    /// Packet ejections during each quarter of the warmup period
+    /// (warmup-convergence diagnostics; merged by summation).
+    warmup_ejects: [u64; 4],
+    /// Summed packet latencies per warmup quarter, same protocol.
+    warmup_lat: [u64; 4],
     injected_in_window: u64,
     ejected_in_window: u64,
     /// Flits sent per owned flat port during the measurement window
@@ -815,6 +874,9 @@ pub struct Simulation<'a> {
     eng: EngineShared<'a>,
     shards: Vec<ShardState<'a>>,
     cycle: u64,
+    /// Stall diagnosis from the last `drive`, if the watchdog fired.
+    /// Identical on every shard, so shard 0's copy is canonical.
+    stalled: Option<StallReport>,
 }
 
 /// Working state of the per-channel time-series sampler (per shard:
@@ -1326,6 +1388,17 @@ impl<'a> EngineShared<'a> {
         if arrival >= self.win_start && arrival < self.win_end {
             st.ejected_in_window += 1;
         }
+        if flit.is_tail {
+            st.eject_total += 1;
+            // Warmup-convergence windows: every packet ejected during
+            // the warmup period lands in one of four equal windows,
+            // whose throughput/latency drift `stats_with` reports.
+            if arrival < self.win_start && self.win_start >= 4 {
+                let w = (arrival * 4 / self.win_start) as usize;
+                st.warmup_ejects[w] += 1;
+                st.warmup_lat[w] += arrival - flit.created;
+            }
+        }
         // A message is delivered when its tail flit ejects: notify the
         // destination terminal (always local — ejection happens at its
         // own router's shard) and the source terminal (via the exchange
@@ -1536,6 +1609,14 @@ impl<'a> EngineShared<'a> {
         }
         self.exch.gen_labeled[st.id].store(st.gen_labeled, Ordering::Release);
         self.exch.eject_labeled[st.id].store(st.eject_labeled, Ordering::Release);
+        // Watchdog counters publish only on checkpoint cycles (the
+        // boundary is derived from `t`, so every shard agrees), keeping
+        // the disabled path free of extra stores.
+        let wd = self.cfg.watchdog_every;
+        if wd > 0 && (t + 1).is_multiple_of(wd) {
+            self.exch.wd_hops[st.id].store(st.flit_hops, Ordering::Release);
+            self.exch.wd_ejects[st.id].store(st.eject_total, Ordering::Release);
+        }
     }
 
     /// Appends one sample column to this shard's channel time series if
@@ -1627,7 +1708,165 @@ impl<'a> EngineShared<'a> {
                     }
                 }
             }
+            if self.cfg.watchdog_every > 0 {
+                if let Some(report) = self.watchdog_check(st) {
+                    st.stalled = Some(report);
+                    break;
+                }
+            }
         }
+    }
+
+    /// Watchdog checkpoint: on cadence boundaries, compare the global
+    /// progress counters published at the end of phase 5 against their
+    /// values at the previous checkpoint. Zero progress (no hop, no
+    /// ejection) across the whole window with packets in flight at its
+    /// start means the network is wedged: every shard detects it on the
+    /// same cycle (the inputs are replicated), scans its own routers for
+    /// attribution, and merges all scans in shard order into one
+    /// bit-identical [`StallReport`].
+    fn watchdog_check(&self, st: &mut ShardState<'a>) -> Option<StallReport> {
+        let wd = self.cfg.watchdog_every;
+        if !st.cycle.is_multiple_of(wd) {
+            return None;
+        }
+        let hops: u64 = self
+            .exch
+            .wd_hops
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .sum();
+        let ejects: u64 = self
+            .exch
+            .wd_ejects
+            .iter()
+            .map(|c| c.load(Ordering::Acquire))
+            .sum();
+        // `next_packet` is the replicated global generation counter, so
+        // the in-flight population is identical on every shard. The
+        // first checkpoint can never stall (the previous in-flight
+        // snapshot starts at zero), which keeps a run that simply has
+        // no traffic yet from tripping the detector.
+        let stalled =
+            hops == st.wd_prev_hops && ejects == st.wd_prev_ejects && st.wd_prev_in_flight > 0;
+        st.wd_prev_hops = hops;
+        st.wd_prev_ejects = ejects;
+        st.wd_prev_in_flight = st.next_packet - ejects;
+        if !stalled {
+            return None;
+        }
+        let scan = self.stall_scan(st);
+        self.exch.stall_slots.lock().expect("stall slots poisoned")[st.id] = Some(scan);
+        // Rendezvous so every shard's scan is written before any shard
+        // merges; the barrier is safe because the stall verdict above is
+        // computed from identical inputs on every shard.
+        self.exch.barrier.wait();
+        let slots = self.exch.stall_slots.lock().expect("stall slots poisoned");
+        let mut blocked: Option<(usize, usize)> = None;
+        let mut starved: Option<(u64, usize, usize)> = None;
+        let mut oldest: Option<u64> = None;
+        for scan in slots.iter().flatten() {
+            if let Some((count, router)) = scan.blocked {
+                if blocked.is_none_or(|(c, r)| count > c || (count == c && router < r)) {
+                    blocked = Some((count, router));
+                }
+            }
+            if let Some((depth, router, port)) = scan.starved {
+                if starved
+                    .is_none_or(|(d, r, p)| depth > d || (depth == d && (router, port) < (r, p)))
+                {
+                    starved = Some((depth, router, port));
+                }
+            }
+            if let Some(created) = scan.oldest_created {
+                if oldest.is_none_or(|c| created < c) {
+                    oldest = Some(created);
+                }
+            }
+        }
+        let (blocked_ports, hottest_router) = blocked.unwrap_or((0, 0));
+        let (starved_depth, starved_router, starved_port) = starved.unwrap_or((0, 0, 0));
+        Some(StallReport {
+            cycle: st.cycle,
+            window: wd,
+            in_flight: st.next_packet - ejects,
+            hottest_router,
+            blocked_ports,
+            starved_router,
+            starved_port,
+            starved_depth,
+            oldest_age: oldest.map_or(0, |created| st.cycle - created),
+        })
+    }
+
+    /// Scans this shard's own routers, pipes and terminals for stall
+    /// attribution. Runs after the phase-5 barrier with every shard
+    /// parked in the watchdog, so reading own-router state is safe.
+    #[allow(unsafe_code)]
+    fn stall_scan(&self, st: &ShardState<'a>) -> StallScan {
+        let vcs = self.spec.vcs;
+        let mut scan = StallScan::default();
+        let oldest = |arena: &FlitArena, q: &FlitQueue, scan: &mut StallScan| {
+            for h in q.iter(arena) {
+                let created = arena.created(h);
+                if scan.oldest_created.is_none_or(|c| created < c) {
+                    scan.oldest_created = Some(created);
+                }
+            }
+        };
+        for r in st.range.r0..st.range.r1 {
+            // SAFETY: every shard is parked in the watchdog rendezvous
+            // between cycles and reads only its own routers.
+            let core = unsafe { self.routers.get_ref(r) };
+            let ports = self.spec.routers[r].ports.len();
+            let mut blocked_here = 0usize;
+            for p in 0..ports {
+                // Terminal ports always transmit (ejection needs no
+                // credit), so they cannot block.
+                if matches!(
+                    self.spec.routers[r].ports[p].conn,
+                    Connection::Terminal { .. }
+                ) {
+                    continue;
+                }
+                if core.out_port_count[p] == 0 {
+                    continue;
+                }
+                let sendable = (0..vcs).any(|vc| {
+                    let slot = p * vcs + vc;
+                    !core.out_q[slot].is_empty() && core.credits[slot] > 0
+                });
+                if sendable {
+                    continue;
+                }
+                blocked_here += 1;
+                let depth = core.out_port_count[p] as u64;
+                if scan
+                    .starved
+                    .is_none_or(|(d, br, bp)| depth > d || (depth == d && (r, p) < (br, bp)))
+                {
+                    scan.starved = Some((depth, r, p));
+                }
+            }
+            if blocked_here > 0
+                && scan
+                    .blocked
+                    .is_none_or(|(c, br)| blocked_here > c || (blocked_here == c && r < br))
+            {
+                scan.blocked = Some((blocked_here, r));
+            }
+            for q in core.inputs.iter().chain(core.out_q.iter()) {
+                oldest(&st.arena, q, &mut scan);
+            }
+        }
+        for q in &st.pipes {
+            oldest(&st.arena, q, &mut scan);
+        }
+        for tc in &st.terminals {
+            oldest(&st.arena, &tc.source, &mut scan);
+            oldest(&st.arena, &tc.pipe, &mut scan);
+        }
+        scan
     }
 }
 impl<'a> Simulation<'a> {
@@ -1863,6 +2102,13 @@ impl<'a> Simulation<'a> {
                     next_packet: 0,
                     gen_labeled: 0,
                     eject_labeled: 0,
+                    eject_total: 0,
+                    wd_prev_hops: 0,
+                    wd_prev_ejects: 0,
+                    wd_prev_in_flight: 0,
+                    stalled: None,
+                    warmup_ejects: [0; 4],
+                    warmup_lat: [0; 4],
                     injected_in_window: 0,
                     ejected_in_window: 0,
                     sent_in_window: if cfg.scale_mode {
@@ -1906,6 +2152,7 @@ impl<'a> Simulation<'a> {
             },
             shards,
             cycle: 0,
+            stalled: None,
         })
     }
 
@@ -1929,10 +2176,23 @@ impl<'a> Simulation<'a> {
     ///
     /// The run ends when every labelled packet has been delivered, or
     /// when the drain cap is exceeded (the network is saturated at this
-    /// load); [`RunStats::drained`] records which.
+    /// load); [`RunStats::drained`] records which. If the stall
+    /// watchdog fires the run also ends (with `drained == false`);
+    /// [`Simulation::stall_report`] holds the diagnosis. Use
+    /// [`Simulation::try_run`] to surface a stall as a typed error.
     pub fn run(&mut self) -> RunStats {
         self.drive(false);
         self.collect()
+    }
+
+    /// Like [`Simulation::run`], but a watchdog stall ends the run with
+    /// [`SimError::Stalled`] instead of undrained statistics.
+    pub fn try_run(&mut self) -> Result<RunStats, SimError> {
+        self.drive(false);
+        match self.stalled {
+            Some(report) => Err(SimError::Stalled(report)),
+            None => Ok(self.collect()),
+        }
     }
 
     /// Runs to completion like [`Simulation::run`], consuming the
@@ -1941,6 +2201,21 @@ impl<'a> Simulation<'a> {
     pub fn finish(mut self) -> RunStats {
         self.drive(false);
         self.collect_owned()
+    }
+
+    /// Like [`Simulation::finish`], but a watchdog stall ends the run
+    /// with [`SimError::Stalled`] instead of undrained statistics.
+    pub fn try_finish(mut self) -> Result<RunStats, SimError> {
+        self.drive(false);
+        match self.stalled {
+            Some(report) => Err(SimError::Stalled(report)),
+            None => Ok(self.collect_owned()),
+        }
+    }
+
+    /// The stall watchdog's diagnosis from the last run, if it fired.
+    pub fn stall_report(&self) -> Option<StallReport> {
+        self.stalled
     }
 
     /// Runs to completion, consuming the simulation, and additionally
@@ -1957,6 +2232,7 @@ impl<'a> Simulation<'a> {
         };
         for st in &self.shards {
             perf.flit_hops += st.flit_hops;
+            perf.shard_phases.push(st.phases);
             for (p, d) in st.phases.iter().enumerate() {
                 if *d > perf.phases[p] {
                     perf.phases[p] = *d;
@@ -1984,6 +2260,7 @@ impl<'a> Simulation<'a> {
             });
         }
         self.cycle = self.shards[0].cycle;
+        self.stalled = self.shards[0].stalled;
     }
 
     /// Advances the simulation by one cycle, accumulating per-phase wall
@@ -2151,7 +2428,13 @@ impl<'a> Simulation<'a> {
         let mut ejected = 0u64;
         let mut generated_labeled = 0u64;
         let mut ejected_labeled = 0u64;
+        let mut warmup_ejects = [0u64; 4];
+        let mut warmup_lat = [0u64; 4];
         for st in &self.shards {
+            for w in 0..4 {
+                warmup_ejects[w] += st.warmup_ejects[w];
+                warmup_lat[w] += st.warmup_lat[w];
+            }
             latency.merge(&st.latency);
             minimal_latency.merge(&st.minimal_latency);
             non_minimal_latency.merge(&st.non_minimal_latency);
@@ -2190,6 +2473,8 @@ impl<'a> Simulation<'a> {
                 })
                 .collect()
         };
+        let (converged, warmup_throughput_drift, warmup_latency_drift) =
+            warmup_convergence(&warmup_ejects, &warmup_lat);
         RunStats {
             cycles: self.cycle,
             offered_load: cfg.injection.rate() * cfg.packet_len as f64,
@@ -2209,6 +2494,9 @@ impl<'a> Simulation<'a> {
             series,
             trace,
             completion: self.shards[0].completion,
+            converged,
+            warmup_throughput_drift,
+            warmup_latency_drift,
         }
     }
 
@@ -2239,6 +2527,7 @@ impl<'a> Simulation<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::health::WARMUP_DRIFT_LIMIT;
     use crate::routing::ShortestPathRouting;
     use crate::spec::{PortSpec, RouterSpec};
     use dfly_traffic::{Shift, UniformRandom};
@@ -2732,5 +3021,128 @@ mod tests {
         let pattern = UniformRandom::new(5);
         let err = Simulation::new(&spec, &routing, &pattern, SimConfig::paper_default(0.1));
         assert!(err.is_err());
+    }
+
+    /// 4-router unidirectional ring, one terminal each (monotone, so
+    /// the planner can split it 1/2/4 ways). Port 1 is the forward
+    /// link, port 2 the inbound end of the previous router's forward
+    /// link.
+    fn ring_spec() -> NetworkSpec {
+        NetworkSpec::validated(
+            (0..4u32)
+                .map(|r| RouterSpec {
+                    ports: vec![term(r), link((r + 1) % 4, 2), link((r + 3) % 4, 1)],
+                })
+                .collect(),
+            2,
+        )
+        .unwrap()
+    }
+
+    /// Hostile routing that forwards every flit around the ring forever
+    /// and never ejects: with no escape path and a single VC in use,
+    /// the ring's cyclic channel dependency deadlocks as soon as the
+    /// buffers fill.
+    struct Spin;
+    impl RoutingAlgorithm for Spin {
+        fn name(&self) -> String {
+            "spin".into()
+        }
+        fn inject(
+            &self,
+            _view: &NetView<'_>,
+            _src_term: usize,
+            _dest_term: usize,
+            _rng: &mut SmallRng,
+        ) -> RouteInfo {
+            RouteInfo::minimal()
+        }
+        fn route(&self, _view: &NetView<'_>, _router: usize, _flit: &Flit) -> PortVc {
+            PortVc::new(1, 0)
+        }
+    }
+
+    #[test]
+    fn watchdog_reports_identical_stall_at_any_shard_count() {
+        let run = |shards: usize| {
+            let spec = ring_spec();
+            let pattern = UniformRandom::new(4);
+            let mut cfg = SimConfig::paper_default(1.0)
+                .with_seed(7)
+                .with_shards(shards)
+                .with_watchdog(256);
+            cfg.warmup = 100;
+            cfg.measure = 10_000;
+            cfg.drain_cap = 100_000;
+            let mut sim = Simulation::new(&spec, &Spin, &pattern, cfg).unwrap();
+            assert_eq!(sim.shard_count(), shards.min(4));
+            let err = sim.try_run().expect_err("wedged ring must stall");
+            assert_eq!(sim.stall_report(), Some(force_report(&err)));
+            err
+        };
+        fn force_report(err: &SimError) -> StallReport {
+            match err {
+                SimError::Stalled(report) => *report,
+                other => panic!("expected Stalled, got {other}"),
+            }
+        }
+        let one = force_report(&run(1));
+        assert_eq!(one.window, 256);
+        assert!(one.cycle.is_multiple_of(256));
+        assert!(one.in_flight > 0, "stall requires packets in flight");
+        assert!(one.blocked_ports >= 1);
+        // Every router's only loaded output is its forward link; the
+        // ring is symmetric, so the tie-breaks pick router 0 port 1.
+        assert_eq!((one.starved_router, one.starved_port), (0, 1));
+        assert!(one.starved_depth > 0);
+        assert!(one.oldest_age >= 256, "the wedge outlasted the window");
+        let msg = SimError::Stalled(one).to_string();
+        assert!(msg.contains("router 0 port 1"), "names the channel: {msg}");
+        for shards in [2, 4] {
+            assert_eq!(
+                force_report(&run(shards)),
+                one,
+                "{shards}-shard stall report diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn healthy_runs_pass_the_watchdog_and_report_convergence() {
+        let pattern = UniformRandom::new(3);
+        let mut cfg = SimConfig::paper_default(0.3).with_seed(5).with_watchdog(64);
+        cfg.warmup = 400;
+        cfg.measure = 2_000;
+        let spec = monotone_line_spec();
+        let routing = ShortestPathRouting::new(&spec);
+        let stats = Simulation::new(&spec, &routing, &pattern, cfg)
+            .unwrap()
+            .try_run()
+            .expect("healthy run must not stall");
+        assert!(stats.drained);
+        assert!(stats.converged, "steady warmup converges: {stats:?}");
+        assert!(stats.warmup_throughput_drift.unwrap() <= WARMUP_DRIFT_LIMIT);
+        assert!(stats.warmup_latency_drift.unwrap() <= WARMUP_DRIFT_LIMIT);
+        // The watchdog leaves the statistics untouched: identical run
+        // with it disabled (the default) agrees exactly.
+        let mut quiet_cfg = SimConfig::paper_default(0.3).with_seed(5);
+        quiet_cfg.warmup = 400;
+        quiet_cfg.measure = 2_000;
+        let quiet = Simulation::new(&spec, &routing, &pattern, quiet_cfg)
+            .unwrap()
+            .run();
+        assert_eq!(stats, quiet, "watchdog perturbed the run");
+    }
+
+    #[test]
+    fn too_short_warmup_is_vacuously_converged() {
+        let pattern = UniformRandom::new(3);
+        let mut cfg = SimConfig::paper_default(0.2).with_seed(4);
+        cfg.warmup = 0;
+        cfg.measure = 500;
+        let stats = run_line(cfg, &pattern);
+        assert!(stats.converged);
+        assert_eq!(stats.warmup_throughput_drift, None);
+        assert_eq!(stats.warmup_latency_drift, None);
     }
 }

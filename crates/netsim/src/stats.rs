@@ -316,6 +316,30 @@ pub struct RunStats {
     /// cap with work outstanding.
     #[cfg_attr(feature = "serde", serde(default))]
     pub completion: Option<u64>,
+    /// Whether the warmup interval settled before measurement began:
+    /// throughput and mean latency drift between the last two warmup
+    /// quarter-windows stayed within
+    /// [`crate::WARMUP_DRIFT_LIMIT`]. Vacuously `true` when warmup was
+    /// too short to compare (see [`crate::warmup_convergence`]).
+    #[cfg_attr(feature = "serde", serde(default = "default_converged"))]
+    pub converged: bool,
+    /// Symmetric relative throughput difference between the last two
+    /// warmup quarter-windows; `None` when there was nothing to
+    /// compare.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub warmup_throughput_drift: Option<f64>,
+    /// Symmetric relative mean-latency difference between the last two
+    /// warmup quarter-windows; `None` when there was nothing to
+    /// compare.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub warmup_latency_drift: Option<f64>,
+}
+
+/// Serde default for [`RunStats::converged`]: documents predating the
+/// diagnostic carry no evidence of a drifting warmup.
+#[cfg(feature = "serde")]
+fn default_converged() -> bool {
+    true
 }
 
 impl RunStats {

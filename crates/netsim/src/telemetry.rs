@@ -701,6 +701,29 @@ mod tests {
     }
 
     #[test]
+    fn histogram_percentile_edge_cases_never_fabricate() {
+        // Empty: nothing to rank, every percentile is None — not a
+        // garbage bucket edge.
+        let empty = LogHistogram::new();
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(empty.percentile(p), None, "empty p{p}");
+        }
+        assert_eq!(empty.mean(), None);
+        // One sample: every percentile is that exact value — the
+        // min/max clamp must override the bucket's upper edge.
+        let mut one = LogHistogram::new();
+        one.record(300); // bucket upper edge is 511, not 300
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(one.percentile(p), Some(300), "one-sample p{p}");
+        }
+        assert_eq!(one.mean(), Some(300.0));
+        // Still exact after a merge with an empty histogram.
+        let mut merged = LogHistogram::new();
+        merged.merge(&one);
+        assert_eq!(merged.percentile(0.5), Some(300));
+    }
+
+    #[test]
     fn histogram_percentiles_bracket_exact_values() {
         let mut h = LogHistogram::new();
         for v in 1..=1000u64 {

@@ -12,13 +12,22 @@ use dragonfly::{DragonflyParams, DragonflySim, RoutingChoice, TrafficChoice};
 
 /// FNV-1a over the full debug rendering plus the exported JSON bytes —
 /// any change to RunStats content, ordering or formatting shifts it.
-/// Fields the workload layer added after the capture are normalised out
-/// while unset (`completion` is always `None` on fixed-window runs), so
-/// the hash keeps covering exactly what the pre-refactor engine emitted
-/// — and still trips if a closed-loop field ever leaks a value into an
-/// open-loop run.
+/// Fields added after the capture are normalised out: `completion` while
+/// unset (always `None` on fixed-window runs, so it still trips if a
+/// closed-loop value ever leaks into an open-loop run) and the trailing
+/// warmup-convergence diagnostics (`converged` and the drift pair),
+/// which are derived from warmup-only counters and cannot alter the
+/// simulated traffic. The hash keeps covering exactly what the
+/// pre-refactor engine emitted.
 fn fingerprint(stats: &dfly_netsim::RunStats) -> u64 {
     let debug = format!("{stats:?}").replace(", completion: None", "");
+    // The convergence diagnostics are the last fields of RunStats, so
+    // truncating at the first of them and re-closing the struct leaves
+    // the pre-capture rendering intact.
+    let debug = match debug.find(", converged: ") {
+        Some(at) => format!("{} }}", &debug[..at]),
+        None => debug,
+    };
     let mut bytes = debug.into_bytes();
     bytes.extend_from_slice(stats.latency_log.to_json().as_bytes());
     if let Some(trace) = &stats.trace {
